@@ -1,0 +1,149 @@
+//! TTC-based automatic collision avoidance (ACA).
+
+use iprism_dynamics::ControlInput;
+use iprism_risk::{time_to_collision, SceneSnapshot};
+use iprism_sim::{EgoController, World};
+
+use crate::util::lane_follow_control;
+
+/// The classical dedicated safety controller the paper compares against
+/// (references [11, 13]): whenever the TTC to an in-path actor drops below
+/// a threshold, override the ADS with full braking.
+///
+/// ACA is *reactive* — it activates only after the threshold violation has
+/// occurred — and it only sees in-path actors. Both limitations are
+/// exactly what Table III demonstrates (0% collision avoidance on ghost
+/// cut-ins, strong performance on lead slowdowns).
+#[derive(Debug)]
+pub struct AcaController<A> {
+    inner: A,
+    /// TTC threshold triggering the brake override (s).
+    pub ttc_threshold: f64,
+    /// Prediction horizon for the TTC scene (s).
+    pub horizon: f64,
+    /// Prediction sample period (s).
+    pub dt: f64,
+    first_activation: Option<f64>,
+}
+
+impl<A> AcaController<A> {
+    /// Wraps an ADS controller with a TTC brake override at the given
+    /// threshold.
+    pub fn new(inner: A, ttc_threshold: f64) -> Self {
+        assert!(ttc_threshold > 0.0, "TTC threshold must be positive");
+        AcaController {
+            inner,
+            ttc_threshold,
+            horizon: 2.5,
+            dt: 0.25,
+            first_activation: None,
+        }
+    }
+
+    /// Time of the first brake override in the current episode, if any
+    /// (Table IV's activation-timing measurement).
+    pub fn first_activation(&self) -> Option<f64> {
+        self.first_activation
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: EgoController> EgoController for AcaController<A> {
+    fn control(&mut self, world: &World) -> ControlInput {
+        let scene = SceneSnapshot::from_world_cvtr(world, self.horizon, self.dt);
+        let triggered = time_to_collision(&scene).is_some_and(|t| t < self.ttc_threshold);
+        if triggered {
+            self.first_activation.get_or_insert(world.time());
+            let mut u = lane_follow_control(world.map(), &world.ego(), 0.0);
+            u.accel = world.vehicle_model().limits.accel_min;
+            u
+        } else {
+            self.inner.control(world)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.first_activation = None;
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LbcAgent;
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+    use iprism_sim::{run_episode, Actor, Behavior, ConstantControl, EpisodeConfig, World};
+
+    fn world(ego_speed: f64) -> World {
+        let map = RoadMap::straight_road(2, 3.5, 600.0);
+        World::new(map, VehicleState::new(20.0, 1.75, 0.0, ego_speed), 0.1)
+    }
+
+    #[test]
+    fn saves_a_blind_controller_from_rear_ending() {
+        // A coasting ego would plough into the stopped car; ACA brakes.
+        let mut w = world(10.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(80.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = AcaController::new(ConstantControl::coast(), 3.0);
+        let r = run_episode(&mut w, &mut agent, &EpisodeConfig::default());
+        assert!(!r.outcome.is_collision(), "{:?}", r.outcome);
+        assert!(agent.first_activation().is_some());
+    }
+
+    #[test]
+    fn no_activation_without_hazard() {
+        let mut w = world(8.0);
+        let mut agent = AcaController::new(LbcAgent::default(), 3.0);
+        for _ in 0..50 {
+            let u = agent.control(&w);
+            w.step(u);
+        }
+        assert!(agent.first_activation().is_none());
+    }
+
+    #[test]
+    fn blind_to_out_of_path_cut_in_threat() {
+        // Side-by-side actor in the adjacent lane going the same speed:
+        // no TTC, no activation — even though a cut-in may be imminent.
+        let mut w = world(8.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(22.0, 5.25, 0.0, 8.0),
+            Behavior::lane_keep(8.0),
+        ));
+        let mut agent = AcaController::new(ConstantControl::coast(), 3.0);
+        let _ = agent.control(&w);
+        assert!(agent.first_activation().is_none());
+    }
+
+    #[test]
+    fn reset_clears_activation() {
+        let mut w = world(10.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(40.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = AcaController::new(ConstantControl::coast(), 3.0);
+        let _ = agent.control(&w);
+        assert!(agent.first_activation().is_some());
+        agent.reset();
+        assert!(agent.first_activation().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "TTC threshold")]
+    fn bad_threshold_panics() {
+        let _ = AcaController::new(ConstantControl::coast(), 0.0);
+    }
+}

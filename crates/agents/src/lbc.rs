@@ -1,0 +1,286 @@
+//! The Learning-by-Cheating (LBC) baseline ADS surrogate.
+
+use iprism_dynamics::ControlInput;
+use iprism_sim::{EgoController, World};
+use serde::{Deserialize, Serialize};
+
+use crate::util::lane_follow_control;
+
+/// Configuration of the [`LbcAgent`] surrogate.
+///
+/// The defaults are calibrated so the agent drives benign traffic cleanly
+/// yet reproduces the per-typology accident profile of Table I: blind to
+/// actors outside its own lane (cut-ins are seen late), a perception/
+/// decision latency before it reacts, and comfort-limited braking unless
+/// the hazard is already very close.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LbcConfig {
+    /// Cruise speed (m/s).
+    pub target_speed: f64,
+    /// How far ahead the agent perceives in-lane hazards (m).
+    pub perception_range: f64,
+    /// Half-width of the perceived corridor around the ego lane centre (m);
+    /// actors laterally outside it are invisible (the LBC cut-in blindness).
+    pub lateral_tolerance: f64,
+    /// Hazard must persist this long before the agent reacts (s).
+    pub reaction_delay: f64,
+    /// Normal braking strength (m/s², negative).
+    pub comfort_brake: f64,
+    /// Panic braking strength (m/s², negative).
+    pub emergency_brake: f64,
+    /// Gap below which panic braking engages (m).
+    pub emergency_gap: f64,
+    /// Desired time headway to a leader (s).
+    pub headway: f64,
+}
+
+impl Default for LbcConfig {
+    fn default() -> Self {
+        LbcConfig {
+            target_speed: 8.0,
+            perception_range: 35.0,
+            lateral_tolerance: 1.6,
+            reaction_delay: 0.5,
+            comfort_brake: -3.5,
+            emergency_brake: -6.0,
+            emergency_gap: 7.0,
+            headway: 1.0,
+        }
+    }
+}
+
+/// Surrogate for the Learning-by-Cheating agent (paper reference [15]) —
+/// the baseline ADS of the entire evaluation.
+///
+/// See [`LbcConfig`] for the deliberately limited hazard model. The agent
+/// is deterministic; the same world always produces the same control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LbcAgent {
+    /// Behaviour parameters.
+    pub config: LbcConfig,
+    hazard_since: Option<f64>,
+}
+
+impl LbcAgent {
+    /// Creates an agent with the given configuration.
+    pub fn new(config: LbcConfig) -> Self {
+        LbcAgent {
+            config,
+            hazard_since: None,
+        }
+    }
+
+    /// Creates an agent with the calibrated default configuration.
+    pub fn with_target_speed(target_speed: f64) -> Self {
+        LbcAgent::new(LbcConfig {
+            target_speed,
+            ..LbcConfig::default()
+        })
+    }
+
+    /// Gap (m) and leader speed of the closest perceived in-lane actor
+    /// ahead, if any.
+    fn perceived_lead(&self, world: &World) -> Option<(f64, f64)> {
+        let ego = world.ego();
+        let lane = world.map().nearest_lane(ego.position());
+        let ego_proj = lane.project(ego.position());
+        let mut best: Option<(f64, f64)> = None;
+        for actor in world.actors() {
+            let proj = lane.project(actor.state.position());
+            // Footprint-aware lateral: a body counts as in-corridor when its
+            // near edge (not its centre) enters the perceived corridor.
+            let edge_lateral = (proj.lateral.abs() - actor.width * 0.5).max(0.0);
+            if edge_lateral > self.config.lateral_tolerance {
+                continue; // outside the perceived corridor
+            }
+            let ds = proj.s - ego_proj.s;
+            if ds <= 0.0 || ds > self.config.perception_range {
+                continue; // behind, or beyond perception
+            }
+            let gap = ds - (actor.length + 4.6) * 0.5;
+            if best.map_or(true, |(g, _)| gap < g) {
+                best = Some((gap, actor.state.v));
+            }
+        }
+        best
+    }
+}
+
+impl Default for LbcAgent {
+    fn default() -> Self {
+        LbcAgent::new(LbcConfig::default())
+    }
+}
+
+impl EgoController for LbcAgent {
+    fn control(&mut self, world: &World) -> ControlInput {
+        let ego = world.ego();
+        let mut u = lane_follow_control(world.map(), &ego, self.config.target_speed);
+
+        let hazard = self.perceived_lead(world).and_then(|(gap, lead_v)| {
+            let desired = 4.0 + self.config.headway * ego.v;
+            if gap < desired && lead_v < ego.v + 0.5 {
+                Some(gap)
+            } else {
+                None
+            }
+        });
+
+        match hazard {
+            Some(gap) => {
+                let since = *self.hazard_since.get_or_insert(world.time());
+                let reacted = world.time() - since >= self.config.reaction_delay;
+                if reacted {
+                    u.accel = if gap < self.config.emergency_gap {
+                        self.config.emergency_brake
+                    } else {
+                        self.config.comfort_brake
+                    };
+                } else if gap < self.config.emergency_gap * 0.5 {
+                    // Even before the latency elapses, an imminent overlap
+                    // triggers reflex braking (LBC is not completely blind).
+                    u.accel = self.config.comfort_brake;
+                }
+            }
+            None => self.hazard_since = None,
+        }
+        u
+    }
+
+    fn reset(&mut self) {
+        self.hazard_since = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+    use iprism_sim::{run_episode, Actor, Behavior, EpisodeConfig, Goal, World};
+
+    fn world(ego_speed: f64) -> World {
+        let map = RoadMap::straight_road(2, 3.5, 600.0);
+        World::new(map, VehicleState::new(20.0, 1.75, 0.0, ego_speed), 0.1)
+    }
+
+    #[test]
+    fn cruises_at_target_speed_on_open_road() {
+        let mut w = world(0.0);
+        let mut agent = LbcAgent::default();
+        let r = run_episode(
+            &mut w,
+            &mut agent,
+            &EpisodeConfig {
+                max_time: 20.0,
+                goal: Goal::None,
+                stop_on_collision: true,
+            },
+        );
+        assert!(!r.outcome.is_collision());
+        let last = r.trace.steps().last().unwrap();
+        assert!((last.ego.v - 8.0).abs() < 0.5, "v = {}", last.ego.v);
+        assert!((last.ego.y - 1.75).abs() < 0.3);
+    }
+
+    #[test]
+    fn stops_behind_stopped_leader() {
+        let mut w = world(8.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(120.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = LbcAgent::default();
+        let r = run_episode(&mut w, &mut agent, &EpisodeConfig::default());
+        assert!(!r.outcome.is_collision(), "{:?}", r.outcome);
+        // parked safely behind the leader
+        assert!(w.ego().v < 0.5);
+        assert!(w.ego().x < 115.0);
+    }
+
+    #[test]
+    fn follows_slower_leader_without_collision() {
+        let mut w = world(8.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(60.0, 1.75, 0.0, 4.0),
+            Behavior::lane_keep(4.0),
+        ));
+        let mut agent = LbcAgent::default();
+        let r = run_episode(
+            &mut w,
+            &mut agent,
+            &EpisodeConfig {
+                max_time: 30.0,
+                goal: Goal::None,
+                stop_on_collision: true,
+            },
+        );
+        assert!(!r.outcome.is_collision());
+    }
+
+    #[test]
+    fn blind_to_adjacent_lane_traffic() {
+        let mut w = world(8.0);
+        // A stopped car in the *other* lane is ignored: no braking.
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(60.0, 5.25, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = LbcAgent::default();
+        let u = agent.control(&w);
+        assert!(u.accel > -0.5, "must not brake for adjacent lane");
+    }
+
+    #[test]
+    fn abrupt_very_close_cut_in_defeats_the_agent() {
+        // A stopped car materialising 9 m ahead of a fast ego (the end
+        // state of an aggressive cut-in) cannot be handled: latency +
+        // limited braking lose. This is what the SMC exists to fix.
+        let mut w = world(12.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(34.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = LbcAgent::with_target_speed(12.0);
+        let r = run_episode(&mut w, &mut agent, &EpisodeConfig::default());
+        assert!(r.outcome.is_collision(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn reaction_latency_latches_and_clears() {
+        let mut w = world(8.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(34.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = LbcAgent::default();
+        let u0 = agent.control(&w);
+        // gap 9.4 m < desired 12 m: hazard latched, but latency not yet
+        // elapsed and gap above the reflex zone: no braking yet.
+        assert!(agent.hazard_since.is_some());
+        assert!(u0.accel > -1.0);
+        agent.reset();
+        assert!(agent.hazard_since.is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut w = world(8.0);
+            w.spawn(Actor::vehicle(
+                1,
+                VehicleState::new(60.0, 1.75, 0.0, 2.0),
+                Behavior::lane_keep(2.0),
+            ));
+            let mut agent = LbcAgent::default();
+            let r = run_episode(&mut w, &mut agent, &EpisodeConfig::default());
+            (format!("{:?}", r.outcome), r.trace.len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,39 @@
+//! Driving agents and safety controllers for the iPrism evaluation.
+//!
+//! The paper evaluates iPrism around two autonomous driving agents and one
+//! classical safety controller, none of which are usable verbatim from Rust
+//! (they are GPU-trained Python models). This crate provides behavioural
+//! surrogates that preserve the properties the evaluation depends on (see
+//! DESIGN.md §2 for the substitution argument):
+//!
+//! * [`LbcAgent`] — the Learning-by-Cheating baseline ADS: a competent lane
+//!   follower with *limited hazard handling* (in-path-only perception, a
+//!   reaction latency, comfort-limited braking). Drives well in benign
+//!   traffic and fails in the NHTSA pre-crash typologies, like the original.
+//! * [`RipAgent`] — the Robust Imitative Planning agent: an ensemble of
+//!   imitation planners scored under a benign-driving likelihood prior with
+//!   worst-case aggregation. Structurally reproduces RIP's documented
+//!   failure mode (misleading likelihoods in OOD safety-critical scenes).
+//! * [`AcaController`] — the TTC-based automatic collision avoidance
+//!   wrapper: full braking whenever TTC to an in-path actor drops below a
+//!   threshold.
+//! * [`MitigatedAgent`] + [`MitigationPolicy`] — the paper's `⊗` operator
+//!   (Fig. 2): a mitigation action, when not No-Op, *overwrites* the ADS
+//!   action.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aca;
+mod lbc;
+mod mitigation;
+mod rip;
+mod util;
+
+pub use aca::AcaController;
+pub use lbc::{LbcAgent, LbcConfig};
+pub use mitigation::{
+    MitigatedAgent, MitigationAction, MitigationPolicy, NoMitigation, ACCELERATE_SPEED_CAP,
+};
+pub use rip::{RipAgent, RipConfig};
+pub use util::lane_follow_control;

@@ -1,0 +1,289 @@
+//! Mitigation actions and the `⊗` arbitration operator (Fig. 2).
+
+use iprism_dynamics::ControlInput;
+use iprism_map::LaneId;
+use iprism_sim::{EgoController, World};
+use serde::{Deserialize, Serialize};
+
+use crate::util::lane_follow_control;
+
+/// Speed cap (m/s) of the [`MitigationAction::Accelerate`] override — an
+/// urban road-speed limit. The SMC escapes rear threats by accelerating,
+/// not by racing off at the vehicle's mechanical maximum.
+pub const ACCELERATE_SPEED_CAP: f64 = 14.0;
+
+/// The SMC's discrete mitigation actions (§III-B of the paper).
+///
+/// The paper demonstrates braking (BR) and acceleration (ACC); lane changes
+/// (LCL/LCR) are defined by the action space and listed as future work —
+/// they are implemented here but excluded from the default action set used
+/// in the experiments, mirroring the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MitigationAction {
+    /// No mitigation; the ADS action passes through.
+    NoOp,
+    /// Maximum braking while holding the lane.
+    Brake,
+    /// Maximum acceleration while holding the lane.
+    Accelerate,
+    /// Change one lane to the left.
+    LaneChangeLeft,
+    /// Change one lane to the right.
+    LaneChangeRight,
+}
+
+impl MitigationAction {
+    /// The action set used in the paper's experiments: `{No-Op, BR, ACC}`.
+    pub const BRAKE_ACCEL: [MitigationAction; 3] = [
+        MitigationAction::NoOp,
+        MitigationAction::Brake,
+        MitigationAction::Accelerate,
+    ];
+
+    /// The full action space including lane changes.
+    pub const ALL: [MitigationAction; 5] = [
+        MitigationAction::NoOp,
+        MitigationAction::Brake,
+        MitigationAction::Accelerate,
+        MitigationAction::LaneChangeLeft,
+        MitigationAction::LaneChangeRight,
+    ];
+
+    /// Realizes the action as a control input for the current world, or
+    /// `None` for [`MitigationAction::NoOp`].
+    pub fn to_control(self, world: &World) -> Option<ControlInput> {
+        let ego = world.ego();
+        let limits = world.vehicle_model().limits;
+        match self {
+            MitigationAction::NoOp => None,
+            MitigationAction::Brake => {
+                let mut u = lane_follow_control(world.map(), &ego, 0.0);
+                u.accel = limits.accel_min;
+                Some(u)
+            }
+            MitigationAction::Accelerate => {
+                let mut u = lane_follow_control(world.map(), &ego, ACCELERATE_SPEED_CAP);
+                u.accel = if ego.v < ACCELERATE_SPEED_CAP {
+                    limits.accel_max
+                } else {
+                    0.0
+                };
+                Some(u)
+            }
+            MitigationAction::LaneChangeLeft | MitigationAction::LaneChangeRight => {
+                let map = world.map();
+                let current = map.nearest_lane(ego.position()).id();
+                let target = if self == MitigationAction::LaneChangeLeft {
+                    LaneId(current.0 + 1)
+                } else {
+                    LaneId(current.0.saturating_sub(1))
+                };
+                let lane = map.lane(target).or_else(|| map.lane(current))?;
+                let proj = lane.project(ego.position());
+                let heading_err = iprism_geom::wrap_to_pi(proj.heading - ego.theta);
+                let cross = (-proj.lateral / 4.0).atan();
+                Some(ControlInput::new(0.0, (heading_err + cross).clamp(-0.6, 0.6)))
+            }
+        }
+    }
+}
+
+/// Decides a mitigation action each step — implemented by the SMC (and by
+/// [`NoMitigation`] for baselines).
+pub trait MitigationPolicy {
+    /// The mitigation action for the current world state.
+    fn decide(&mut self, world: &World) -> MitigationAction;
+    /// Resets per-episode state.
+    fn reset(&mut self) {}
+}
+
+/// The identity policy: never mitigates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoMitigation;
+
+impl MitigationPolicy for NoMitigation {
+    fn decide(&mut self, _world: &World) -> MitigationAction {
+        MitigationAction::NoOp
+    }
+}
+
+/// The paper's `⊗` operator: an ADS controller augmented with a mitigation
+/// policy. A non-No-Op mitigation action **overwrites** the ADS action
+/// (the paper's stated implementation choice).
+#[derive(Debug)]
+pub struct MitigatedAgent<A, P> {
+    ads: A,
+    policy: P,
+    first_activation: Option<f64>,
+    last_action: MitigationAction,
+}
+
+impl<A, P> MitigatedAgent<A, P> {
+    /// Combines an ADS with a mitigation policy.
+    pub fn new(ads: A, policy: P) -> Self {
+        MitigatedAgent {
+            ads,
+            policy,
+            first_activation: None,
+            last_action: MitigationAction::NoOp,
+        }
+    }
+
+    /// Time of the first non-No-Op mitigation this episode (Table IV).
+    pub fn first_activation(&self) -> Option<f64> {
+        self.first_activation
+    }
+
+    /// The most recent mitigation action.
+    pub fn last_action(&self) -> MitigationAction {
+        self.last_action
+    }
+
+    /// The wrapped ADS.
+    pub fn ads(&self) -> &A {
+        &self.ads
+    }
+
+    /// The wrapped mitigation policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+impl<A: EgoController, P: MitigationPolicy> EgoController for MitigatedAgent<A, P> {
+    fn control(&mut self, world: &World) -> ControlInput {
+        let ads_control = self.ads.control(world);
+        let action = self.policy.decide(world);
+        self.last_action = action;
+        match action.to_control(world) {
+            Some(u) => {
+                self.first_activation.get_or_insert(world.time());
+                u
+            }
+            None => ads_control,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.first_activation = None;
+        self.last_action = MitigationAction::NoOp;
+        self.ads.reset();
+        self.policy.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+    use iprism_sim::{ConstantControl, World};
+
+    fn world() -> World {
+        let map = RoadMap::straight_road(3, 3.5, 300.0);
+        World::new(map, VehicleState::new(50.0, 5.25, 0.0, 8.0), 0.1)
+    }
+
+    #[test]
+    fn action_sets() {
+        assert_eq!(MitigationAction::BRAKE_ACCEL.len(), 3);
+        assert_eq!(MitigationAction::ALL.len(), 5);
+        assert_eq!(MitigationAction::BRAKE_ACCEL[0], MitigationAction::NoOp);
+    }
+
+    #[test]
+    fn noop_yields_no_control() {
+        assert!(MitigationAction::NoOp.to_control(&world()).is_none());
+    }
+
+    #[test]
+    fn brake_and_accelerate_controls() {
+        let w = world();
+        let b = MitigationAction::Brake.to_control(&w).unwrap();
+        assert_eq!(b.accel, w.vehicle_model().limits.accel_min);
+        let a = MitigationAction::Accelerate.to_control(&w).unwrap();
+        assert_eq!(a.accel, w.vehicle_model().limits.accel_max);
+    }
+
+    #[test]
+    fn accelerate_respects_the_speed_cap() {
+        let map = RoadMap::straight_road(3, 3.5, 300.0);
+        let w = World::new(
+            map,
+            VehicleState::new(50.0, 5.25, 0.0, ACCELERATE_SPEED_CAP + 1.0),
+            0.1,
+        );
+        let a = MitigationAction::Accelerate.to_control(&w).unwrap();
+        assert_eq!(a.accel, 0.0, "no acceleration beyond the cap");
+    }
+
+    #[test]
+    fn lane_changes_steer_in_the_right_direction() {
+        let w = world(); // ego in middle lane (id 1)
+        let l = MitigationAction::LaneChangeLeft.to_control(&w).unwrap();
+        assert!(l.steer > 0.0);
+        let r = MitigationAction::LaneChangeRight.to_control(&w).unwrap();
+        assert!(r.steer < 0.0);
+    }
+
+    #[test]
+    fn lane_change_at_edge_clamps() {
+        let map = RoadMap::straight_road(1, 3.5, 300.0);
+        let w = World::new(map, VehicleState::new(50.0, 1.75, 0.0, 8.0), 0.1);
+        // No lane above/below: falls back to the current lane (≈ straight).
+        let l = MitigationAction::LaneChangeLeft.to_control(&w).unwrap();
+        assert!(l.steer.abs() < 0.05);
+    }
+
+    /// A policy that brakes from step 3 on.
+    #[derive(Default)]
+    struct BrakeLater {
+        calls: usize,
+    }
+
+    impl MitigationPolicy for BrakeLater {
+        fn decide(&mut self, _world: &World) -> MitigationAction {
+            self.calls += 1;
+            if self.calls > 3 {
+                MitigationAction::Brake
+            } else {
+                MitigationAction::NoOp
+            }
+        }
+        fn reset(&mut self) {
+            self.calls = 0;
+        }
+    }
+
+    #[test]
+    fn arbiter_overwrites_ads_and_records_first_activation() {
+        let mut w = world();
+        let mut agent = MitigatedAgent::new(ConstantControl::coast(), BrakeLater::default());
+        for _ in 0..3 {
+            let u = agent.control(&w);
+            assert_eq!(u, ControlInput::COAST); // NoOp passes ADS through
+            assert_eq!(agent.last_action(), MitigationAction::NoOp);
+            w.step(u);
+        }
+        assert!(agent.first_activation().is_none());
+        let u = agent.control(&w);
+        assert!(u.accel < -5.0); // Brake overwrote the ADS coast
+        assert_eq!(agent.last_action(), MitigationAction::Brake);
+        let t = agent.first_activation().unwrap();
+        assert!((t - 0.3).abs() < 1e-9);
+
+        agent.reset();
+        assert!(agent.first_activation().is_none());
+        assert_eq!(agent.last_action(), MitigationAction::NoOp);
+    }
+
+    #[test]
+    fn no_mitigation_policy_is_identity() {
+        let mut w = world();
+        let mut agent = MitigatedAgent::new(ConstantControl::coast(), NoMitigation);
+        let u = agent.control(&w);
+        assert_eq!(u, ControlInput::COAST);
+        w.step(u);
+        assert!(agent.first_activation().is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! The Robust Imitative Planning (RIP) agent surrogate.
+
+use iprism_dynamics::{BicycleModel, ControlInput, CvtrModel};
+use iprism_sim::{EgoController, World};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`RipAgent`] surrogate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RipConfig {
+    /// Ensemble size `K` (the paper's RIP uses an ensemble of imitation
+    /// models; the WCM configuration takes the worst member).
+    pub ensemble: usize,
+    /// Candidate-plan horizon (s).
+    pub horizon: f64,
+    /// Candidate-plan sample period (s).
+    pub dt: f64,
+    /// Candidate accelerations (m/s²).
+    pub accels: Vec<f64>,
+    /// Candidate steering angles (rad).
+    pub steers: Vec<f64>,
+    /// Weight of the benign-driving likelihood prior.
+    pub likelihood_weight: f64,
+    /// Weight of the (short-sighted) hazard penalty.
+    pub collision_weight: f64,
+    /// Only collisions within this many seconds are penalized — the
+    /// imitative models' likelihoods carry no long-horizon safety signal.
+    pub hazard_horizon: f64,
+    /// Scale of the deterministic per-member score perturbation modelling
+    /// ensemble disagreement.
+    pub noise: f64,
+    /// Cruise speed the prior prefers (m/s).
+    pub target_speed: f64,
+}
+
+impl Default for RipConfig {
+    fn default() -> Self {
+        RipConfig {
+            ensemble: 3,
+            horizon: 2.0,
+            dt: 0.25,
+            accels: vec![-4.0, -2.0, 0.0, 2.0],
+            steers: vec![-0.2, -0.07, 0.0, 0.07, 0.2],
+            likelihood_weight: 1.0,
+            collision_weight: 12.0,
+            hazard_horizon: 1.0,
+            noise: 0.15,
+            target_speed: 8.0,
+        }
+    }
+}
+
+/// Surrogate for the RIP-WCM agent (paper reference [16]).
+///
+/// Candidate plans (constant-control bicycle rollouts) are scored by every
+/// ensemble member as `log-likelihood under a benign-driving prior − hazard
+/// penalty + member-specific perturbation`; the agent executes the plan
+/// with the best **worst-case** member score.
+///
+/// The surrogate inherits RIP's documented weakness: the benign prior
+/// dominates (it was "trained" on accident-free data), and hazard awareness
+/// extends only [`RipConfig::hazard_horizon`] seconds ahead, so in NHTSA
+/// pre-crash scenes the agent reacts late and underperforms even LBC —
+/// matching Table III, where RIP's accident counts exceed LBC's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RipAgent {
+    /// Planner parameters.
+    pub config: RipConfig,
+}
+
+impl RipAgent {
+    /// Creates an agent with the given configuration.
+    pub fn new(config: RipConfig) -> Self {
+        assert!(config.ensemble >= 1, "ensemble must be non-empty");
+        RipAgent { config }
+    }
+}
+
+impl Default for RipAgent {
+    fn default() -> Self {
+        RipAgent::new(RipConfig::default())
+    }
+}
+
+impl EgoController for RipAgent {
+    fn control(&mut self, world: &World) -> ControlInput {
+        let cfg = &self.config;
+        let model = BicycleModel::default();
+        let steps = (cfg.horizon / cfg.dt).ceil() as usize;
+        let hazard_steps = (cfg.hazard_horizon / cfg.dt).ceil() as usize;
+        let ego = world.ego();
+        let (ego_len, ego_wid) = world.ego_dims();
+
+        // CVTR predictions of every actor over the horizon.
+        let cvtr = CvtrModel::new();
+        let obstacles: Vec<_> = world
+            .actors()
+            .iter()
+            .map(|a| {
+                (
+                    cvtr.predict(a.state, a.yaw_rate, world.time(), cfg.dt, steps),
+                    a.length,
+                    a.width,
+                )
+            })
+            .collect();
+
+        let mut best: Option<(f64, ControlInput)> = None;
+        for (ci, &a) in cfg.accels.iter().enumerate() {
+            for (si, &s) in cfg.steers.iter().enumerate() {
+                let u = ControlInput::new(a, s);
+                let traj = model.rollout(ego, u, cfg.dt, steps);
+
+                // Benign-driving log-likelihood: straight, smooth, on-speed,
+                // on-road plans are "what the experts did".
+                let mut loglik = -1.2 * s.abs() - 0.08 * a.abs();
+                let final_state = traj.states().last().expect("rollout non-empty");
+                loglik -= 0.05 * (final_state.v - cfg.target_speed).abs();
+                let off_road = traj
+                    .states()
+                    .iter()
+                    .skip(1)
+                    .any(|st| !world.map().is_obb_drivable(&st.footprint(ego_len, ego_wid)));
+                if off_road {
+                    // Experts never leave the road: overwhelming penalty so
+                    // no hazard trade-off ever prefers an off-road plan.
+                    loglik -= 1000.0;
+                }
+
+                // Short-sighted hazard penalty.
+                let mut hazard = 0.0;
+                for (i, st) in traj.states().iter().enumerate().skip(1).take(hazard_steps) {
+                    let fp = st.footprint(ego_len, ego_wid);
+                    let time = world.time() + i as f64 * cfg.dt;
+                    for (otraj, olen, owid) in &obstacles {
+                        if let Some(os) = otraj.state_at_time(time) {
+                            if fp.intersects(&os.footprint(*olen, *owid)) {
+                                hazard += 1.0;
+                            }
+                        }
+                    }
+                }
+
+                // Worst-case over ensemble members: each member perturbs the
+                // likelihood deterministically (hash of member × candidate).
+                let mut worst = f64::INFINITY;
+                for m in 0..cfg.ensemble {
+                    let perturb = cfg.noise * pseudo_noise(m as u64, (ci * 31 + si) as u64);
+                    let score = cfg.likelihood_weight * (loglik + perturb)
+                        - cfg.collision_weight * hazard;
+                    worst = worst.min(score);
+                }
+
+                if best.map_or(true, |(b, _)| worst > b) {
+                    best = Some((worst, u));
+                }
+            }
+        }
+        best.expect("candidate set non-empty").1
+    }
+}
+
+/// A deterministic value in `[-1, 1]` from two indices (splitmix64 hash).
+fn pseudo_noise(a: u64, b: u64) -> f64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+    use iprism_sim::{run_episode, Actor, Behavior, EpisodeConfig, World};
+
+    fn world(ego_speed: f64) -> World {
+        let map = RoadMap::straight_road(2, 3.5, 600.0);
+        World::new(map, VehicleState::new(20.0, 1.75, 0.0, ego_speed), 0.1)
+    }
+
+    #[test]
+    fn keeps_lane_and_speed_when_clear() {
+        let mut w = world(8.0);
+        let mut agent = RipAgent::default();
+        for _ in 0..100 {
+            let u = agent.control(&w);
+            w.step(u);
+        }
+        assert!((w.ego().v - 8.0).abs() < 1.5, "v {}", w.ego().v);
+        assert!((w.ego().y - 1.75).abs() < 0.6, "y {}", w.ego().y);
+        assert!(!w.ego_collided());
+    }
+
+    #[test]
+    fn brakes_only_when_hazard_is_imminent() {
+        let mut w = world(8.0);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(60.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = RipAgent::default();
+        // 35 m away at 8 m/s: collision ~4.4 s out — beyond the 1 s hazard
+        // horizon, so the benign prior wins and RIP keeps cruising.
+        let u_far = agent.control(&w);
+        assert!(u_far.accel > -1.0, "no early braking: {}", u_far.accel);
+
+        // Move the ego close: collision within the hazard horizon.
+        w.set_ego(VehicleState::new(49.0, 1.75, 0.0, 8.0));
+        let u_near = agent.control(&w);
+        assert!(u_near.accel < -1.0, "late braking engages: {}", u_near.accel);
+    }
+
+    #[test]
+    fn late_reaction_loses_to_fast_approach() {
+        // Approaching a stopped car at 14 m/s, RIP's 1 s hazard horizon
+        // reacts around 14 m out — too late to stop (needs ~16 m at -4).
+        // Single-lane road: no room to swerve around the stopped car.
+        let map = RoadMap::straight_road(1, 3.5, 600.0);
+        let mut w = World::new(map, VehicleState::new(20.0, 1.75, 0.0, 14.0), 0.1);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(70.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let mut agent = RipAgent::new(RipConfig {
+            target_speed: 14.0,
+            ..RipConfig::default()
+        });
+        let r = run_episode(&mut w, &mut agent, &EpisodeConfig::default());
+        assert!(r.outcome.is_collision(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut w1 = world(8.0);
+        let mut w2 = world(8.0);
+        let mut a1 = RipAgent::default();
+        let mut a2 = RipAgent::default();
+        for _ in 0..50 {
+            let u1 = a1.control(&w1);
+            let u2 = a2.control(&w2);
+            assert_eq!(u1, u2);
+            w1.step(u1);
+            w2.step(u2);
+        }
+    }
+
+    #[test]
+    fn pseudo_noise_bounded_and_stable() {
+        for a in 0..5 {
+            for b in 0..5 {
+                let n = pseudo_noise(a, b);
+                assert!((-1.0..=1.0).contains(&n));
+                assert_eq!(n, pseudo_noise(a, b));
+            }
+        }
+        assert_ne!(pseudo_noise(0, 1), pseudo_noise(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ensemble")]
+    fn empty_ensemble_panics() {
+        let _ = RipAgent::new(RipConfig {
+            ensemble: 0,
+            ..RipConfig::default()
+        });
+    }
+}

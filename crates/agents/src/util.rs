@@ -1,0 +1,54 @@
+//! Shared control helpers.
+
+use iprism_dynamics::{ControlInput, VehicleState};
+use iprism_geom::wrap_to_pi;
+use iprism_map::RoadMap;
+
+/// Stanley-style lane-following control toward the nearest lane centerline
+/// at `target_speed`, with a speed-scaled lookahead so curved lanes
+/// (roundabout rings) are anticipated instead of corner-cut. On straight
+/// lanes the lookahead is a no-op. The longitudinal term is a simple
+/// proportional speed tracker; callers override `accel` for braking.
+pub fn lane_follow_control(map: &RoadMap, state: &VehicleState, target_speed: f64) -> ControlInput {
+    let lane = map.nearest_lane(state.position());
+    let here = lane.project(state.position());
+    // Aim at the centerline a little ahead: heading target comes from the
+    // lookahead point, cross-track correction from the current position.
+    let lookahead = (0.8 * state.v).max(2.0);
+    let ahead = lane.project(
+        state.position() + iprism_geom::Vec2::from_angle(state.theta) * lookahead,
+    );
+    let target_heading = (ahead.point - state.position())
+        .try_normalize()
+        .map_or(ahead.heading, |d| d.angle());
+    let heading_err = wrap_to_pi(target_heading - state.theta);
+    let cross = (-here.lateral / 3.0).atan();
+    let steer = (heading_err + cross).clamp(-0.6, 0.6);
+    let accel = ((target_speed - state.v) * 1.2).clamp(-4.0, 3.0);
+    ControlInput::new(accel, steer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steers_back_to_center() {
+        let map = RoadMap::straight_road(2, 3.5, 100.0);
+        // left of lane-0 centre → steer right
+        let u = lane_follow_control(&map, &VehicleState::new(10.0, 2.5, 0.0, 8.0), 8.0);
+        assert!(u.steer < 0.0);
+        // right of centre → steer left
+        let u2 = lane_follow_control(&map, &VehicleState::new(10.0, 1.0, 0.0, 8.0), 8.0);
+        assert!(u2.steer > 0.0);
+    }
+
+    #[test]
+    fn tracks_speed() {
+        let map = RoadMap::straight_road(1, 3.5, 100.0);
+        let slow = lane_follow_control(&map, &VehicleState::new(10.0, 1.75, 0.0, 2.0), 10.0);
+        assert!(slow.accel > 0.0);
+        let fast = lane_follow_control(&map, &VehicleState::new(10.0, 1.75, 0.0, 15.0), 10.0);
+        assert!(fast.accel < 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Reach-tube computation cost across sampling modes (Algorithm 1 +
+//! optimizations; ablation for DESIGN.md's boundary-vs-uniform choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iprism_dynamics::{Trajectory, VehicleState};
+use iprism_map::RoadMap;
+use iprism_reach::{compute_reach_tube, Obstacle, ReachConfig, SamplingMode};
+
+fn obstacles() -> Vec<Obstacle> {
+    vec![Obstacle::new(
+        Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(120.0, 5.25, 0.0, 0.0); 2]),
+        4.6,
+        2.0,
+    )]
+}
+
+fn bench_reach(c: &mut Criterion) {
+    let map = RoadMap::straight_road(3, 3.5, 600.0);
+    let ego = VehicleState::new(100.0, 5.25, 0.0, 10.0);
+    let obs = obstacles();
+
+    let mut group = c.benchmark_group("reach");
+    let modes = [
+        ("boundary", SamplingMode::Boundary),
+        ("extreme", SamplingMode::Extreme),
+        ("uniform3x5", SamplingMode::Uniform { na: 3, ns: 5 }),
+    ];
+    for (name, mode) in modes {
+        let mut cfg = ReachConfig::default();
+        cfg.mode = mode;
+        group.bench_with_input(BenchmarkId::new("mode", name), &cfg, |b, cfg| {
+            b.iter(|| compute_reach_tube(&map, ego, &obs, cfg))
+        });
+    }
+    let fast = ReachConfig::fast();
+    group.bench_function("fast_preset", |b| {
+        b.iter(|| compute_reach_tube(&map, ego, &obs, &fast))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reach);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Simulator throughput: world stepping and full LBC episodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iprism_agents::LbcAgent;
+use iprism_scenarios::{sample_instances, Typology};
+use iprism_sim::run_episode;
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = sample_instances(Typology::GhostCutIn, 1, 2024).remove(0);
+
+    let mut group = c.benchmark_group("sim");
+    group.bench_function("world_step", |b| {
+        let mut world = spec.build_world();
+        b.iter(|| world.step(iprism_dynamics::ControlInput::COAST))
+    });
+    group.bench_function("lbc_episode_ghost_cut_in", |b| {
+        b.iter(|| {
+            let mut world = spec.build_world();
+            let mut agent = LbcAgent::default();
+            run_episode(&mut world, &mut agent, &spec.episode_config())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! §V-E: SMC inference overhead (the paper reports 0.012 s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iprism_agents::{LbcAgent, MitigationPolicy};
+use iprism_core::{train_smc, SmcTrainConfig};
+use iprism_dynamics::VehicleState;
+use iprism_map::RoadMap;
+use iprism_sim::{Actor, Behavior, EpisodeConfig, Goal, World};
+
+fn hazard_world() -> (World, EpisodeConfig) {
+    let map = RoadMap::straight_road(2, 3.5, 500.0);
+    let mut w = World::new(map, VehicleState::new(30.0, 1.75, 0.0, 10.0), 0.1);
+    w.spawn(Actor::vehicle(1, VehicleState::new(80.0, 1.75, 0.0, 0.0), Behavior::Idle));
+    (
+        w,
+        EpisodeConfig { max_time: 12.0, goal: Goal::XThreshold(200.0), stop_on_collision: true },
+    )
+}
+
+fn bench_smc(c: &mut Criterion) {
+    // A minimally trained SMC: the network cost is identical either way.
+    let trained = train_smc(
+        vec![hazard_world()],
+        LbcAgent::default(),
+        &SmcTrainConfig::small_test(),
+    );
+    let mut smc = trained.smc;
+    let (world, _) = hazard_world();
+
+    let mut group = c.benchmark_group("smc");
+    group.bench_function("inference_full", |b| b.iter(|| smc.decide(&world)));
+    let features: Vec<f64> = vec![0.1; iprism_core::FEATURE_DIM];
+    group.bench_function("q_network_forward", |b| {
+        b.iter(|| smc.agent().q_values(&features))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_smc);
+criterion_main!(benches);

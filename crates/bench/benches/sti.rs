@@ -1,0 +1,47 @@
+//! §V-E: STI evaluation overhead (the paper reports 0.61 s in Python).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iprism_dynamics::{Trajectory, VehicleState};
+use iprism_map::RoadMap;
+use iprism_reach::ReachConfig;
+use iprism_risk::{SceneActor, SceneSnapshot, StiEvaluator};
+use iprism_sim::ActorId;
+
+fn scene_with_actors(n: usize) -> (RoadMap, SceneSnapshot) {
+    let map = RoadMap::straight_road(3, 3.5, 600.0);
+    let mut scene =
+        SceneSnapshot::new(0.0, VehicleState::new(100.0, 5.25, 0.0, 10.0), (4.6, 2.0));
+    for i in 0..n {
+        let x = 115.0 + 12.0 * i as f64;
+        let y = [1.75, 5.25, 8.75][i % 3];
+        let states: Vec<VehicleState> = (0..11)
+            .map(|k| VehicleState::new(x + 6.0 * 0.25 * k as f64, y, 0.0, 6.0))
+            .collect();
+        scene.actors.push(SceneActor::new(
+            ActorId(i as u32 + 1),
+            Trajectory::from_states(0.0, 0.25, states),
+            4.6,
+            2.0,
+        ));
+    }
+    (map, scene)
+}
+
+fn bench_sti(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sti");
+    for &n in &[1usize, 2, 4] {
+        let (map, scene) = scene_with_actors(n);
+        let default_eval = StiEvaluator::new(ReachConfig::default());
+        let fast_eval = StiEvaluator::new(ReachConfig::fast());
+        group.bench_with_input(BenchmarkId::new("full_default", n), &n, |b, _| {
+            b.iter(|| default_eval.evaluate(&map, &scene))
+        });
+        group.bench_with_input(BenchmarkId::new("combined_fast", n), &n, |b, _| {
+            b.iter(|| fast_eval.evaluate_combined(&map, &scene))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sti);
+criterion_main!(benches);

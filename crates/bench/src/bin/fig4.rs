@@ -1,0 +1,27 @@
+//! Regenerates Figure 4: risk-metric time series (mean ± SD), safe vs.
+//! accident populations, per typology.
+
+use iprism_bench::CommonArgs;
+use iprism_eval::{risk_characterization, RiskMetricKind};
+use iprism_scenarios::Typology;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t0 = std::time::Instant::now();
+    let metrics = [RiskMetricKind::Sti, RiskMetricKind::PklAll, RiskMetricKind::Ttc];
+    let mut all = Vec::new();
+    for typology in Typology::NHTSA {
+        let series = risk_characterization(typology, &args.config, &metrics);
+        for s in &series {
+            let label = if s.accident_population { "accident" } else { "safe" };
+            println!("\n# {} / {} / {label}", s.typology.name(), s.metric.name());
+            println!("{:>7}  {:>8}  {:>8}  {:>5}", "t(s)", "mean", "sd", "n");
+            for p in &s.points {
+                println!("{:7.1}  {:8.3}  {:8.3}  {:5}", p.time, p.mean, p.sd, p.n);
+            }
+        }
+        all.extend(series);
+    }
+    eprintln!("elapsed: {:?}", t0.elapsed());
+    args.write_json(&all);
+}

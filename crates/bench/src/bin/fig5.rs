@@ -1,0 +1,35 @@
+//! Regenerates Figure 5: combined STI on ghost cut-in, LBC vs LBC+iPrism.
+
+use iprism_agents::LbcAgent;
+use iprism_bench::CommonArgs;
+use iprism_core::{train_smc, SmcTrainConfig};
+use iprism_eval::{iprism_sti_series, select_training_scenarios};
+use iprism_scenarios::Typology;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t0 = std::time::Instant::now();
+    let specs = select_training_scenarios(Typology::GhostCutIn, &args.config, 60, 3);
+    assert!(!specs.is_empty(), "ghost cut-in accidents exist");
+    let templates = specs
+        .iter()
+        .map(|s| (s.build_world(), s.episode_config()))
+        .collect();
+    let trained = train_smc(
+        templates,
+        LbcAgent::default(),
+        &SmcTrainConfig { episodes: args.episodes, ..SmcTrainConfig::default() },
+    );
+    let (lbc, iprism) = iprism_sti_series(&trained.smc, &args.config);
+    println!("Figure 5 — STI(combined) on ghost cut-in (mean over sweep)");
+    println!("{:>7}  {:>10}  {:>12}", "t(s)", "LBC", "LBC+iPrism");
+    let n = lbc.len().max(iprism.len());
+    for i in 0..n {
+        let t = lbc.get(i).or(iprism.get(i)).map(|p| p.time).unwrap_or(0.0);
+        let a = lbc.get(i).map(|p| format!("{:.3}", p.mean)).unwrap_or_else(|| "-".into());
+        let b = iprism.get(i).map(|p| format!("{:.3}", p.mean)).unwrap_or_else(|| "-".into());
+        println!("{t:7.1}  {a:>10}  {b:>12}");
+    }
+    eprintln!("elapsed: {:?}", t0.elapsed());
+    args.write_json(&(lbc, iprism));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 6: STI percentiles on the benign (Argoverse-like)
+//! real-world dataset stand-in.
+
+use iprism_bench::CommonArgs;
+use iprism_eval::dataset_study;
+use iprism_scenarios::BenignTrafficConfig;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t0 = std::time::Instant::now();
+    let study = dataset_study(&args.config, &BenignTrafficConfig::default());
+    println!("Figure 6 — STI characterization of benign real-world-like data");
+    println!("({} episodes, {} actor samples)\n", study.episodes, study.actor_samples);
+    println!("{study}");
+    eprintln!("elapsed: {:?}", t0.elapsed());
+    args.write_json(&study);
+}

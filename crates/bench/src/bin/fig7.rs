@@ -1,0 +1,12 @@
+//! Regenerates Figure 7: per-actor STI on the four case-study scenes.
+
+use iprism_bench::CommonArgs;
+use iprism_eval::case_study_report;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let report = case_study_report(&args.config);
+    println!("Figure 7 — real-world-style case studies\n");
+    println!("{report}");
+    args.write_json(&report);
+}

@@ -1,0 +1,30 @@
+//! Regenerates the §V-C roundabout experiment: RIP vs RIP+iPrism.
+
+use iprism_agents::LbcAgent;
+use iprism_bench::CommonArgs;
+use iprism_core::{train_smc, SmcTrainConfig};
+use iprism_eval::{roundabout_study, select_training_scenarios};
+use iprism_scenarios::Typology;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t0 = std::time::Instant::now();
+    // iPrism is trained on LBC straight-road scenarios (generalization).
+    let specs = select_training_scenarios(Typology::GhostCutIn, &args.config, 60, 3);
+    assert!(!specs.is_empty(), "ghost cut-in accidents exist");
+    let templates = specs
+        .iter()
+        .map(|s| (s.build_world(), s.episode_config()))
+        .collect();
+    let trained = train_smc(
+        templates,
+        LbcAgent::default(),
+        &SmcTrainConfig { episodes: args.episodes, ..SmcTrainConfig::default() },
+    );
+    let study = roundabout_study(&trained.smc, &args.config);
+    println!("Roundabout ghost cut-in — RIP vs RIP+iPrism");
+    println!("({} instances, seed {})\n", args.config.instances, args.config.seed);
+    println!("{study}");
+    eprintln!("elapsed: {:?}", t0.elapsed());
+    args.write_json(&study);
+}

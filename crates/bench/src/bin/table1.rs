@@ -1,0 +1,16 @@
+//! Regenerates Table I: scenario instances and LBC baseline accidents.
+
+use iprism_bench::CommonArgs;
+use iprism_eval::baseline_study;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t0 = std::time::Instant::now();
+    let study = baseline_study(&args.config);
+    println!("Table I — scenario typologies and LBC baseline accidents");
+    println!("({} instances/typology, seed {})\n", args.config.instances, args.config.seed);
+    println!("{study}");
+    println!("total valid scenarios: {}", study.total_valid());
+    eprintln!("elapsed: {:?}", t0.elapsed());
+    args.write_json(&study);
+}

@@ -1,0 +1,101 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary reproduces one artifact of the paper's evaluation; run them
+//! with `cargo run --release -p iprism-bench --bin <name>`:
+//!
+//! * `table1` — scenario counts & LBC baseline accidents
+//! * `table2` — LTFMA per risk metric
+//! * `table3` — mitigation efficacy (also prints Table IV timing)
+//! * `fig4`   — risk-metric time series per typology
+//! * `fig5`   — STI with vs. without iPrism on ghost cut-in
+//! * `fig6`   — STI percentiles on the benign (Argoverse-like) dataset
+//! * `fig7`   — the four case studies
+//! * `roundabout` — RIP vs RIP+iPrism on the roundabout typology
+//!
+//! Every binary accepts `--instances N` (sweep size; the paper uses 1000)
+//! and `--seed S`, and writes its results as JSON next to its stdout table
+//! when `--json PATH` is given.
+
+use iprism_eval::EvalConfig;
+
+/// Parses the common CLI flags (`--instances`, `--seed`, `--json`,
+/// `--episodes`) shared by the regeneration binaries.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// The assembled evaluation configuration.
+    pub config: EvalConfig,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// SMC training episodes (table3/roundabout only; paper: 100).
+    pub episodes: usize,
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse() -> Self {
+        let mut config = EvalConfig::default();
+        let mut json = None;
+        let mut episodes = 100;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i)
+                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+                    .clone()
+            };
+            match flag {
+                "--instances" => {
+                    config.instances = value(&mut i).parse().expect("--instances takes a number")
+                }
+                "--seed" => config.seed = value(&mut i).parse().expect("--seed takes a number"),
+                "--episodes" => {
+                    episodes = value(&mut i).parse().expect("--episodes takes a number")
+                }
+                "--json" => json = Some(value(&mut i)),
+                "--paper-scale" => config.instances = 1000,
+                other => panic!(
+                    "unknown flag {other}; supported: --instances N --seed S --episodes E --json PATH --paper-scale"
+                ),
+            }
+            i += 1;
+        }
+        CommonArgs {
+            config,
+            json,
+            episodes,
+        }
+    }
+
+    /// Writes `value` as pretty JSON to the `--json` path, if one was given.
+    pub fn write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(value).expect("results serialize");
+            std::fs::write(path, json).expect("write results JSON");
+            eprintln!("results written to {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        // parse() reads process args, so only test the write path here.
+        let args = CommonArgs {
+            config: EvalConfig::default(),
+            json: None,
+            episodes: 100,
+        };
+        args.write_json(&42u32); // no path: no-op
+        assert_eq!(args.episodes, 100);
+    }
+}

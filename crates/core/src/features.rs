@@ -1,0 +1,186 @@
+//! The SMC's state observation `S_t`.
+//!
+//! The paper feeds three camera frames through a CNN backbone; this
+//! reproduction provides the geometric content of those frames directly
+//! (DESIGN.md §2): ego kinematics, the current combined STI, and an
+//! 8-sector radial scan of the surrounding actors (range + closing speed
+//! per sector).
+
+use iprism_geom::wrap_to_pi;
+use iprism_sim::World;
+use serde::{Deserialize, Serialize};
+
+/// Number of radial sectors in the scan.
+pub const SECTORS: usize = 8;
+/// Total observation dimensionality.
+pub const FEATURE_DIM: usize = 3 + 2 * SECTORS;
+
+/// Maximum range of the radial scan (m).
+const SCAN_RANGE: f64 = 60.0;
+
+/// Builds observation vectors from a world state plus the externally
+/// computed combined STI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeatureExtractor;
+
+impl FeatureExtractor {
+    /// Creates an extractor.
+    pub fn new() -> Self {
+        FeatureExtractor
+    }
+
+    /// The observation for the current world state.
+    ///
+    /// Layout: `[v/30, lateral_offset/2, STI, (range, closing)×8]` where
+    /// sector 0 is dead ahead and sectors proceed counter-clockwise.
+    /// Ranges are `1 − d/60` (1 = touching, 0 = nothing within 60 m);
+    /// closing speeds are clipped to `[-1, 1]` at 20 m/s.
+    pub fn features(&self, world: &World, sti_combined: f64) -> Vec<f64> {
+        let ego = world.ego();
+        let mut out = Vec::with_capacity(FEATURE_DIM);
+        out.push(ego.v / 30.0);
+        let lane = world.map().nearest_lane(ego.position());
+        out.push((lane.project(ego.position()).lateral / 2.0).clamp(-2.0, 2.0));
+        out.push(sti_combined);
+
+        let mut nearest = [f64::INFINITY; SECTORS];
+        let mut closing = [0.0f64; SECTORS];
+        for actor in world.actors() {
+            let offset = actor.state.position() - ego.position();
+            let dist = offset.norm();
+            if dist > SCAN_RANGE || dist <= f64::EPSILON {
+                continue;
+            }
+            let bearing = wrap_to_pi(offset.angle() - ego.theta);
+            let sector = sector_of(bearing);
+            if dist < nearest[sector] {
+                nearest[sector] = dist;
+                // d/dt of the separation, negated: positive when the
+                // bodies are closing, for any sector (front leader the ego
+                // gains on, rear chaser gaining on the ego, side threats).
+                let rel_v = ego.velocity() - actor.state.velocity();
+                closing[sector] = rel_v.dot(offset.normalize_or_zero());
+            }
+        }
+        for s in 0..SECTORS {
+            let range_feat = if nearest[s].is_finite() {
+                1.0 - nearest[s] / SCAN_RANGE
+            } else {
+                0.0
+            };
+            out.push(range_feat);
+            out.push((closing[s] / 20.0).clamp(-1.0, 1.0));
+        }
+        debug_assert_eq!(out.len(), FEATURE_DIM);
+        out
+    }
+}
+
+/// Maps a bearing in `(-π, π]` to one of eight 45° sectors; sector 0 is
+/// centred dead ahead.
+fn sector_of(bearing: f64) -> usize {
+    let step = std::f64::consts::TAU / SECTORS as f64;
+    let shifted = iprism_geom::normalize_angle(bearing + step * 0.5);
+    ((shifted / step) as usize).min(SECTORS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+    use iprism_sim::{Actor, Behavior};
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn world() -> World {
+        let map = RoadMap::straight_road(2, 3.5, 400.0);
+        World::new(map, VehicleState::new(100.0, 1.75, 0.0, 9.0), 0.1)
+    }
+
+    #[test]
+    fn sector_mapping() {
+        assert_eq!(sector_of(0.0), 0);
+        assert_eq!(sector_of(FRAC_PI_2), 2);
+        assert_eq!(sector_of(PI), 4);
+        assert_eq!(sector_of(-FRAC_PI_2), 6);
+        assert_eq!(sector_of(0.3), 0); // within the ±22.5° front sector
+        assert_eq!(sector_of(0.5), 1);
+    }
+
+    #[test]
+    fn empty_world_features() {
+        let f = FeatureExtractor::new().features(&world(), 0.2);
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert!((f[0] - 0.3).abs() < 1e-9); // 9/30
+        assert!(f[1].abs() < 1e-9); // lane-centred
+        assert_eq!(f[2], 0.2); // STI passes through
+        assert!(f[3..].iter().all(|&x| x == 0.0)); // no actors
+    }
+
+    #[test]
+    fn front_actor_lands_in_sector_zero() {
+        let mut w = world();
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(130.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let f = FeatureExtractor::new().features(&w, 0.0);
+        let range0 = f[3];
+        assert!((range0 - 0.5).abs() < 1e-9, "30 m of 60: {range0}");
+        let closing0 = f[4];
+        assert!(closing0 > 0.0, "ego closing on stopped car: {closing0}");
+        // other sectors untouched
+        assert!(f[5..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rear_threat_closing_positive() {
+        let mut w = world();
+        // Faster car right behind the ego, same lane: rear sector 4.
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(70.0, 1.75, 0.0, 15.0),
+            Behavior::RearApproach { target_speed: 15.0 },
+        ));
+        let f = FeatureExtractor::new().features(&w, 0.0);
+        let range4 = f[3 + 2 * 4];
+        let closing4 = f[3 + 2 * 4 + 1];
+        assert!(range4 > 0.4);
+        assert!(closing4 > 0.0, "rear car gaining must read as closing: {closing4}");
+    }
+
+    #[test]
+    fn nearest_actor_wins_sector() {
+        let mut w = world();
+        w.spawn(Actor::vehicle(1, VehicleState::new(150.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(2, VehicleState::new(120.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        let f = FeatureExtractor::new().features(&w, 0.0);
+        assert!((f[3] - (1.0 - 20.0 / 60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let mut w = world();
+        w.spawn(Actor::vehicle(1, VehicleState::new(300.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        let f = FeatureExtractor::new().features(&w, 0.0);
+        assert!(f[3..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn features_are_finite_and_bounded() {
+        let mut w = world();
+        for i in 0..6 {
+            w.spawn(Actor::vehicle(
+                i + 1,
+                VehicleState::new(80.0 + 10.0 * i as f64, (i % 2) as f64 * 3.5 + 1.75, 0.3, 20.0),
+                Behavior::Idle,
+            ));
+        }
+        let f = FeatureExtractor::new().features(&w, 0.9);
+        for v in &f {
+            assert!(v.is_finite());
+            assert!(v.abs() <= 2.0, "feature out of range: {v}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The SMC reward model — Eq. (8) of the paper.
+
+use iprism_agents::MitigationAction;
+use serde::{Deserialize, Serialize};
+
+/// The weights `α₀, α₁, α₂` of Eq. (8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardWeights {
+    /// Weight of the risk term `(1 − STI^combined)`.
+    pub alpha0: f64,
+    /// Weight of the path-completion term `r_pc`.
+    pub alpha1: f64,
+    /// Weight of the mitigation-activation penalty `p_am` (applied
+    /// negatively: a positive `alpha2` is subtracted per activation).
+    pub alpha2: f64,
+}
+
+impl Default for RewardWeights {
+    /// Defaults chosen so the risk term dominates, progress breaks ties and
+    /// frivolous activations cost a little.
+    fn default() -> Self {
+        RewardWeights {
+            alpha0: 1.0,
+            alpha1: 0.5,
+            alpha2: 0.1,
+        }
+    }
+}
+
+impl RewardWeights {
+    /// The ablation of §V-C: STI removed from the reward formulation
+    /// (LBC+SMC *w/o STI*).
+    pub fn without_sti() -> Self {
+        RewardWeights {
+            alpha0: 0.0,
+            ..RewardWeights::default()
+        }
+    }
+}
+
+/// Computes Eq. (8):
+/// `r_t = α₀ (1 − STI^combined) + α₁ r_pc − α₂ 𝟙[a ≠ No-Op]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardModel {
+    /// The trade-off weights.
+    pub weights: RewardWeights,
+}
+
+impl RewardModel {
+    /// Creates a reward model.
+    pub fn new(weights: RewardWeights) -> Self {
+        RewardModel { weights }
+    }
+
+    /// The reward for one decision step.
+    ///
+    /// * `sti_combined` — `STI^(combined)` after the step, in `[0, 1]`
+    ///   (1 when the step ended in a collision: escape routes are gone);
+    /// * `progress` — normalized path completion `r_pc` for the step,
+    ///   nominally in `[0, 1]`;
+    /// * `action` — the mitigation action taken (`p_am` indicator).
+    pub fn reward(&self, sti_combined: f64, progress: f64, action: MitigationAction) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&sti_combined), "STI out of range");
+        let w = self.weights;
+        let p_am = if action == MitigationAction::NoOp {
+            0.0
+        } else {
+            1.0
+        };
+        w.alpha0 * (1.0 - sti_combined) + w.alpha1 * progress - w.alpha2 * p_am
+    }
+}
+
+impl Default for RewardModel {
+    fn default() -> Self {
+        RewardModel::new(RewardWeights::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_progress_is_best() {
+        let m = RewardModel::default();
+        let safe = m.reward(0.0, 1.0, MitigationAction::NoOp);
+        let risky = m.reward(0.9, 1.0, MitigationAction::NoOp);
+        let stalled = m.reward(0.0, 0.0, MitigationAction::NoOp);
+        assert!(safe > risky);
+        assert!(safe > stalled);
+    }
+
+    #[test]
+    fn activation_costs() {
+        let m = RewardModel::default();
+        let idle = m.reward(0.2, 0.5, MitigationAction::NoOp);
+        let braking = m.reward(0.2, 0.5, MitigationAction::Brake);
+        assert!((idle - braking - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn braking_pays_off_when_it_cuts_risk() {
+        let m = RewardModel::default();
+        // Braking that drops STI from 0.8 to 0.3 beats doing nothing.
+        let mitigated = m.reward(0.3, 0.3, MitigationAction::Brake);
+        let ignored = m.reward(0.8, 0.5, MitigationAction::NoOp);
+        assert!(mitigated > ignored);
+    }
+
+    #[test]
+    fn ablation_removes_risk_signal() {
+        let m = RewardModel::new(RewardWeights::without_sti());
+        let high_risk = m.reward(1.0, 0.5, MitigationAction::NoOp);
+        let no_risk = m.reward(0.0, 0.5, MitigationAction::NoOp);
+        assert_eq!(high_risk, no_risk);
+    }
+
+    #[test]
+    fn collision_step_scores_minimum_risk_term() {
+        let m = RewardModel::default();
+        let r = m.reward(1.0, 0.0, MitigationAction::NoOp);
+        assert_eq!(r, 0.0);
+    }
+}

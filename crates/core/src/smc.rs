@@ -1,0 +1,227 @@
+//! The Safety-hazard Mitigation Controller: training and inference.
+
+use std::path::Path;
+
+use iprism_agents::{MitigationAction, MitigationPolicy};
+use iprism_risk::{SceneSnapshot, StiEvaluator};
+use iprism_rl::{train, DdqnAgent, DdqnConfig};
+use iprism_sim::{EgoController, EpisodeConfig, World};
+use serde::{Deserialize, Serialize};
+
+use crate::{EnvConfig, FeatureExtractor, MitigationEnv};
+
+/// Training configuration for [`train_smc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmcTrainConfig {
+    /// D-DQN hyperparameters.
+    pub ddqn: DdqnConfig,
+    /// Environment configuration (action set, reward weights, STI preset).
+    pub env: EnvConfig,
+    /// Training episodes (the paper trains 100 per typology).
+    pub episodes: usize,
+}
+
+impl Default for SmcTrainConfig {
+    fn default() -> Self {
+        let mut ddqn = DdqnConfig::default();
+        ddqn.hidden = vec![64, 64];
+        ddqn.epsilon = iprism_rl::EpsilonSchedule::new(1.0, 0.05, 1_500);
+        ddqn.max_steps_per_episode = 0; // the env terminates episodes itself
+        SmcTrainConfig {
+            ddqn,
+            env: EnvConfig::default(),
+            episodes: 100,
+        }
+    }
+}
+
+impl SmcTrainConfig {
+    /// A tiny configuration for unit tests.
+    pub fn small_test() -> Self {
+        let mut cfg = SmcTrainConfig::default();
+        cfg.ddqn = DdqnConfig::small_test();
+        cfg.ddqn.max_steps_per_episode = 0;
+        cfg.episodes = 3;
+        cfg
+    }
+}
+
+/// The trained SMC policy (Fig. 2 inference path): extract the state
+/// observation (including the CVTR-predicted combined STI), evaluate the
+/// Q-network, take the argmax action (Eq. 10).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Smc {
+    agent: DdqnAgent,
+    actions: Vec<MitigationAction>,
+    #[serde(skip, default = "FeatureExtractor::new")]
+    extractor: FeatureExtractor,
+    env_config: EnvConfig,
+}
+
+impl Smc {
+    /// Wraps a trained agent as a mitigation policy.
+    pub fn new(agent: DdqnAgent, env_config: EnvConfig) -> Self {
+        Smc {
+            agent,
+            actions: env_config.actions.clone(),
+            extractor: FeatureExtractor::new(),
+            env_config,
+        }
+    }
+
+    /// The underlying Q-network agent.
+    pub fn agent(&self) -> &DdqnAgent {
+        &self.agent
+    }
+
+    /// The action set (index order matches Q-network outputs).
+    pub fn actions(&self) -> &[MitigationAction] {
+        &self.actions
+    }
+
+    /// Saves the policy (weights + config) as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a policy saved with [`Smc::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+impl MitigationPolicy for Smc {
+    fn decide(&mut self, world: &World) -> MitigationAction {
+        let sti = if self.env_config.sti_in_observation {
+            let scene = SceneSnapshot::from_world_cvtr(
+                world,
+                self.env_config.reach.horizon,
+                self.env_config.reach.dt,
+            );
+            StiEvaluator::new(self.env_config.reach.clone())
+                .evaluate_combined(world.map(), &scene)
+        } else {
+            0.0
+        };
+        let features = self.extractor.features(world, sti);
+        let idx = self.agent.act_greedy(&features);
+        self.actions[idx]
+    }
+}
+
+/// A trained SMC plus its training history.
+#[derive(Debug, Clone)]
+pub struct TrainedSmc {
+    /// The trained policy.
+    pub smc: Smc,
+    /// Undiscounted return per training episode.
+    pub episode_returns: Vec<f64>,
+    /// Steps per training episode.
+    pub episode_lengths: Vec<usize>,
+}
+
+/// Trains an SMC with D-DQN on the given scenario templates, with `ads`
+/// driving the ego whenever the SMC outputs No-Op — the paper's training
+/// protocol (§III-B / §IV-B1: 100 episodes on the selected scenario of each
+/// typology).
+pub fn train_smc<A: EgoController>(
+    templates: Vec<(World, EpisodeConfig)>,
+    ads: A,
+    config: &SmcTrainConfig,
+) -> TrainedSmc {
+    let mut env = MitigationEnv::new(templates, ads, config.env.clone());
+    let trained = train(&mut env, &config.ddqn, config.episodes);
+    TrainedSmc {
+        smc: Smc::new(trained.agent, config.env.clone()),
+        episode_returns: trained.episode_returns,
+        episode_lengths: trained.episode_lengths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_agents::LbcAgent;
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+    use iprism_sim::{Actor, Behavior, Goal};
+
+    fn template() -> (World, EpisodeConfig) {
+        let map = RoadMap::straight_road(2, 3.5, 500.0);
+        let mut w = World::new(map, VehicleState::new(30.0, 1.75, 0.0, 10.0), 0.1);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(80.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        (
+            w,
+            EpisodeConfig {
+                max_time: 12.0,
+                goal: Goal::XThreshold(200.0),
+                stop_on_collision: true,
+            },
+        )
+    }
+
+    #[test]
+    fn training_produces_working_policy() {
+        let trained = train_smc(
+            vec![template()],
+            LbcAgent::default(),
+            &SmcTrainConfig::small_test(),
+        );
+        assert_eq!(trained.episode_returns.len(), 3);
+        // Policy is callable on a fresh world.
+        let (w, _) = template();
+        let mut smc = trained.smc;
+        let action = smc.decide(&w);
+        assert!(MitigationAction::BRAKE_ACCEL.contains(&action));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            train_smc(
+                vec![template()],
+                LbcAgent::default(),
+                &SmcTrainConfig::small_test(),
+            )
+            .episode_returns
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let trained = train_smc(
+            vec![template()],
+            LbcAgent::default(),
+            &SmcTrainConfig::small_test(),
+        );
+        let dir = std::env::temp_dir().join("iprism-smc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("smc.json");
+        trained.smc.save(&path).unwrap();
+        let mut loaded = Smc::load(&path).unwrap();
+        let (w, _) = template();
+        let mut original = trained.smc.clone();
+        assert_eq!(original.decide(&w), loaded.decide(&w));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(Smc::load(Path::new("/nonexistent/smc.json")).is_err());
+    }
+}

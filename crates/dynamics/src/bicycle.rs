@@ -1,0 +1,313 @@
+//! Kinematic bicycle model (paper reference [42]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ControlInput, ControlLimits, Trajectory, VehicleState};
+
+/// The kinematic bicycle model used to propagate ego states in the
+/// reach-tube computation (Algorithm 1):
+///
+/// ```text
+/// ẋ = v cos θ      θ̇ = (v / L) tan φ
+/// ẏ = v sin θ      v̇ = a
+/// ```
+///
+/// with wheelbase `L`. Integration is forward-Euler at the caller's Δt,
+/// matching the time-slice discretization of the paper; a finer RK4-style
+/// integrator is unnecessary at the Δt ≈ 0.1–0.5 s used there.
+///
+/// # Examples
+///
+/// ```
+/// use iprism_dynamics::{BicycleModel, ControlInput, VehicleState};
+///
+/// let m = BicycleModel::new(2.9);
+/// let s0 = VehicleState::new(0.0, 0.0, 0.0, 10.0);
+/// // Full-left steering turns the heading left.
+/// let s1 = m.step(s0, ControlInput::new(0.0, 0.5), 0.1);
+/// assert!(s1.theta > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BicycleModel {
+    /// Wheelbase `L` (m).
+    pub wheelbase: f64,
+    /// Control/speed limits enforced during propagation.
+    pub limits: ControlLimits,
+}
+
+impl Default for BicycleModel {
+    /// Typical passenger-car parameters (wheelbase 2.9 m, default limits),
+    /// following the paper's reference [46].
+    fn default() -> Self {
+        BicycleModel::new(2.9)
+    }
+}
+
+impl BicycleModel {
+    /// Creates a model with the given wheelbase and default control limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `wheelbase` is not strictly positive and finite.
+    pub fn new(wheelbase: f64) -> Self {
+        assert!(
+            wheelbase > 0.0 && wheelbase.is_finite(),
+            "wheelbase must be positive and finite, got {wheelbase}"
+        );
+        BicycleModel {
+            wheelbase,
+            limits: ControlLimits::default(),
+        }
+    }
+
+    /// Creates a model with explicit limits.
+    pub fn with_limits(wheelbase: f64, limits: ControlLimits) -> Self {
+        let mut m = BicycleModel::new(wheelbase);
+        m.limits = limits;
+        m
+    }
+
+    /// Propagates a state forward by `dt` seconds under control `u`.
+    ///
+    /// The control is clamped into the admissible ranges and the resulting
+    /// speed into the speed envelope, so the output is always dynamically
+    /// feasible. The heading is kept wrapped in `(-π, π]`.
+    pub fn step(&self, state: VehicleState, u: ControlInput, dt: f64) -> VehicleState {
+        debug_assert!(dt >= 0.0, "negative dt");
+        // Sanitize non-finite controls (a faulty agent must not poison the
+        // simulation with NaNs — `clamp` propagates NaN).
+        let u = ControlInput::new(
+            if u.accel.is_finite() { u.accel } else { 0.0 },
+            if u.steer.is_finite() { u.steer } else { 0.0 },
+        );
+        let u = self.limits.clamp(u);
+        let (sin_t, cos_t) = state.theta.sin_cos();
+        let x = state.x + state.v * cos_t * dt;
+        let y = state.y + state.v * sin_t * dt;
+        let theta =
+            iprism_geom::wrap_to_pi(state.theta + state.v / self.wheelbase * u.steer.tan() * dt);
+        let v = self.limits.clamp_speed(state.v + u.accel * dt);
+        VehicleState::new(x, y, theta, v)
+    }
+
+    /// Rolls out a constant control for `steps` steps of `dt` seconds and
+    /// returns the trajectory (initial state included, `steps + 1` samples).
+    pub fn rollout(
+        &self,
+        state: VehicleState,
+        u: ControlInput,
+        dt: f64,
+        steps: usize,
+    ) -> Trajectory {
+        let mut traj = Trajectory::with_capacity(0.0, dt, steps + 1);
+        traj.push(state);
+        let mut s = state;
+        for _ in 0..steps {
+            s = self.step(s, u, dt);
+            traj.push(s);
+        }
+        traj
+    }
+
+    /// Rolls out a control *sequence*, applying `controls[i]` over step `i`.
+    pub fn rollout_sequence(
+        &self,
+        state: VehicleState,
+        controls: &[ControlInput],
+        dt: f64,
+    ) -> Trajectory {
+        let mut traj = Trajectory::with_capacity(0.0, dt, controls.len() + 1);
+        traj.push(state);
+        let mut s = state;
+        for &u in controls {
+            s = self.step(s, u, dt);
+            traj.push(s);
+        }
+        traj
+    }
+
+    /// Distance covered from speed `v` to a full stop under maximum braking.
+    pub fn stopping_distance(&self, v: f64) -> f64 {
+        let b = -self.limits.accel_min;
+        if b <= 0.0 {
+            return f64::INFINITY;
+        }
+        v * v / (2.0 * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> BicycleModel {
+        BicycleModel::default()
+    }
+
+    #[test]
+    fn straight_line_constant_speed() {
+        let m = model();
+        let s = m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::COAST, 0.5);
+        assert!((s.x - 5.0).abs() < 1e-12);
+        assert_eq!(s.y, 0.0);
+        assert_eq!(s.theta, 0.0);
+        assert_eq!(s.v, 10.0);
+    }
+
+    #[test]
+    fn braking_reduces_speed_to_zero_not_negative() {
+        let m = model();
+        let mut s = VehicleState::new(0.0, 0.0, 0.0, 2.0);
+        for _ in 0..20 {
+            s = m.step(s, ControlInput::new(-6.0, 0.0), 0.5);
+        }
+        assert_eq!(s.v, 0.0);
+    }
+
+    #[test]
+    fn speed_saturates_at_vmax() {
+        let m = model();
+        let mut s = VehicleState::new(0.0, 0.0, 0.0, 29.0);
+        for _ in 0..20 {
+            s = m.step(s, ControlInput::new(3.5, 0.0), 1.0);
+        }
+        assert_eq!(s.v, m.limits.v_max);
+    }
+
+    #[test]
+    fn steering_turns_heading() {
+        let m = model();
+        let left = m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::new(0.0, 0.3), 0.1);
+        let right =
+            m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::new(0.0, -0.3), 0.1);
+        assert!(left.theta > 0.0);
+        assert!(right.theta < 0.0);
+        assert!((left.theta + right.theta).abs() < 1e-12); // symmetric
+    }
+
+    #[test]
+    fn no_turn_at_zero_speed() {
+        let m = model();
+        let s = m.step(VehicleState::new(0.0, 0.0, 0.0, 0.0), ControlInput::new(0.0, 0.6), 0.5);
+        assert_eq!(s.theta, 0.0);
+        assert_eq!(s.position(), iprism_geom::Vec2::ZERO);
+    }
+
+    #[test]
+    fn control_clamped() {
+        let m = model();
+        // An insane steering command behaves like the max steering command.
+        let wild = m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::new(0.0, 10.0), 0.1);
+        let maxed = m.step(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            ControlInput::new(0.0, m.limits.steer_max),
+            0.1,
+        );
+        assert_eq!(wild, maxed);
+    }
+
+    #[test]
+    fn rollout_length_and_continuity() {
+        let m = model();
+        let t = m.rollout(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::COAST, 0.1, 10);
+        assert_eq!(t.len(), 11);
+        assert!((t.states()[10].x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollout_sequence_applies_each_control() {
+        let m = model();
+        let controls = [ControlInput::new(3.5, 0.0), ControlInput::new(-6.0, 0.0)];
+        let t = m.rollout_sequence(VehicleState::new(0.0, 0.0, 0.0, 10.0), &controls, 1.0);
+        assert_eq!(t.len(), 3);
+        assert!((t.states()[1].v - 13.5).abs() < 1e-12);
+        assert!((t.states()[2].v - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopping_distance_quadratic() {
+        let m = model();
+        let d10 = m.stopping_distance(10.0);
+        let d20 = m.stopping_distance(20.0);
+        assert!((d20 / d10 - 4.0).abs() < 1e-9);
+        assert!((d10 - 100.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "wheelbase")]
+    fn bad_wheelbase_panics() {
+        let _ = BicycleModel::new(0.0);
+    }
+
+    #[test]
+    fn non_finite_controls_are_sanitized() {
+        // Failure injection: a faulty controller emitting NaN/∞ must not
+        // corrupt the vehicle state.
+        let m = model();
+        let s0 = VehicleState::new(0.0, 0.0, 0.0, 10.0);
+        for u in [
+            ControlInput::new(f64::NAN, 0.0),
+            ControlInput::new(0.0, f64::NAN),
+            ControlInput::new(f64::INFINITY, f64::NEG_INFINITY),
+        ] {
+            let s1 = m.step(s0, u, 0.1);
+            assert!(s1.is_finite(), "{u:?}");
+        }
+        // NaN controls behave exactly like coasting.
+        let coast = m.step(s0, ControlInput::COAST, 0.1);
+        let nan = m.step(s0, ControlInput::new(f64::NAN, f64::NAN), 0.1);
+        assert_eq!(coast, nan);
+    }
+
+    #[test]
+    fn turning_circle_returns_to_start() {
+        // Driving a full circle at constant steer brings us back near the
+        // starting point.
+        let m = model();
+        let steer = 0.3f64;
+        let v = 5.0;
+        let yaw_rate = v / m.wheelbase * steer.tan();
+        let period = std::f64::consts::TAU / yaw_rate;
+        let dt = 0.001;
+        let steps = (period / dt).round() as usize;
+        let t = m.rollout(VehicleState::new(0.0, 0.0, 0.0, v), ControlInput::new(0.0, steer), dt, steps);
+        let last = *t.states().last().unwrap();
+        assert!(last.position().norm() < 0.2, "drift {}", last.position().norm());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_step_is_finite(
+            x in -1e3..1e3f64, y in -1e3..1e3f64, th in -3.0..3.0f64, v in 0.0..30.0f64,
+            a in -10.0..10.0f64, s in -1.0..1.0f64, dt in 0.001..1.0f64,
+        ) {
+            let m = model();
+            let next = m.step(VehicleState::new(x, y, th, v), ControlInput::new(a, s), dt);
+            prop_assert!(next.is_finite());
+            prop_assert!(next.v >= m.limits.v_min && next.v <= m.limits.v_max);
+        }
+
+        #[test]
+        fn prop_displacement_bounded_by_speed(
+            th in -3.0..3.0f64, v in 0.0..30.0f64,
+            a in -10.0..10.0f64, s in -1.0..1.0f64, dt in 0.001..1.0f64,
+        ) {
+            let m = model();
+            let s0 = VehicleState::new(0.0, 0.0, th, v);
+            let s1 = m.step(s0, ControlInput::new(a, s), dt);
+            // Euler step moves exactly v*dt
+            prop_assert!((s1.position().norm() - v * dt).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_heading_wrapped(
+            th in -3.0..3.0f64, v in 0.0..30.0f64, s in -1.0..1.0f64,
+        ) {
+            let m = model();
+            let next = m.step(VehicleState::new(0.0, 0.0, th, v), ControlInput::new(0.0, s), 0.5);
+            prop_assert!(next.theta > -std::f64::consts::PI - 1e-9);
+            prop_assert!(next.theta <= std::f64::consts::PI + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Control inputs `u = (a, φ)` and their limits.
+
+use serde::{Deserialize, Serialize};
+
+/// A control input to the bicycle model: longitudinal acceleration and
+/// front-wheel steering angle. This is the paper's `u = (a_t, φ_t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlInput {
+    /// Longitudinal acceleration (m/s²); negative is braking.
+    pub accel: f64,
+    /// Front-wheel steering angle (rad); positive steers left.
+    pub steer: f64,
+}
+
+impl ControlInput {
+    /// Creates a control input.
+    #[inline]
+    pub const fn new(accel: f64, steer: f64) -> Self {
+        ControlInput { accel, steer }
+    }
+
+    /// The zero input (coast straight).
+    pub const COAST: ControlInput = ControlInput {
+        accel: 0.0,
+        steer: 0.0,
+    };
+}
+
+/// Admissible control ranges `[a_min, a_max] × [φ_min, φ_max]` plus a speed
+/// envelope.
+///
+/// The reach-tube computation samples inside these bounds and always includes
+/// the extreme values so that the tube boundary is covered (§III-A of the
+/// paper). Defaults follow typical passenger-car values used in the paper's
+/// reference [46]: braking to −6 m/s², acceleration to +3.5 m/s², steering
+/// to ±35° and speeds in `[0, 30]` m/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlLimits {
+    /// Minimum (most negative) acceleration, i.e. hardest braking (m/s²).
+    pub accel_min: f64,
+    /// Maximum acceleration (m/s²).
+    pub accel_max: f64,
+    /// Minimum steering angle (rad, full right).
+    pub steer_min: f64,
+    /// Maximum steering angle (rad, full left).
+    pub steer_max: f64,
+    /// Minimum speed (m/s); vehicles do not reverse in this model.
+    pub v_min: f64,
+    /// Maximum speed (m/s).
+    pub v_max: f64,
+}
+
+impl Default for ControlLimits {
+    fn default() -> Self {
+        ControlLimits {
+            accel_min: -6.0,
+            accel_max: 3.5,
+            steer_min: -0.610_865_238_2, // -35°
+            steer_max: 0.610_865_238_2,  // +35°
+            v_min: 0.0,
+            v_max: 30.0,
+        }
+    }
+}
+
+impl ControlLimits {
+    /// Clamps a control input into the admissible ranges.
+    pub fn clamp(&self, u: ControlInput) -> ControlInput {
+        ControlInput::new(
+            u.accel.clamp(self.accel_min, self.accel_max),
+            u.steer.clamp(self.steer_min, self.steer_max),
+        )
+    }
+
+    /// Returns `true` if `u` lies inside the admissible ranges.
+    pub fn contains(&self, u: ControlInput) -> bool {
+        (self.accel_min..=self.accel_max).contains(&u.accel)
+            && (self.steer_min..=self.steer_max).contains(&u.steer)
+    }
+
+    /// Clamps a speed into `[v_min, v_max]`.
+    #[inline]
+    pub fn clamp_speed(&self, v: f64) -> f64 {
+        v.clamp(self.v_min, self.v_max)
+    }
+
+    /// The boundary control set used by the paper's optimization 2:
+    /// all combinations of `{0, a_max} × {φ_min, 0, φ_max}`.
+    ///
+    /// Propagating only these six inputs traces the reach-tube boundary;
+    /// intermediate trajectories are implied between them.
+    pub fn boundary_controls(&self) -> [ControlInput; 6] {
+        [
+            ControlInput::new(0.0, self.steer_min),
+            ControlInput::new(0.0, 0.0),
+            ControlInput::new(0.0, self.steer_max),
+            ControlInput::new(self.accel_max, self.steer_min),
+            ControlInput::new(self.accel_max, 0.0),
+            ControlInput::new(self.accel_max, self.steer_max),
+        ]
+    }
+
+    /// The full extreme-control set `{a_min, 0, a_max} × {φ_min, 0, φ_max}`
+    /// (nine inputs), which additionally covers hard braking.
+    pub fn extreme_controls(&self) -> [ControlInput; 9] {
+        let accels = [self.accel_min, 0.0, self.accel_max];
+        let steers = [self.steer_min, 0.0, self.steer_max];
+        let mut out = [ControlInput::COAST; 9];
+        let mut i = 0;
+        for a in accels {
+            for s in steers {
+                out[i] = ControlInput::new(a, s);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Uniform lattice of `na × ns` control samples spanning the admissible
+    /// box, endpoints included (so the boundary is always part of the
+    /// samples, as Algorithm 1 requires).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `na < 2` or `ns < 2`.
+    pub fn lattice(&self, na: usize, ns: usize) -> Vec<ControlInput> {
+        assert!(na >= 2 && ns >= 2, "lattice needs at least 2x2 samples");
+        let mut out = Vec::with_capacity(na * ns);
+        for i in 0..na {
+            let fa = i as f64 / (na - 1) as f64;
+            let a = self.accel_min + fa * (self.accel_max - self.accel_min);
+            for j in 0..ns {
+                let fs = j as f64 / (ns - 1) as f64;
+                let s = self.steer_min + fs * (self.steer_max - self.steer_min);
+                out.push(ControlInput::new(a, s));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_limits_sane() {
+        let l = ControlLimits::default();
+        assert!(l.accel_min < 0.0 && l.accel_max > 0.0);
+        assert!(l.steer_min < 0.0 && l.steer_max > 0.0);
+        assert!(l.v_min <= l.v_max);
+    }
+
+    #[test]
+    fn clamping() {
+        let l = ControlLimits::default();
+        let u = l.clamp(ControlInput::new(-100.0, 100.0));
+        assert_eq!(u.accel, l.accel_min);
+        assert_eq!(u.steer, l.steer_max);
+        assert!(l.contains(u));
+        assert!(!l.contains(ControlInput::new(99.0, 0.0)));
+        assert_eq!(l.clamp_speed(1000.0), l.v_max);
+        assert_eq!(l.clamp_speed(-5.0), l.v_min);
+    }
+
+    #[test]
+    fn boundary_controls_match_paper() {
+        let l = ControlLimits::default();
+        let b = l.boundary_controls();
+        assert_eq!(b.len(), 6);
+        // accelerations drawn from {0, a_max}
+        assert!(b.iter().all(|u| u.accel == 0.0 || u.accel == l.accel_max));
+        // steering drawn from {min, 0, max}
+        assert!(b
+            .iter()
+            .all(|u| u.steer == l.steer_min || u.steer == 0.0 || u.steer == l.steer_max));
+        // all distinct
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_ne!(b[i], b[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_controls_cover_braking() {
+        let l = ControlLimits::default();
+        let e = l.extreme_controls();
+        assert_eq!(e.len(), 9);
+        assert!(e.iter().any(|u| u.accel == l.accel_min));
+    }
+
+    #[test]
+    fn lattice_includes_endpoints() {
+        let l = ControlLimits::default();
+        let samples = l.lattice(3, 3);
+        assert_eq!(samples.len(), 9);
+        assert!(samples.contains(&ControlInput::new(l.accel_min, l.steer_min)));
+        assert!(samples.contains(&ControlInput::new(l.accel_max, l.steer_max)));
+        assert!(samples.iter().all(|&u| l.contains(u)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice")]
+    fn tiny_lattice_panics() {
+        let _ = ControlLimits::default().lattice(1, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_clamp_is_contained(a in -100.0..100.0f64, s in -10.0..10.0f64) {
+            let l = ControlLimits::default();
+            prop_assert!(l.contains(l.clamp(ControlInput::new(a, s))));
+        }
+
+        #[test]
+        fn prop_clamp_idempotent(a in -100.0..100.0f64, s in -10.0..10.0f64) {
+            let l = ControlLimits::default();
+            let once = l.clamp(ControlInput::new(a, s));
+            prop_assert_eq!(once, l.clamp(once));
+        }
+
+        #[test]
+        fn prop_lattice_within_limits(na in 2usize..8, ns in 2usize..8) {
+            let l = ControlLimits::default();
+            for u in l.lattice(na, ns) {
+                prop_assert!(l.contains(u));
+            }
+        }
+    }
+}

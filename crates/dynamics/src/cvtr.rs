@@ -1,0 +1,152 @@
+//! Constant-velocity-and-turn-rate (CVTR) trajectory prediction.
+//!
+//! §IV-C of the paper: during SMC training and inference the ground-truth
+//! future trajectories `X` of other actors are unknown, so iPrism predicts
+//! them with a CVTR model — each actor keeps its current speed and yaw rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Trajectory, VehicleState};
+
+/// Predicts an actor's future trajectory assuming constant speed and
+/// constant turn (yaw) rate.
+///
+/// # Examples
+///
+/// ```
+/// use iprism_dynamics::{CvtrModel, VehicleState};
+///
+/// let cvtr = CvtrModel::default();
+/// let now = VehicleState::new(0.0, 0.0, 0.0, 10.0);
+/// let pred = cvtr.predict(now, 0.0, 0.0, 0.1, 10); // straight at 10 m/s
+/// assert!((pred.states().last().unwrap().x - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CvtrModel {
+    /// Optional speed decay per second (0 = pure CVTR). A small positive
+    /// value models friction for long horizons.
+    pub speed_decay: f64,
+}
+
+impl CvtrModel {
+    /// Creates a pure CVTR model (no speed decay).
+    pub fn new() -> Self {
+        CvtrModel { speed_decay: 0.0 }
+    }
+
+    /// Predicts `steps` future samples at period `dt`, starting from
+    /// `state` at time `start_time` with measured `yaw_rate` (rad/s).
+    ///
+    /// The returned trajectory includes the current state as sample 0 and
+    /// has `steps + 1` samples.
+    pub fn predict(
+        &self,
+        state: VehicleState,
+        yaw_rate: f64,
+        start_time: f64,
+        dt: f64,
+        steps: usize,
+    ) -> Trajectory {
+        let mut traj = Trajectory::with_capacity(start_time, dt, steps + 1);
+        traj.push(state);
+        let mut s = state;
+        for _ in 0..steps {
+            let (sin_t, cos_t) = s.theta.sin_cos();
+            let v = (s.v * (1.0 - self.speed_decay * dt)).max(0.0);
+            s = VehicleState::new(
+                s.x + s.v * cos_t * dt,
+                s.y + s.v * sin_t * dt,
+                iprism_geom::wrap_to_pi(s.theta + yaw_rate * dt),
+                v,
+            );
+            traj.push(s);
+        }
+        traj
+    }
+
+    /// Estimates a yaw rate from two consecutive states `prev → cur`
+    /// observed `dt` seconds apart.
+    pub fn estimate_yaw_rate(prev: &VehicleState, cur: &VehicleState, dt: f64) -> f64 {
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        iprism_geom::wrap_to_pi(cur.theta - prev.theta) / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn straight_prediction() {
+        let cvtr = CvtrModel::new();
+        let p = cvtr.predict(VehicleState::new(0.0, 0.0, 0.0, 5.0), 0.0, 2.0, 0.5, 4);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.start_time(), 2.0);
+        let last = p.states().last().unwrap();
+        assert!((last.x - 10.0).abs() < 1e-9);
+        assert_eq!(last.y, 0.0);
+    }
+
+    #[test]
+    fn turning_prediction_curves() {
+        let cvtr = CvtrModel::new();
+        let p = cvtr.predict(VehicleState::new(0.0, 0.0, 0.0, 5.0), 0.5, 0.0, 0.1, 20);
+        let last = p.states().last().unwrap();
+        assert!(last.y > 0.5); // curved left
+        assert!((last.theta - 1.0).abs() < 1e-9); // 0.5 rad/s * 2 s
+    }
+
+    #[test]
+    fn speed_decay_slows_down() {
+        let cvtr = CvtrModel { speed_decay: 0.5 };
+        let p = cvtr.predict(VehicleState::new(0.0, 0.0, 0.0, 10.0), 0.0, 0.0, 0.5, 8);
+        let last = p.states().last().unwrap();
+        assert!(last.v < 10.0);
+        assert!(last.v >= 0.0);
+    }
+
+    #[test]
+    fn yaw_rate_estimation() {
+        let a = VehicleState::new(0.0, 0.0, 0.0, 5.0);
+        let b = VehicleState::new(0.5, 0.0, 0.2, 5.0);
+        assert!((CvtrModel::estimate_yaw_rate(&a, &b, 0.1) - 2.0).abs() < 1e-9);
+        assert_eq!(CvtrModel::estimate_yaw_rate(&a, &b, 0.0), 0.0);
+    }
+
+    #[test]
+    fn yaw_rate_wraps() {
+        use std::f64::consts::PI;
+        let a = VehicleState::new(0.0, 0.0, PI - 0.05, 5.0);
+        let b = VehicleState::new(0.0, 0.0, -PI + 0.05, 5.0);
+        let w = CvtrModel::estimate_yaw_rate(&a, &b, 0.1);
+        assert!((w - 1.0).abs() < 1e-9); // +0.1 rad through the wrap
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prediction_finite_and_sized(
+            x in -100.0..100.0f64, y in -100.0..100.0f64,
+            th in -3.0..3.0f64, v in 0.0..30.0f64,
+            w in -1.0..1.0f64, steps in 0usize..50,
+        ) {
+            let p = CvtrModel::new().predict(VehicleState::new(x, y, th, v), w, 0.0, 0.1, steps);
+            prop_assert_eq!(p.len(), steps + 1);
+            for s in p.states() {
+                prop_assert!(s.is_finite());
+            }
+        }
+
+        #[test]
+        fn prop_zero_speed_stays_put(
+            th in -3.0..3.0f64, w in -1.0..1.0f64, steps in 1usize..30,
+        ) {
+            let p = CvtrModel::new().predict(VehicleState::new(1.0, 2.0, th, 0.0), w, 0.0, 0.1, steps);
+            for s in p.states() {
+                prop_assert!((s.x - 1.0).abs() < 1e-12 && (s.y - 2.0).abs() < 1e-12);
+            }
+        }
+    }
+}

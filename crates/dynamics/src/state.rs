@@ -1,0 +1,156 @@
+//! The vehicle state `x = [x, y, θ, v]` used throughout the paper.
+
+use iprism_geom::{Obb, Pose, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Kinematic state of a vehicle: position, heading and scalar speed along
+/// the heading. This matches the paper's `x_t^{ego} = [x, y, θ, v]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// World x-position (m).
+    pub x: f64,
+    /// World y-position (m).
+    pub y: f64,
+    /// Heading (rad, counter-clockwise from +x).
+    pub theta: f64,
+    /// Speed along the heading (m/s); non-negative in normal operation.
+    pub v: f64,
+}
+
+impl VehicleState {
+    /// Creates a state from its four components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, theta: f64, v: f64) -> Self {
+        VehicleState { x, y, theta, v }
+    }
+
+    /// Creates a stationary state at a pose.
+    #[inline]
+    pub fn at_rest(pose: Pose) -> Self {
+        VehicleState::new(pose.x, pose.y, pose.theta, 0.0)
+    }
+
+    /// Position as a vector.
+    #[inline]
+    pub fn position(&self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Pose (position + heading).
+    #[inline]
+    pub fn pose(&self) -> Pose {
+        Pose::new(self.x, self.y, self.theta)
+    }
+
+    /// Velocity vector `v · (cos θ, sin θ)`.
+    #[inline]
+    pub fn velocity(&self) -> Vec2 {
+        Vec2::from_angle(self.theta) * self.v
+    }
+
+    /// The vehicle footprint as an oriented box of `length` × `width`.
+    #[inline]
+    pub fn footprint(&self, length: f64, width: f64) -> Obb {
+        Obb::new(self.pose(), length, width)
+    }
+
+    /// L2 norm of the full state vector difference — the distance used by
+    /// the paper's ε-deduplication optimization (§III-A, optimization 1).
+    pub fn l2_distance(&self, other: &VehicleState) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dt = iprism_geom::wrap_to_pi(self.theta - other.theta);
+        let dv = self.v - other.v;
+        (dx * dx + dy * dy + dt * dt + dv * dv).sqrt()
+    }
+
+    /// Returns `true` if every component is finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.theta.is_finite() && self.v.is_finite()
+    }
+}
+
+impl From<VehicleState> for Pose {
+    #[inline]
+    fn from(s: VehicleState) -> Pose {
+        s.pose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn accessors() {
+        let s = VehicleState::new(1.0, 2.0, FRAC_PI_2, 3.0);
+        assert_eq!(s.position(), Vec2::new(1.0, 2.0));
+        assert_eq!(s.pose(), Pose::new(1.0, 2.0, FRAC_PI_2));
+        assert!(s.velocity().distance(Vec2::new(0.0, 3.0)) < 1e-12);
+        let p: Pose = s.into();
+        assert_eq!(p, s.pose());
+    }
+
+    #[test]
+    fn at_rest_has_zero_speed() {
+        let s = VehicleState::at_rest(Pose::new(5.0, 5.0, 1.0));
+        assert_eq!(s.v, 0.0);
+        assert_eq!(s.velocity(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn footprint_dimensions() {
+        let s = VehicleState::new(0.0, 0.0, 0.0, 0.0);
+        let fp = s.footprint(4.6, 2.0);
+        assert_eq!(fp.length, 4.6);
+        assert_eq!(fp.width, 2.0);
+        assert_eq!(fp.center(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn l2_distance_zero_on_self() {
+        let s = VehicleState::new(1.0, 2.0, 0.5, 3.0);
+        assert_eq!(s.l2_distance(&s), 0.0);
+    }
+
+    #[test]
+    fn l2_distance_wraps_heading() {
+        use std::f64::consts::PI;
+        let a = VehicleState::new(0.0, 0.0, -PI + 0.01, 0.0);
+        let b = VehicleState::new(0.0, 0.0, PI - 0.01, 0.0);
+        // headings are 0.02 rad apart through the wrap
+        assert!(a.l2_distance(&b) < 0.03);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(VehicleState::new(0.0, 0.0, 0.0, 0.0).is_finite());
+        assert!(!VehicleState::new(f64::NAN, 0.0, 0.0, 0.0).is_finite());
+        assert!(!VehicleState::new(0.0, 0.0, 0.0, f64::INFINITY).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_l2_symmetric(
+            ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+            at in -3.0..3.0f64, av in 0.0..30.0f64,
+            bx in -100.0..100.0f64, by in -100.0..100.0f64,
+            bt in -3.0..3.0f64, bv in 0.0..30.0f64,
+        ) {
+            let a = VehicleState::new(ax, ay, at, av);
+            let b = VehicleState::new(bx, by, bt, bv);
+            prop_assert!((a.l2_distance(&b) - b.l2_distance(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_velocity_norm_is_speed(
+            t in -3.0..3.0f64, v in 0.0..40.0f64,
+        ) {
+            let s = VehicleState::new(0.0, 0.0, t, v);
+            prop_assert!((s.velocity().norm() - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Timestamped state sequences.
+
+use iprism_geom::Vec2;
+use serde::{Deserialize, Serialize};
+
+use crate::VehicleState;
+
+/// A time-ordered sequence of [`VehicleState`]s sampled at a fixed period.
+///
+/// This is the paper's *trajectory of an actor* (§II): "a time-ordered
+/// sequence of states representing the actor's dynamic evolution". Sample
+/// `i` is at time `start_time + i * dt`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    start_time: f64,
+    dt: f64,
+    states: Vec<VehicleState>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory starting at `start_time` with sample
+    /// period `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is not strictly positive and finite.
+    pub fn new(start_time: f64, dt: f64) -> Self {
+        Trajectory::with_capacity(start_time, dt, 0)
+    }
+
+    /// Like [`Trajectory::new`] but pre-allocates room for `cap` samples.
+    pub fn with_capacity(start_time: f64, dt: f64, cap: usize) -> Self {
+        assert!(
+            dt > 0.0 && dt.is_finite(),
+            "trajectory dt must be positive and finite, got {dt}"
+        );
+        Trajectory {
+            start_time,
+            dt,
+            states: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a trajectory directly from states.
+    pub fn from_states(start_time: f64, dt: f64, states: Vec<VehicleState>) -> Self {
+        let mut t = Trajectory::new(start_time, dt);
+        t.states = states;
+        t
+    }
+
+    /// Appends a state at the next sample instant.
+    #[inline]
+    pub fn push(&mut self, s: VehicleState) {
+        self.states.push(s);
+    }
+
+    /// The sample states in time order.
+    #[inline]
+    pub fn states(&self) -> &[VehicleState] {
+        &self.states
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` when the trajectory has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Sample period.
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Time of the first sample.
+    #[inline]
+    pub fn start_time(&self) -> f64 {
+        self.start_time
+    }
+
+    /// Time of the last sample, or `start_time` when empty.
+    pub fn end_time(&self) -> f64 {
+        if self.states.is_empty() {
+            self.start_time
+        } else {
+            self.start_time + (self.states.len() - 1) as f64 * self.dt
+        }
+    }
+
+    /// Time of sample `i`.
+    #[inline]
+    pub fn time_at(&self, i: usize) -> f64 {
+        self.start_time + i as f64 * self.dt
+    }
+
+    /// The state at time `t`, linearly interpolated between samples and
+    /// clamped to the ends. Returns `None` when the trajectory is empty.
+    pub fn state_at_time(&self, t: f64) -> Option<VehicleState> {
+        if self.states.is_empty() {
+            return None;
+        }
+        let f = (t - self.start_time) / self.dt;
+        if f <= 0.0 {
+            return Some(self.states[0]);
+        }
+        let last = self.states.len() - 1;
+        if f >= last as f64 {
+            return Some(self.states[last]);
+        }
+        let i = f.floor() as usize;
+        let frac = f - i as f64;
+        let a = self.states[i];
+        let b = self.states[i + 1];
+        Some(VehicleState::new(
+            a.x + (b.x - a.x) * frac,
+            a.y + (b.y - a.y) * frac,
+            a.theta + iprism_geom::wrap_to_pi(b.theta - a.theta) * frac,
+            a.v + (b.v - a.v) * frac,
+        ))
+    }
+
+    /// Total path length (sum of inter-sample distances).
+    pub fn path_length(&self) -> f64 {
+        self.states
+            .windows(2)
+            .map(|w| w[0].position().distance(w[1].position()))
+            .sum()
+    }
+
+    /// Positions of all samples.
+    pub fn positions(&self) -> impl Iterator<Item = Vec2> + '_ {
+        self.states.iter().map(|s| s.position())
+    }
+
+    /// Returns `true` if this trajectory's position path comes within
+    /// `threshold` metres of `other`'s at any *shared* sample time.
+    ///
+    /// This is the discrete form of the paper's "safely navigable" check:
+    /// two trajectories intersect when the actors occupy (nearly) the same
+    /// place at the same time.
+    pub fn intersects(&self, other: &Trajectory, threshold: f64) -> bool {
+        let t0 = self.start_time.max(other.start_time);
+        let t1 = self.end_time().min(other.end_time());
+        if t1 < t0 {
+            return false;
+        }
+        let dt = self.dt.min(other.dt);
+        let steps = ((t1 - t0) / dt).round() as usize;
+        for i in 0..=steps {
+            let t = t0 + i as f64 * dt;
+            if let (Some(a), Some(b)) = (self.state_at_time(t), other.state_at_time(t)) {
+                if a.position().distance(b.position()) <= threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn straight(start: f64, dt: f64, n: usize, speed: f64) -> Trajectory {
+        let states = (0..n)
+            .map(|i| VehicleState::new(speed * dt * i as f64, 0.0, 0.0, speed))
+            .collect();
+        Trajectory::from_states(start, dt, states)
+    }
+
+    #[test]
+    fn times() {
+        let t = straight(1.0, 0.5, 5, 10.0);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.start_time(), 1.0);
+        assert_eq!(t.end_time(), 3.0);
+        assert_eq!(t.time_at(2), 2.0);
+        assert_eq!(t.dt(), 0.5);
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let t = Trajectory::new(0.0, 0.1);
+        assert!(t.is_empty());
+        assert_eq!(t.end_time(), 0.0);
+        assert!(t.state_at_time(0.0).is_none());
+        assert_eq!(t.path_length(), 0.0);
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        let t = straight(0.0, 1.0, 3, 10.0);
+        let s = t.state_at_time(0.5).unwrap();
+        assert!((s.x - 5.0).abs() < 1e-12);
+        // clamping at the ends
+        assert_eq!(t.state_at_time(-1.0).unwrap().x, 0.0);
+        assert_eq!(t.state_at_time(100.0).unwrap().x, 20.0);
+    }
+
+    #[test]
+    fn interpolation_wraps_heading() {
+        use std::f64::consts::PI;
+        let states = vec![
+            VehicleState::new(0.0, 0.0, PI - 0.1, 0.0),
+            VehicleState::new(0.0, 0.0, -PI + 0.1, 0.0),
+        ];
+        let t = Trajectory::from_states(0.0, 1.0, states);
+        let mid = t.state_at_time(0.5).unwrap();
+        // interpolates through the wrap, not through zero
+        assert!(mid.theta.abs() > 3.0);
+    }
+
+    #[test]
+    fn path_length() {
+        let t = straight(0.0, 0.5, 5, 10.0);
+        assert!((t.path_length() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_same_lane() {
+        let a = straight(0.0, 0.1, 50, 10.0);
+        let b = straight(0.0, 0.1, 50, 10.0); // identical
+        assert!(a.intersects(&b, 1.0));
+    }
+
+    #[test]
+    fn no_intersection_parallel_lanes() {
+        let a = straight(0.0, 0.1, 50, 10.0);
+        let mut states = Vec::new();
+        for i in 0..50 {
+            states.push(VehicleState::new(i as f64, 10.0, 0.0, 10.0));
+        }
+        let b = Trajectory::from_states(0.0, 0.1, states);
+        assert!(!a.intersects(&b, 1.0));
+    }
+
+    #[test]
+    fn no_intersection_when_times_disjoint() {
+        let a = straight(0.0, 0.1, 10, 10.0);
+        let b = straight(100.0, 0.1, 10, 10.0);
+        assert!(!a.intersects(&b, 1000.0));
+    }
+
+    #[test]
+    fn crossing_at_same_time_intersects() {
+        // two actors pass through the origin at t = 1
+        let a = Trajectory::from_states(
+            0.0,
+            1.0,
+            vec![VehicleState::new(-10.0, 0.0, 0.0, 10.0), VehicleState::new(0.0, 0.0, 0.0, 10.0)],
+        );
+        let b = Trajectory::from_states(
+            0.0,
+            1.0,
+            vec![
+                VehicleState::new(0.0, -10.0, 1.57, 10.0),
+                VehicleState::new(0.0, 0.0, 1.57, 10.0),
+            ],
+        );
+        assert!(a.intersects(&b, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dt")]
+    fn zero_dt_panics() {
+        let _ = Trajectory::new(0.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersects_symmetric(
+            n in 2usize..20, m in 2usize..20,
+            va in 0.0..20.0f64, vb in 0.0..20.0f64,
+            off in -5.0..5.0f64,
+        ) {
+            let a = straight(0.0, 0.1, n, va);
+            let mut states = Vec::new();
+            for i in 0..m {
+                states.push(VehicleState::new(va * 0.1 * i as f64, off, 0.0, vb));
+            }
+            let b = Trajectory::from_states(0.0, 0.1, states);
+            prop_assert_eq!(a.intersects(&b, 1.0), b.intersects(&a, 1.0));
+        }
+
+        #[test]
+        fn prop_interpolated_x_monotone(
+            n in 2usize..20, v in 0.1..20.0f64, t in 0.0..2.0f64
+        ) {
+            let traj = straight(0.0, 0.1, n, v);
+            let s = traj.state_at_time(t).unwrap();
+            prop_assert!(s.x >= -1e-9);
+            prop_assert!(s.x <= v * 0.1 * (n - 1) as f64 + 1e-9);
+        }
+    }
+}

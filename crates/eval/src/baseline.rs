@@ -1,0 +1,144 @@
+//! Table I: scenario counts and LBC baseline accidents per typology.
+
+use iprism_agents::LbcAgent;
+use iprism_scenarios::{sample_instances, ScenarioSpec, Typology};
+use iprism_sim::{run_episode, EpisodeResult, MotionModel, World};
+use serde::{Deserialize, Serialize};
+
+use crate::{parallel_map, render_table, EvalConfig};
+
+/// One Table-I row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// The typology.
+    pub typology: Typology,
+    /// Scenario instances executed.
+    pub instances: usize,
+    /// Valid instances (front-accident instances require the NPC-NPC crash).
+    pub valid: usize,
+    /// LBC baseline accidents (the paper's TAS column).
+    pub accidents: usize,
+    /// Hyperparameter names (Table I's "List of Hyperparameters").
+    pub hyperparameters: Vec<String>,
+}
+
+/// The full Table-I reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineStudy {
+    /// One row per NHTSA typology.
+    pub rows: Vec<BaselineRow>,
+}
+
+impl BaselineStudy {
+    /// Total valid scenarios (the paper's 4810).
+    pub fn total_valid(&self) -> usize {
+        self.rows.iter().map(|r| r.valid).sum()
+    }
+}
+
+impl std::fmt::Display for BaselineStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = vec![
+            "Scenario Typology".to_string(),
+            "# Instances".to_string(),
+            "# Valid".to_string(),
+            "Hyperparameters".to_string(),
+            "# Accidents of Baseline (LBC)".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.typology.name().to_string(),
+                    r.instances.to_string(),
+                    r.valid.to_string(),
+                    r.hyperparameters.join(", "),
+                    r.accidents.to_string(),
+                ]
+            })
+            .collect();
+        write!(f, "{}", render_table(&header, &rows))
+    }
+}
+
+/// Runs one scenario instance with a fresh LBC agent.
+pub(crate) fn run_lbc(spec: &ScenarioSpec) -> (EpisodeResult, World) {
+    let mut world = spec.build_world();
+    let mut agent = LbcAgent::default();
+    let result = run_episode(&mut world, &mut agent, &spec.episode_config());
+    (result, world)
+}
+
+/// A front-accident instance is valid only when the scripted NPC-NPC crash
+/// actually happened (the paper discarded 190 of 1000).
+pub(crate) fn is_valid(spec: &ScenarioSpec, final_world: &World) -> bool {
+    if spec.typology != Typology::FrontAccident {
+        return true;
+    }
+    final_world
+        .actors()
+        .iter()
+        .any(|a| a.motion == MotionModel::Static)
+}
+
+/// Reproduces Table I: runs the LBC baseline over every typology sweep and
+/// counts accidents.
+pub fn baseline_study(config: &EvalConfig) -> BaselineStudy {
+    let rows = Typology::NHTSA
+        .iter()
+        .map(|&typology| {
+            let specs = sample_instances(typology, config.instances, config.seed);
+            let outcomes = parallel_map(specs, config.resolved_workers(), |spec| {
+                let (result, world) = run_lbc(&spec);
+                (is_valid(&spec, &world), result.outcome.is_collision())
+            });
+            let valid = outcomes.iter().filter(|(v, _)| *v).count();
+            let accidents = outcomes.iter().filter(|(v, c)| *v && *c).count();
+            BaselineRow {
+                typology,
+                instances: config.instances,
+                valid,
+                accidents,
+                hyperparameters: typology
+                    .hyperparameters()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            }
+        })
+        .collect();
+    BaselineStudy { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_has_expected_shape() {
+        let study = baseline_study(&EvalConfig::smoke());
+        assert_eq!(study.rows.len(), 5);
+        for row in &study.rows {
+            assert_eq!(row.instances, 8);
+            assert!(row.valid <= row.instances);
+            assert!(row.accidents <= row.valid);
+            assert_eq!(row.hyperparameters.len(), 3);
+        }
+        // rear-end must be the worst for LBC, front accident harmless
+        let get = |t: Typology| study.rows.iter().find(|r| r.typology == t).unwrap();
+        assert_eq!(get(Typology::FrontAccident).accidents, 0);
+        assert!(get(Typology::RearEnd).accidents >= get(Typology::LeadSlowdown).accidents);
+        // display renders
+        let text = study.to_string();
+        assert!(text.contains("Ghost Cut-in"));
+        assert!(study.total_valid() <= 40);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = baseline_study(&EvalConfig::smoke());
+        let b = baseline_study(&EvalConfig::smoke());
+        assert_eq!(a, b);
+    }
+}

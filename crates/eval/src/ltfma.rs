@@ -1,0 +1,296 @@
+//! Table II: Lead-Time-for-Mitigating-Accident across risk metrics.
+
+use iprism_map::RoadMap;
+use iprism_risk::{
+    dist_cipa, ltfma_steps, time_to_collision, PklModel, PklPlannerConfig, RiskIndicator,
+    SceneSnapshot, StiEvaluator,
+};
+use iprism_scenarios::{sample_instances, Typology};
+use iprism_sim::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::baseline::run_lbc;
+use crate::{parallel_map, render_table, stats, EvalConfig};
+
+/// The risk metrics compared in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RiskMetricKind {
+    /// Time-to-collision.
+    Ttc,
+    /// Distance to closest in-path actor.
+    DistCipa,
+    /// Planner KL-divergence trained on all typologies.
+    PklAll,
+    /// PKL trained with both cut-in typologies held out.
+    PklHoldout,
+    /// The paper's Safety-Threat Indicator.
+    Sti,
+}
+
+impl RiskMetricKind {
+    /// All metrics in Table II row order.
+    pub const ALL: [RiskMetricKind; 5] = [
+        RiskMetricKind::Ttc,
+        RiskMetricKind::DistCipa,
+        RiskMetricKind::PklAll,
+        RiskMetricKind::PklHoldout,
+        RiskMetricKind::Sti,
+    ];
+
+    /// Row label matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            RiskMetricKind::Ttc => "TTC",
+            RiskMetricKind::DistCipa => "Dist. CIPA",
+            RiskMetricKind::PklAll => "PKL-All",
+            RiskMetricKind::PklHoldout => "PKL-Holdout",
+            RiskMetricKind::Sti => "STI (ours)",
+        }
+    }
+}
+
+/// Typologies evaluated in Table II (front accident is excluded: the LBC
+/// baseline never collides there, so there is no LTFMA to report).
+pub const LTFMA_TYPOLOGIES: [Typology; 4] = [
+    Typology::GhostCutIn,
+    Typology::LeadCutIn,
+    Typology::LeadSlowdown,
+    Typology::RearEnd,
+];
+
+/// Mean ± SD LTFMA for one metric on one typology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LtfmaRow {
+    /// The risk metric.
+    pub metric: RiskMetricKind,
+    /// The typology.
+    pub typology: Typology,
+    /// Mean lead time (s) over accident scenarios.
+    pub mean: f64,
+    /// Standard deviation (s).
+    pub sd: f64,
+    /// Number of accident scenarios measured.
+    pub n: usize,
+}
+
+/// The full Table-II reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LtfmaStudy {
+    /// All `(metric × typology)` cells.
+    pub rows: Vec<LtfmaRow>,
+}
+
+impl LtfmaStudy {
+    /// Mean LTFMA of a metric on one typology.
+    pub fn cell(&self, metric: RiskMetricKind, typology: Typology) -> Option<&LtfmaRow> {
+        self.rows
+            .iter()
+            .find(|r| r.metric == metric && r.typology == typology)
+    }
+
+    /// The "All Scenarios Average" column: mean of the typology means.
+    pub fn overall(&self, metric: RiskMetricKind) -> f64 {
+        let means: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.metric == metric)
+            .map(|r| r.mean)
+            .collect();
+        stats::mean(&means)
+    }
+}
+
+impl std::fmt::Display for LtfmaStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec!["Metric".to_string()];
+        header.extend(LTFMA_TYPOLOGIES.iter().map(|t| t.name().to_string()));
+        header.push("All Scenarios Avg".to_string());
+        let rows: Vec<Vec<String>> = RiskMetricKind::ALL
+            .iter()
+            .map(|&m| {
+                let mut row = vec![m.name().to_string()];
+                for &t in &LTFMA_TYPOLOGIES {
+                    match self.cell(m, t) {
+                        Some(c) => row.push(format!("{:.2} ({:.2})", c.mean, c.sd)),
+                        None => row.push("-".to_string()),
+                    }
+                }
+                row.push(format!("{:.2}", self.overall(m)));
+                row
+            })
+            .collect();
+        write!(f, "{}", render_table(&header, &rows))
+    }
+}
+
+/// Everything needed to evaluate every metric on a scene.
+struct MetricSuite {
+    sti: StiEvaluator,
+    pkl_all: PklModel,
+    pkl_holdout: PklModel,
+}
+
+impl MetricSuite {
+    fn value(&self, kind: RiskMetricKind, map: &RoadMap, scene: &SceneSnapshot) -> Option<f64> {
+        match kind {
+            RiskMetricKind::Ttc => time_to_collision(scene),
+            RiskMetricKind::DistCipa => dist_cipa(scene),
+            RiskMetricKind::PklAll => Some(self.pkl_all.evaluate(map, scene).combined),
+            RiskMetricKind::PklHoldout => Some(self.pkl_holdout.evaluate(map, scene).combined),
+            RiskMetricKind::Sti => Some(self.sti.evaluate_combined(map, scene)),
+        }
+    }
+
+    fn indicator(&self, kind: RiskMetricKind) -> RiskIndicator {
+        match kind {
+            RiskMetricKind::Ttc => RiskIndicator::Ttc {
+                threshold: iprism_risk::TTC_RISK_SECONDS,
+            },
+            RiskMetricKind::DistCipa => RiskIndicator::DistCipa {
+                threshold: iprism_risk::CIPA_RISK_DISTANCE,
+            },
+            RiskMetricKind::PklAll | RiskMetricKind::PklHoldout => {
+                RiskIndicator::Pkl { threshold: 0.5 }
+            }
+            RiskMetricKind::Sti => RiskIndicator::Sti { floor: 0.02 },
+        }
+    }
+}
+
+/// The LTFMA (s) of one metric on one accident trace: consecutive risky
+/// samples immediately before the collision, at the configured stride.
+fn trace_ltfma(
+    suite: &MetricSuite,
+    kind: RiskMetricKind,
+    map: &RoadMap,
+    trace: &Trace,
+    config: &EvalConfig,
+) -> Option<f64> {
+    let accident = trace.first_collision_index()?;
+    let horizon_steps = (suite.sti.config.horizon / trace.dt()).ceil() as usize;
+    let mut idxs: Vec<usize> = (0..=accident).step_by(config.stride.max(1)).collect();
+    if *idxs.last()? != accident {
+        idxs.push(accident);
+    }
+    let indicator = suite.indicator(kind);
+    let risky: Vec<bool> = idxs
+        .iter()
+        .map(|&i| {
+            let scene =
+                SceneSnapshot::from_trace(trace, i, horizon_steps).expect("index in range");
+            indicator.is_risky(suite.value(kind, map, &scene))
+        })
+        .collect();
+    let steps = ltfma_steps(&risky, risky.len() - 1);
+    Some(steps as f64 * config.stride as f64 * trace.dt())
+}
+
+/// Fits a PKL model on scenes sampled from LBC runs of the given training
+/// typologies (3 instances each, 5 scenes per trace).
+fn fit_pkl(typologies: &[Typology], config: &EvalConfig) -> PklModel {
+    let mut scenes = Vec::new();
+    let mut map: Option<RoadMap> = None;
+    for &t in typologies {
+        for spec in sample_instances(t, 3.min(config.instances), config.seed ^ 0x51ED) {
+            let (result, world) = run_lbc(&spec);
+            let trace = result.trace;
+            let horizon_steps = (config.reach.horizon / trace.dt()).ceil() as usize;
+            let n = trace.len();
+            for k in 1..=5 {
+                let idx = (n - 1) * k / 6;
+                if let Some(scene) = SceneSnapshot::from_trace(&trace, idx, horizon_steps) {
+                    scenes.push(scene);
+                }
+            }
+            map.get_or_insert_with(|| world.map().clone());
+        }
+    }
+    let map = map.expect("at least one training typology");
+    PklModel::fit(PklPlannerConfig::default(), &map, scenes.iter())
+}
+
+/// Reproduces Table II.
+pub fn ltfma_study(config: &EvalConfig) -> LtfmaStudy {
+    let suite = MetricSuite {
+        sti: StiEvaluator::new(config.reach.clone()),
+        pkl_all: fit_pkl(&Typology::NHTSA, config),
+        pkl_holdout: fit_pkl(
+            &[
+                Typology::LeadSlowdown,
+                Typology::FrontAccident,
+                Typology::RearEnd,
+            ],
+            config,
+        ),
+    };
+
+    let mut rows = Vec::new();
+    for &typology in &LTFMA_TYPOLOGIES {
+        let specs = sample_instances(typology, config.instances, config.seed);
+        // Collect accident traces (with their maps) under the LBC baseline.
+        let traces: Vec<(Trace, RoadMap)> =
+            parallel_map(specs, config.resolved_workers(), |spec| {
+                let (result, world) = run_lbc(&spec);
+                result
+                    .outcome
+                    .is_collision()
+                    .then(|| (result.trace, world.map().clone()))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        for &metric in &RiskMetricKind::ALL {
+            let values: Vec<f64> = parallel_map(
+                traces.iter().collect::<Vec<_>>(),
+                config.resolved_workers(),
+                |(trace, map)| trace_ltfma(&suite, metric, map, trace, config),
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+            rows.push(LtfmaRow {
+                metric,
+                typology,
+                mean: stats::mean(&values),
+                sd: stats::std_dev(&values),
+                n: values.len(),
+            });
+        }
+    }
+    LtfmaStudy { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_shape_and_sti_dominance() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.instances = 6;
+        let study = ltfma_study(&cfg);
+        assert_eq!(study.rows.len(), 4 * 5);
+        for row in &study.rows {
+            assert!(row.mean >= 0.0);
+            assert!(row.sd >= 0.0);
+        }
+        // STI leads overall — the paper's headline Table-II result.
+        let sti = study.overall(RiskMetricKind::Sti);
+        let ttc = study.overall(RiskMetricKind::Ttc);
+        assert!(sti > ttc, "STI {sti} must beat TTC {ttc}");
+        // TTC is blind on ghost cut-ins (threat from the side).
+        let ttc_ghost = study
+            .cell(RiskMetricKind::Ttc, Typology::GhostCutIn)
+            .unwrap();
+        let sti_ghost = study
+            .cell(RiskMetricKind::Sti, Typology::GhostCutIn)
+            .unwrap();
+        assert!(sti_ghost.mean > ttc_ghost.mean);
+        // Display renders every metric row.
+        let text = study.to_string();
+        for m in RiskMetricKind::ALL {
+            assert!(text.contains(m.name()), "{}", m.name());
+        }
+    }
+}

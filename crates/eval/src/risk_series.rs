@@ -1,0 +1,231 @@
+//! Figures 4 and 5: risk-metric time series, safe vs. accident scenarios.
+
+use iprism_agents::{LbcAgent, MitigatedAgent};
+use iprism_core::Smc;
+use iprism_map::RoadMap;
+use iprism_risk::{dist_cipa, time_to_collision, PklModel, SceneSnapshot, StiEvaluator};
+use iprism_scenarios::{sample_instances, Typology};
+use iprism_sim::{run_episode, Trace};
+use serde::{Deserialize, Serialize};
+
+use crate::baseline::run_lbc;
+use crate::{parallel_map, stats, EvalConfig, RiskMetricKind};
+
+/// One time-series point: mean ± SD of a metric at a time step, with the
+/// number of scenarios still alive at that step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Time since scenario start (s).
+    pub time: f64,
+    /// Mean metric value over scenarios alive at `time`.
+    pub mean: f64,
+    /// Standard deviation.
+    pub sd: f64,
+    /// Number of contributing scenarios.
+    pub n: usize,
+}
+
+/// A labelled metric time series (one line of a Fig. 4 subplot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskSeries {
+    /// The typology.
+    pub typology: Typology,
+    /// The metric.
+    pub metric: RiskMetricKind,
+    /// `true` for the accident population, `false` for the safe one.
+    pub accident_population: bool,
+    /// The series points in time order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Computes one metric's per-step values along a trace (None where the
+/// metric is undefined, e.g. TTC with no in-path actor).
+fn metric_series(
+    metric: RiskMetricKind,
+    map: &RoadMap,
+    trace: &Trace,
+    sti: &StiEvaluator,
+    pkl: &PklModel,
+    stride: usize,
+) -> Vec<(f64, Option<f64>)> {
+    let horizon_steps = (sti.config.horizon / trace.dt()).ceil() as usize;
+    let mut out = Vec::new();
+    for i in (0..trace.len()).step_by(stride.max(1)) {
+        let scene = match SceneSnapshot::from_trace(trace, i, horizon_steps) {
+            Some(s) => s,
+            None => break,
+        };
+        let v = match metric {
+            RiskMetricKind::Ttc => time_to_collision(&scene),
+            RiskMetricKind::DistCipa => dist_cipa(&scene),
+            RiskMetricKind::PklAll | RiskMetricKind::PklHoldout => {
+                Some(pkl.evaluate(map, &scene).combined)
+            }
+            RiskMetricKind::Sti => Some(sti.evaluate_combined(map, &scene)),
+        };
+        out.push((trace.steps()[i].time, v));
+    }
+    out
+}
+
+/// Reproduces the Fig. 4 data for one typology: the mean ± SD series of
+/// STI, PKL and TTC, separately for scenarios that stayed safe and those
+/// that ended in an accident.
+pub fn risk_characterization(
+    typology: Typology,
+    config: &EvalConfig,
+    metrics: &[RiskMetricKind],
+) -> Vec<RiskSeries> {
+    let specs = sample_instances(typology, config.instances, config.seed);
+    let sti = StiEvaluator::new(config.reach.clone());
+    let pkl = PklModel::with_tau(1.0, iprism_risk::PklPlannerConfig::default());
+
+    // Run the LBC baseline, splitting traces by outcome.
+    let runs: Vec<(bool, Trace, RoadMap)> =
+        parallel_map(specs, config.resolved_workers(), |spec| {
+            let (result, world) = run_lbc(&spec);
+            (
+                result.outcome.is_collision(),
+                result.trace,
+                world.map().clone(),
+            )
+        });
+
+    let mut out = Vec::new();
+    for &metric in metrics {
+        for accident_population in [false, true] {
+            let series: Vec<Vec<(f64, Option<f64>)>> = runs
+                .iter()
+                .filter(|(collided, ..)| *collided == accident_population)
+                .map(|(_, trace, map)| metric_series(metric, map, trace, &sti, &pkl, config.stride))
+                .collect();
+            out.push(RiskSeries {
+                typology,
+                metric,
+                accident_population,
+                points: aggregate(&series),
+            });
+        }
+    }
+    out
+}
+
+/// Aggregates per-trace series into mean ± SD points per time step.
+fn aggregate(series: &[Vec<(f64, Option<f64>)>]) -> Vec<SeriesPoint> {
+    let max_len = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut points = Vec::with_capacity(max_len);
+    for step in 0..max_len {
+        let mut values = Vec::new();
+        let mut time = 0.0;
+        for s in series {
+            if let Some((t, v)) = s.get(step) {
+                time = *t;
+                if let Some(v) = v {
+                    values.push(*v);
+                }
+            }
+        }
+        if values.is_empty() {
+            continue;
+        }
+        points.push(SeriesPoint {
+            time,
+            mean: stats::mean(&values),
+            sd: stats::std_dev(&values),
+            n: values.len(),
+        });
+    }
+    points
+}
+
+/// Reproduces Fig. 5: the combined-STI series on ghost cut-in scenarios for
+/// the plain LBC agent vs. LBC+iPrism. Returns `(lbc, iprism)` series
+/// aggregated over the sweep.
+pub fn iprism_sti_series(
+    smc: &Smc,
+    config: &EvalConfig,
+) -> (Vec<SeriesPoint>, Vec<SeriesPoint>) {
+    let specs = sample_instances(Typology::GhostCutIn, config.instances, config.seed);
+    let sti = StiEvaluator::new(config.reach.clone());
+
+    let collect = |with_smc: bool| -> Vec<SeriesPoint> {
+        let runs: Vec<Vec<(f64, Option<f64>)>> =
+            parallel_map(specs.clone(), config.resolved_workers(), |spec| {
+                let mut world = spec.build_world();
+                let trace = if with_smc {
+                    let mut agent = MitigatedAgent::new(LbcAgent::default(), smc.clone());
+                    run_episode(&mut world, &mut agent, &spec.episode_config()).trace
+                } else {
+                    let mut agent = LbcAgent::default();
+                    run_episode(&mut world, &mut agent, &spec.episode_config()).trace
+                };
+                let horizon_steps = (sti.config.horizon / trace.dt()).ceil() as usize;
+                let mut out = Vec::new();
+                for i in (0..trace.len()).step_by(config.stride.max(1)) {
+                    if let Some(scene) = SceneSnapshot::from_trace(&trace, i, horizon_steps) {
+                        out.push((
+                            trace.steps()[i].time,
+                            Some(sti.evaluate_combined(world.map(), &scene)),
+                        ));
+                    }
+                }
+                out
+            });
+        aggregate(&runs)
+    };
+
+    (collect(false), collect(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_shapes_and_sti_separation() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.instances = 10;
+        let series = risk_characterization(
+            Typology::GhostCutIn,
+            &cfg,
+            &[RiskMetricKind::Sti, RiskMetricKind::Ttc],
+        );
+        assert_eq!(series.len(), 4); // 2 metrics × {safe, accident}
+        let sti_accident = series
+            .iter()
+            .find(|s| s.metric == RiskMetricKind::Sti && s.accident_population)
+            .unwrap();
+        assert!(!sti_accident.points.is_empty());
+        // STI rises toward the accident: the last point beats the first.
+        let first = sti_accident.points.first().unwrap().mean;
+        let last = sti_accident.points.last().unwrap().mean;
+        assert!(
+            last > first + 0.1,
+            "accident STI should climb: {first} -> {last}"
+        );
+        for s in &series {
+            for p in &s.points {
+                assert!(p.mean.is_finite() && p.sd.is_finite() && p.n > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_handles_ragged_series() {
+        let a = vec![(0.0, Some(1.0)), (0.1, Some(2.0))];
+        let b = vec![(0.0, Some(3.0))];
+        let agg = aggregate(&[a, b]);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].n, 2);
+        assert_eq!(agg[0].mean, 2.0);
+        assert_eq!(agg[1].n, 1);
+    }
+
+    #[test]
+    fn aggregate_skips_all_none_steps() {
+        let a: Vec<(f64, Option<f64>)> = vec![(0.0, None), (0.1, Some(1.0))];
+        let agg = aggregate(&[a]);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].mean, 1.0);
+    }
+}

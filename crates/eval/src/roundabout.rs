@@ -1,0 +1,126 @@
+//! §V-C's roundabout experiment: RIP vs. RIP+iPrism on the ghost-cut-in ×
+//! roundabout typology.
+
+use iprism_agents::{MitigatedAgent, RipAgent, RipConfig};
+use iprism_core::Smc;
+use iprism_scenarios::{sample_instances, Typology};
+use iprism_sim::run_episode;
+use serde::{Deserialize, Serialize};
+
+use crate::{parallel_map, render_table, EvalConfig};
+
+/// The roundabout comparison (paper: RIP collides in 84.3%, RIP+iPrism in
+/// 68.6% — iPrism mitigates 18.6% of RIP's accidents).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundaboutStudy {
+    /// Instances evaluated.
+    pub instances: usize,
+    /// RIP-alone collisions.
+    pub rip_accidents: usize,
+    /// RIP+iPrism collisions.
+    pub rip_iprism_accidents: usize,
+}
+
+impl RoundaboutStudy {
+    /// RIP total collision rate (%).
+    pub fn rip_tcr(&self) -> f64 {
+        self.rip_accidents as f64 / self.instances.max(1) as f64 * 100.0
+    }
+
+    /// RIP+iPrism total collision rate (%).
+    pub fn rip_iprism_tcr(&self) -> f64 {
+        self.rip_iprism_accidents as f64 / self.instances.max(1) as f64 * 100.0
+    }
+
+    /// Fraction of RIP's accidents that iPrism mitigated (%).
+    pub fn mitigated_pct(&self) -> f64 {
+        if self.rip_accidents == 0 {
+            return 0.0;
+        }
+        (self.rip_accidents.saturating_sub(self.rip_iprism_accidents)) as f64
+            / self.rip_accidents as f64
+            * 100.0
+    }
+}
+
+impl std::fmt::Display for RoundaboutStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = vec![
+            "Agent".to_string(),
+            "Collisions".to_string(),
+            "TCR".to_string(),
+        ];
+        let rows = vec![
+            vec![
+                "RIP".to_string(),
+                format!("{}/{}", self.rip_accidents, self.instances),
+                format!("{:.1}%", self.rip_tcr()),
+            ],
+            vec![
+                "RIP+iPrism".to_string(),
+                format!("{}/{}", self.rip_iprism_accidents, self.instances),
+                format!("{:.1}%", self.rip_iprism_tcr()),
+            ],
+        ];
+        writeln!(f, "{}", render_table(&header, &rows))?;
+        write!(f, "iPrism mitigates {:.1}% of RIP's accidents", self.mitigated_pct())
+    }
+}
+
+/// Runs the roundabout sweep with RIP and RIP+iPrism (the SMC trained on
+/// LBC straight-road scenarios, per the paper's generalization claim).
+pub fn roundabout_study(smc: &Smc, config: &EvalConfig) -> RoundaboutStudy {
+    let specs = sample_instances(Typology::RoundaboutGhostCutIn, config.instances, config.seed);
+    let workers = config.resolved_workers();
+
+    let rip_cfg = RipConfig::default();
+    let rip = parallel_map(specs.clone(), workers, |spec| {
+        let mut world = spec.build_world();
+        let mut agent = RipAgent::new(rip_cfg.clone());
+        run_episode(&mut world, &mut agent, &spec.episode_config())
+            .outcome
+            .is_collision()
+    });
+    let rip_iprism = parallel_map(specs, workers, |spec| {
+        let mut world = spec.build_world();
+        let mut agent = MitigatedAgent::new(RipAgent::new(rip_cfg.clone()), smc.clone());
+        run_episode(&mut world, &mut agent, &spec.episode_config())
+            .outcome
+            .is_collision()
+    });
+
+    RoundaboutStudy {
+        instances: rip.len(),
+        rip_accidents: rip.iter().filter(|&&c| c).count(),
+        rip_iprism_accidents: rip_iprism.iter().filter(|&&c| c).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mitigation::select_training_scenario;
+    use iprism_agents::LbcAgent;
+    use iprism_core::{train_smc, SmcTrainConfig};
+
+    #[test]
+    fn smoke_roundabout() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.instances = 5;
+        // A minimally trained SMC suffices for the smoke test.
+        let spec = select_training_scenario(Typology::GhostCutIn, &cfg, 8)
+            .expect("ghost cut-in accidents exist");
+        let trained = train_smc(
+            vec![(spec.build_world(), spec.episode_config())],
+            LbcAgent::default(),
+            &SmcTrainConfig::small_test(),
+        );
+        let study = roundabout_study(&trained.smc, &cfg);
+        assert_eq!(study.instances, 5);
+        assert!(study.rip_accidents <= 5);
+        assert!((0.0..=100.0).contains(&study.rip_tcr()));
+        assert!((0.0..=100.0).contains(&study.mitigated_pct()));
+        let text = study.to_string();
+        assert!(text.contains("RIP+iPrism"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Small statistics helpers used across the studies.
+
+/// Mean of a sample (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0–100) by linear interpolation between order
+/// statistics. Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // interpolation
+        assert!((percentile(&[1.0, 2.0], 50.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        let _ = percentile(&[1.0], 150.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentile_monotone(
+            mut xs in proptest::collection::vec(-100.0..100.0f64, 1..50),
+            a in 0.0..100.0f64, b in 0.0..100.0f64,
+        ) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-12);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(percentile(&xs, 0.0) >= xs[0] - 1e-12);
+            prop_assert!(percentile(&xs, 100.0) <= xs[xs.len() - 1] + 1e-12);
+        }
+
+        #[test]
+        fn prop_mean_within_range(xs in proptest::collection::vec(-100.0..100.0f64, 1..50)) {
+            let m = mean(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Plain-text table rendering for study reports.
+
+/// Renders rows as a fixed-width text table with a header rule, e.g.
+///
+/// ```text
+/// Metric      Ghost Cut-In   All
+/// --------------------------------
+/// STI (ours)  2.94 (0.33)    3.69
+/// ```
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            line.extend(std::iter::repeat(' ').take(w - cell.len()));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render_table(&s(&["Metric", "Value"]), &[s(&["STI", "3.69"]), s(&["TTC", "0.83"])]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Metric"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("STI"));
+        // Columns aligned: "3.69" starts at the same index as "Value"
+        let col = lines[0].find("Value").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "3.69");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let _ = render_table(&s(&["A", "B"]), &[s(&["only one"])]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Axis-aligned bounding boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec2;
+
+/// An axis-aligned bounding box defined by its min and max corners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Corner with smallest coordinates.
+    pub min: Vec2,
+    /// Corner with largest coordinates.
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// Creates an AABB from two corners; the corners are sorted, so any two
+    /// opposite corners may be supplied.
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        Aabb {
+            min: Vec2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Vec2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The smallest AABB containing all `points`.
+    ///
+    /// Returns `None` when `points` is empty.
+    pub fn from_points(points: &[Vec2]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut bb = Aabb::new(first, first);
+        for p in &points[1..] {
+            bb.expand_to(*p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand_to(&mut self, p: Vec2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Returns the box uniformly inflated by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: self.min - Vec2::new(margin, margin),
+            max: self.max + Vec2::new(margin, margin),
+        }
+    }
+
+    /// Box width (x-extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (y-extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Box area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Box centre.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` if the boxes overlap (including touching edges).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The union of two boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: Vec2::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Vec2::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corners_sorted() {
+        let bb = Aabb::new(Vec2::new(2.0, -1.0), Vec2::new(-1.0, 3.0));
+        assert_eq!(bb.min, Vec2::new(-1.0, -1.0));
+        assert_eq!(bb.max, Vec2::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn from_points() {
+        assert!(Aabb::from_points(&[]).is_none());
+        let bb =
+            Aabb::from_points(&[Vec2::new(0.0, 0.0), Vec2::new(2.0, 1.0), Vec2::new(-1.0, 5.0)])
+                .unwrap();
+        assert_eq!(bb.min, Vec2::new(-1.0, 0.0));
+        assert_eq!(bb.max, Vec2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn geometry_queries() {
+        let bb = Aabb::new(Vec2::ZERO, Vec2::new(4.0, 2.0));
+        assert_eq!(bb.width(), 4.0);
+        assert_eq!(bb.height(), 2.0);
+        assert_eq!(bb.area(), 8.0);
+        assert_eq!(bb.center(), Vec2::new(2.0, 1.0));
+        assert!(bb.contains(Vec2::new(4.0, 2.0)));
+        assert!(!bb.contains(Vec2::new(4.1, 2.0)));
+    }
+
+    #[test]
+    fn intersect_and_union() {
+        let a = Aabb::new(Vec2::ZERO, Vec2::new(2.0, 2.0));
+        let b = Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0));
+        let c = Aabb::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!(u.min, Vec2::ZERO);
+        assert_eq!(u.max, Vec2::new(6.0, 6.0));
+    }
+
+    #[test]
+    fn inflate() {
+        let bb = Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)).inflated(0.5);
+        assert_eq!(bb.min, Vec2::new(-0.5, -0.5));
+        assert_eq!(bb.max, Vec2::new(1.5, 1.5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersects_symmetric(
+            ax in -50.0..50.0, ay in -50.0..50.0, aw in 0.0..20.0, ah in 0.0..20.0,
+            bx in -50.0..50.0, by in -50.0..50.0, bw in 0.0..20.0, bh in 0.0..20.0,
+        ) {
+            let a = Aabb::new(Vec2::new(ax, ay), Vec2::new(ax + aw, ay + ah));
+            let b = Aabb::new(Vec2::new(bx, by), Vec2::new(bx + bw, by + bh));
+            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        }
+
+        #[test]
+        fn prop_union_contains_both(
+            ax in -50.0..50.0, ay in -50.0..50.0, aw in 0.0..20.0, ah in 0.0..20.0,
+            bx in -50.0..50.0, by in -50.0..50.0, bw in 0.0..20.0, bh in 0.0..20.0,
+        ) {
+            let a = Aabb::new(Vec2::new(ax, ay), Vec2::new(ax + aw, ay + ah));
+            let b = Aabb::new(Vec2::new(bx, by), Vec2::new(bx + bw, by + bh));
+            let u = a.union(&b);
+            prop_assert!(u.contains(a.min) && u.contains(a.max));
+            prop_assert!(u.contains(b.min) && u.contains(b.max));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Angle normalization helpers.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle (radians) into `(-π, π]`.
+///
+/// # Examples
+///
+/// ```
+/// use std::f64::consts::PI;
+/// use iprism_geom::wrap_to_pi;
+///
+/// assert!((wrap_to_pi(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((wrap_to_pi(-3.0 * PI) - PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn wrap_to_pi(angle: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut a = angle % two_pi;
+    if a <= -PI {
+        a += two_pi;
+    } else if a > PI {
+        a -= two_pi;
+    }
+    a
+}
+
+/// Wraps an angle (radians) into `[0, 2π)`.
+#[inline]
+pub fn normalize_angle(angle: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let a = angle % two_pi;
+    if a < 0.0 {
+        a + two_pi
+    } else {
+        a
+    }
+}
+
+/// Convenience extension methods for angles expressed as `f64` radians.
+pub trait AngleExt {
+    /// Signed smallest difference `self − other`, wrapped into `(-π, π]`.
+    fn angle_diff(self, other: f64) -> f64;
+    /// Converts degrees to radians.
+    fn deg_to_rad(self) -> f64;
+    /// Converts radians to degrees.
+    fn rad_to_deg(self) -> f64;
+}
+
+impl AngleExt for f64 {
+    #[inline]
+    fn angle_diff(self, other: f64) -> f64 {
+        wrap_to_pi(self - other)
+    }
+
+    #[inline]
+    fn deg_to_rad(self) -> f64 {
+        self * PI / 180.0
+    }
+
+    #[inline]
+    fn rad_to_deg(self) -> f64 {
+        self * 180.0 / PI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_basic() {
+        assert!((wrap_to_pi(0.0)).abs() < 1e-12);
+        assert!((wrap_to_pi(2.0 * PI)).abs() < 1e-12);
+        assert!((wrap_to_pi(PI) - PI).abs() < 1e-12);
+        assert!((wrap_to_pi(-PI) - PI).abs() < 1e-12);
+        assert!((wrap_to_pi(PI + 0.1) + PI - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_basic() {
+        assert!((normalize_angle(-0.1) - (2.0 * PI - 0.1)).abs() < 1e-12);
+        assert!((normalize_angle(2.0 * PI)).abs() < 1e-12);
+        assert!((normalize_angle(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_and_conversions() {
+        assert!((0.1f64.angle_diff(2.0 * PI + 0.05) - 0.05).abs() < 1e-9);
+        assert!((180.0f64.deg_to_rad() - PI).abs() < 1e-12);
+        assert!((PI.rad_to_deg() - 180.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wrap_in_range(a in -1e6..1e6f64) {
+            let w = wrap_to_pi(a);
+            prop_assert!(w > -PI - 1e-9 && w <= PI + 1e-9);
+        }
+
+        #[test]
+        fn prop_normalize_in_range(a in -1e6..1e6f64) {
+            let n = normalize_angle(a);
+            prop_assert!((0.0..2.0 * PI + 1e-9).contains(&n));
+        }
+
+        #[test]
+        fn prop_wrap_preserves_direction(a in -100.0..100.0f64) {
+            // wrapped angle points the same way as the original
+            let (s1, c1) = a.sin_cos();
+            let (s2, c2) = wrap_to_pi(a).sin_cos();
+            prop_assert!((s1 - s2).abs() < 1e-9 && (c1 - c2).abs() < 1e-9);
+        }
+    }
+}

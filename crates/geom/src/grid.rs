@@ -1,0 +1,305 @@
+//! Fixed-resolution 2-D occupancy grid.
+//!
+//! The grid measures *state-space occupancy* of a reach-tube ([45] in the
+//! paper): each cell marks whether any sampled ego state fell inside it, and
+//! the tube volume `|T|` is the occupied-cell count (times cell area).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Aabb, Vec2};
+
+/// A boolean occupancy grid over a rectangular world region.
+///
+/// Cells are square with side [`Grid2::resolution`]. Marking a point outside
+/// the region is a no-op, which lets reach-tube code blindly mark every
+/// propagated state.
+///
+/// # Examples
+///
+/// ```
+/// use iprism_geom::{Aabb, Grid2, Vec2};
+///
+/// let mut g = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 10.0)), 1.0);
+/// g.mark(Vec2::new(0.5, 0.5));
+/// g.mark(Vec2::new(0.6, 0.6)); // same cell
+/// g.mark(Vec2::new(5.5, 5.5));
+/// assert_eq!(g.occupied_cells(), 2);
+/// assert!((g.occupied_area() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid2 {
+    bounds: Aabb,
+    resolution: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<bool>,
+    occupied: usize,
+}
+
+impl Grid2 {
+    /// Creates an empty grid covering `bounds` with square cells of side
+    /// `resolution`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not strictly positive and finite, or if the
+    /// bounds are degenerate.
+    pub fn new(bounds: Aabb, resolution: f64) -> Self {
+        assert!(
+            resolution > 0.0 && resolution.is_finite(),
+            "grid resolution must be positive and finite, got {resolution}"
+        );
+        let nx = (bounds.width() / resolution).ceil().max(1.0) as usize;
+        let ny = (bounds.height() / resolution).ceil().max(1.0) as usize;
+        Grid2 {
+            bounds,
+            resolution,
+            nx,
+            ny,
+            cells: vec![false; nx * ny],
+            occupied: 0,
+        }
+    }
+
+    /// The covered world region.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Cell side length.
+    #[inline]
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Grid dimensions `(columns, rows)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the grid has no cells (never: `new` guarantees ≥ 1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell index for a world point, or `None` when outside the bounds.
+    pub fn cell_index(&self, p: Vec2) -> Option<usize> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let ix = (((p.x - self.bounds.min.x) / self.resolution) as usize).min(self.nx - 1);
+        let iy = (((p.y - self.bounds.min.y) / self.resolution) as usize).min(self.ny - 1);
+        Some(iy * self.nx + ix)
+    }
+
+    /// World-space centre of the cell holding `p`, if inside the bounds.
+    pub fn cell_center(&self, p: Vec2) -> Option<Vec2> {
+        let idx = self.cell_index(p)?;
+        let ix = idx % self.nx;
+        let iy = idx / self.nx;
+        Some(Vec2::new(
+            self.bounds.min.x + (ix as f64 + 0.5) * self.resolution,
+            self.bounds.min.y + (iy as f64 + 0.5) * self.resolution,
+        ))
+    }
+
+    /// Marks the cell containing `p` occupied. Points outside the region are
+    /// ignored. Returns `true` when a previously-free cell became occupied.
+    pub fn mark(&mut self, p: Vec2) -> bool {
+        match self.cell_index(p) {
+            Some(i) if !self.cells[i] => {
+                self.cells[i] = true;
+                self.occupied += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks every cell along the segment from `a` to `b` (sampled at half
+    /// the cell resolution, endpoints included). Returns the number of cells
+    /// that became newly occupied.
+    pub fn mark_segment(&mut self, a: Vec2, b: Vec2) -> usize {
+        let len = a.distance(b);
+        let step = self.resolution * 0.5;
+        let n = (len / step).ceil().max(1.0) as usize;
+        let mut newly = 0;
+        for i in 0..=n {
+            let p = a.lerp(b, i as f64 / n as f64);
+            if self.mark(p) {
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Returns `true` if the cell containing `p` is occupied.
+    pub fn is_marked(&self, p: Vec2) -> bool {
+        self.cell_index(p).is_some_and(|i| self.cells[i])
+    }
+
+    /// Number of occupied cells.
+    #[inline]
+    pub fn occupied_cells(&self) -> usize {
+        self.occupied
+    }
+
+    /// Occupied area in world units (cells × cell area).
+    #[inline]
+    pub fn occupied_area(&self) -> f64 {
+        self.occupied as f64 * self.resolution * self.resolution
+    }
+
+    /// Fraction of cells occupied, in `[0, 1]`.
+    #[inline]
+    pub fn occupancy_ratio(&self) -> f64 {
+        self.occupied as f64 / self.cells.len() as f64
+    }
+
+    /// Clears every cell.
+    pub fn clear(&mut self) {
+        self.cells.fill(false);
+        self.occupied = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid10() -> Grid2 {
+        Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 10.0)), 1.0)
+    }
+
+    #[test]
+    fn dims_and_len() {
+        let g = grid10();
+        assert_eq!(g.dims(), (10, 10));
+        assert_eq!(g.len(), 100);
+        assert!(!g.is_empty());
+        assert_eq!(g.resolution(), 1.0);
+    }
+
+    #[test]
+    fn non_integer_bounds_round_up() {
+        let g = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(10.5, 0.2)), 1.0);
+        assert_eq!(g.dims(), (11, 1));
+    }
+
+    #[test]
+    fn mark_dedups_same_cell() {
+        let mut g = grid10();
+        assert!(g.mark(Vec2::new(0.5, 0.5)));
+        assert!(!g.mark(Vec2::new(0.9, 0.9)));
+        assert_eq!(g.occupied_cells(), 1);
+        assert!(g.is_marked(Vec2::new(0.1, 0.1)));
+    }
+
+    #[test]
+    fn out_of_bounds_is_noop() {
+        let mut g = grid10();
+        assert!(!g.mark(Vec2::new(-1.0, 5.0)));
+        assert!(!g.mark(Vec2::new(5.0, 11.0)));
+        assert_eq!(g.occupied_cells(), 0);
+        assert!(!g.is_marked(Vec2::new(-1.0, 5.0)));
+        assert!(g.cell_index(Vec2::new(100.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn boundary_point_maps_to_last_cell() {
+        let g = grid10();
+        let idx = g.cell_index(Vec2::new(10.0, 10.0)).unwrap();
+        assert_eq!(idx, 99);
+    }
+
+    #[test]
+    fn occupancy_metrics() {
+        let mut g = grid10();
+        g.mark(Vec2::new(0.5, 0.5));
+        g.mark(Vec2::new(3.5, 3.5));
+        assert_eq!(g.occupied_cells(), 2);
+        assert!((g.occupied_area() - 2.0).abs() < 1e-12);
+        assert!((g.occupancy_ratio() - 0.02).abs() < 1e-12);
+        g.clear();
+        assert_eq!(g.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn mark_segment_covers_line() {
+        let mut g = grid10();
+        let newly = g.mark_segment(Vec2::new(0.5, 0.5), Vec2::new(9.5, 0.5));
+        assert_eq!(newly, 10); // one cell per column
+        assert!(g.is_marked(Vec2::new(4.5, 0.5)));
+        // re-marking adds nothing
+        assert_eq!(g.mark_segment(Vec2::new(0.5, 0.5), Vec2::new(9.5, 0.5)), 0);
+    }
+
+    #[test]
+    fn mark_segment_degenerate_point() {
+        let mut g = grid10();
+        assert_eq!(g.mark_segment(Vec2::new(1.5, 1.5), Vec2::new(1.5, 1.5)), 1);
+    }
+
+    #[test]
+    fn cell_center() {
+        let g = grid10();
+        let c = g.cell_center(Vec2::new(2.3, 7.9)).unwrap();
+        assert!(c.distance(Vec2::new(2.5, 7.5)) < 1e-12);
+        assert!(g.cell_center(Vec2::new(-5.0, 0.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        let _ = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_occupied_matches_marks(
+            points in proptest::collection::vec((0.0..10.0f64, 0.0..10.0f64), 0..100)
+        ) {
+            let mut g = grid10();
+            for (x, y) in &points {
+                g.mark(Vec2::new(*x, *y));
+            }
+            // occupied count equals the number of distinct cell indices
+            let mut idx: Vec<usize> = points
+                .iter()
+                .filter_map(|(x, y)| g.cell_index(Vec2::new(*x, *y)))
+                .collect();
+            idx.sort_unstable();
+            idx.dedup();
+            prop_assert_eq!(g.occupied_cells(), idx.len());
+        }
+
+        #[test]
+        fn prop_cell_center_same_cell(x in 0.0..10.0f64, y in 0.0..10.0f64) {
+            let g = grid10();
+            let p = Vec2::new(x, y);
+            let c = g.cell_center(p).unwrap();
+            prop_assert_eq!(g.cell_index(p), g.cell_index(c));
+        }
+
+        #[test]
+        fn prop_occupancy_ratio_bounded(
+            points in proptest::collection::vec((-5.0..15.0f64, -5.0..15.0f64), 0..50)
+        ) {
+            let mut g = grid10();
+            for (x, y) in points {
+                g.mark(Vec2::new(x, y));
+            }
+            prop_assert!((0.0..=1.0).contains(&g.occupancy_ratio()));
+        }
+    }
+}

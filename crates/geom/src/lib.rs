@@ -1,0 +1,74 @@
+//! 2-D geometry primitives for the iPrism AV-safety framework.
+//!
+//! This crate provides the geometric substrate used throughout the iPrism
+//! reproduction: planar vectors and poses, oriented bounding boxes with
+//! separating-axis collision tests, convex polygons, line segments, axis
+//! aligned boxes, and a fixed-resolution occupancy grid used to measure
+//! reach-tube volume (state-space occupancy).
+//!
+//! Everything is `f64`, allocation-light and deterministic: the same inputs
+//! always produce the same outputs, which the experiment harness relies on
+//! for bit-for-bit regenerable tables.
+//!
+//! # Quick example
+//!
+//! ```
+//! use iprism_geom::{Obb, Pose, Vec2};
+//!
+//! let ego = Obb::new(Pose::new(0.0, 0.0, 0.0), 4.6, 2.0);
+//! let npc = Obb::new(Pose::new(3.0, 0.5, 0.2), 4.6, 2.0);
+//! assert!(ego.intersects(&npc));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aabb;
+mod angle;
+mod grid;
+mod obb;
+mod polygon;
+mod pose;
+mod segment;
+mod vec2;
+
+pub use aabb::Aabb;
+pub use angle::{normalize_angle, wrap_to_pi, AngleExt};
+pub use grid::Grid2;
+pub use obb::Obb;
+pub use polygon::Polygon;
+pub use pose::Pose;
+pub use segment::Segment;
+pub use vec2::Vec2;
+
+/// Tolerance used by approximate floating-point comparisons in this crate.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` differ by at most [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}
+
+/// Returns `true` if `a` and `b` differ by at most `tol`.
+#[inline]
+pub fn approx_eq_tol(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_tol_basic() {
+        assert!(approx_eq_tol(1.0, 1.1, 0.2));
+        assert!(!approx_eq_tol(1.0, 1.5, 0.2));
+    }
+}

@@ -1,0 +1,288 @@
+//! Oriented bounding boxes with separating-axis collision tests.
+//!
+//! Vehicle footprints throughout iPrism are modelled as oriented rectangles;
+//! the separating-axis theorem (SAT) test here is the collision primitive of
+//! both the simulator and the reach-tube computation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Aabb, Pose, Segment, Vec2};
+
+/// An oriented bounding box: a rectangle of given `length` × `width` centred
+/// on a [`Pose`], with `length` along the pose's heading.
+///
+/// # Examples
+///
+/// ```
+/// use iprism_geom::{Obb, Pose, Vec2};
+///
+/// let car = Obb::new(Pose::new(0.0, 0.0, 0.0), 4.6, 2.0);
+/// assert!(car.contains(Vec2::new(2.2, 0.9)));
+/// assert!(!car.contains(Vec2::new(2.4, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Obb {
+    /// Centre pose; `length` extends along `pose.theta`.
+    pub pose: Pose,
+    /// Extent along the heading (metres).
+    pub length: f64,
+    /// Extent perpendicular to the heading (metres).
+    pub width: f64,
+}
+
+impl Obb {
+    /// Creates an OBB centred at `pose`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `width` is negative or non-finite.
+    pub fn new(pose: Pose, length: f64, width: f64) -> Self {
+        assert!(
+            length >= 0.0 && width >= 0.0 && length.is_finite() && width.is_finite(),
+            "OBB extents must be finite and non-negative (got {length} x {width})"
+        );
+        Obb {
+            pose,
+            length,
+            width,
+        }
+    }
+
+    /// The four corners in counter-clockwise order starting front-left.
+    pub fn corners(&self) -> [Vec2; 4] {
+        let hl = self.length * 0.5;
+        let hw = self.width * 0.5;
+        [
+            self.pose.to_world(Vec2::new(hl, hw)),
+            self.pose.to_world(Vec2::new(-hl, hw)),
+            self.pose.to_world(Vec2::new(-hl, -hw)),
+            self.pose.to_world(Vec2::new(hl, -hw)),
+        ]
+    }
+
+    /// The four edges as segments, in corner order.
+    pub fn edges(&self) -> [Segment; 4] {
+        let c = self.corners();
+        [
+            Segment::new(c[0], c[1]),
+            Segment::new(c[1], c[2]),
+            Segment::new(c[2], c[3]),
+            Segment::new(c[3], c[0]),
+        ]
+    }
+
+    /// Rectangle area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.length * self.width
+    }
+
+    /// Centre position.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        self.pose.position()
+    }
+
+    /// The tight axis-aligned bounding box of the rectangle.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(&self.corners()).expect("OBB always has 4 corners")
+    }
+
+    /// Returns the OBB uniformly inflated by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Obb {
+        Obb::new(
+            self.pose,
+            self.length + 2.0 * margin,
+            self.width + 2.0 * margin,
+        )
+    }
+
+    /// Returns `true` if the point is inside or on the boundary.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let local = self.pose.to_local(p);
+        local.x.abs() <= self.length * 0.5 + crate::EPSILON
+            && local.y.abs() <= self.width * 0.5 + crate::EPSILON
+    }
+
+    /// Separating-axis overlap test with another OBB.
+    ///
+    /// Touching boxes count as intersecting. The test projects both boxes on
+    /// the four face normals; for rectangles those are the only candidate
+    /// separating axes.
+    pub fn intersects(&self, other: &Obb) -> bool {
+        // Cheap rejection first.
+        if !self.aabb().intersects(&other.aabb()) {
+            return false;
+        }
+        let axes = [
+            self.pose.forward(),
+            self.pose.left(),
+            other.pose.forward(),
+            other.pose.left(),
+        ];
+        let ca = self.corners();
+        let cb = other.corners();
+        for axis in axes {
+            let (amin, amax) = project(&ca, axis);
+            let (bmin, bmax) = project(&cb, axis);
+            if amax < bmin - crate::EPSILON || bmax < amin - crate::EPSILON {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Minimum distance between the boundaries/interiors of two OBBs.
+    ///
+    /// Returns `0.0` when the boxes overlap.
+    pub fn distance(&self, other: &Obb) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for ea in self.edges() {
+            for cb in other.corners() {
+                best = best.min(ea.distance_to_point(cb));
+            }
+        }
+        for eb in other.edges() {
+            for ca in self.corners() {
+                best = best.min(eb.distance_to_point(ca));
+            }
+        }
+        best
+    }
+}
+
+fn project(points: &[Vec2; 4], axis: Vec2) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for p in points {
+        let d = p.dot(axis);
+        min = min.min(d);
+        max = max.max(d);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    fn car_at(x: f64, y: f64, theta: f64) -> Obb {
+        Obb::new(Pose::new(x, y, theta), 4.6, 2.0)
+    }
+
+    #[test]
+    fn corners_axis_aligned() {
+        let o = Obb::new(Pose::new(0.0, 0.0, 0.0), 4.0, 2.0);
+        let c = o.corners();
+        assert!(c[0].distance(Vec2::new(2.0, 1.0)) < 1e-12);
+        assert!(c[1].distance(Vec2::new(-2.0, 1.0)) < 1e-12);
+        assert!(c[2].distance(Vec2::new(-2.0, -1.0)) < 1e-12);
+        assert!(c[3].distance(Vec2::new(2.0, -1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn overlap_and_separation() {
+        let a = car_at(0.0, 0.0, 0.0);
+        assert!(a.intersects(&car_at(4.0, 0.0, 0.0))); // bumper overlap
+        assert!(!a.intersects(&car_at(10.0, 0.0, 0.0)));
+        assert!(!a.intersects(&car_at(0.0, 2.5, 0.0))); // side by side, gap
+        assert!(a.intersects(&car_at(0.0, 1.9, 0.0))); // side overlap
+    }
+
+    #[test]
+    fn rotated_overlap() {
+        let a = car_at(0.0, 0.0, 0.0);
+        // Rotated box whose corner pokes into `a`.
+        let b = car_at(3.5, 1.5, FRAC_PI_4);
+        assert!(a.intersects(&b));
+        // Same rotation, moved away.
+        let c = car_at(6.0, 4.0, FRAC_PI_4);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn diagonal_gap_that_aabbs_miss() {
+        // Two diagonal boxes whose AABBs overlap but which do not intersect.
+        let a = Obb::new(Pose::new(0.0, 0.0, FRAC_PI_4), 4.0, 0.5);
+        let b = Obb::new(Pose::new(2.5, -2.5, FRAC_PI_4), 4.0, 0.5);
+        assert!(a.aabb().intersects(&b.aabb()));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn containment() {
+        let o = car_at(5.0, 5.0, FRAC_PI_4);
+        assert!(o.contains(o.center()));
+        assert!(!o.contains(Vec2::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn distance_zero_when_overlapping() {
+        let a = car_at(0.0, 0.0, 0.0);
+        assert_eq!(a.distance(&car_at(1.0, 0.0, 0.0)), 0.0);
+        let d = a.distance(&car_at(10.0, 0.0, 0.0));
+        assert!((d - (10.0 - 4.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inflation_grows_area() {
+        let o = car_at(0.0, 0.0, 0.3).inflated(0.5);
+        assert!((o.length - 5.6).abs() < 1e-12);
+        assert!((o.width - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "OBB extents")]
+    fn negative_extent_panics() {
+        let _ = Obb::new(Pose::default(), -1.0, 2.0);
+    }
+
+    fn obb_strategy() -> impl Strategy<Value = Obb> {
+        (-30.0..30.0, -30.0..30.0, -3.2..3.2, 0.5..8.0, 0.5..4.0)
+            .prop_map(|(x, y, t, l, w)| Obb::new(Pose::new(x, y, t), l, w))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersects_symmetric(a in obb_strategy(), b in obb_strategy()) {
+            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        }
+
+        #[test]
+        fn prop_self_intersects(a in obb_strategy()) {
+            prop_assert!(a.intersects(&a));
+            prop_assert!(a.contains(a.center()));
+        }
+
+        #[test]
+        fn prop_corners_inside_aabb(a in obb_strategy()) {
+            let bb = a.aabb().inflated(1e-9);
+            for c in a.corners() {
+                prop_assert!(bb.contains(c));
+            }
+        }
+
+        #[test]
+        fn prop_distance_positive_iff_disjoint(a in obb_strategy(), b in obb_strategy()) {
+            let d = a.distance(&b);
+            if a.intersects(&b) {
+                prop_assert_eq!(d, 0.0);
+            } else {
+                prop_assert!(d > 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_contained_corner_implies_intersection(a in obb_strategy(), b in obb_strategy()) {
+            let corner_inside = b.corners().iter().any(|&c| a.contains(c));
+            if corner_inside {
+                prop_assert!(a.intersects(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Simple polygons (used for drivable areas and map regions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Aabb, Segment, Vec2};
+
+/// A simple polygon given by its vertices in order (either winding).
+///
+/// Used for drivable-area regions in the map crate. Supports containment
+/// (even-odd rule), signed area, and segment intersection tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Vec2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from vertices in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are supplied.
+    pub fn new(vertices: Vec<Vec2>) -> Self {
+        assert!(
+            vertices.len() >= 3,
+            "polygon needs at least 3 vertices, got {}",
+            vertices.len()
+        );
+        Polygon { vertices }
+    }
+
+    /// An axis-aligned rectangle polygon.
+    pub fn rectangle(min: Vec2, max: Vec2) -> Self {
+        Polygon::new(vec![
+            min,
+            Vec2::new(max.x, min.y),
+            max,
+            Vec2::new(min.x, max.y),
+        ])
+    }
+
+    /// The polygon's vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a polygon has at least three vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Edges in vertex order (closing edge included).
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area: positive for counter-clockwise winding.
+    pub fn signed_area(&self) -> f64 {
+        let mut sum = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            sum += a.cross(b);
+        }
+        sum * 0.5
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Centroid of the polygon (area-weighted).
+    pub fn centroid(&self) -> Vec2 {
+        let n = self.vertices.len();
+        let mut acc = Vec2::ZERO;
+        let mut area_sum = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = a.cross(b);
+            acc += (a + b) * c;
+            area_sum += c;
+        }
+        if area_sum.abs() <= crate::EPSILON {
+            // Degenerate: fall back to vertex average.
+            let mut avg = Vec2::ZERO;
+            for v in &self.vertices {
+                avg += *v;
+            }
+            return avg / n as f64;
+        }
+        acc / (3.0 * area_sum)
+    }
+
+    /// Even-odd-rule containment test (boundary points may go either way).
+    pub fn contains(&self, p: Vec2) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Returns `true` if the segment crosses any polygon edge.
+    pub fn intersects_segment(&self, s: &Segment) -> bool {
+        self.edges().any(|e| e.intersects(s))
+    }
+
+    /// The polygon's axis-aligned bounding box.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(&self.vertices).expect("polygon has vertices")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(Vec2::ZERO, Vec2::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn rectangle_area_and_centroid() {
+        let p = Polygon::rectangle(Vec2::ZERO, Vec2::new(4.0, 2.0));
+        assert!((p.area() - 8.0).abs() < 1e-12);
+        assert!(p.centroid().distance(Vec2::new(2.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn winding_sign() {
+        let ccw = unit_square();
+        assert!(ccw.signed_area() > 0.0);
+        let cw = Polygon::new(vec![
+            Vec2::ZERO,
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 0.0),
+        ]);
+        assert!(cw.signed_area() < 0.0);
+        assert_eq!(cw.area(), ccw.area());
+    }
+
+    #[test]
+    fn containment() {
+        let p = unit_square();
+        assert!(p.contains(Vec2::new(0.5, 0.5)));
+        assert!(!p.contains(Vec2::new(1.5, 0.5)));
+        assert!(!p.contains(Vec2::new(-0.5, 0.5)));
+    }
+
+    #[test]
+    fn concave_containment() {
+        // L-shape
+        let p = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ]);
+        assert!(p.contains(Vec2::new(0.5, 1.5)));
+        assert!(p.contains(Vec2::new(1.5, 0.5)));
+        assert!(!p.contains(Vec2::new(1.5, 1.5))); // notch
+    }
+
+    #[test]
+    fn segment_intersection() {
+        let p = unit_square();
+        let crossing = Segment::new(Vec2::new(-1.0, 0.5), Vec2::new(2.0, 0.5));
+        let outside = Segment::new(Vec2::new(2.0, 2.0), Vec2::new(3.0, 3.0));
+        let inside = Segment::new(Vec2::new(0.25, 0.25), Vec2::new(0.75, 0.75));
+        assert!(p.intersects_segment(&crossing));
+        assert!(!p.intersects_segment(&outside));
+        assert!(!p.intersects_segment(&inside)); // fully inside: no edge crossing
+    }
+
+    #[test]
+    fn edges_count_and_close() {
+        let p = unit_square();
+        let edges: Vec<_> = p.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].b, p.vertices()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 vertices")]
+    fn too_few_vertices_panics() {
+        let _ = Polygon::new(vec![Vec2::ZERO, Vec2::UNIT_X]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rect_contains_interior(
+            x0 in -50.0..50.0, y0 in -50.0..50.0,
+            w in 0.1..20.0, h in 0.1..20.0,
+            fx in 0.01..0.99, fy in 0.01..0.99,
+        ) {
+            let p = Polygon::rectangle(Vec2::new(x0, y0), Vec2::new(x0 + w, y0 + h));
+            let q = Vec2::new(x0 + w * fx, y0 + h * fy);
+            prop_assert!(p.contains(q));
+        }
+
+        #[test]
+        fn prop_rect_area(
+            x0 in -50.0..50.0f64, y0 in -50.0..50.0f64,
+            w in 0.1..20.0f64, h in 0.1..20.0f64,
+        ) {
+            let p = Polygon::rectangle(Vec2::new(x0, y0), Vec2::new(x0 + w, y0 + h));
+            prop_assert!((p.area() - w * h).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_triangle_centroid_inside_aabb(
+            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 3)
+        ) {
+            // Triangles are always simple; their centroid lies inside the AABB.
+            let p = Polygon::new(xs.into_iter().map(|(x, y)| Vec2::new(x, y)).collect());
+            let c = p.centroid();
+            let bb = p.aabb().inflated(1e-6);
+            prop_assert!(bb.contains(c));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Planar rigid-body pose (position + heading).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{wrap_to_pi, Vec2};
+
+/// A planar pose: position `(x, y)` plus heading `theta` (radians,
+/// counter-clockwise from the world x-axis).
+///
+/// Poses transform points between a body-local frame (x forward, y left)
+/// and the world frame.
+///
+/// # Examples
+///
+/// ```
+/// use std::f64::consts::FRAC_PI_2;
+/// use iprism_geom::{Pose, Vec2};
+///
+/// let p = Pose::new(1.0, 2.0, FRAC_PI_2);
+/// let w = p.to_world(Vec2::new(1.0, 0.0)); // 1 m "forward" points +y
+/// assert!((w.x - 1.0).abs() < 1e-12 && (w.y - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    /// World x-coordinate of the origin of the body frame (metres).
+    pub x: f64,
+    /// World y-coordinate of the origin of the body frame (metres).
+    pub y: f64,
+    /// Heading in radians, counter-clockwise from +x.
+    pub theta: f64,
+}
+
+impl Pose {
+    /// Creates a pose from position and heading.
+    #[inline]
+    pub const fn new(x: f64, y: f64, theta: f64) -> Self {
+        Pose { x, y, theta }
+    }
+
+    /// Creates a pose at `position` with heading `theta`.
+    #[inline]
+    pub fn from_position(position: Vec2, theta: f64) -> Self {
+        Pose::new(position.x, position.y, theta)
+    }
+
+    /// The position component as a [`Vec2`].
+    #[inline]
+    pub fn position(&self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Unit vector pointing along the heading.
+    #[inline]
+    pub fn forward(&self) -> Vec2 {
+        Vec2::from_angle(self.theta)
+    }
+
+    /// Unit vector pointing 90° left of the heading.
+    #[inline]
+    pub fn left(&self) -> Vec2 {
+        self.forward().perp()
+    }
+
+    /// Transforms a point from the body frame to the world frame.
+    #[inline]
+    pub fn to_world(&self, local: Vec2) -> Vec2 {
+        self.position() + local.rotated(self.theta)
+    }
+
+    /// Transforms a world point into the body frame.
+    #[inline]
+    pub fn to_local(&self, world: Vec2) -> Vec2 {
+        (world - self.position()).rotated(-self.theta)
+    }
+
+    /// Returns the pose translated by `delta` (world frame).
+    #[inline]
+    pub fn translated(&self, delta: Vec2) -> Pose {
+        Pose::new(self.x + delta.x, self.y + delta.y, self.theta)
+    }
+
+    /// Returns the pose with heading wrapped into `(-π, π]`.
+    #[inline]
+    pub fn wrapped(&self) -> Pose {
+        Pose::new(self.x, self.y, wrap_to_pi(self.theta))
+    }
+
+    /// Euclidean distance between the positions of two poses.
+    #[inline]
+    pub fn distance(&self, other: &Pose) -> f64 {
+        self.position().distance(other.position())
+    }
+
+    /// Returns `true` if all components are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.theta.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn world_local_roundtrip() {
+        let p = Pose::new(3.0, -2.0, 0.7);
+        let local = Vec2::new(1.5, -0.5);
+        let back = p.to_local(p.to_world(local));
+        assert!(back.distance(local) < 1e-12);
+    }
+
+    #[test]
+    fn forward_left() {
+        let p = Pose::new(0.0, 0.0, FRAC_PI_2);
+        assert!(p.forward().distance(Vec2::UNIT_Y) < 1e-12);
+        assert!(p.left().distance(-Vec2::UNIT_X) < 1e-12);
+    }
+
+    #[test]
+    fn translate_and_wrap() {
+        let p = Pose::new(0.0, 0.0, 3.0 * PI).translated(Vec2::new(1.0, 1.0));
+        assert_eq!(p.position(), Vec2::new(1.0, 1.0));
+        let w = p.wrapped();
+        assert!((w.theta - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_between_poses() {
+        let a = Pose::new(0.0, 0.0, 0.0);
+        let b = Pose::new(3.0, 4.0, 1.0);
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Pose::new(0.0, 0.0, 0.0).is_finite());
+        assert!(!Pose::new(f64::NAN, 0.0, 0.0).is_finite());
+    }
+
+    fn pose_strategy() -> impl Strategy<Value = Pose> {
+        (-1e3..1e3, -1e3..1e3, -10.0..10.0).prop_map(|(x, y, t)| Pose::new(x, y, t))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(p in pose_strategy(), lx in -50.0..50.0, ly in -50.0..50.0) {
+            let local = Vec2::new(lx, ly);
+            prop_assert!(p.to_local(p.to_world(local)).distance(local) < 1e-6);
+        }
+
+        #[test]
+        fn prop_transform_preserves_distance(
+            p in pose_strategy(),
+            ax in -50.0..50.0, ay in -50.0..50.0,
+            bx in -50.0..50.0, by in -50.0..50.0,
+        ) {
+            let a = Vec2::new(ax, ay);
+            let b = Vec2::new(bx, by);
+            let d_local = a.distance(b);
+            let d_world = p.to_world(a).distance(p.to_world(b));
+            prop_assert!((d_local - d_world).abs() < 1e-6);
+        }
+    }
+}

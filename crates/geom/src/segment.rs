@@ -1,0 +1,207 @@
+//! Line segments and intersection predicates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec2;
+
+/// A directed line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Vec2,
+    /// End point.
+    pub b: Vec2,
+}
+
+impl Segment {
+    /// Creates a segment from `a` to `b`.
+    #[inline]
+    pub const fn new(a: Vec2, b: Vec2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The direction vector `b − a` (not normalized).
+    #[inline]
+    pub fn direction(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Vec2 {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Vec2 {
+        self.point_at(0.5)
+    }
+
+    /// The closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Vec2) -> Vec2 {
+        let d = self.direction();
+        let len_sq = d.norm_sq();
+        if len_sq <= crate::EPSILON {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.point_at(t)
+    }
+
+    /// Distance from `p` to the segment.
+    #[inline]
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Returns `true` if this segment intersects `other` (including touching
+    /// endpoints and collinear overlap).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        self.intersection(other).is_some() || self.collinear_overlap(other)
+    }
+
+    /// Proper intersection point of two segments, if they cross at a single
+    /// point. Returns `None` for parallel or non-crossing segments.
+    pub fn intersection(&self, other: &Segment) -> Option<Vec2> {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        if denom.abs() <= crate::EPSILON {
+            return None;
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+            Some(self.point_at(t))
+        } else {
+            None
+        }
+    }
+
+    fn collinear_overlap(&self, other: &Segment) -> bool {
+        let r = self.direction();
+        let qp = other.a - self.a;
+        if r.cross(other.direction()).abs() > crate::EPSILON || r.cross(qp).abs() > crate::EPSILON {
+            return false;
+        }
+        // Collinear: project onto r and check 1-D interval overlap.
+        let len_sq = r.norm_sq();
+        if len_sq <= crate::EPSILON {
+            return other.distance_to_point(self.a) <= crate::EPSILON;
+        }
+        let t0 = qp.dot(r) / len_sq;
+        let t1 = (other.b - self.a).dot(r) / len_sq;
+        let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        hi >= 0.0 && lo <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Vec2::new(ax, ay), Vec2::new(bx, by))
+    }
+
+    #[test]
+    fn length_direction_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.direction(), Vec2::new(3.0, 4.0));
+        assert_eq!(s.midpoint(), Vec2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = seg(0.0, 0.0, 2.0, 2.0);
+        let b = seg(0.0, 2.0, 2.0, 0.0);
+        let p = a.intersection(&b).unwrap();
+        assert!(p.distance(Vec2::new(1.0, 1.0)) < 1e-12);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(a.intersection(&b).is_none());
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_overlapping_segments_intersect() {
+        let a = seg(0.0, 0.0, 2.0, 0.0);
+        let b = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(a.intersects(&b));
+        let c = seg(3.0, 0.0, 4.0, 0.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn touching_endpoint_intersects() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(1.0, 0.0, 1.0, 1.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn closest_point_cases() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        assert_eq!(s.closest_point(Vec2::new(1.0, 1.0)), Vec2::new(1.0, 0.0));
+        assert_eq!(s.closest_point(Vec2::new(-1.0, 1.0)), Vec2::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Vec2::new(5.0, -2.0)), Vec2::new(2.0, 0.0));
+        assert_eq!(s.distance_to_point(Vec2::new(1.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.closest_point(Vec2::new(5.0, 5.0)), Vec2::new(1.0, 1.0));
+        assert_eq!(s.length(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_symmetric(
+            ax in -50.0..50.0, ay in -50.0..50.0, bx in -50.0..50.0, by in -50.0..50.0,
+            cx in -50.0..50.0, cy in -50.0..50.0, dx in -50.0..50.0, dy in -50.0..50.0,
+        ) {
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+        }
+
+        #[test]
+        fn prop_closest_point_is_on_segment(
+            ax in -50.0..50.0, ay in -50.0..50.0, bx in -50.0..50.0, by in -50.0..50.0,
+            px in -100.0..100.0, py in -100.0..100.0,
+        ) {
+            let s = seg(ax, ay, bx, by);
+            let c = s.closest_point(Vec2::new(px, py));
+            // c must lie within the segment's bounding box (with tolerance)
+            prop_assert!(c.x >= ax.min(bx) - 1e-9 && c.x <= ax.max(bx) + 1e-9);
+            prop_assert!(c.y >= ay.min(by) - 1e-9 && c.y <= ay.max(by) + 1e-9);
+        }
+
+        #[test]
+        fn prop_closest_point_minimizes(
+            ax in -50.0..50.0, ay in -50.0..50.0, bx in -50.0..50.0, by in -50.0..50.0,
+            px in -100.0..100.0, py in -100.0..100.0, t in 0.0..1.0,
+        ) {
+            let s = seg(ax, ay, bx, by);
+            let p = Vec2::new(px, py);
+            let best = s.distance_to_point(p);
+            prop_assert!(best <= s.point_at(t).distance(p) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Planar vector type.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D vector (or point) with `f64` components.
+///
+/// `Vec2` is used both for positions and for free vectors (velocities,
+/// displacements). All operations are component-wise and allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use iprism_geom::Vec2;
+///
+/// let a = Vec2::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// assert_eq!(a + Vec2::new(1.0, -1.0), Vec2::new(4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component (metres in world space).
+    pub x: f64,
+    /// Vertical component (metres in world space).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+    /// Unit vector along the x-axis.
+    pub const UNIT_X: Vec2 = Vec2 { x: 1.0, y: 0.0 };
+    /// Unit vector along the y-axis.
+    pub const UNIT_Y: Vec2 = Vec2 { x: 0.0, y: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Creates a unit vector pointing at `angle` radians from the x-axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (cheaper than [`Vec2::norm`]).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_sq(self, other: Vec2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Returns the vector scaled to unit length, or `None` when its length
+    /// is (numerically) zero.
+    #[inline]
+    pub fn try_normalize(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= crate::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Returns the vector scaled to unit length, or [`Vec2::ZERO`] when its
+    /// length is (numerically) zero.
+    #[inline]
+    pub fn normalize_or_zero(self) -> Vec2 {
+        self.try_normalize().unwrap_or(Vec2::ZERO)
+    }
+
+    /// The angle of the vector in radians, in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotates the vector counter-clockwise by `angle` radians.
+    #[inline]
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Projects `self` onto the (non-zero) direction `dir`.
+    #[inline]
+    pub fn project_onto(self, dir: Vec2) -> Vec2 {
+        let d = dir.norm_sq();
+        if d <= crate::EPSILON {
+            Vec2::ZERO
+        } else {
+            dir * (self.dot(dir) / d)
+        }
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+impl From<Vec2> for (f64, f64) {
+    #[inline]
+    fn from(v: Vec2) -> Self {
+        (v.x, v.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Vec2::new(1.0, 1.0);
+        a += Vec2::new(1.0, 2.0);
+        assert_eq!(a, Vec2::new(2.0, 3.0));
+        a -= Vec2::new(2.0, 2.0);
+        assert_eq!(a, Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(Vec2::ZERO.distance(a), 5.0);
+        assert_eq!(Vec2::ZERO.distance_sq(a), 25.0);
+    }
+
+    #[test]
+    fn normalize() {
+        assert!(Vec2::ZERO.try_normalize().is_none());
+        assert_eq!(Vec2::ZERO.normalize_or_zero(), Vec2::ZERO);
+        let n = Vec2::new(10.0, 0.0).try_normalize().unwrap();
+        assert!(approx_eq(n.x, 1.0) && approx_eq(n.y, 0.0));
+    }
+
+    #[test]
+    fn angles_and_rotation() {
+        assert!(approx_eq(Vec2::UNIT_Y.angle(), FRAC_PI_2));
+        let r = Vec2::UNIT_X.rotated(PI);
+        assert!(approx_eq(r.x, -1.0) && approx_eq(r.y.abs(), 0.0));
+        assert_eq!(Vec2::UNIT_X.perp(), Vec2::UNIT_Y);
+    }
+
+    #[test]
+    fn from_angle_is_unit() {
+        for i in 0..16 {
+            let a = i as f64 * PI / 8.0;
+            assert!(approx_eq(Vec2::from_angle(a).norm(), 1.0));
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn projection() {
+        let v = Vec2::new(2.0, 2.0);
+        let p = v.project_onto(Vec2::UNIT_X);
+        assert_eq!(p, Vec2::new(2.0, 0.0));
+        assert_eq!(v.project_onto(Vec2::ZERO), Vec2::ZERO);
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Vec2 = (1.0, 2.0).into();
+        assert_eq!(v, Vec2::new(1.0, 2.0));
+        let t: (f64, f64) = v.into();
+        assert_eq!(t, (1.0, 2.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Vec2::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    fn small_vec() -> impl Strategy<Value = Vec2> {
+        (-1e3..1e3, -1e3..1e3).prop_map(|(x, y)| Vec2::new(x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in small_vec(), b in small_vec()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_cross_antisymmetric(a in small_vec(), b in small_vec()) {
+            prop_assert!((a.cross(b) + b.cross(a)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_rotation_preserves_norm(a in small_vec(), ang in -10.0..10.0f64) {
+            prop_assert!((a.rotated(ang).norm() - a.norm()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_normalized_is_unit(a in small_vec()) {
+            if let Some(n) = a.try_normalize() {
+                prop_assert!((n.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_perp_is_orthogonal(a in small_vec()) {
+            prop_assert!(a.dot(a.perp()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in small_vec(), b in small_vec()) {
+            prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        }
+    }
+}

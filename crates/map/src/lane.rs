@@ -1,0 +1,302 @@
+//! Lane centerlines and arc-length projections.
+
+use iprism_geom::{Segment, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a lane within a [`crate::RoadMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LaneId(pub usize);
+
+/// Result of projecting a point onto a lane centerline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneProjection {
+    /// Arc length along the centerline at the closest point (m).
+    pub s: f64,
+    /// Signed lateral offset: positive left of travel direction (m).
+    pub lateral: f64,
+    /// The closest point on the centerline.
+    pub point: Vec2,
+    /// Centerline heading at the closest point (rad).
+    pub heading: f64,
+}
+
+/// A lane described by a polyline centerline and a constant width.
+///
+/// Arc-length queries (`point_at`, `heading_at`) and point projection follow
+/// the usual Frenet conventions: `s` grows along the travel direction and
+/// `lateral > 0` is to the left.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lane {
+    id: LaneId,
+    centerline: Vec<Vec2>,
+    width: f64,
+    cumulative: Vec<f64>,
+}
+
+impl Lane {
+    /// Creates a lane from its centerline polyline and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the centerline has fewer than two points or the width is
+    /// not strictly positive.
+    pub fn new(id: LaneId, centerline: Vec<Vec2>, width: f64) -> Self {
+        assert!(
+            centerline.len() >= 2,
+            "lane centerline needs >= 2 points, got {}",
+            centerline.len()
+        );
+        assert!(width > 0.0, "lane width must be positive, got {width}");
+        let mut cumulative = Vec::with_capacity(centerline.len());
+        let mut acc = 0.0;
+        cumulative.push(0.0);
+        for w in centerline.windows(2) {
+            acc += w[0].distance(w[1]);
+            cumulative.push(acc);
+        }
+        Lane {
+            id,
+            centerline,
+            width,
+            cumulative,
+        }
+    }
+
+    /// A straight lane from `start` to `end`.
+    pub fn straight(id: LaneId, start: Vec2, end: Vec2, width: f64) -> Self {
+        Lane::new(id, vec![start, end], width)
+    }
+
+    /// A circular-arc lane (used for roundabouts), sampled every ~1 m.
+    pub fn arc(id: LaneId, center: Vec2, radius: f64, a0: f64, a1: f64, width: f64) -> Self {
+        assert!(radius > 0.0, "arc radius must be positive");
+        let span = a1 - a0;
+        let n = ((radius * span.abs()).ceil() as usize).max(8);
+        let pts = (0..=n)
+            .map(|i| {
+                let a = a0 + span * i as f64 / n as f64;
+                center + Vec2::from_angle(a) * radius
+            })
+            .collect();
+        Lane::new(id, pts, width)
+    }
+
+    /// Lane identifier.
+    #[inline]
+    pub fn id(&self) -> LaneId {
+        self.id
+    }
+
+    /// Lane width (m).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Total centerline length (m).
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty cumulative")
+    }
+
+    /// Centerline polyline.
+    #[inline]
+    pub fn centerline(&self) -> &[Vec2] {
+        &self.centerline
+    }
+
+    /// Point on the centerline at arc length `s` (clamped to the ends).
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let (i, frac) = self.locate(s);
+        self.centerline[i].lerp(self.centerline[i + 1], frac)
+    }
+
+    /// Centerline heading at arc length `s` (clamped to the ends).
+    pub fn heading_at(&self, s: f64) -> f64 {
+        let (i, _) = self.locate(s);
+        (self.centerline[i + 1] - self.centerline[i]).angle()
+    }
+
+    /// Projects a world point onto the centerline.
+    pub fn project(&self, p: Vec2) -> LaneProjection {
+        let mut best_d2 = f64::INFINITY;
+        let mut best = LaneProjection {
+            s: 0.0,
+            lateral: 0.0,
+            point: self.centerline[0],
+            heading: 0.0,
+        };
+        for i in 0..self.centerline.len() - 1 {
+            let seg = Segment::new(self.centerline[i], self.centerline[i + 1]);
+            let c = seg.closest_point(p);
+            let d2 = c.distance_sq(p);
+            if d2 < best_d2 {
+                best_d2 = d2;
+                let dir = seg.direction().normalize_or_zero();
+                let along = (c - self.centerline[i]).dot(dir);
+                // signed lateral offset: positive when p is left of travel
+                let lateral = dir.cross(p - c);
+                best = LaneProjection {
+                    s: self.cumulative[i] + along,
+                    lateral,
+                    point: c,
+                    heading: dir.angle(),
+                };
+            }
+        }
+        best
+    }
+
+    /// Returns `true` if the point lies within half a lane width of the
+    /// centerline.
+    pub fn contains(&self, p: Vec2) -> bool {
+        self.project(p).lateral.abs() <= self.width * 0.5
+    }
+
+    /// Waypoints along the centerline every `spacing` metres (both endpoints
+    /// included).
+    pub fn waypoints(&self, spacing: f64) -> Vec<Vec2> {
+        assert!(spacing > 0.0, "waypoint spacing must be positive");
+        let n = (self.length() / spacing).ceil() as usize;
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            out.push(self.point_at(i as f64 * spacing));
+        }
+        out
+    }
+
+    fn locate(&self, s: f64) -> (usize, f64) {
+        let s = s.clamp(0.0, self.length());
+        // binary search over the cumulative table
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i.min(self.centerline.len() - 2),
+            Err(i) => i.saturating_sub(1).min(self.centerline.len() - 2),
+        };
+        let seg_len = self.cumulative[i + 1] - self.cumulative[i];
+        let frac = if seg_len <= 0.0 {
+            0.0
+        } else {
+            (s - self.cumulative[i]) / seg_len
+        };
+        (i, frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn straight_lane() -> Lane {
+        Lane::straight(LaneId(0), Vec2::ZERO, Vec2::new(100.0, 0.0), 3.5)
+    }
+
+    #[test]
+    fn straight_lane_queries() {
+        let l = straight_lane();
+        assert_eq!(l.id(), LaneId(0));
+        assert_eq!(l.length(), 100.0);
+        assert_eq!(l.width(), 3.5);
+        assert_eq!(l.point_at(50.0), Vec2::new(50.0, 0.0));
+        assert_eq!(l.heading_at(50.0), 0.0);
+        assert_eq!(l.point_at(-10.0), Vec2::ZERO); // clamped
+        assert_eq!(l.point_at(500.0), Vec2::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn projection_signs() {
+        let l = straight_lane();
+        let left = l.project(Vec2::new(30.0, 1.0));
+        assert!((left.s - 30.0).abs() < 1e-9);
+        assert!((left.lateral - 1.0).abs() < 1e-9);
+        assert!((left.heading).abs() < 1e-12);
+        let right = l.project(Vec2::new(30.0, -1.0));
+        assert!((right.lateral + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn containment() {
+        let l = straight_lane();
+        assert!(l.contains(Vec2::new(10.0, 1.7)));
+        assert!(!l.contains(Vec2::new(10.0, 2.0)));
+    }
+
+    #[test]
+    fn polyline_lane() {
+        let l = Lane::new(
+            LaneId(1),
+            vec![Vec2::ZERO, Vec2::new(10.0, 0.0), Vec2::new(10.0, 10.0)],
+            3.0,
+        );
+        assert_eq!(l.length(), 20.0);
+        assert_eq!(l.point_at(15.0), Vec2::new(10.0, 5.0));
+        assert!((l.heading_at(15.0) - FRAC_PI_2).abs() < 1e-12);
+        // corner projection
+        let pr = l.project(Vec2::new(11.0, 5.0));
+        assert!((pr.s - 15.0).abs() < 1e-9);
+        assert!((pr.lateral + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_lane() {
+        let l = Lane::arc(LaneId(2), Vec2::ZERO, 20.0, 0.0, PI, 3.5);
+        // half circumference
+        assert!((l.length() - PI * 20.0).abs() < 0.3);
+        let start = l.point_at(0.0);
+        assert!(start.distance(Vec2::new(20.0, 0.0)) < 1e-9);
+        let end = l.point_at(l.length());
+        assert!(end.distance(Vec2::new(-20.0, 0.0)) < 0.1);
+    }
+
+    #[test]
+    fn waypoints_cover_lane() {
+        let l = straight_lane();
+        let wps = l.waypoints(10.0);
+        assert_eq!(wps.len(), 11);
+        assert_eq!(wps[0], Vec2::ZERO);
+        assert_eq!(*wps.last().unwrap(), Vec2::new(100.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "centerline")]
+    fn short_centerline_panics() {
+        let _ = Lane::new(LaneId(0), vec![Vec2::ZERO], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn bad_width_panics() {
+        let _ = Lane::straight(LaneId(0), Vec2::ZERO, Vec2::UNIT_X, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_point_at_then_project_roundtrip(s in 0.0..100.0f64) {
+            let l = straight_lane();
+            let p = l.point_at(s);
+            let pr = l.project(p);
+            prop_assert!((pr.s - s).abs() < 1e-6);
+            prop_assert!(pr.lateral.abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_projection_distance_consistent(x in -20.0..120.0f64, y in -20.0..20.0f64) {
+            let l = straight_lane();
+            let p = Vec2::new(x, y);
+            let pr = l.project(p);
+            // |lateral| never exceeds the true distance to the closest point
+            prop_assert!(pr.lateral.abs() <= pr.point.distance(p) + 1e-9);
+        }
+
+        #[test]
+        fn prop_arc_points_on_circle(s in 0.0..10.0f64) {
+            let l = Lane::arc(LaneId(0), Vec2::ZERO, 15.0, 0.0, 1.0, 3.0);
+            let p = l.point_at(s.min(l.length()));
+            prop_assert!((p.norm() - 15.0).abs() < 0.05);
+        }
+    }
+}

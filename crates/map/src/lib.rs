@@ -1,0 +1,30 @@
+//! Road maps for iPrism: lanes, drivable areas and routes.
+//!
+//! The paper's reach-tube computation needs the drivable area `M` (states
+//! outside it are not escape routes) and its agents need lane centerlines to
+//! follow. This crate provides both, with two concrete map builders used by
+//! the NHTSA scenario typologies: straight multi-lane roads and a roundabout
+//! (used by the RIP comparison in §V-C).
+//!
+//! # Quick example
+//!
+//! ```
+//! use iprism_map::RoadMap;
+//! use iprism_geom::Vec2;
+//!
+//! let map = RoadMap::straight_road(2, 3.5, 200.0);
+//! assert!(map.is_drivable(Vec2::new(50.0, 3.5)));
+//! assert!(!map.is_drivable(Vec2::new(50.0, 12.0)));
+//! assert_eq!(map.lanes().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lane;
+mod region;
+mod road_map;
+
+pub use lane::{Lane, LaneId, LaneProjection};
+pub use region::DrivableRegion;
+pub use road_map::RoadMap;

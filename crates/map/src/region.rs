@@ -1,0 +1,136 @@
+//! Drivable-area regions.
+
+use iprism_geom::{Aabb, Obb, Polygon, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A primitive drivable region. A [`crate::RoadMap`]'s drivable area is the
+/// union of its regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DrivableRegion {
+    /// An axis-aligned rectangle (straight road surface).
+    Rect(Aabb),
+    /// An annulus (roundabout carriageway): drivable where
+    /// `r_inner ≤ |p − center| ≤ r_outer`.
+    Annulus {
+        /// Centre of the annulus.
+        center: Vec2,
+        /// Inner (island) radius.
+        r_inner: f64,
+        /// Outer radius.
+        r_outer: f64,
+    },
+    /// An arbitrary simple polygon.
+    Poly(Polygon),
+}
+
+impl DrivableRegion {
+    /// Returns `true` if the point lies inside the region.
+    pub fn contains(&self, p: Vec2) -> bool {
+        match self {
+            DrivableRegion::Rect(bb) => bb.contains(p),
+            DrivableRegion::Annulus {
+                center,
+                r_inner,
+                r_outer,
+            } => {
+                let d = p.distance(*center);
+                d >= *r_inner && d <= *r_outer
+            }
+            DrivableRegion::Poly(poly) => poly.contains(p),
+        }
+    }
+
+    /// Conservative bounding box of the region.
+    pub fn aabb(&self) -> Aabb {
+        match self {
+            DrivableRegion::Rect(bb) => *bb,
+            DrivableRegion::Annulus {
+                center, r_outer, ..
+            } => Aabb::new(
+                *center - Vec2::new(*r_outer, *r_outer),
+                *center + Vec2::new(*r_outer, *r_outer),
+            ),
+            DrivableRegion::Poly(poly) => poly.aabb(),
+        }
+    }
+
+    /// Returns `true` if all four corners and the centre of the box lie in
+    /// the region (sufficient footprint check for the region sizes used in
+    /// the scenarios).
+    pub fn contains_obb(&self, obb: &Obb) -> bool {
+        obb.corners().iter().all(|&c| self.contains(c)) && self.contains(obb.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_geom::Pose;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rect_contains() {
+        let r = DrivableRegion::Rect(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 5.0)));
+        assert!(r.contains(Vec2::new(5.0, 2.0)));
+        assert!(!r.contains(Vec2::new(5.0, 6.0)));
+        assert_eq!(r.aabb().max, Vec2::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn annulus_contains() {
+        let a = DrivableRegion::Annulus {
+            center: Vec2::ZERO,
+            r_inner: 10.0,
+            r_outer: 20.0,
+        };
+        assert!(a.contains(Vec2::new(15.0, 0.0)));
+        assert!(!a.contains(Vec2::new(5.0, 0.0))); // island
+        assert!(!a.contains(Vec2::new(25.0, 0.0))); // outside
+        assert!(a.contains(Vec2::new(10.0, 0.0))); // boundary
+        let bb = a.aabb();
+        assert_eq!(bb.min, Vec2::new(-20.0, -20.0));
+    }
+
+    #[test]
+    fn poly_region() {
+        let p = DrivableRegion::Poly(Polygon::rectangle(Vec2::ZERO, Vec2::new(4.0, 4.0)));
+        assert!(p.contains(Vec2::new(2.0, 2.0)));
+        assert!(!p.contains(Vec2::new(5.0, 2.0)));
+    }
+
+    #[test]
+    fn obb_containment() {
+        let r = DrivableRegion::Rect(Aabb::new(Vec2::ZERO, Vec2::new(100.0, 7.0)));
+        let inside = Obb::new(Pose::new(50.0, 3.5, 0.0), 4.6, 2.0);
+        let poking_out = Obb::new(Pose::new(50.0, 6.5, 0.0), 4.6, 2.0);
+        assert!(r.contains_obb(&inside));
+        assert!(!r.contains_obb(&poking_out));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_annulus_radial_symmetry(angle in 0.0..6.28f64, rad in 0.0..30.0f64) {
+            let a = DrivableRegion::Annulus {
+                center: Vec2::ZERO,
+                r_inner: 10.0,
+                r_outer: 20.0,
+            };
+            let p = Vec2::from_angle(angle) * rad;
+            prop_assert_eq!(a.contains(p), (10.0..=20.0).contains(&rad));
+        }
+
+        #[test]
+        fn prop_contained_points_in_aabb(x in -30.0..30.0f64, y in -30.0..30.0f64) {
+            let regions = [
+                DrivableRegion::Rect(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 5.0))),
+                DrivableRegion::Annulus { center: Vec2::ZERO, r_inner: 5.0, r_outer: 15.0 },
+            ];
+            let p = Vec2::new(x, y);
+            for r in regions {
+                if r.contains(p) {
+                    prop_assert!(r.aabb().contains(p));
+                }
+            }
+        }
+    }
+}

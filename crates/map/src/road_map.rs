@@ -1,0 +1,297 @@
+//! The composite road map: lanes + drivable regions.
+
+use iprism_geom::{Aabb, Obb, Vec2};
+use serde::{Deserialize, Serialize};
+
+use crate::{DrivableRegion, Lane, LaneId};
+
+/// A road map: a set of lanes for guidance plus a union of drivable regions
+/// forming the paper's drivable area `M`.
+///
+/// Two builders cover the scenario typologies: [`RoadMap::straight_road`]
+/// (all five NHTSA typologies) and [`RoadMap::roundabout`] (the RIP
+/// comparison scenario of §V-C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadMap {
+    name: String,
+    lanes: Vec<Lane>,
+    regions: Vec<DrivableRegion>,
+}
+
+impl RoadMap {
+    /// Creates a map from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` or `regions` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        lanes: Vec<Lane>,
+        regions: Vec<DrivableRegion>,
+    ) -> Self {
+        assert!(!lanes.is_empty(), "a road map needs at least one lane");
+        assert!(!regions.is_empty(), "a road map needs at least one region");
+        RoadMap {
+            name: name.into(),
+            lanes,
+            regions,
+        }
+    }
+
+    /// A straight road along +x with `num_lanes` parallel lanes of
+    /// `lane_width` metres, from `x = 0` to `x = length`.
+    ///
+    /// Lane `i`'s centerline is at `y = (i + 0.5) · lane_width`; lane 0 is
+    /// the bottom (rightmost in the direction of travel) lane.
+    pub fn straight_road(num_lanes: usize, lane_width: f64, length: f64) -> Self {
+        assert!(num_lanes >= 1, "need at least one lane");
+        assert!(lane_width > 0.0 && length > 0.0, "positive dimensions");
+        let lanes = (0..num_lanes)
+            .map(|i| {
+                let y = (i as f64 + 0.5) * lane_width;
+                Lane::straight(
+                    LaneId(i),
+                    Vec2::new(0.0, y),
+                    Vec2::new(length, y),
+                    lane_width,
+                )
+            })
+            .collect();
+        let region = DrivableRegion::Rect(Aabb::new(
+            Vec2::ZERO,
+            Vec2::new(length, num_lanes as f64 * lane_width),
+        ));
+        RoadMap::new(
+            format!("straight-{num_lanes}-lane"),
+            lanes,
+            vec![region],
+        )
+    }
+
+    /// A single-lane roundabout: an annular carriageway centred at `center`
+    /// with a *tangential* south-west approach road (as on real roundabouts:
+    /// the approach meets the ring where the ring's travel direction matches
+    /// the road's) and an east exit road.
+    ///
+    /// Lane 0 is the approach (west → the ring's south point), lane 1 the
+    /// circular lane (counter-clockwise at the annulus midline, from the
+    /// south point past the east point), lane 2 the exit (east point →
+    /// east).
+    pub fn roundabout(center: Vec2, r_inner: f64, r_outer: f64, approach_length: f64) -> Self {
+        assert!(r_outer > r_inner && r_inner > 0.0, "bad radii");
+        assert!(approach_length > 0.0, "bad approach length");
+        let width = r_outer - r_inner;
+        let r_mid = (r_inner + r_outer) * 0.5;
+        // Tangential entry at the ring's south point: a counter-clockwise
+        // ring heads due east there, matching the approach road.
+        let south_entry = center + Vec2::new(0.0, -r_mid);
+        let east_exit = center + Vec2::new(r_mid, 0.0);
+
+        let approach = Lane::straight(
+            LaneId(0),
+            south_entry - Vec2::new(approach_length, 0.0),
+            south_entry,
+            width,
+        );
+        // Counter-clockwise from the south point (3π/2) past the east point
+        // (2π), with overhang for smooth exit tracking.
+        let circle = Lane::arc(
+            LaneId(1),
+            center,
+            r_mid,
+            1.5 * std::f64::consts::PI,
+            2.25 * std::f64::consts::PI,
+            width,
+        );
+        let exit = Lane::straight(
+            LaneId(2),
+            east_exit,
+            east_exit + Vec2::new(approach_length, 0.0),
+            width,
+        );
+
+        let half_w = width * 0.5;
+        let regions = vec![
+            DrivableRegion::Annulus {
+                center,
+                r_inner,
+                r_outer,
+            },
+            DrivableRegion::Rect(Aabb::new(
+                south_entry - Vec2::new(approach_length, half_w),
+                south_entry + Vec2::new(0.0, half_w),
+            )),
+            DrivableRegion::Rect(Aabb::new(
+                east_exit - Vec2::new(0.0, half_w),
+                east_exit + Vec2::new(approach_length, half_w),
+            )),
+            // Mountable apron at the exit mouth (the exit turn is sharper
+            // than the tangential entry).
+            DrivableRegion::Rect(Aabb::new(
+                center + Vec2::new((r_inner - 5.0).max(0.0), -(half_w + 2.0)),
+                center + Vec2::new(r_mid + 2.0, half_w + 2.0),
+            )),
+        ];
+        RoadMap::new("roundabout", vec![approach, circle, exit], regions)
+    }
+
+    /// Map name (for reports).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All lanes.
+    #[inline]
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Looks up a lane by id.
+    pub fn lane(&self, id: LaneId) -> Option<&Lane> {
+        self.lanes.iter().find(|l| l.id() == id)
+    }
+
+    /// The drivable regions.
+    #[inline]
+    pub fn regions(&self) -> &[DrivableRegion] {
+        &self.regions
+    }
+
+    /// Returns `true` if the point lies in any drivable region.
+    pub fn is_drivable(&self, p: Vec2) -> bool {
+        self.regions.iter().any(|r| r.contains(p))
+    }
+
+    /// Returns `true` if the whole footprint is drivable.
+    ///
+    /// Checks the four corners and the centre against the union of regions
+    /// (a corner may be covered by a different region than the centre, e.g.
+    /// at a roundabout entry).
+    pub fn is_obb_drivable(&self, obb: &Obb) -> bool {
+        obb.corners()
+            .iter()
+            .chain(std::iter::once(&obb.center()))
+            .all(|&p| self.is_drivable(p))
+    }
+
+    /// The lane whose centerline is closest to `p`.
+    pub fn nearest_lane(&self, p: Vec2) -> &Lane {
+        self.lanes
+            .iter()
+            .min_by(|a, b| {
+                let da = a.project(p).point.distance_sq(p);
+                let db = b.project(p).point.distance_sq(p);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("road map has at least one lane")
+    }
+
+    /// Bounding box of the full drivable area.
+    pub fn bounds(&self) -> Aabb {
+        let mut it = self.regions.iter().map(DrivableRegion::aabb);
+        let first = it.next().expect("road map has regions");
+        it.fold(first, |acc, bb| acc.union(&bb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_geom::Pose;
+    use proptest::prelude::*;
+
+    #[test]
+    fn straight_road_layout() {
+        let m = RoadMap::straight_road(3, 3.5, 300.0);
+        assert_eq!(m.lanes().len(), 3);
+        assert_eq!(m.name(), "straight-3-lane");
+        // lane centers
+        assert!((m.lane(LaneId(0)).unwrap().point_at(0.0).y - 1.75).abs() < 1e-12);
+        assert!((m.lane(LaneId(2)).unwrap().point_at(0.0).y - 8.75).abs() < 1e-12);
+        // drivability
+        assert!(m.is_drivable(Vec2::new(150.0, 5.0)));
+        assert!(!m.is_drivable(Vec2::new(150.0, 11.0)));
+        assert!(!m.is_drivable(Vec2::new(-5.0, 5.0)));
+        let bb = m.bounds();
+        assert_eq!(bb.max, Vec2::new(300.0, 10.5));
+    }
+
+    #[test]
+    fn nearest_lane() {
+        let m = RoadMap::straight_road(2, 3.5, 100.0);
+        assert_eq!(m.nearest_lane(Vec2::new(50.0, 1.0)).id(), LaneId(0));
+        assert_eq!(m.nearest_lane(Vec2::new(50.0, 6.0)).id(), LaneId(1));
+    }
+
+    #[test]
+    fn obb_drivability() {
+        let m = RoadMap::straight_road(2, 3.5, 100.0);
+        let ok = Obb::new(Pose::new(50.0, 3.5, 0.0), 4.6, 2.0);
+        let off = Obb::new(Pose::new(50.0, 6.8, 0.0), 4.6, 2.0);
+        assert!(m.is_obb_drivable(&ok));
+        assert!(!m.is_obb_drivable(&off));
+    }
+
+    #[test]
+    fn roundabout_layout() {
+        let m = RoadMap::roundabout(Vec2::new(0.0, 0.0), 12.0, 19.0, 60.0);
+        assert_eq!(m.lanes().len(), 3);
+        // on the ring
+        assert!(m.is_drivable(Vec2::new(0.0, 15.0)));
+        // island not drivable
+        assert!(!m.is_drivable(Vec2::new(0.0, 0.0)));
+        // tangential approach road drivable (runs at y = -r_mid)
+        assert!(m.is_drivable(Vec2::new(-30.0, -15.5)));
+        // far away not drivable
+        assert!(!m.is_drivable(Vec2::new(0.0, 40.0)));
+        // circular lane points lie on the annulus midline
+        let ring = m.lane(LaneId(1)).unwrap();
+        let p = ring.point_at(ring.length() * 0.5);
+        assert!((p.norm() - 15.5).abs() < 0.1);
+        // the approach ends exactly at the ring's south point, where the
+        // ring heading is due east (tangential entry)
+        let entry = m.lane(LaneId(0)).unwrap().point_at(60.0);
+        assert!(entry.distance(Vec2::new(0.0, -15.5)) < 1e-9);
+        assert!(m.lane(LaneId(1)).unwrap().heading_at(0.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lane_lookup_missing() {
+        let m = RoadMap::straight_road(1, 3.5, 10.0);
+        assert!(m.lane(LaneId(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_lanes_panic() {
+        let _ = RoadMap::new("x", vec![], vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lane_centers_drivable(lane in 0usize..3, s in 0.0..300.0f64) {
+            let m = RoadMap::straight_road(3, 3.5, 300.0);
+            let l = m.lane(LaneId(lane)).unwrap();
+            prop_assert!(m.is_drivable(l.point_at(s)));
+        }
+
+        #[test]
+        fn prop_roundabout_ring_lane_drivable(f in 0.0..1.0f64) {
+            let m = RoadMap::roundabout(Vec2::ZERO, 12.0, 19.0, 60.0);
+            let ring = m.lane(LaneId(1)).unwrap();
+            prop_assert!(m.is_drivable(ring.point_at(ring.length() * f)));
+        }
+
+        #[test]
+        fn prop_nearest_lane_is_argmin(x in 0.0..100.0f64, y in -5.0..12.0f64) {
+            let m = RoadMap::straight_road(2, 3.5, 100.0);
+            let p = Vec2::new(x, y);
+            let chosen = m.nearest_lane(p);
+            let chosen_d = chosen.project(p).point.distance(p);
+            for l in m.lanes() {
+                prop_assert!(chosen_d <= l.project(p).point.distance(p) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! A minimal neural-network library for iPrism's D-DQN controller.
+//!
+//! The paper's SMC approximates Q-values with a CNN over camera frames;
+//! this reproduction feeds geometric scene features to an MLP instead (see
+//! DESIGN.md for the substitution rationale). The library is deliberately
+//! small: dense layers with ReLU, hand-written backprop, Adam/SGD, MSE and
+//! Huber losses — everything the Double-DQN training loop needs, fully
+//! deterministic under a seed, with serde-serializable weights.
+//!
+//! # Quick example
+//!
+//! ```
+//! use iprism_nn::{Adam, Mlp};
+//!
+//! let mut net = Mlp::new(&[2, 16, 1], 42);
+//! let mut opt = Adam::new(net.param_count(), 1e-2);
+//! // learn y = x0 * x1 on a few points
+//! for _ in 0..500 {
+//!     net.zero_grad();
+//!     let mut loss = 0.0;
+//!     for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+//!         let target = a * b;
+//!         let cache = net.forward_cached(&[a, b]);
+//!         let err = cache.output()[0] - target;
+//!         loss += 0.5 * err * err;
+//!         net.backward(&cache, &[err]);
+//!     }
+//!     opt.step(&mut net);
+//!     if loss < 1e-3 { break; }
+//! }
+//! let out = net.forward(&[1.0, 1.0]);
+//! assert!((out[0] - 1.0).abs() < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod linear;
+mod loss;
+mod mlp;
+mod optim;
+
+pub use linear::Linear;
+pub use loss::{huber, huber_grad, mse, mse_grad};
+pub use mlp::{Mlp, MlpCache};
+pub use optim::{Adam, Sgd};

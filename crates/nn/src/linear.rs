@@ -1,0 +1,226 @@
+//! Dense (fully connected) layers.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = W·x + b` with accumulated gradients.
+///
+/// Weights are stored row-major: `w[o * in_dim + i]` connects input `i` to
+/// output `o`. Initialization is He-uniform, deterministic under a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    /// Weights, row-major `[out_dim × in_dim]`.
+    pub w: Vec<f64>,
+    /// Biases, `[out_dim]`.
+    pub b: Vec<f64>,
+    /// Accumulated weight gradients (same layout as `w`).
+    #[serde(skip)]
+    pub grad_w: Vec<f64>,
+    /// Accumulated bias gradients.
+    #[serde(skip)]
+    pub grad_b: Vec<f64>,
+}
+
+impl Linear {
+    /// Creates a layer with He-uniform initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dims must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let bound = (6.0 / in_dim as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Linear {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of parameters (weights + biases).
+    #[inline]
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input size mismatch");
+        let mut y = self.b.clone();
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0;
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            y[o] += acc;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `∂L/∂W` and `∂L/∂b` given the upstream
+    /// gradient `dy` and the input `x` used in the forward pass; returns
+    /// `∂L/∂x`.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input size mismatch");
+        assert_eq!(dy.len(), self.out_dim, "grad size mismatch");
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = dy[o];
+            self.grad_b[o] += g;
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.grad_w[row_start + i] += g * x[i];
+                dx[i] += g * self.w[row_start + i];
+            }
+        }
+        dx
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        // serde(skip) leaves these empty after deserialization; restore.
+        if self.grad_w.len() != self.w.len() {
+            self.grad_w = vec![0.0; self.w.len()];
+            self.grad_b = vec![0.0; self.b.len()];
+        }
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    /// Visits every `(parameter, gradient)` pair in a fixed order (weights
+    /// row-major, then biases). Optimizers rely on this order being stable.
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut f64, f64)) {
+        if self.grad_w.len() != self.w.len() {
+            self.grad_w = vec![0.0; self.w.len()];
+            self.grad_b = vec![0.0; self.b.len()];
+        }
+        for (p, g) in self.w.iter_mut().zip(&self.grad_w) {
+            f(p, *g);
+        }
+        for (p, g) in self.b.iter_mut().zip(&self.grad_b) {
+            f(p, *g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_identity_weights() {
+        let mut l = Linear::new(2, 2, 0);
+        l.w = vec![1.0, 0.0, 0.0, 1.0];
+        l.b = vec![0.5, -0.5];
+        assert_eq!(l.forward(&[2.0, 3.0]), vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Linear::new(4, 3, 7);
+        let b = Linear::new(4, 3, 7);
+        assert_eq!(a.w, b.w);
+        let c = Linear::new(4, 3, 8);
+        assert_ne!(a.w, c.w);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut l = Linear::new(3, 2, 1);
+        let x = [0.5, -1.0, 2.0];
+        let dy = [1.0, -0.5];
+        l.zero_grad();
+        let dx = l.backward(&x, &dy);
+
+        // loss L = dy · y  (linear in y), so dL/dw numerically:
+        let eps = 1e-6;
+        for idx in 0..l.w.len() {
+            let orig = l.w[idx];
+            l.w[idx] = orig + eps;
+            let yp: f64 = l.forward(&x).iter().zip(&dy).map(|(a, b)| a * b).sum();
+            l.w[idx] = orig - eps;
+            let ym: f64 = l.forward(&x).iter().zip(&dy).map(|(a, b)| a * b).sum();
+            l.w[idx] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((num - l.grad_w[idx]).abs() < 1e-6, "w[{idx}]");
+        }
+        // dL/dx numerically:
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let yp: f64 = l.forward(&xp).iter().zip(&dy).map(|(a, b)| a * b).sum();
+            let mut xm = x;
+            xm[i] -= eps;
+            let ym: f64 = l.forward(&xm).iter().zip(&dy).map(|(a, b)| a * b).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-6, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut l = Linear::new(2, 1, 0);
+        l.zero_grad();
+        l.backward(&[1.0, 1.0], &[1.0]);
+        l.backward(&[1.0, 1.0], &[1.0]);
+        assert!((l.grad_b[0] - 2.0).abs() < 1e-12);
+        l.zero_grad();
+        assert_eq!(l.grad_b[0], 0.0);
+    }
+
+    #[test]
+    fn visit_params_order_stable() {
+        let mut l = Linear::new(2, 1, 3);
+        l.zero_grad();
+        let mut count = 0;
+        l.visit_params(|_, _| count += 1);
+        assert_eq!(count, l.param_count());
+        assert_eq!(l.param_count(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip_restores_grads_lazily() {
+        let l = Linear::new(2, 2, 5);
+        let json = serde_json::to_string(&l).unwrap();
+        let mut back: Linear = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.w, l.w);
+        // grads skipped: restored on zero_grad
+        back.zero_grad();
+        assert_eq!(back.grad_w.len(), back.w.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_panics() {
+        let l = Linear::new(3, 1, 0);
+        let _ = l.forward(&[1.0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Scalar loss functions and their gradients.
+
+/// Mean-squared-error loss `0.5 (pred − target)²`.
+#[inline]
+pub fn mse(pred: f64, target: f64) -> f64 {
+    0.5 * (pred - target).powi(2)
+}
+
+/// Gradient of [`mse`] w.r.t. `pred`.
+#[inline]
+pub fn mse_grad(pred: f64, target: f64) -> f64 {
+    pred - target
+}
+
+/// Huber loss with threshold `delta` — quadratic near zero, linear in the
+/// tails; the standard DQN loss (paper reference [49]).
+#[inline]
+pub fn huber(pred: f64, target: f64, delta: f64) -> f64 {
+    let e = pred - target;
+    if e.abs() <= delta {
+        0.5 * e * e
+    } else {
+        delta * (e.abs() - 0.5 * delta)
+    }
+}
+
+/// Gradient of [`huber`] w.r.t. `pred` (clipped to `±delta`).
+#[inline]
+pub fn huber_grad(pred: f64, target: f64, delta: f64) -> f64 {
+    (pred - target).clamp(-delta, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(3.0, 3.0), 0.0);
+        assert_eq!(mse(4.0, 2.0), 2.0);
+        assert_eq!(mse_grad(4.0, 2.0), 2.0);
+        assert_eq!(mse_grad(1.0, 2.0), -1.0);
+    }
+
+    #[test]
+    fn huber_quadratic_region_matches_mse() {
+        assert!((huber(1.5, 1.0, 1.0) - mse(1.5, 1.0)).abs() < 1e-12);
+        assert_eq!(huber_grad(1.5, 1.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn huber_linear_region_clips_gradient() {
+        assert_eq!(huber_grad(10.0, 0.0, 1.0), 1.0);
+        assert_eq!(huber_grad(-10.0, 0.0, 1.0), -1.0);
+        // linear tail: slope delta
+        let l1 = huber(10.0, 0.0, 1.0);
+        let l2 = huber(11.0, 0.0, 1.0);
+        assert!((l2 - l1 - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_losses_nonnegative(p in -100.0..100.0f64, t in -100.0..100.0f64) {
+            prop_assert!(mse(p, t) >= 0.0);
+            prop_assert!(huber(p, t, 1.0) >= 0.0);
+        }
+
+        #[test]
+        fn prop_huber_grad_is_derivative(p in -5.0..5.0f64, t in -5.0..5.0f64) {
+            let eps = 1e-6;
+            let num = (huber(p + eps, t, 1.0) - huber(p - eps, t, 1.0)) / (2.0 * eps);
+            prop_assert!((num - huber_grad(p, t, 1.0)).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Multi-layer perceptron with ReLU hidden activations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Linear;
+
+/// An MLP: dense layers with ReLU between them and a linear output layer.
+///
+/// This is the Q-network of iPrism's SMC (the camera-CNN substitute; see
+/// DESIGN.md). Deterministically initialized from a seed, serializable with
+/// serde, trained with the optimizers in this crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Cached per-layer activations from [`Mlp::forward_cached`], consumed by
+/// [`Mlp::backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpCache {
+    /// `inputs[i]` is the input to layer `i`; the last entry is the output.
+    inputs: Vec<Vec<f64>>,
+}
+
+impl MlpCache {
+    /// The network output for the cached forward pass.
+    pub fn output(&self) -> &[f64] {
+        self.inputs.last().expect("cache has output")
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `&[in, h1, h2, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(w[0], w[1], seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Plain forward pass (no caching).
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.layers.len();
+        let mut h = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                relu_inplace(&mut h);
+            }
+        }
+        h
+    }
+
+    /// Forward pass retaining per-layer inputs for backprop.
+    pub fn forward_cached(&self, x: &[f64]) -> MlpCache {
+        let n = self.layers.len();
+        let mut inputs = Vec::with_capacity(n + 1);
+        inputs.push(x.to_vec());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut h = layer.forward(inputs.last().expect("pushed"));
+            if i + 1 < n {
+                relu_inplace(&mut h);
+            }
+            inputs.push(h);
+        }
+        MlpCache { inputs }
+    }
+
+    /// Backpropagates `dloss_dout` through the cached pass, accumulating
+    /// parameter gradients; returns `∂L/∂input`.
+    pub fn backward(&mut self, cache: &MlpCache, dloss_dout: &[f64]) -> Vec<f64> {
+        let n = self.layers.len();
+        assert_eq!(cache.inputs.len(), n + 1, "cache does not match network");
+        let mut grad = dloss_dout.to_vec();
+        for i in (0..n).rev() {
+            // The stored input of layer i+1 is layer i's *post-activation*
+            // output; ReLU gradient masks where that output is zero.
+            if i + 1 < n {
+                let activated = &cache.inputs[i + 1];
+                for (g, a) in grad.iter_mut().zip(activated) {
+                    if *a <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        }
+        grad
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Visits every `(parameter, gradient)` pair in a stable order.
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut f64, f64)) {
+        for l in &mut self.layers {
+            l.visit_params(&mut f);
+        }
+    }
+
+    /// Copies the parameters of `other` into `self` (target-network sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the architectures differ.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(dst.w.len(), src.w.len(), "architecture mismatch");
+            dst.w.copy_from_slice(&src.w);
+            dst.b.copy_from_slice(&src.b);
+        }
+    }
+}
+
+fn relu_inplace(v: &mut [f64]) {
+    for x in v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shapes() {
+        let net = Mlp::new(&[4, 8, 3], 0);
+        assert_eq!(net.in_dim(), 4);
+        assert_eq!(net.out_dim(), 3);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3, 0.4]).len(), 3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Mlp::new(&[3, 5, 2], 11);
+        let b = Mlp::new(&[3, 5, 2], 11);
+        assert_eq!(a.forward(&[1.0, 2.0, 3.0]), b.forward(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let net = Mlp::new(&[3, 6, 2], 4);
+        let x = [0.3, -0.7, 1.1];
+        assert_eq!(net.forward(&x), net.forward_cached(&x).output());
+    }
+
+    #[test]
+    fn gradient_check_full_network() {
+        let mut net = Mlp::new(&[3, 5, 2], 2);
+        let x = [0.4, -0.2, 0.9];
+        let dy = [0.7, -1.3];
+        net.zero_grad();
+        let cache = net.forward_cached(&x);
+        let dx = net.backward(&cache, &dy);
+
+        let loss = |net: &Mlp, x: &[f64]| -> f64 {
+            net.forward(x).iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-6;
+
+        // input gradient
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let num = (loss(&net, &xp) - loss(&net, &xm)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", dx[i]);
+        }
+
+        // parameter gradients: collect analytic grads, then perturb each
+        let mut analytic = Vec::new();
+        net.visit_params(|_, g| analytic.push(g));
+        let mut idx = 0;
+        let mut net2 = net.clone();
+        let total = net2.param_count();
+        for _ in 0..total {
+            let mut plus = f64::NAN;
+            let mut minus = f64::NAN;
+            let mut j = 0;
+            net2.visit_params(|p, _| {
+                if j == idx {
+                    *p += eps;
+                }
+                j += 1;
+            });
+            plus = loss(&net2, &x);
+            let mut j = 0;
+            net2.visit_params(|p, _| {
+                if j == idx {
+                    *p -= 2.0 * eps;
+                }
+                j += 1;
+            });
+            minus = loss(&net2, &x);
+            let mut j = 0;
+            net2.visit_params(|p, _| {
+                if j == idx {
+                    *p += eps;
+                }
+                j += 1;
+            });
+            let num = (plus - minus) / (2.0 * eps);
+            assert!(
+                (num - analytic[idx]).abs() < 1e-5,
+                "param {idx}: {num} vs {}",
+                analytic[idx]
+            );
+            idx += 1;
+        }
+    }
+
+    #[test]
+    fn target_sync_copies_params() {
+        let src = Mlp::new(&[2, 4, 1], 1);
+        let mut dst = Mlp::new(&[2, 4, 1], 99);
+        assert_ne!(src.forward(&[1.0, 1.0]), dst.forward(&[1.0, 1.0]));
+        dst.copy_params_from(&src);
+        assert_eq!(src.forward(&[1.0, 1.0]), dst.forward(&[1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn sync_mismatch_panics() {
+        let src = Mlp::new(&[2, 4, 1], 1);
+        let mut dst = Mlp::new(&[2, 5, 1], 1);
+        dst.copy_params_from(&src);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let net = Mlp::new(&[3, 4, 2], 9);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]), back.forward(&[0.1, 0.2, 0.3]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_forward_finite(
+            x in proptest::collection::vec(-10.0..10.0f64, 4)
+        ) {
+            let net = Mlp::new(&[4, 8, 8, 2], 3);
+            for y in net.forward(&x) {
+                prop_assert!(y.is_finite());
+            }
+        }
+    }
+}

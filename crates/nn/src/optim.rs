@@ -1,0 +1,167 @@
+//! Optimizers: SGD and Adam.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Mlp;
+
+/// Plain stochastic gradient descent (optionally with momentum).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer for a network with `param_count` parameters.
+    pub fn new(param_count: usize, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: vec![0.0; param_count],
+        }
+    }
+
+    /// Builder: sets the momentum coefficient.
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Applies one update step using the gradients accumulated in `net`.
+    pub fn step(&mut self, net: &mut Mlp) {
+        let mut i = 0;
+        let lr = self.lr;
+        let mu = self.momentum;
+        let vel = &mut self.velocity;
+        net.visit_params(|p, g| {
+            vel[i] = mu * vel[i] + g;
+            *p -= lr * vel[i];
+            i += 1;
+        });
+        assert_eq!(i, vel.len(), "parameter count changed");
+    }
+}
+
+/// Adam (Kingma & Ba) — the optimizer used for D-DQN training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for a network with `param_count`
+    /// parameters and standard betas (0.9, 0.999).
+    pub fn new(param_count: usize, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+        }
+    }
+
+    /// Applies one update step using the gradients accumulated in `net`.
+    pub fn step(&mut self, net: &mut Mlp) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut i = 0;
+        net.visit_params(|p, g| {
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mh = m[i] / b1t;
+            let vh = v[i] / b2t;
+            *p -= lr * mh / (vh.sqrt() + eps);
+            i += 1;
+        });
+        assert_eq!(i, m.len(), "parameter count changed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trains y = 2x − 1 on a tiny net; returns final loss.
+    fn train(optimizer: &mut dyn FnMut(&mut Mlp), net: &mut Mlp, iters: usize) -> f64 {
+        let data: Vec<(f64, f64)> = (0..8).map(|i| {
+            let x = i as f64 / 4.0 - 1.0;
+            (x, 2.0 * x - 1.0)
+        }).collect();
+        let mut last = f64::INFINITY;
+        for _ in 0..iters {
+            net.zero_grad();
+            last = 0.0;
+            for &(x, y) in &data {
+                let cache = net.forward_cached(&[x]);
+                let err = cache.output()[0] - y;
+                last += 0.5 * err * err;
+                net.backward(&cache, &[err]);
+            }
+            optimizer(net);
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_fit() {
+        let mut net = Mlp::new(&[1, 8, 1], 0);
+        let mut opt = Sgd::new(net.param_count(), 0.01);
+        let loss = train(&mut |n| opt.step(n), &mut net, 400);
+        assert!(loss < 0.05, "loss {loss}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut net = Mlp::new(&[1, 8, 1], 0);
+        let mut opt = Sgd::new(net.param_count(), 0.005).with_momentum(0.9);
+        let loss = train(&mut |n| opt.step(n), &mut net, 400);
+        assert!(loss < 0.05, "loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_faster_than_sgd() {
+        let mut net_a = Mlp::new(&[1, 8, 1], 0);
+        let mut adam = Adam::new(net_a.param_count(), 0.01);
+        let loss_a = train(&mut |n| adam.step(n), &mut net_a, 150);
+
+        let mut net_s = Mlp::new(&[1, 8, 1], 0);
+        let mut sgd = Sgd::new(net_s.param_count(), 0.01);
+        let loss_s = train(&mut |n| sgd.step(n), &mut net_s, 150);
+        assert!(loss_a < loss_s * 1.5, "adam {loss_a} vs sgd {loss_s}");
+        assert!(loss_a < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn bad_lr_panics() {
+        let _ = Adam::new(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn bad_momentum_panics() {
+        let _ = Sgd::new(10, 0.1).with_momentum(1.5);
+    }
+}

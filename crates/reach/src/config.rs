@@ -1,0 +1,194 @@
+//! Reach-tube computation parameters.
+
+use iprism_dynamics::{BicycleModel, ControlLimits};
+use serde::{Deserialize, Serialize};
+
+/// How controls are sampled at each time slice of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// The paper's optimization 2: enumerate `{0, a_max} × {φ_min, 0,
+    /// φ_max}` (six controls). Traces the tube boundary cheaply.
+    Boundary,
+    /// All nine extreme combinations `{a_min, 0, a_max} × {φ_min, 0,
+    /// φ_max}` — additionally covers hard-braking escape routes.
+    Extreme,
+    /// Uniform lattice of `na × ns` controls spanning the admissible box,
+    /// extremes always included (the unoptimized Algorithm 1).
+    Uniform {
+        /// Acceleration samples (≥ 2).
+        na: usize,
+        /// Steering samples (≥ 2).
+        ns: usize,
+    },
+}
+
+/// The steering range sampled by the reach computation (rad). Full
+/// mechanical steering lock (±35°) tilts the body so sharply within one
+/// time slice that every steered state leaves its lane footprint-first;
+/// escape-route analysis samples the dynamically sensible range instead
+/// (±17°, comfortable evasive steering at road speeds).
+pub const REACH_STEER_LIMIT: f64 = 0.3;
+
+fn reach_model() -> BicycleModel {
+    BicycleModel::with_limits(
+        2.9,
+        ControlLimits {
+            steer_min: -REACH_STEER_LIMIT,
+            steer_max: REACH_STEER_LIMIT,
+            ..ControlLimits::default()
+        },
+    )
+}
+
+/// Configuration of [`crate::compute_reach_tube`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReachConfig {
+    /// Time-slice length Δt (s).
+    pub dt: f64,
+    /// Horizon k (s): the tube spans `[t, t+k]`.
+    pub horizon: f64,
+    /// ε of the paper's optimization 1 — states closer than this (L2 over a
+    /// scaled state vector) are deduplicated.
+    pub dedup_epsilon: f64,
+    /// Control sampling strategy.
+    pub mode: SamplingMode,
+    /// Occupancy-grid cell size for the volume measure (m).
+    pub grid_resolution: f64,
+    /// Obstacle inflation margin (m); a small buffer around other actors.
+    pub safety_margin: f64,
+    /// Hard cap on the per-slice frontier size (deterministic truncation).
+    pub max_frontier: usize,
+    /// Lateral/longitudinal shrink applied to the ego footprint for the
+    /// *drivability* check only (m per side). Roads have usable margins;
+    /// without this, any tilted body near a lane edge is spuriously
+    /// pruned and lateral escape routes vanish.
+    pub drivable_margin: f64,
+    /// Ego footprint `(length, width)` used for collision checks.
+    pub ego_dims: (f64, f64),
+    /// Vehicle model used for propagation.
+    pub model: BicycleModel,
+    /// Absolute start time `t` (must match the obstacle trajectories).
+    pub start_time: f64,
+}
+
+impl Default for ReachConfig {
+    /// Defaults used throughout the evaluation: Δt = 0.25 s, k = 2.5 s,
+    /// ε = 1.5, boundary-control enumeration, 0.5 m grid.
+    fn default() -> Self {
+        ReachConfig {
+            dt: 0.25,
+            horizon: 2.5,
+            dedup_epsilon: 1.5,
+            mode: SamplingMode::Boundary,
+            grid_resolution: 0.5,
+            safety_margin: 0.25,
+            max_frontier: 768,
+            drivable_margin: 0.3,
+            ego_dims: (4.6, 2.0),
+            model: reach_model(),
+            start_time: 0.0,
+        }
+    }
+}
+
+impl ReachConfig {
+    /// A cheaper preset for in-the-loop use (SMC reward evaluation during RL
+    /// training): 8 slices of 0.3 s, coarser dedup and grid, tighter
+    /// frontier cap. Roughly 5–10× faster than the default at the cost of a
+    /// coarser tube.
+    pub fn fast() -> Self {
+        ReachConfig {
+            dt: 0.3,
+            horizon: 2.4,
+            dedup_epsilon: 2.0,
+            grid_resolution: 0.75,
+            max_frontier: 256,
+            ..ReachConfig::default()
+        }
+    }
+
+    /// Number of time slices `⌈k / Δt⌉`.
+    pub fn slices(&self) -> usize {
+        (self.horizon / self.dt).ceil() as usize
+    }
+
+    /// Returns a copy with a different start time (convenience for sweeping
+    /// a trace).
+    pub fn at_time(&self, t: f64) -> Self {
+        let mut c = self.clone();
+        c.start_time = t;
+        c
+    }
+
+    /// Validates the configuration, panicking on nonsense values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any parameter is non-positive where positivity is
+    /// required, or when a uniform mode has fewer than 2×2 samples.
+    pub fn validate(&self) {
+        assert!(self.dt > 0.0 && self.dt.is_finite(), "dt must be positive");
+        assert!(
+            self.horizon >= self.dt,
+            "horizon must be at least one time slice"
+        );
+        assert!(self.dedup_epsilon > 0.0, "dedup epsilon must be positive");
+        assert!(self.grid_resolution > 0.0, "grid resolution must be positive");
+        assert!(self.safety_margin >= 0.0, "safety margin must be >= 0");
+        assert!(self.max_frontier >= 1, "frontier cap must be >= 1");
+        assert!(
+            self.drivable_margin >= 0.0 && 2.0 * self.drivable_margin < self.ego_dims.1,
+            "drivable margin must be >= 0 and less than half the ego width"
+        );
+        assert!(
+            self.ego_dims.0 > 0.0 && self.ego_dims.1 > 0.0,
+            "ego dims must be positive"
+        );
+        if let SamplingMode::Uniform { na, ns } = self.mode {
+            assert!(na >= 2 && ns >= 2, "uniform mode needs >= 2x2 samples");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = ReachConfig::default();
+        c.validate();
+        assert_eq!(c.slices(), 10);
+    }
+
+    #[test]
+    fn at_time_shifts_start() {
+        let c = ReachConfig::default().at_time(5.0);
+        assert_eq!(c.start_time, 5.0);
+        assert_eq!(c.dt, ReachConfig::default().dt);
+    }
+
+    #[test]
+    fn slices_rounds_up() {
+        let mut c = ReachConfig::default();
+        c.horizon = 1.1;
+        c.dt = 0.25;
+        assert_eq!(c.slices(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn bad_dt_panics() {
+        let mut c = ReachConfig::default();
+        c.dt = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2")]
+    fn bad_uniform_panics() {
+        let mut c = ReachConfig::default();
+        c.mode = SamplingMode::Uniform { na: 1, ns: 5 };
+        c.validate();
+    }
+}

@@ -1,0 +1,97 @@
+//! Moving obstacles against which the reach-tube is pruned.
+
+use iprism_dynamics::Trajectory;
+use iprism_geom::Obb;
+use serde::{Deserialize, Serialize};
+
+/// An obstacle with a (predicted or ground-truth) trajectory and a
+/// rectangular footprint.
+///
+/// This is the reach-tube's view of the paper's `X_{t:t+k}^{(i)}`: the
+/// trajectory of actor *i* over the analysis horizon. The trajectory may
+/// come from a recorded trace (offline STI characterization) or from the
+/// CVTR predictor (online SMC operation) — the reach computation does not
+/// care.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Obstacle {
+    /// The obstacle's states over (at least) the analysis horizon.
+    pub trajectory: Trajectory,
+    /// Footprint length (m).
+    pub length: f64,
+    /// Footprint width (m).
+    pub width: f64,
+}
+
+impl Obstacle {
+    /// Creates an obstacle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trajectory is empty or the dimensions are not
+    /// strictly positive.
+    pub fn new(trajectory: Trajectory, length: f64, width: f64) -> Self {
+        assert!(!trajectory.is_empty(), "obstacle trajectory must be non-empty");
+        assert!(
+            length > 0.0 && width > 0.0,
+            "obstacle dims must be positive, got {length} x {width}"
+        );
+        Obstacle {
+            trajectory,
+            length,
+            width,
+        }
+    }
+
+    /// The obstacle footprint at absolute time `time`, interpolated along
+    /// the trajectory (clamped at the ends), optionally inflated by
+    /// `margin`.
+    pub fn footprint_at(&self, time: f64, margin: f64) -> Obb {
+        let s = self
+            .trajectory
+            .state_at_time(time)
+            .expect("non-empty trajectory");
+        Obb::new(s.pose(), self.length + 2.0 * margin, self.width + 2.0 * margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_dynamics::VehicleState;
+
+    fn moving_obstacle() -> Obstacle {
+        let states = (0..11)
+            .map(|i| VehicleState::new(i as f64, 0.0, 0.0, 10.0))
+            .collect();
+        Obstacle::new(Trajectory::from_states(0.0, 0.1, states), 4.6, 2.0)
+    }
+
+    #[test]
+    fn footprint_interpolates() {
+        let o = moving_obstacle();
+        let fp = o.footprint_at(0.55, 0.0);
+        assert!((fp.center().x - 5.5).abs() < 1e-9);
+        assert_eq!(fp.length, 4.6);
+    }
+
+    #[test]
+    fn footprint_clamps_beyond_horizon() {
+        let o = moving_obstacle();
+        assert!((o.footprint_at(99.0, 0.0).center().x - 10.0).abs() < 1e-9);
+        assert!((o.footprint_at(-1.0, 0.0).center().x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_inflates() {
+        let o = moving_obstacle();
+        let fp = o.footprint_at(0.0, 0.5);
+        assert!((fp.length - 5.6).abs() < 1e-12);
+        assert!((fp.width - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_trajectory_panics() {
+        let _ = Obstacle::new(Trajectory::new(0.0, 0.1), 4.6, 2.0);
+    }
+}

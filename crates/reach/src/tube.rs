@@ -1,0 +1,132 @@
+//! The computed reach-tube and its volume measure.
+
+use iprism_dynamics::VehicleState;
+use iprism_geom::Grid2;
+use serde::{Deserialize, Serialize};
+
+/// The result of Algorithm 1: the surviving states per time slice plus the
+/// occupancy grid measuring state-space volume.
+///
+/// Slice 0 always holds exactly the initial ego state; slices `1..` hold the
+/// propagated, collision-free, deduplicated states. The *volume* counts grid
+/// cells touched by slices `1..` — strictly future escape routes — so a tube
+/// whose frontier dies immediately has volume 0 (no escape route).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReachTube {
+    slices: Vec<Vec<VehicleState>>,
+    grid: Grid2,
+    truncated: bool,
+}
+
+impl ReachTube {
+    pub(crate) fn new(slices: Vec<Vec<VehicleState>>, grid: Grid2, truncated: bool) -> Self {
+        ReachTube {
+            slices,
+            grid,
+            truncated,
+        }
+    }
+
+    /// States per time slice (slice 0 is the initial state).
+    #[inline]
+    pub fn slices(&self) -> &[Vec<VehicleState>] {
+        &self.slices
+    }
+
+    /// Total number of stored states across all slices.
+    pub fn state_count(&self) -> usize {
+        self.slices.iter().map(Vec::len).sum()
+    }
+
+    /// Number of occupied volume cells (`|T|` in cell units).
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.grid.occupied_cells()
+    }
+
+    /// Tube volume in m² (occupied cells × cell area) — the `|T|` of
+    /// Eq. (4)–(5).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.grid.occupied_area()
+    }
+
+    /// The underlying occupancy grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid2 {
+        &self.grid
+    }
+
+    /// `true` when no future state survived — the paper's *safety hazard*
+    /// condition (escape routes reduced to zero, §II).
+    pub fn is_empty(&self) -> bool {
+        self.slices.iter().skip(1).all(Vec::is_empty)
+    }
+
+    /// The slice index after which the frontier died, if it did.
+    pub fn frontier_death_slice(&self) -> Option<usize> {
+        self.slices
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|(_, s)| s.is_empty())
+            .map(|(i, _)| i)
+    }
+
+    /// `true` when the per-slice frontier cap bounded the expansion.
+    ///
+    /// Truncation is a normal part of keeping the computation cheap: the
+    /// frontier is sorted canonically (fastest states first) before
+    /// truncating, so the retained states are the tube's envelope and the
+    /// volume remains a stable measure.
+    #[inline]
+    pub fn was_truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_geom::{Aabb, Vec2};
+
+    fn tube_with(slices: Vec<Vec<VehicleState>>) -> ReachTube {
+        let mut grid = Grid2::new(Aabb::new(Vec2::new(-50.0, -50.0), Vec2::new(50.0, 50.0)), 0.5);
+        for s in slices.iter().skip(1).flatten() {
+            grid.mark(s.position());
+        }
+        ReachTube::new(slices, grid, false)
+    }
+
+    #[test]
+    fn empty_future_is_empty_tube() {
+        let t = tube_with(vec![vec![VehicleState::default()], vec![], vec![]]);
+        assert!(t.is_empty());
+        assert_eq!(t.cell_count(), 0);
+        assert_eq!(t.volume(), 0.0);
+        assert_eq!(t.frontier_death_slice(), Some(1));
+    }
+
+    #[test]
+    fn volume_counts_future_slices_only() {
+        let t = tube_with(vec![
+            vec![VehicleState::new(0.0, 0.0, 0.0, 5.0)],
+            vec![VehicleState::new(1.0, 0.0, 0.0, 5.0), VehicleState::new(2.0, 0.0, 0.0, 5.0)],
+        ]);
+        assert!(!t.is_empty());
+        assert_eq!(t.cell_count(), 2);
+        assert!((t.volume() - 2.0 * 0.25).abs() < 1e-12);
+        assert_eq!(t.state_count(), 3);
+        assert_eq!(t.frontier_death_slice(), None);
+    }
+
+    #[test]
+    fn truncation_flag() {
+        let t = ReachTube::new(
+            vec![vec![VehicleState::default()]],
+            Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)), 0.5),
+            true,
+        );
+        assert!(t.was_truncated());
+    }
+}

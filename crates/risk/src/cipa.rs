@@ -1,0 +1,95 @@
+//! Distance to closest in-path actor (Dist-CIPA) baseline metric.
+
+use crate::SceneSnapshot;
+
+/// Default Dist-CIPA threshold below which a scene counts as risky (m),
+/// used by the LTFMA study.
+pub const CIPA_RISK_DISTANCE: f64 = 15.0;
+
+/// Distance (bumper-to-bumper, m) from the ego to the closest in-path actor
+/// — the proximity indicator of the paper's reference [13].
+///
+/// Returns `None` when no actor is in the ego's path; like TTC, Dist-CIPA
+/// is blind to out-of-path actors.
+pub fn dist_cipa(scene: &SceneSnapshot) -> Option<f64> {
+    let ego = scene.ego;
+    let mut best: Option<f64> = None;
+    for actor in &scene.actors {
+        if !scene.is_in_path(actor) {
+            continue;
+        }
+        let a = actor.current_state();
+        let dist = a.position().distance(ego.position());
+        let half_lengths = (scene.ego_dims.0 + actor.length) * 0.5;
+        let d = (dist - half_lengths).max(0.0);
+        if best.map_or(true, |b| d < b) {
+            best = Some(d);
+        }
+    }
+    best
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SceneActor;
+    use iprism_dynamics::{Trajectory, VehicleState};
+    use iprism_sim::ActorId;
+
+    fn scene_with(actors: Vec<SceneActor>) -> SceneSnapshot {
+        let mut s = SceneSnapshot::new(0.0, VehicleState::new(0.0, 0.0, 0.0, 10.0), (4.6, 2.0));
+        s.actors = actors;
+        s
+    }
+
+    fn stopped_ahead(id: u32, x: f64) -> SceneActor {
+        SceneActor::new(
+            ActorId(id),
+            Trajectory::from_states(0.0, 0.25, vec![VehicleState::new(x, 0.0, 0.0, 0.0); 21]),
+            4.6,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn empty_scene_none() {
+        assert!(dist_cipa(&scene_with(vec![])).is_none());
+    }
+
+    #[test]
+    fn distance_to_stopped_lead() {
+        let s = scene_with(vec![stopped_ahead(1, 25.0)]);
+        let d = dist_cipa(&s).unwrap();
+        assert!((d - 20.4).abs() < 1e-9, "d {d}");
+    }
+
+    #[test]
+    fn closest_wins() {
+        let s = scene_with(vec![stopped_ahead(1, 50.0), stopped_ahead(2, 25.0)]);
+        assert!((dist_cipa(&s).unwrap() - 20.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_path_none() {
+        let side = SceneActor::new(
+            ActorId(1),
+            Trajectory::from_states(
+                0.0,
+                0.25,
+                (0..21)
+                    .map(|i| VehicleState::new(10.0 + 2.5 * i as f64 * 0.25, 3.5, 0.0, 10.0))
+                    .collect(),
+            ),
+            4.6,
+            2.0,
+        );
+        assert!(dist_cipa(&scene_with(vec![side])).is_none());
+    }
+
+    #[test]
+    fn touching_bodies_zero_distance() {
+        let s = scene_with(vec![stopped_ahead(1, 4.0)]);
+        assert_eq!(dist_cipa(&s).unwrap(), 0.0);
+    }
+}

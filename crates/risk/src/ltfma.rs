@@ -1,0 +1,150 @@
+//! Lead-Time-for-Mitigating-Accident (LTFMA), §V-A of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Adapters turning each metric's raw value into the "risk ≠ 0" indicator
+/// that LTFMA counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RiskIndicator {
+    /// STI is risky when above a small floor (numerical zero).
+    Sti {
+        /// Values above this count as nonzero risk.
+        floor: f64,
+    },
+    /// TTC is risky when present and below a threshold (s).
+    Ttc {
+        /// TTC threshold (s).
+        threshold: f64,
+    },
+    /// Dist-CIPA is risky when present and below a threshold (m).
+    DistCipa {
+        /// Distance threshold (m).
+        threshold: f64,
+    },
+    /// PKL is risky when above a threshold (nats).
+    Pkl {
+        /// KL threshold (nats).
+        threshold: f64,
+    },
+}
+
+impl RiskIndicator {
+    /// Applies the indicator to a metric sample. `None` samples (metric
+    /// undefined, e.g. no in-path actor) are never risky.
+    pub fn is_risky(&self, value: Option<f64>) -> bool {
+        match (self, value) {
+            (RiskIndicator::Sti { floor }, Some(v)) => v > *floor,
+            (RiskIndicator::Ttc { threshold }, Some(v)) => v < *threshold,
+            (RiskIndicator::DistCipa { threshold }, Some(v)) => v < *threshold,
+            (RiskIndicator::Pkl { threshold }, Some(v)) => v > *threshold,
+            (_, None) => false,
+        }
+    }
+}
+
+/// LTFMA in steps: the number of *consecutive* risky steps immediately
+/// preceding (and including) the accident step.
+///
+/// This is the paper's §V-A formula: the run length of `risk(i) ≠ 0`
+/// ending at `t_accident`. `risky` holds one indicator sample per step;
+/// `accident_index` is the step at which the accident happened.
+///
+/// # Panics
+///
+/// Panics when `accident_index >= risky.len()`.
+pub fn ltfma_steps(risky: &[bool], accident_index: usize) -> usize {
+    assert!(
+        accident_index < risky.len(),
+        "accident index {accident_index} out of range ({} steps)",
+        risky.len()
+    );
+    let mut count = 0;
+    for i in (0..=accident_index).rev() {
+        if risky[i] {
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+/// LTFMA in seconds: [`ltfma_steps`] × the step period.
+pub fn ltfma_seconds(risky: &[bool], accident_index: usize, dt: f64) -> f64 {
+    ltfma_steps(risky, accident_index) as f64 * dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts_consecutive_run() {
+        //                       0      1     2      3     4
+        let risky = [true, false, true, true, true];
+        assert_eq!(ltfma_steps(&risky, 4), 3);
+        assert_eq!(ltfma_steps(&risky, 2), 1);
+        assert_eq!(ltfma_steps(&risky, 1), 0);
+        assert_eq!(ltfma_steps(&risky, 0), 1);
+    }
+
+    #[test]
+    fn gap_resets_run() {
+        let risky = [true, true, false, true];
+        assert_eq!(ltfma_steps(&risky, 3), 1);
+    }
+
+    #[test]
+    fn all_risky_counts_everything() {
+        let risky = [true; 10];
+        assert_eq!(ltfma_steps(&risky, 9), 10);
+        assert!((ltfma_seconds(&risky, 9, 0.1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_risky_is_zero() {
+        let risky = [false; 5];
+        assert_eq!(ltfma_steps(&risky, 4), 0);
+        assert_eq!(ltfma_seconds(&risky, 4, 0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = ltfma_steps(&[true], 1);
+    }
+
+    #[test]
+    fn indicators() {
+        let sti = RiskIndicator::Sti { floor: 0.01 };
+        assert!(sti.is_risky(Some(0.5)));
+        assert!(!sti.is_risky(Some(0.005)));
+        assert!(!sti.is_risky(None));
+
+        let ttc = RiskIndicator::Ttc { threshold: 3.0 };
+        assert!(ttc.is_risky(Some(1.0)));
+        assert!(!ttc.is_risky(Some(5.0)));
+        assert!(!ttc.is_risky(None)); // no in-path actor: not risky
+
+        let cipa = RiskIndicator::DistCipa { threshold: 15.0 };
+        assert!(cipa.is_risky(Some(3.0)));
+        assert!(!cipa.is_risky(Some(40.0)));
+
+        let pkl = RiskIndicator::Pkl { threshold: 0.05 };
+        assert!(pkl.is_risky(Some(0.2)));
+        assert!(!pkl.is_risky(Some(0.01)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_run_bounded_by_index(risky in proptest::collection::vec(any::<bool>(), 1..50)) {
+            let idx = risky.len() - 1;
+            let run = ltfma_steps(&risky, idx);
+            prop_assert!(run <= idx + 1);
+            // run is exactly the trailing true-count
+            let trailing = risky.iter().rev().take_while(|&&r| r).count();
+            prop_assert_eq!(run, trailing);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Scene snapshots: what every risk metric evaluates.
+
+use iprism_dynamics::{CvtrModel, Trajectory, VehicleState};
+use iprism_reach::Obstacle;
+use iprism_sim::{ActorId, Trace, World};
+use serde::{Deserialize, Serialize};
+
+/// One actor in a scene: its identity, footprint and trajectory over the
+/// analysis horizon (ground-truth or predicted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneActor {
+    /// Actor identity (stable across the episode).
+    pub id: ActorId,
+    /// Trajectory over at least `[t, t+k]`.
+    pub trajectory: Trajectory,
+    /// Footprint length (m).
+    pub length: f64,
+    /// Footprint width (m).
+    pub width: f64,
+}
+
+impl SceneActor {
+    /// Creates a scene actor.
+    pub fn new(id: ActorId, trajectory: Trajectory, length: f64, width: f64) -> Self {
+        SceneActor {
+            id,
+            trajectory,
+            length,
+            width,
+        }
+    }
+
+    /// The actor's state at the scene time (first trajectory sample).
+    pub fn current_state(&self) -> VehicleState {
+        self.trajectory.states()[0]
+    }
+
+    /// Converts to a reach-tube obstacle.
+    pub fn to_obstacle(&self) -> Obstacle {
+        Obstacle::new(self.trajectory.clone(), self.length, self.width)
+    }
+}
+
+/// A snapshot of the driving situation at time `t`: the ego state plus every
+/// other actor's trajectory over the analysis horizon.
+///
+/// This carries exactly the inputs of the paper's Eq. (6):
+/// `f_STI(M, X^{/i}, X, x^ego)` — the map `M` is passed separately to the
+/// evaluators so snapshots stay cheap to clone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneSnapshot {
+    /// Scene time `t` (s); actor trajectories start here.
+    pub time: f64,
+    /// Ego state at `t`.
+    pub ego: VehicleState,
+    /// Ego footprint `(length, width)`.
+    pub ego_dims: (f64, f64),
+    /// All other actors.
+    pub actors: Vec<SceneActor>,
+}
+
+impl SceneSnapshot {
+    /// Creates an empty scene (no actors).
+    pub fn new(time: f64, ego: VehicleState, ego_dims: (f64, f64)) -> Self {
+        SceneSnapshot {
+            time,
+            ego,
+            ego_dims,
+            actors: Vec::new(),
+        }
+    }
+
+    /// Builder-style actor addition.
+    pub fn with_actor(mut self, actor: SceneActor) -> Self {
+        self.actors.push(actor);
+        self
+    }
+
+    /// Builds a snapshot at step `index` of a recorded trace, using the
+    /// **ground-truth** future trajectories of every actor over
+    /// `horizon_steps` recorded steps — the offline evaluation mode of
+    /// §V-A/B/D.
+    ///
+    /// Returns `None` when `index` is out of range.
+    pub fn from_trace(trace: &Trace, index: usize, horizon_steps: usize) -> Option<Self> {
+        let step = trace.steps().get(index)?;
+        let mut scene = SceneSnapshot::new(step.time, step.ego, (4.6, 2.0));
+        for &(id, _, _, length, width) in &step.actors {
+            if let Some(traj) = trace.actor_trajectory(id, index, horizon_steps) {
+                scene.actors.push(SceneActor::new(id, traj, length, width));
+            }
+        }
+        Some(scene)
+    }
+
+    /// Builds a snapshot from a live world, **predicting** every actor's
+    /// trajectory with the CVTR model over `horizon` seconds at period `dt`
+    /// — the online mode used during SMC training and inference (§IV-C).
+    pub fn from_world_cvtr(world: &World, horizon: f64, dt: f64) -> Self {
+        let steps = (horizon / dt).ceil() as usize;
+        let cvtr = CvtrModel::new();
+        let mut scene = SceneSnapshot::new(world.time(), world.ego(), world.ego_dims());
+        for actor in world.actors() {
+            let traj = cvtr.predict(actor.state, actor.yaw_rate, world.time(), dt, steps);
+            scene
+                .actors
+                .push(SceneActor::new(actor.id, traj, actor.length, actor.width));
+        }
+        scene
+    }
+
+    /// A copy of the obstacle list with actor `id` removed — the
+    /// counterfactual `X^{/i}` of Eq. (2).
+    pub fn obstacles_without(&self, id: ActorId) -> Vec<Obstacle> {
+        self.actors
+            .iter()
+            .filter(|a| a.id != id)
+            .map(SceneActor::to_obstacle)
+            .collect()
+    }
+
+    /// All obstacles (the factual `X` of Eq. (1)).
+    pub fn obstacles(&self) -> Vec<Obstacle> {
+        self.actors.iter().map(SceneActor::to_obstacle).collect()
+    }
+
+    /// Returns `true` when the actor is *in path* (the paper's footnote 6:
+    /// its trajectory intersects the ego's).
+    ///
+    /// Implemented as a forward path-corridor test: the ego's path is the
+    /// ray along its heading (at least 60 m, or further at speed); an actor
+    /// is in path when any sample of its trajectory comes laterally within
+    /// the combined half-widths of that path, ahead of the ego. The test is
+    /// deliberately *not* time-synchronized — a stopped vehicle dead ahead
+    /// is in path no matter how slowly the ego approaches.
+    pub fn is_in_path(&self, actor: &SceneActor) -> bool {
+        let ego_pos = self.ego.position();
+        let dir = iprism_geom::Vec2::from_angle(self.ego.theta);
+        let reach = (self.ego.v * 4.0).max(60.0);
+        let path = iprism_geom::Segment::new(ego_pos, ego_pos + dir * reach);
+        let threshold = (self.ego_dims.1 + actor.width) * 0.5 + 0.4;
+        actor.trajectory.states().iter().any(|s| {
+            let p = s.position();
+            (p - ego_pos).dot(dir) > 0.0 && path.distance_to_point(p) <= threshold
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_dynamics::ControlInput;
+    use iprism_map::RoadMap;
+    use iprism_sim::{Actor, Behavior};
+
+    fn recorded_trace() -> Trace {
+        let map = RoadMap::straight_road(2, 3.5, 500.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(60.0, 5.25, 0.0, 8.0),
+            Behavior::lane_keep(8.0),
+        ));
+        w.spawn(Actor::vehicle(
+            2,
+            VehicleState::new(90.0, 1.75, 0.0, 9.0),
+            Behavior::lane_keep(9.0),
+        ));
+        let mut t = Trace::new(w.dt());
+        t.record(&w);
+        for _ in 0..60 {
+            w.step(ControlInput::COAST);
+            t.record(&w);
+        }
+        t
+    }
+
+    #[test]
+    fn from_trace_uses_ground_truth() {
+        let trace = recorded_trace();
+        let scene = SceneSnapshot::from_trace(&trace, 10, 25).unwrap();
+        assert_eq!(scene.actors.len(), 2);
+        assert!((scene.time - 1.0).abs() < 1e-9);
+        // Trajectories are the actual recorded futures.
+        let a1 = &scene.actors[0];
+        assert_eq!(a1.trajectory.len(), 26);
+        let recorded = trace.steps()[20].actors[0].1;
+        let from_scene = a1.trajectory.states()[10];
+        assert_eq!(recorded, from_scene);
+        // out of range
+        assert!(SceneSnapshot::from_trace(&trace, 1000, 10).is_none());
+    }
+
+    #[test]
+    fn from_world_predicts_with_cvtr() {
+        let map = RoadMap::straight_road(2, 3.5, 500.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(60.0, 5.25, 0.0, 8.0),
+            Behavior::lane_keep(8.0),
+        ));
+        w.step(ControlInput::COAST);
+        let scene = SceneSnapshot::from_world_cvtr(&w, 2.5, 0.25);
+        assert_eq!(scene.actors.len(), 1);
+        let traj = &scene.actors[0].trajectory;
+        assert_eq!(traj.len(), 11);
+        // Constant-velocity prediction moves the actor forward.
+        assert!(traj.states()[10].x > traj.states()[0].x + 15.0);
+    }
+
+    #[test]
+    fn counterfactual_obstacle_sets() {
+        let trace = recorded_trace();
+        let scene = SceneSnapshot::from_trace(&trace, 0, 10).unwrap();
+        assert_eq!(scene.obstacles().len(), 2);
+        assert_eq!(scene.obstacles_without(ActorId(1)).len(), 1);
+        assert_eq!(scene.obstacles_without(ActorId(99)).len(), 2);
+    }
+
+    #[test]
+    fn scene_actor_accessors() {
+        let traj = Trajectory::from_states(0.0, 0.1, vec![VehicleState::new(1.0, 2.0, 0.0, 3.0)]);
+        let a = SceneActor::new(ActorId(7), traj, 4.6, 2.0);
+        assert_eq!(a.current_state().x, 1.0);
+        let o = a.to_obstacle();
+        assert_eq!(o.length, 4.6);
+    }
+}

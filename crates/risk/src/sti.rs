@@ -1,0 +1,231 @@
+//! The Safety-Threat Indicator (Eq. 4–6 of the paper).
+
+use iprism_map::RoadMap;
+use iprism_reach::{compute_reach_tube, ReachConfig};
+use iprism_sim::ActorId;
+use serde::{Deserialize, Serialize};
+
+use crate::SceneSnapshot;
+
+/// Result of an STI evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sti {
+    /// `STI^(combined)` (Eq. 5): risk from all actors collectively, in
+    /// `[0, 1]`. 0 = no impact on escape routes, 1 = escape routes fully
+    /// eliminated.
+    pub combined: f64,
+    /// `STI^(i)` per actor (Eq. 4), in `[0, 1]`, in scene actor order.
+    pub per_actor: Vec<(ActorId, f64)>,
+    /// `|T|`: escape-route volume with every actor present (m²).
+    pub volume_all: f64,
+    /// `|T^∅|`: escape-route volume with no actors (m²).
+    pub volume_empty: f64,
+}
+
+impl Sti {
+    /// The most safety-threatening actor, if any actor has STI > 0.
+    pub fn riskiest_actor(&self) -> Option<(ActorId, f64)> {
+        self.per_actor
+            .iter()
+            .copied()
+            .filter(|(_, v)| *v > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite STI"))
+    }
+}
+
+/// Evaluates STI via counterfactual reach-tube queries.
+///
+/// Three (plus one per actor) reach-tubes are computed per evaluation:
+/// `T` with all actors, `T^∅` with none, and `T^{/i}` with actor *i*
+/// removed. The ratios of their volumes give the paper's Eq. (4) and (5).
+///
+/// The evaluator is configured by a [`ReachConfig`]; its `start_time` and
+/// `ego_dims` are overridden per scene.
+#[derive(Debug, Clone, Default)]
+pub struct StiEvaluator {
+    /// Reach-tube parameters.
+    pub config: ReachConfig,
+}
+
+impl StiEvaluator {
+    /// Creates an evaluator with the given reach configuration.
+    pub fn new(config: ReachConfig) -> Self {
+        StiEvaluator { config }
+    }
+
+    /// Full evaluation: combined STI plus per-actor STI (Eq. 4 and 5).
+    pub fn evaluate(&self, map: &RoadMap, scene: &SceneSnapshot) -> Sti {
+        let cfg = self.scene_config(scene);
+        let all = compute_reach_tube(map, scene.ego, &scene.obstacles(), &cfg);
+        let empty = compute_reach_tube(map, scene.ego, &[], &cfg);
+        let v_all = all.volume();
+        let v_empty = empty.volume();
+
+        let per_actor = scene
+            .actors
+            .iter()
+            .map(|a| {
+                let without = compute_reach_tube(map, scene.ego, &scene.obstacles_without(a.id), &cfg);
+                (a.id, sti_ratio(without.volume() - v_all, v_empty))
+            })
+            .collect();
+
+        Sti {
+            combined: sti_ratio(v_empty - v_all, v_empty),
+            per_actor,
+            volume_all: v_all,
+            volume_empty: v_empty,
+        }
+    }
+
+    /// Cheap evaluation of only `STI^(combined)` (two reach-tubes instead of
+    /// `N + 2`) — what the SMC reward needs at every RL step.
+    pub fn evaluate_combined(&self, map: &RoadMap, scene: &SceneSnapshot) -> f64 {
+        let cfg = self.scene_config(scene);
+        let all = compute_reach_tube(map, scene.ego, &scene.obstacles(), &cfg);
+        let empty = compute_reach_tube(map, scene.ego, &[], &cfg);
+        sti_ratio(empty.volume() - all.volume(), empty.volume())
+    }
+
+    fn scene_config(&self, scene: &SceneSnapshot) -> ReachConfig {
+        let mut cfg = self.config.at_time(scene.time);
+        cfg.ego_dims = scene.ego_dims;
+        cfg
+    }
+}
+
+/// `numerator / |T^∅|`, clamped into `[0, 1]`; 0 when there are no escape
+/// routes even in the empty world (the ego is trapped regardless of actors,
+/// so no actor-attributable risk exists).
+fn sti_ratio(numerator: f64, v_empty: f64) -> f64 {
+    if v_empty <= 0.0 {
+        return 0.0;
+    }
+    (numerator / v_empty).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SceneActor;
+    use iprism_dynamics::{Trajectory, VehicleState};
+
+    fn map3() -> RoadMap {
+        RoadMap::straight_road(3, 3.5, 600.0)
+    }
+
+    fn ego() -> VehicleState {
+        VehicleState::new(100.0, 5.25, 0.0, 10.0)
+    }
+
+    fn parked(id: u32, x: f64, y: f64) -> SceneActor {
+        SceneActor::new(
+            ActorId(id),
+            Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(x, y, 0.0, 0.0); 2]),
+            4.6,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn empty_scene_zero_risk() {
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0));
+        let sti = StiEvaluator::default().evaluate(&map3(), &scene);
+        assert_eq!(sti.combined, 0.0);
+        assert!(sti.per_actor.is_empty());
+        assert!(sti.riskiest_actor().is_none());
+        assert!((sti.volume_all - sti.volume_empty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmless_distant_actor_near_zero() {
+        let scene =
+            SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 500.0, 5.25));
+        let sti = StiEvaluator::default().evaluate(&map3(), &scene);
+        assert!(sti.combined < 0.02, "combined {}", sti.combined);
+        assert!(sti.per_actor[0].1 < 0.02);
+    }
+
+    #[test]
+    fn blocking_actor_raises_risk() {
+        let scene =
+            SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
+        let sti = StiEvaluator::default().evaluate(&map3(), &scene);
+        assert!(sti.combined > 0.1, "combined {}", sti.combined);
+        assert_eq!(sti.riskiest_actor().unwrap().0, ActorId(1));
+        // With one actor, per-actor STI equals combined STI.
+        assert!((sti.per_actor[0].1 - sti.combined).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surrounded_ego_risk_near_one() {
+        let mut scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0));
+        // Wall of cars directly ahead across all three lanes, plus flankers.
+        for (i, (x, y)) in [
+            (108.0, 1.75),
+            (108.0, 5.25),
+            (108.0, 8.75),
+            (100.0, 1.75),
+            (100.0, 8.75),
+            (94.0, 5.25),
+        ]
+        .iter()
+        .enumerate()
+        {
+            scene = scene.with_actor(parked(i as u32 + 1, *x, *y));
+        }
+        let sti = StiEvaluator::default().evaluate(&map3(), &scene);
+        assert!(sti.combined > 0.8, "combined {}", sti.combined);
+    }
+
+    #[test]
+    fn sti_within_bounds_and_attribution_sane() {
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0))
+            .with_actor(parked(1, 112.0, 5.25))
+            .with_actor(parked(2, 112.0, 8.75));
+        let sti = StiEvaluator::default().evaluate(&map3(), &scene);
+        assert!((0.0..=1.0).contains(&sti.combined));
+        for (_, v) in &sti.per_actor {
+            assert!((0.0..=1.0).contains(v));
+        }
+        // The in-lane blocker threatens more than the adjacent-lane one.
+        assert!(sti.per_actor[0].1 >= sti.per_actor[1].1);
+    }
+
+    #[test]
+    fn combined_fast_path_matches_full() {
+        let scene =
+            SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
+        let ev = StiEvaluator::default();
+        let full = ev.evaluate(&map3(), &scene);
+        let fast = ev.evaluate_combined(&map3(), &scene);
+        assert!((full.combined - fast).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_guards() {
+        assert_eq!(sti_ratio(5.0, 0.0), 0.0);
+        assert_eq!(sti_ratio(-3.0, 10.0), 0.0);
+        assert_eq!(sti_ratio(15.0, 10.0), 1.0);
+        assert!((sti_ratio(5.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_path_actor_still_contributes() {
+        // §V-D case (b): an actor in the adjacent lane encroaching on the
+        // ego lane poses risk although it never crosses the ego's path.
+        let encroaching = SceneActor::new(
+            ActorId(1),
+            Trajectory::from_states(
+                0.0,
+                2.5,
+                vec![VehicleState::new(110.0, 7.3, 0.0, 0.0); 2],
+            ),
+            8.0,
+            2.6, // oversized
+        );
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(encroaching);
+        let sti = StiEvaluator::default().evaluate(&map3(), &scene);
+        assert!(sti.combined > 0.03, "combined {}", sti.combined);
+    }
+}

@@ -1,0 +1,156 @@
+//! Time-to-collision (TTC) baseline metric.
+
+use crate::SceneSnapshot;
+
+/// Default TTC threshold below which a scene counts as risky (s). Used by
+/// the LTFMA study and the TTC-based ACA controller, following the ~3 s
+/// forward-collision-warning convention of the paper's references [11, 13].
+pub const TTC_RISK_SECONDS: f64 = 3.0;
+
+/// Time to collision with the closest *in-path* actor (§IV-C):
+/// `TTC = d / s_r` where `d` is the bumper distance to the closest actor
+/// whose trajectory intersects the ego's, and `s_r` the closing speed.
+///
+/// Returns `None` when no in-path actor is closing — exactly the blindness
+/// the paper exploits: out-of-path actors (e.g. a cut-in approaching from
+/// the side) produce no TTC at all until they enter the path.
+pub fn time_to_collision(scene: &SceneSnapshot) -> Option<f64> {
+    let ego = scene.ego;
+    let ego_vel = ego.velocity();
+    let mut best: Option<f64> = None;
+
+    for actor in &scene.actors {
+        let a = actor.current_state();
+        if !scene.is_in_path(actor) {
+            continue;
+        }
+        let offset = a.position() - ego.position();
+        let dist = offset.norm();
+        let half_lengths = (scene.ego_dims.0 + actor.length) * 0.5;
+        let d = (dist - half_lengths).max(0.0);
+        let dir = match offset.try_normalize() {
+            Some(d) => d,
+            None => continue,
+        };
+        // Closing speed along the line connecting the two bodies.
+        let s_r = (ego_vel - a.velocity()).dot(dir);
+        if s_r <= 0.05 {
+            continue; // separating or static relative motion
+        }
+        let ttc = d / s_r;
+        if best.map_or(true, |b| ttc < b) {
+            best = Some(ttc);
+        }
+    }
+    best
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SceneActor;
+    use iprism_dynamics::{Trajectory, VehicleState};
+    use iprism_sim::ActorId;
+
+    fn scene_with(actors: Vec<SceneActor>) -> SceneSnapshot {
+        let mut s = SceneSnapshot::new(0.0, VehicleState::new(0.0, 0.0, 0.0, 10.0), (4.6, 2.0));
+        s.actors = actors;
+        s
+    }
+
+    fn stopped_ahead(id: u32, x: f64) -> SceneActor {
+        SceneActor::new(
+            ActorId(id),
+            Trajectory::from_states(0.0, 0.25, vec![VehicleState::new(x, 0.0, 0.0, 0.0); 21]),
+            4.6,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn empty_scene_no_ttc() {
+        assert!(time_to_collision(&scene_with(vec![])).is_none());
+    }
+
+    #[test]
+    fn stopped_lead_gives_ttc() {
+        let s = scene_with(vec![stopped_ahead(1, 25.0)]);
+        let ttc = time_to_collision(&s).unwrap();
+        // 25 m - 4.6 m bumpers = 20.4 m at 10 m/s closing.
+        assert!((ttc - 2.04).abs() < 0.05, "ttc {ttc}");
+    }
+
+    #[test]
+    fn closest_of_two_leads_wins() {
+        let s = scene_with(vec![stopped_ahead(1, 40.0), stopped_ahead(2, 25.0)]);
+        let ttc = time_to_collision(&s).unwrap();
+        assert!(ttc < 2.1);
+    }
+
+    #[test]
+    fn adjacent_lane_actor_invisible() {
+        // Actor 3.5 m to the side travelling parallel: never in path.
+        let side = SceneActor::new(
+            ActorId(1),
+            Trajectory::from_states(
+                0.0,
+                0.25,
+                (0..21)
+                    .map(|i| VehicleState::new(10.0 + 2.5 * i as f64 * 0.25, 3.5, 0.0, 10.0))
+                    .collect(),
+            ),
+            4.6,
+            2.0,
+        );
+        assert!(time_to_collision(&scene_with(vec![side])).is_none());
+    }
+
+    #[test]
+    fn receding_lead_no_ttc() {
+        // Lead moving away faster than the ego.
+        let fleeing = SceneActor::new(
+            ActorId(1),
+            Trajectory::from_states(
+                0.0,
+                0.25,
+                (0..21)
+                    .map(|i| VehicleState::new(20.0 + 15.0 * i as f64 * 0.25, 0.0, 0.0, 15.0))
+                    .collect(),
+            ),
+            4.6,
+            2.0,
+        );
+        assert!(time_to_collision(&scene_with(vec![fleeing])).is_none());
+    }
+
+    #[test]
+    fn cut_in_only_visible_after_entering_path() {
+        // Before the cut-in: actor parallel in the adjacent lane → None.
+        // After it crosses into the ego lane ahead → Some.
+        let cutting: Vec<VehicleState> = (0..21)
+            .map(|i| {
+                let t = i as f64 * 0.25;
+                let y = (3.5 - 3.5 * (t / 2.0).min(1.0)).max(0.0);
+                VehicleState::new(12.0 + 8.0 * t, y, 0.0, 8.0)
+            })
+            .collect();
+        let actor = SceneActor::new(
+            ActorId(1),
+            Trajectory::from_states(0.0, 0.25, cutting),
+            4.6,
+            2.0,
+        );
+        let s = scene_with(vec![actor]);
+        // The ego at 10 m/s catches up with the 8 m/s cutting actor.
+        let ttc = time_to_collision(&s);
+        assert!(ttc.is_some());
+    }
+
+    #[test]
+    fn overlapping_bodies_zero_ttc() {
+        let s = scene_with(vec![stopped_ahead(1, 3.0)]);
+        let ttc = time_to_collision(&s).unwrap();
+        assert_eq!(ttc, 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The environment abstraction the trainer drives.
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// Observation after the step.
+    pub state: Vec<f64>,
+    /// Immediate reward.
+    pub reward: f64,
+    /// `true` when the episode ended (collision, goal, or timeout).
+    pub done: bool,
+}
+
+/// An episodic RL environment with a fixed-size observation vector and a
+/// discrete action set.
+pub trait Environment {
+    /// Observation dimensionality.
+    fn state_dim(&self) -> usize;
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self) -> Vec<f64>;
+    /// Applies an action.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `action >= num_actions()`.
+    fn step(&mut self, action: usize) -> StepOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        n: u32,
+    }
+
+    impl Environment for Counter {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.n = 0;
+            vec![0.0]
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            if action == 1 {
+                self.n += 1;
+            }
+            StepOutcome {
+                state: vec![self.n as f64],
+                reward: action as f64,
+                done: self.n >= 3,
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut env: Box<dyn Environment> = Box::new(Counter { n: 0 });
+        assert_eq!(env.reset(), vec![0.0]);
+        let mut steps = 0;
+        loop {
+            let out = env.step(1);
+            steps += 1;
+            if out.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Double-DQN reinforcement learning (paper reference [47]) for iPrism's
+//! safety-hazard mitigation controller.
+//!
+//! The crate is simulator-agnostic: anything implementing [`Environment`]
+//! can be trained. It provides the pieces Fig. 2 of the paper wires
+//! together: an experience [`ReplayBuffer`], an ε-greedy
+//! [`EpsilonSchedule`] (random exploration shifting to exploitation), and a
+//! [`DdqnAgent`] holding online + target Q-networks updated with the
+//! double-Q target `r + γ · Q_target(s′, argmax_a Q_online(s′, a))`.
+//!
+//! # Quick example
+//!
+//! ```
+//! use iprism_rl::{train, DdqnConfig, Environment, StepOutcome};
+//!
+//! // A 1-D walk: reach +3 for reward.
+//! struct Walk { pos: i32 }
+//! impl Environment for Walk {
+//!     fn state_dim(&self) -> usize { 1 }
+//!     fn num_actions(&self) -> usize { 2 }
+//!     fn reset(&mut self) -> Vec<f64> { self.pos = 0; vec![0.0] }
+//!     fn step(&mut self, action: usize) -> StepOutcome {
+//!         self.pos += if action == 1 { 1 } else { -1 };
+//!         let done = self.pos.abs() >= 3;
+//!         let reward = if self.pos >= 3 { 1.0 } else { 0.0 };
+//!         StepOutcome { state: vec![self.pos as f64 / 3.0], reward, done }
+//!     }
+//! }
+//!
+//! let mut env = Walk { pos: 0 };
+//! let report = train(&mut env, &DdqnConfig::small_test(), 60);
+//! let last: f64 = report.episode_returns.iter().rev().take(10).sum::<f64>() / 10.0;
+//! assert!(last > 0.5, "agent should learn to walk right, got {last}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ddqn;
+mod env;
+mod replay;
+mod schedule;
+
+pub use ddqn::{train, DdqnAgent, DdqnConfig, TrainedAgent};
+pub use env::{Environment, StepOutcome};
+pub use replay::{ReplayBuffer, Transition};
+pub use schedule::EpsilonSchedule;

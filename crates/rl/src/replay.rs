@@ -1,0 +1,168 @@
+//! Experience replay.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One experienced transition `(s, a, r, s′, done)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f64>,
+    /// Action index taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Vec<f64>,
+    /// Whether the episode ended at `next_state`.
+    pub done: bool,
+}
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            data: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Maximum capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `batch` transitions uniformly at random (with replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is empty.
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R, batch: usize) -> Vec<&'a Transition> {
+        assert!(!self.data.is_empty(), "cannot sample from empty buffer");
+        (0..batch)
+            .map(|_| &self.data[rng.gen_range(0..self.data.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn t(r: f64) -> Transition {
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: vec![r + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_until_capacity_then_evict() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.capacity(), 3);
+        // Oldest (0 and 1) evicted: rewards are {2,3,4} in some order.
+        let mut rewards: Vec<f64> = b.data.iter().map(|x| x.reward).collect();
+        rewards.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(rewards, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(t(i as f64));
+        }
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        let s1: Vec<f64> = b.sample(&mut r1, 4).iter().map(|t| t.reward).collect();
+        let s2: Vec<f64> = b.sample(&mut r2, 4).iter().map(|t| t.reward).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = b.sample(&mut rng, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_never_exceeds_capacity(pushes in 0usize..100, cap in 1usize..20) {
+            let mut b = ReplayBuffer::new(cap);
+            for i in 0..pushes {
+                b.push(t(i as f64));
+            }
+            prop_assert!(b.len() <= cap);
+            prop_assert_eq!(b.len(), pushes.min(cap));
+            prop_assert_eq!(b.is_empty(), pushes == 0);
+        }
+
+        #[test]
+        fn prop_eviction_keeps_newest(cap in 1usize..10, extra in 1usize..10) {
+            let mut b = ReplayBuffer::new(cap);
+            let total = cap + extra;
+            for i in 0..total {
+                b.push(t(i as f64));
+            }
+            // every retained reward is among the newest `cap` pushes
+            for tr in &b.data {
+                prop_assert!(tr.reward >= (total - cap) as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Exploration schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A linearly decaying ε-greedy schedule: exploration probability starts at
+/// `start`, reaches `end` after `decay_steps` environment steps, and stays
+/// there — the paper's "random exploration, followed by a shift towards
+/// exploitation".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    /// Initial exploration probability.
+    pub start: f64,
+    /// Final exploration probability.
+    pub end: f64,
+    /// Steps over which ε decays linearly.
+    pub decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ end ≤ start ≤ 1`.
+    pub fn new(start: f64, end: f64, decay_steps: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end) && end <= start,
+            "need 0 <= end <= start <= 1, got start={start} end={end}"
+        );
+        EpsilonSchedule {
+            start,
+            end,
+            decay_steps,
+        }
+    }
+
+    /// ε at environment step `step`.
+    pub fn value(&self, step: u64) -> f64 {
+        if self.decay_steps == 0 || step >= self.decay_steps {
+            return self.end;
+        }
+        let f = step as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * f
+    }
+}
+
+impl Default for EpsilonSchedule {
+    /// 1.0 → 0.05 over 5000 steps.
+    fn default() -> Self {
+        EpsilonSchedule::new(1.0, 0.05, 5000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn endpoints() {
+        let s = EpsilonSchedule::new(1.0, 0.1, 100);
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(100), 0.1);
+        assert_eq!(s.value(1_000_000), 0.1);
+        assert!((s.value(50) - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_decay_is_constant_end() {
+        let s = EpsilonSchedule::new(1.0, 0.2, 0);
+        assert_eq!(s.value(0), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "start")]
+    fn invalid_bounds_panic() {
+        let _ = EpsilonSchedule::new(0.1, 0.5, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_nonincreasing(a in 0u64..1000, b in 0u64..1000) {
+            let s = EpsilonSchedule::default();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(s.value(lo) >= s.value(hi) - 1e-12);
+        }
+
+        #[test]
+        fn prop_bounded(step in 0u64..100_000) {
+            let s = EpsilonSchedule::default();
+            let v = s.value(step);
+            prop_assert!(v >= s.end - 1e-12 && v <= s.start + 1e-12);
+        }
+    }
+}

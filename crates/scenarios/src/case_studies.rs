@@ -1,0 +1,213 @@
+//! The four Figure-7 case studies of §V-D.
+//!
+//! Each returns a fully configured [`World`] capturing the depicted moment;
+//! evaluating per-actor STI on a CVTR snapshot of the world reproduces the
+//! qualitative findings (which actor dominates the risk, which actors are
+//! harmless).
+
+use iprism_dynamics::VehicleState;
+use iprism_map::RoadMap;
+use iprism_sim::{Actor, ActorKind, Behavior, World};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_PI_2;
+
+/// The Figure-7 scenes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseStudy {
+    /// (a) A pedestrian crossing forces the ego to stop (paper: STI 0.72,
+    /// the most safety-threatening actor).
+    PedestrianCrossing,
+    /// (b) An oversized actor in the adjacent lane partially occupies the
+    /// ego lane without intending to merge (paper: STI 0.69 — risky while
+    /// never in the ego's path).
+    OversizedActor,
+    /// (c) A cluttered street: one actor exiting the lane (STI 0), one
+    /// entering (STI 0.35), one badly parked blocking part of the lane.
+    ClutteredStreet,
+    /// (d) An actor pulling out of a parking spot plus two actors occupying
+    /// the adjacent lane the ego might otherwise use.
+    ActorPullingOut,
+}
+
+impl CaseStudy {
+    /// All four scenes in Figure-7 order.
+    pub const ALL: [CaseStudy; 4] = [
+        CaseStudy::PedestrianCrossing,
+        CaseStudy::OversizedActor,
+        CaseStudy::ClutteredStreet,
+        CaseStudy::ActorPullingOut,
+    ];
+
+    /// Scene label matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseStudy::PedestrianCrossing => "pedestrian crossing",
+            CaseStudy::OversizedActor => "oversized actor",
+            CaseStudy::ClutteredStreet => "cluttered environment",
+            CaseStudy::ActorPullingOut => "actor pulling out",
+        }
+    }
+}
+
+/// Builds the world for a case study.
+pub fn case_study(kind: CaseStudy) -> World {
+    match kind {
+        CaseStudy::PedestrianCrossing => pedestrian_crossing(),
+        CaseStudy::OversizedActor => oversized_actor(),
+        CaseStudy::ClutteredStreet => cluttered_street(),
+        CaseStudy::ActorPullingOut => actor_pulling_out(),
+    }
+}
+
+fn base_world(ego_speed: f64) -> World {
+    base_world_lanes(ego_speed, 2)
+}
+
+fn base_world_lanes(ego_speed: f64, lanes: usize) -> World {
+    let map = RoadMap::straight_road(lanes, 3.5, 300.0);
+    World::new(map, VehicleState::new(50.0, 1.75, 0.0, ego_speed), 0.1)
+}
+
+/// (a) A pedestrian mid-crossing directly ahead of the ego.
+fn pedestrian_crossing() -> World {
+    let mut w = base_world(8.0);
+    w.spawn(Actor::new(
+        1,
+        ActorKind::Pedestrian,
+        VehicleState::new(66.0, 1.2, FRAC_PI_2, 1.4), // walking across the lane
+        Behavior::PedestrianCross {
+            speed: 1.4,
+            trigger_distance: 1e9, // already crossing
+            started: true,
+        },
+    ));
+    // A benign vehicle far ahead for scene context.
+    w.spawn(Actor::vehicle(
+        2,
+        VehicleState::new(160.0, 5.25, 0.0, 8.0),
+        Behavior::lane_keep(8.0),
+    ));
+    w
+}
+
+/// (b) An oversized truck in the adjacent lane encroaching on the ego lane.
+fn oversized_actor() -> World {
+    let mut w = base_world(8.0);
+    // Truck centred so it pokes ~0.6 m into the ego lane, moving parallel.
+    w.spawn(Actor::oversized(
+        1,
+        VehicleState::new(68.0, 4.1, 0.0, 6.0),
+        Behavior::lane_keep(6.0),
+    ));
+    // Ordinary vehicle well ahead in the ego lane.
+    w.spawn(Actor::vehicle(
+        2,
+        VehicleState::new(150.0, 1.75, 0.0, 8.0),
+        Behavior::lane_keep(8.0),
+    ));
+    w
+}
+
+/// (c) Cluttered street with entering, exiting and badly parked actors.
+fn cluttered_street() -> World {
+    let mut w = base_world(8.0);
+    // Actor behind the ego, exiting the drivable lane (angled away).
+    w.spawn(Actor::vehicle(
+        1,
+        VehicleState::new(35.0, 0.6, -0.35, 3.0),
+        Behavior::Idle,
+    ));
+    // Actor entering the lane just ahead (angled in from the roadside).
+    w.spawn(Actor::vehicle(
+        2,
+        VehicleState::new(66.0, 0.8, 0.45, 3.0),
+        Behavior::Idle,
+    ));
+    // Badly parked car partially blocking the ego lane.
+    w.spawn(Actor::parked(3, VehicleState::new(76.0, 0.9, 0.1, 0.0)));
+    // Slow traffic in the adjacent lane, pinning the left escape.
+    w.spawn(Actor::vehicle(
+        4,
+        VehicleState::new(62.0, 5.25, 0.0, 5.0),
+        Behavior::lane_keep(5.0),
+    ));
+    w
+}
+
+/// (d) An actor pulling out of a parking spot into the ego lane while two
+/// vehicles occupy the adjacent lane.
+fn actor_pulling_out() -> World {
+    // A wider street (three lanes), as in the paper's scene (d): the ego
+    // could in principle manoeuvre into the upper lanes.
+    let mut w = base_world_lanes(8.0, 3);
+    // Pulling out: angled into lane 0 ahead of the ego, accelerating.
+    w.spawn(Actor::vehicle(
+        1,
+        VehicleState::new(70.0, 0.7, 0.35, 2.0),
+        Behavior::PullOut {
+            target_lane: iprism_map::LaneId(0),
+            trigger_distance: 1e9,
+            target_speed: 5.0,
+            started: true,
+        },
+    ));
+    // Two actors in the top lane the ego might otherwise use.
+    w.spawn(Actor::vehicle(
+        2,
+        VehicleState::new(56.0, 5.25, 0.0, 5.0),
+        Behavior::lane_keep(5.0),
+    ));
+    w.spawn(Actor::vehicle(
+        3,
+        VehicleState::new(68.0, 5.25, 0.0, 5.0),
+        Behavior::lane_keep(5.0),
+    ));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenes_build() {
+        for kind in CaseStudy::ALL {
+            let w = case_study(kind);
+            assert!(!w.actors().is_empty(), "{}", kind.name());
+            // No initial collision with the ego anywhere.
+            for a in w.actors() {
+                assert!(
+                    !a.footprint().intersects(&w.ego_footprint()),
+                    "{}: initial overlap",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(CaseStudy::PedestrianCrossing.name(), "pedestrian crossing");
+        assert_eq!(CaseStudy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn oversized_truck_encroaches_ego_lane() {
+        let w = case_study(CaseStudy::OversizedActor);
+        let truck = &w.actors()[0];
+        let fp = truck.footprint();
+        // The footprint dips below y = 3.5 (into lane 0).
+        assert!(fp.aabb().min.y < 3.5);
+        assert_eq!(truck.kind, ActorKind::Oversized);
+    }
+
+    #[test]
+    fn scenes_step_without_panicking() {
+        for kind in CaseStudy::ALL {
+            let mut w = case_study(kind);
+            for _ in 0..20 {
+                w.step(iprism_dynamics::ControlInput::COAST);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Hyperparameter sampling: typology → concrete scenario instances.
+
+use iprism_sim::{EpisodeConfig, Goal, World};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{builders, Typology};
+
+/// A fully specified scenario instance: a typology plus concrete
+/// hyperparameter values. Building the world is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The typology this instance belongs to.
+    pub typology: Typology,
+    /// Hyperparameter values, in [`Typology::hyperparameters`] order.
+    pub params: Vec<f64>,
+    /// Instance index within its sweep (stable identifier).
+    pub index: usize,
+}
+
+impl ScenarioSpec {
+    /// Creates a spec from explicit parameter values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of parameters does not match the typology.
+    pub fn new(typology: Typology, params: Vec<f64>, index: usize) -> Self {
+        assert_eq!(
+            params.len(),
+            typology.hyperparameters().len(),
+            "wrong parameter count for {typology}"
+        );
+        ScenarioSpec {
+            typology,
+            params,
+            index,
+        }
+    }
+
+    /// Value of a named hyperparameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is unknown for this typology.
+    pub fn param(&self, name: &str) -> f64 {
+        let i = self
+            .typology
+            .hyperparameters()
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown hyperparameter {name} for {}", self.typology));
+        self.params[i]
+    }
+
+    /// Constructs the simulation world for this instance.
+    pub fn build_world(&self) -> World {
+        builders::build_world(self)
+    }
+
+    /// The episode configuration used to run this instance.
+    pub fn episode_config(&self) -> EpisodeConfig {
+        match self.typology {
+            // Goal: traverse the ring to the east point (the exit mouth).
+            Typology::RoundaboutGhostCutIn => EpisodeConfig {
+                max_time: 40.0,
+                goal: Goal::Point {
+                    x: 15.5,
+                    y: 0.0,
+                    radius: 4.0,
+                },
+                stop_on_collision: true,
+            },
+            _ => EpisodeConfig {
+                max_time: 35.0,
+                goal: Goal::XThreshold(crate::EGO_START_X + 200.0),
+                stop_on_collision: true,
+            },
+        }
+    }
+}
+
+/// Uniformly samples `count` scenario instances of a typology (Table I's
+/// methodology: "we varied the hyperparameters uniformly for each
+/// typology"). Deterministic under `base_seed`.
+pub fn sample_instances(typology: Typology, count: usize, base_seed: u64) -> Vec<ScenarioSpec> {
+    let ranges = typology.hyperparameter_ranges();
+    let mut rng = ChaCha8Rng::seed_from_u64(base_seed ^ (typology as u64).wrapping_mul(0x9E3779B9));
+    (0..count)
+        .map(|index| {
+            let params = ranges
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                .collect();
+            ScenarioSpec {
+                typology,
+                params,
+                index,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let a = sample_instances(Typology::GhostCutIn, 50, 7);
+        let b = sample_instances(Typology::GhostCutIn, 50, 7);
+        assert_eq!(a, b);
+        let ranges = Typology::GhostCutIn.hyperparameter_ranges();
+        for spec in &a {
+            for (v, (lo, hi)) in spec.params.iter().zip(ranges) {
+                assert!(v >= lo && v < hi);
+            }
+        }
+        // different seed, different draws
+        let c = sample_instances(Typology::GhostCutIn, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn typologies_draw_distinct_streams() {
+        let a = sample_instances(Typology::GhostCutIn, 5, 7);
+        let b = sample_instances(Typology::LeadCutIn, 5, 7);
+        assert_ne!(a[0].params, b[0].params);
+    }
+
+    #[test]
+    fn param_lookup_by_name() {
+        let spec = ScenarioSpec::new(Typology::GhostCutIn, vec![10.0, 8.0, 11.0], 0);
+        assert_eq!(spec.param("distance_same_lane"), 10.0);
+        assert_eq!(spec.param("speed_lane_change"), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown hyperparameter")]
+    fn unknown_param_panics() {
+        let spec = ScenarioSpec::new(Typology::GhostCutIn, vec![1.0, 2.0, 3.0], 0);
+        let _ = spec.param("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong parameter count")]
+    fn wrong_count_panics() {
+        let _ = ScenarioSpec::new(Typology::GhostCutIn, vec![1.0], 0);
+    }
+
+    #[test]
+    fn every_nhtsa_typology_builds() {
+        for t in Typology::NHTSA {
+            for spec in sample_instances(t, 3, 11) {
+                let w = spec.build_world();
+                assert!(!w.actors().is_empty(), "{t}");
+                let _ = spec.episode_config();
+            }
+        }
+    }
+
+    #[test]
+    fn roundabout_builds() {
+        for spec in sample_instances(Typology::RoundaboutGhostCutIn, 3, 11) {
+            let w = spec.build_world();
+            assert!(!w.actors().is_empty());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The scenario typologies of §IV-B1.
+
+use serde::{Deserialize, Serialize};
+
+/// An NHTSA pre-crash scenario typology (Fig. 3 of the paper), plus the
+/// roundabout variant used in the RIP comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Typology {
+    /// An actor approaches from behind in the adjacent lane and cuts in
+    /// abruptly once it has caught up — threat from the side.
+    GhostCutIn,
+    /// An actor ahead in the adjacent lane cuts in as the ego approaches —
+    /// threat from the front and side.
+    LeadCutIn,
+    /// An actor ahead in the same lane slows to a stop — threat from the
+    /// front.
+    LeadSlowdown,
+    /// Two actors ahead collide in a merging conflict, leaving a wreck —
+    /// threat from all directions.
+    FrontAccident,
+    /// An actor approaches from behind in the same lane and hits the ego —
+    /// threat from the back.
+    RearEnd,
+    /// Ghost cut-in combined with the roundabout map (§V-C's additional
+    /// RIP evaluation).
+    RoundaboutGhostCutIn,
+}
+
+impl Typology {
+    /// The five NHTSA typologies of Table I (excludes the roundabout
+    /// variant).
+    pub const NHTSA: [Typology; 5] = [
+        Typology::GhostCutIn,
+        Typology::LeadCutIn,
+        Typology::LeadSlowdown,
+        Typology::FrontAccident,
+        Typology::RearEnd,
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Typology::GhostCutIn => "Ghost Cut-in",
+            Typology::LeadCutIn => "Lead Cut-in",
+            Typology::LeadSlowdown => "Lead Slowdown",
+            Typology::FrontAccident => "Front Accident",
+            Typology::RearEnd => "Rear-end",
+            Typology::RoundaboutGhostCutIn => "Roundabout Ghost Cut-in",
+        }
+    }
+
+    /// The hyperparameter names of Table I, in sampling order.
+    pub fn hyperparameters(self) -> &'static [&'static str] {
+        match self {
+            Typology::GhostCutIn => {
+                &["distance_same_lane", "distance_lane_change", "speed_lane_change"]
+            }
+            Typology::LeadCutIn => {
+                &["event_trigger_distance", "distance_lane_change", "speed_lane_change"]
+            }
+            Typology::LeadSlowdown => {
+                &["npc_vehicle_location", "npc_vehicle_speed", "event_trigger_distance"]
+            }
+            Typology::FrontAccident => {
+                &["distance_lane_change", "distance_same_lane", "event_trigger_distance"]
+            }
+            Typology::RearEnd => {
+                &["npc_vehicle_1_speed", "npc_vehicle_2_speed", "npc_vehicle_1_location"]
+            }
+            Typology::RoundaboutGhostCutIn => {
+                &["npc_arc_offset", "npc_speed", "ego_speed"]
+            }
+        }
+    }
+
+    /// The uniform sampling range of each hyperparameter, in the same order
+    /// as [`Typology::hyperparameters`]. Ranges are calibrated so the LBC
+    /// baseline's per-typology accident rates reproduce the *profile* of
+    /// Table I (see DESIGN.md).
+    pub fn hyperparameter_ranges(self) -> &'static [(f64, f64)] {
+        match self {
+            Typology::GhostCutIn => &[(8.0, 30.0), (5.0, 18.0), (8.6, 14.0)],
+            Typology::LeadCutIn => &[(8.0, 28.0), (5.0, 15.0), (2.2, 6.5)],
+            Typology::LeadSlowdown => &[(8.0, 28.0), (4.0, 8.0), (8.0, 30.0)],
+            Typology::FrontAccident => &[(6.0, 16.0), (2.0, 42.0), (10.0, 40.0)],
+            Typology::RearEnd => &[(8.2, 13.5), (6.0, 8.0), (30.0, 80.0)],
+            Typology::RoundaboutGhostCutIn => &[(0.0, 4.5), (6.5, 11.0), (6.5, 10.0)],
+        }
+    }
+
+    /// Scenario instances generated per typology in the paper (Table I).
+    pub fn paper_instance_count(self) -> usize {
+        match self {
+            Typology::FrontAccident => 810,
+            _ => 1000,
+        }
+    }
+}
+
+impl std::fmt::Display for Typology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_consistent() {
+        for t in Typology::NHTSA {
+            assert_eq!(t.hyperparameters().len(), 3, "{t}");
+            assert_eq!(t.hyperparameter_ranges().len(), 3, "{t}");
+            for (lo, hi) in t.hyperparameter_ranges() {
+                assert!(lo < hi, "{t}");
+            }
+            assert!(!t.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_counts() {
+        assert_eq!(Typology::FrontAccident.paper_instance_count(), 810);
+        assert_eq!(Typology::GhostCutIn.paper_instance_count(), 1000);
+        let total: usize = Typology::NHTSA
+            .iter()
+            .map(|t| t.paper_instance_count())
+            .sum();
+        assert_eq!(total, 4810); // the paper's 4810 scenarios
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", Typology::GhostCutIn), "Ghost Cut-in");
+    }
+}

@@ -1,0 +1,166 @@
+//! Non-ego actors: vehicles, pedestrians and static obstacles.
+
+use iprism_dynamics::VehicleState;
+use iprism_geom::Obb;
+use serde::{Deserialize, Serialize};
+
+use crate::Behavior;
+
+/// Identifier of an actor within a [`crate::World`]. The ego vehicle has no
+/// `ActorId`; ids refer exclusively to other actors, matching the paper's
+/// convention that "an actor is an on-road vehicle other than the AV".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActorId(pub u32);
+
+/// What kind of road user an actor is. The kind fixes the default footprint
+/// and motion model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActorKind {
+    /// A passenger car (4.6 m × 2.0 m, bicycle-model motion).
+    Vehicle,
+    /// An oversized vehicle such as a truck (8.0 m × 2.6 m).
+    Oversized,
+    /// A pedestrian (0.6 m square, holonomic motion).
+    Pedestrian,
+    /// A parked / static obstacle (vehicle footprint, never moves).
+    Parked,
+}
+
+impl ActorKind {
+    /// Default footprint `(length, width)` for the kind.
+    pub fn default_dims(self) -> (f64, f64) {
+        match self {
+            ActorKind::Vehicle | ActorKind::Parked => (crate::VEHICLE_LENGTH, crate::VEHICLE_WIDTH),
+            ActorKind::Oversized => (8.0, 2.6),
+            ActorKind::Pedestrian => (crate::PEDESTRIAN_SIZE, crate::PEDESTRIAN_SIZE),
+        }
+    }
+}
+
+/// How an actor's state integrates a control command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MotionModel {
+    /// Kinematic bicycle model (vehicles).
+    Bicycle,
+    /// Holonomic point motion: heading changes directly (pedestrians).
+    Holonomic,
+    /// Never moves (parked cars, debris).
+    Static,
+}
+
+/// A scripted non-ego actor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actor {
+    /// Unique id within the world.
+    pub id: ActorId,
+    /// Road-user category.
+    pub kind: ActorKind,
+    /// Current kinematic state.
+    pub state: VehicleState,
+    /// Current yaw rate (rad/s), updated by the world each step; used by the
+    /// CVTR predictor.
+    pub yaw_rate: f64,
+    /// Footprint length (m).
+    pub length: f64,
+    /// Footprint width (m).
+    pub width: f64,
+    /// The scripted behaviour driving this actor.
+    pub behavior: Behavior,
+    /// How control commands integrate.
+    pub motion: MotionModel,
+}
+
+impl Actor {
+    /// Creates an actor of `kind` with that kind's default dimensions and
+    /// motion model.
+    pub fn new(id: u32, kind: ActorKind, state: VehicleState, behavior: Behavior) -> Self {
+        let (length, width) = kind.default_dims();
+        let motion = match kind {
+            ActorKind::Vehicle | ActorKind::Oversized => MotionModel::Bicycle,
+            ActorKind::Pedestrian => MotionModel::Holonomic,
+            ActorKind::Parked => MotionModel::Static,
+        };
+        Actor {
+            id: ActorId(id),
+            kind,
+            state,
+            yaw_rate: 0.0,
+            length,
+            width,
+            behavior,
+            motion,
+        }
+    }
+
+    /// Convenience: a passenger-car actor.
+    pub fn vehicle(id: u32, state: VehicleState, behavior: Behavior) -> Self {
+        Actor::new(id, ActorKind::Vehicle, state, behavior)
+    }
+
+    /// Convenience: a pedestrian actor.
+    pub fn pedestrian(id: u32, state: VehicleState, behavior: Behavior) -> Self {
+        Actor::new(id, ActorKind::Pedestrian, state, behavior)
+    }
+
+    /// Convenience: a parked (static) vehicle.
+    pub fn parked(id: u32, state: VehicleState) -> Self {
+        Actor::new(id, ActorKind::Parked, state, Behavior::Idle)
+    }
+
+    /// Convenience: an oversized vehicle (truck).
+    pub fn oversized(id: u32, state: VehicleState, behavior: Behavior) -> Self {
+        Actor::new(id, ActorKind::Oversized, state, behavior)
+    }
+
+    /// Overrides the footprint dimensions.
+    pub fn with_dims(mut self, length: f64, width: f64) -> Self {
+        assert!(length > 0.0 && width > 0.0, "positive actor dims");
+        self.length = length;
+        self.width = width;
+        self
+    }
+
+    /// Current footprint as an oriented box.
+    pub fn footprint(&self) -> Obb {
+        self.state.footprint(self.length, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_sane_defaults() {
+        assert_eq!(ActorKind::Vehicle.default_dims(), (4.6, 2.0));
+        assert_eq!(ActorKind::Oversized.default_dims(), (8.0, 2.6));
+        assert_eq!(ActorKind::Pedestrian.default_dims(), (0.6, 0.6));
+        assert_eq!(ActorKind::Parked.default_dims(), (4.6, 2.0));
+    }
+
+    #[test]
+    fn constructors_assign_motion_models() {
+        let s = VehicleState::new(0.0, 0.0, 0.0, 5.0);
+        assert_eq!(Actor::vehicle(1, s, Behavior::Idle).motion, MotionModel::Bicycle);
+        assert_eq!(Actor::pedestrian(2, s, Behavior::Idle).motion, MotionModel::Holonomic);
+        assert_eq!(Actor::parked(3, s).motion, MotionModel::Static);
+        assert_eq!(Actor::oversized(4, s, Behavior::Idle).motion, MotionModel::Bicycle);
+    }
+
+    #[test]
+    fn with_dims_overrides() {
+        let s = VehicleState::new(0.0, 0.0, 0.0, 0.0);
+        let a = Actor::vehicle(1, s, Behavior::Idle).with_dims(10.0, 3.0);
+        assert_eq!(a.length, 10.0);
+        let fp = a.footprint();
+        assert_eq!(fp.length, 10.0);
+        assert_eq!(fp.width, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive actor dims")]
+    fn bad_dims_panic() {
+        let s = VehicleState::new(0.0, 0.0, 0.0, 0.0);
+        let _ = Actor::vehicle(1, s, Behavior::Idle).with_dims(0.0, 1.0);
+    }
+}

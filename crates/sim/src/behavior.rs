@@ -1,0 +1,651 @@
+//! Scripted, deterministic NPC behaviours.
+//!
+//! Each NHTSA pre-crash typology (§IV-B1 of the paper) is realized by
+//! composing these behaviours: `CutIn` (ghost/lead cut-in), `Slowdown`
+//! (lead slowdown), `RearApproach` (rear-end), `MergeInto` (front accident),
+//! plus `PedestrianCross`, `PullOut` and `Parked`-style actors for the
+//! Argoverse-like dataset scenes (§V-D).
+
+use iprism_dynamics::{ControlInput, Trajectory, VehicleState};
+use iprism_geom::wrap_to_pi;
+use iprism_map::{LaneId, RoadMap};
+use serde::{Deserialize, Serialize};
+
+/// Phase of a lane-change manoeuvre.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CutInPhase {
+    /// Driving in the original lane, waiting for the trigger condition.
+    Waiting,
+    /// Actively steering into the target lane.
+    Cutting,
+    /// Lane change finished; lane-keeping in the target lane.
+    Done,
+}
+
+/// Per-step context handed to a behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct BehaviorCtx<'a> {
+    /// The road map.
+    pub map: &'a RoadMap,
+    /// Current ego state (behaviours may react to the ego actor).
+    pub ego: VehicleState,
+    /// Simulation time (s).
+    pub time: f64,
+    /// Step period (s).
+    pub dt: f64,
+    /// Gap (bumper distance, m) and speed of the nearest actor ahead in the
+    /// same lane, when one exists within lookahead.
+    pub lead: Option<LeadInfo>,
+    /// Wheelbase used to convert yaw commands to steering angles.
+    pub wheelbase: f64,
+}
+
+/// Information about the closest in-lane leader.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeadInfo {
+    /// Bumper-to-bumper gap (m).
+    pub gap: f64,
+    /// Leader speed (m/s).
+    pub speed: f64,
+}
+
+/// A scripted behaviour. Behaviours are finite-state and deterministic;
+/// their mutable state (trigger flags, phases) lives inline in the enum so
+/// that cloning a world clones the full scenario state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Behavior {
+    /// No control input (static obstacles, wrecks).
+    Idle,
+    /// Follow the nearest lane at a target speed, yielding to a leader.
+    LaneKeep {
+        /// Cruise speed (m/s).
+        target_speed: f64,
+    },
+    /// Drive in the current lane, then abruptly change into `target_lane`
+    /// when the longitudinal trigger relative to the ego fires.
+    ///
+    /// With `from_behind = true` this is the *ghost cut-in*: the actor
+    /// approaches from behind in the adjacent lane and cuts in once it is
+    /// `trigger_gap` metres ahead of the ego. With `from_behind = false` it
+    /// is the *lead cut-in*: the actor starts ahead and cuts in once the ego
+    /// closes to within `trigger_gap` metres.
+    CutIn {
+        /// Lane the actor swerves into (the ego lane).
+        target_lane: LaneId,
+        /// Longitudinal trigger distance (m); see variant docs.
+        trigger_gap: f64,
+        /// Longitudinal distance over which the lane change completes (m);
+        /// smaller is more abrupt.
+        change_distance: f64,
+        /// Speed held during the manoeuvre (m/s).
+        speed: f64,
+        /// Whether the actor starts behind the ego (ghost cut-in).
+        from_behind: bool,
+        /// Manoeuvre phase (mutated by the behaviour).
+        phase: CutInPhase,
+    },
+    /// Lane-keep, then brake to `target_speed` once the ego closes to within
+    /// `trigger_distance` metres behind the actor (lead slowdown typology).
+    Slowdown {
+        /// Cruise speed before the trigger (m/s).
+        cruise_speed: f64,
+        /// Ego distance that triggers the slowdown (m).
+        trigger_distance: f64,
+        /// Braking strength (m/s², positive number).
+        decel: f64,
+        /// Speed to settle at (usually 0).
+        target_speed: f64,
+        /// Latched trigger flag.
+        triggered: bool,
+    },
+    /// Drive at `target_speed` in the current lane **ignoring any leader**
+    /// (rear-end typology: hits the ego from behind).
+    RearApproach {
+        /// Approach speed (m/s).
+        target_speed: f64,
+    },
+    /// Merge into `target_lane` after travelling `trigger_after` metres,
+    /// without yielding (front-accident typology; collides with the actor
+    /// already in that lane).
+    MergeInto {
+        /// Lane to merge into.
+        target_lane: LaneId,
+        /// Distance from spawn after which the merge starts (m).
+        trigger_after: f64,
+        /// Longitudinal distance over which the merge completes (m).
+        change_distance: f64,
+        /// Speed during the merge (m/s).
+        speed: f64,
+        /// x-position at spawn (set by the builder).
+        spawn_x: f64,
+        /// Manoeuvre phase.
+        phase: CutInPhase,
+    },
+    /// Stand still, then walk straight (along the current heading) once the
+    /// ego closes to within `trigger_distance` metres.
+    PedestrianCross {
+        /// Walking speed (m/s).
+        speed: f64,
+        /// Ego distance that triggers the crossing (m).
+        trigger_distance: f64,
+        /// Latched trigger flag.
+        started: bool,
+    },
+    /// Parked off-lane; pulls out into `target_lane` once the ego closes to
+    /// within `trigger_distance` metres.
+    PullOut {
+        /// Lane to pull into.
+        target_lane: LaneId,
+        /// Ego distance that triggers the pull-out (m).
+        trigger_distance: f64,
+        /// Speed to accelerate to (m/s).
+        target_speed: f64,
+        /// Latched trigger flag.
+        started: bool,
+    },
+    /// Replay a fixed trajectory (dataset scenes).
+    FollowTrajectory {
+        /// The trajectory to follow.
+        trajectory: Trajectory,
+    },
+}
+
+impl Behavior {
+    /// Convenience constructor for [`Behavior::LaneKeep`].
+    pub fn lane_keep(target_speed: f64) -> Self {
+        Behavior::LaneKeep { target_speed }
+    }
+
+    /// Convenience constructor for a ghost cut-in (§IV-B1(a)).
+    pub fn ghost_cut_in(
+        target_lane: LaneId,
+        trigger_gap: f64,
+        change_distance: f64,
+        speed: f64,
+    ) -> Self {
+        Behavior::CutIn {
+            target_lane,
+            trigger_gap,
+            change_distance,
+            speed,
+            from_behind: true,
+            phase: CutInPhase::Waiting,
+        }
+    }
+
+    /// Convenience constructor for a lead cut-in (§IV-B1(b)).
+    pub fn lead_cut_in(
+        target_lane: LaneId,
+        trigger_gap: f64,
+        change_distance: f64,
+        speed: f64,
+    ) -> Self {
+        Behavior::CutIn {
+            target_lane,
+            trigger_gap,
+            change_distance,
+            speed,
+            from_behind: false,
+            phase: CutInPhase::Waiting,
+        }
+    }
+
+    /// Computes this step's control for an actor with state `me`.
+    ///
+    /// The returned control is interpreted by the actor's motion model; the
+    /// world clamps it into the vehicle's control limits.
+    pub fn decide(&mut self, me: &VehicleState, ctx: &BehaviorCtx<'_>) -> ControlInput {
+        match self {
+            Behavior::Idle => ControlInput::COAST,
+
+            Behavior::LaneKeep { target_speed } => {
+                let lane = ctx.map.nearest_lane(me.position()).clone();
+                lane_keep_control(me, &lane, *target_speed, ctx)
+            }
+
+            Behavior::CutIn {
+                target_lane,
+                trigger_gap,
+                change_distance,
+                speed,
+                from_behind,
+                phase,
+            } => {
+                let rel = me.x - ctx.ego.x;
+                if *phase == CutInPhase::Waiting {
+                    let fired = if *from_behind {
+                        rel >= *trigger_gap
+                    } else {
+                        rel <= *trigger_gap
+                    };
+                    if fired {
+                        *phase = CutInPhase::Cutting;
+                    }
+                }
+                match phase {
+                    CutInPhase::Waiting => {
+                        let lane = ctx.map.nearest_lane(me.position()).clone();
+                        speed_only_control(me, &lane, *speed, ctx)
+                    }
+                    CutInPhase::Cutting | CutInPhase::Done => {
+                        let lane = ctx
+                            .map
+                            .lane(*target_lane)
+                            .expect("cut-in target lane exists")
+                            .clone();
+                        if *phase == CutInPhase::Cutting
+                            && lane.project(me.position()).lateral.abs() < 0.15
+                        {
+                            *phase = CutInPhase::Done;
+                        }
+                        lane_change_control(me, &lane, *speed, *change_distance, ctx)
+                    }
+                }
+            }
+
+            Behavior::Slowdown {
+                cruise_speed,
+                trigger_distance,
+                decel,
+                target_speed,
+                triggered,
+            } => {
+                let gap_to_ego = me.x - ctx.ego.x;
+                if !*triggered && gap_to_ego >= 0.0 && gap_to_ego <= *trigger_distance {
+                    *triggered = true;
+                }
+                let lane = ctx.map.nearest_lane(me.position()).clone();
+                if *triggered {
+                    let accel = if me.v > *target_speed { -*decel } else { 0.0 };
+                    let mut u = speed_only_control(me, &lane, me.v, ctx);
+                    u.accel = accel;
+                    u
+                } else {
+                    speed_only_control(me, &lane, *cruise_speed, ctx)
+                }
+            }
+
+            Behavior::RearApproach { target_speed } => {
+                let lane = ctx.map.nearest_lane(me.position()).clone();
+                // Ignores the leader entirely — that is the point.
+                speed_only_control(me, &lane, *target_speed, ctx)
+            }
+
+            Behavior::MergeInto {
+                target_lane,
+                trigger_after,
+                change_distance,
+                speed,
+                spawn_x,
+                phase,
+            } => {
+                if *phase == CutInPhase::Waiting && me.x - *spawn_x >= *trigger_after {
+                    *phase = CutInPhase::Cutting;
+                }
+                match phase {
+                    CutInPhase::Waiting => {
+                        let lane = ctx.map.nearest_lane(me.position()).clone();
+                        speed_only_control(me, &lane, *speed, ctx)
+                    }
+                    CutInPhase::Cutting => {
+                        let lane = ctx
+                            .map
+                            .lane(*target_lane)
+                            .expect("merge target lane exists")
+                            .clone();
+                        if lane.project(me.position()).lateral.abs() < 0.15 {
+                            *phase = CutInPhase::Done;
+                        }
+                        lane_change_control(me, &lane, *speed, *change_distance, ctx)
+                    }
+                    CutInPhase::Done => {
+                        // Merge complete without contact: resume ordinary,
+                        // leader-aware lane keeping (so a missed merge stays
+                        // a near-miss instead of a delayed rear-end).
+                        let lane = ctx
+                            .map
+                            .lane(*target_lane)
+                            .expect("merge target lane exists")
+                            .clone();
+                        lane_keep_control(me, &lane, *speed, ctx)
+                    }
+                }
+            }
+
+            Behavior::PedestrianCross {
+                speed,
+                trigger_distance,
+                started,
+            } => {
+                if !*started && ctx.ego.position().distance(me.position()) <= *trigger_distance {
+                    *started = true;
+                }
+                if *started {
+                    ControlInput::new((*speed - me.v) * 2.0, 0.0)
+                } else {
+                    ControlInput::new(-me.v * 2.0, 0.0)
+                }
+            }
+
+            Behavior::PullOut {
+                target_lane,
+                trigger_distance,
+                target_speed,
+                started,
+            } => {
+                if !*started && (ctx.ego.x - me.x).abs() <= *trigger_distance {
+                    *started = true;
+                }
+                if *started {
+                    let lane = ctx
+                        .map
+                        .lane(*target_lane)
+                        .expect("pull-out target lane exists")
+                        .clone();
+                    lane_change_control(me, &lane, *target_speed, 8.0, ctx)
+                } else {
+                    ControlInput::new(-me.v * 2.0, 0.0)
+                }
+            }
+
+            Behavior::FollowTrajectory { trajectory } => {
+                match trajectory.state_at_time(ctx.time + ctx.dt) {
+                    Some(next) => {
+                        let accel = (next.v - me.v) / ctx.dt;
+                        let dtheta = wrap_to_pi(next.theta - me.theta);
+                        let steer = if me.v.abs() < 0.1 {
+                            0.0
+                        } else {
+                            (ctx.wheelbase * dtheta / (me.v * ctx.dt)).atan()
+                        };
+                        ControlInput::new(accel, steer)
+                    }
+                    None => ControlInput::new(-me.v * 2.0, 0.0),
+                }
+            }
+        }
+    }
+}
+
+/// Stanley-style lane keeping: track the centerline heading plus a
+/// cross-track correction, with leader-aware speed control.
+pub(crate) fn lane_keep_control(
+    me: &VehicleState,
+    lane: &iprism_map::Lane,
+    target_speed: f64,
+    ctx: &BehaviorCtx<'_>,
+) -> ControlInput {
+    let mut u = speed_only_control(me, lane, target_speed, ctx);
+    // Leader-aware speed: keep a 1.5 s time gap plus 5 m standstill buffer.
+    if let Some(lead) = ctx.lead {
+        let desired_gap = 5.0 + 1.5 * me.v;
+        if lead.gap < desired_gap {
+            let closing = me.v - lead.speed;
+            let brake = 1.5 * closing.max(0.0) + 2.0 * (desired_gap - lead.gap) / desired_gap;
+            u.accel = u.accel.min(-brake);
+        }
+    }
+    u
+}
+
+/// Lane tracking without leader awareness (scenario actors that must not
+/// yield), at a fixed target speed.
+pub(crate) fn speed_only_control(
+    me: &VehicleState,
+    lane: &iprism_map::Lane,
+    target_speed: f64,
+    _ctx: &BehaviorCtx<'_>,
+) -> ControlInput {
+    let proj = lane.project(me.position());
+    let heading_err = wrap_to_pi(proj.heading - me.theta);
+    let cross = (-proj.lateral / 3.0).atan();
+    let steer = (heading_err + cross).clamp(-0.6, 0.6);
+    let accel = ((target_speed - me.v) * 1.5).clamp(-6.0, 3.5);
+    ControlInput::new(accel, steer)
+}
+
+/// Aggressive lane-change control: steer toward `lane`'s centerline so the
+/// change completes over roughly `change_distance` metres of travel.
+pub(crate) fn lane_change_control(
+    me: &VehicleState,
+    lane: &iprism_map::Lane,
+    speed: f64,
+    change_distance: f64,
+    _ctx: &BehaviorCtx<'_>,
+) -> ControlInput {
+    let proj = lane.project(me.position());
+    // Aim at a point on the target centerline `change_distance` ahead.
+    let lookahead = change_distance.max(1.0);
+    let heading_err = wrap_to_pi(proj.heading - me.theta);
+    let cross = (-proj.lateral / (lookahead * 0.35)).atan();
+    let steer = (heading_err + cross).clamp(-0.6, 0.6);
+    let accel = ((speed - me.v) * 2.0).clamp(-6.0, 3.5);
+    ControlInput::new(accel, steer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_map::RoadMap;
+
+    fn ctx<'a>(map: &'a RoadMap, ego: VehicleState) -> BehaviorCtx<'a> {
+        BehaviorCtx {
+            map,
+            ego,
+            time: 0.0,
+            dt: 0.1,
+            lead: None,
+            wheelbase: 2.9,
+        }
+    }
+
+    #[test]
+    fn idle_outputs_coast() {
+        let map = RoadMap::straight_road(2, 3.5, 100.0);
+        let me = VehicleState::new(10.0, 1.75, 0.0, 5.0);
+        let c = ctx(&map, me);
+        assert_eq!(Behavior::Idle.decide(&me, &c), ControlInput::COAST);
+    }
+
+    #[test]
+    fn lane_keep_corrects_offset() {
+        let map = RoadMap::straight_road(2, 3.5, 100.0);
+        // Drifted left of lane-0 center: must steer right (negative).
+        let me = VehicleState::new(10.0, 2.5, 0.0, 5.0);
+        let c = ctx(&map, me);
+        let u = Behavior::lane_keep(5.0).decide(&me, &c);
+        assert!(u.steer < 0.0);
+    }
+
+    #[test]
+    fn lane_keep_tracks_speed() {
+        let map = RoadMap::straight_road(2, 3.5, 100.0);
+        let me = VehicleState::new(10.0, 1.75, 0.0, 2.0);
+        let c = ctx(&map, me);
+        let u = Behavior::lane_keep(8.0).decide(&me, &c);
+        assert!(u.accel > 0.0);
+    }
+
+    #[test]
+    fn lane_keep_brakes_for_leader() {
+        let map = RoadMap::straight_road(2, 3.5, 100.0);
+        let me = VehicleState::new(10.0, 1.75, 0.0, 10.0);
+        let mut c = ctx(&map, me);
+        c.lead = Some(LeadInfo { gap: 3.0, speed: 0.0 });
+        let u = Behavior::lane_keep(10.0).decide(&me, &c);
+        assert!(u.accel < -1.0);
+    }
+
+    #[test]
+    fn ghost_cut_in_waits_then_cuts() {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let ego = VehicleState::new(50.0, 1.75, 0.0, 8.0);
+        let mut b = Behavior::ghost_cut_in(LaneId(0), 5.0, 10.0, 12.0);
+
+        // Still behind the ego: waiting, stays in lane 1.
+        let me_behind = VehicleState::new(30.0, 5.25, 0.0, 12.0);
+        let c = ctx(&map, ego);
+        let _ = b.decide(&me_behind, &c);
+        match &b {
+            Behavior::CutIn { phase, .. } => assert_eq!(*phase, CutInPhase::Waiting),
+            _ => unreachable!(),
+        }
+
+        // Now 6 m ahead of the ego: trigger fires, steers right toward lane 0.
+        let me_ahead = VehicleState::new(56.0, 5.25, 0.0, 12.0);
+        let u = b.decide(&me_ahead, &c);
+        match &b {
+            Behavior::CutIn { phase, .. } => assert_eq!(*phase, CutInPhase::Cutting),
+            _ => unreachable!(),
+        }
+        assert!(u.steer < 0.0, "steers toward the ego lane");
+    }
+
+    #[test]
+    fn lead_cut_in_triggers_on_approach() {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let mut b = Behavior::lead_cut_in(LaneId(0), 20.0, 15.0, 6.0);
+        let me = VehicleState::new(80.0, 5.25, 0.0, 6.0);
+
+        // Ego far behind: no trigger.
+        let far = ctx(&map, VehicleState::new(20.0, 1.75, 0.0, 10.0));
+        let _ = b.decide(&me, &far);
+        match &b {
+            Behavior::CutIn { phase, .. } => assert_eq!(*phase, CutInPhase::Waiting),
+            _ => unreachable!(),
+        }
+
+        // Ego within 20 m: trigger.
+        let near = ctx(&map, VehicleState::new(65.0, 1.75, 0.0, 10.0));
+        let _ = b.decide(&me, &near);
+        match &b {
+            Behavior::CutIn { phase, .. } => assert_eq!(*phase, CutInPhase::Cutting),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn slowdown_latches_trigger() {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let mut b = Behavior::Slowdown {
+            cruise_speed: 8.0,
+            trigger_distance: 30.0,
+            decel: 4.0,
+            target_speed: 0.0,
+            triggered: false,
+        };
+        let me = VehicleState::new(100.0, 1.75, 0.0, 8.0);
+        // ego 25 m behind -> trigger
+        let c = ctx(&map, VehicleState::new(75.0, 1.75, 0.0, 10.0));
+        let u = b.decide(&me, &c);
+        assert!(u.accel < 0.0);
+        // even if the ego falls back, stays triggered
+        let c2 = ctx(&map, VehicleState::new(10.0, 1.75, 0.0, 10.0));
+        let u2 = b.decide(&me, &c2);
+        assert!(u2.accel < 0.0);
+    }
+
+    #[test]
+    fn slowdown_stops_braking_at_target() {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let mut b = Behavior::Slowdown {
+            cruise_speed: 8.0,
+            trigger_distance: 30.0,
+            decel: 4.0,
+            target_speed: 0.0,
+            triggered: true,
+        };
+        let me = VehicleState::new(100.0, 1.75, 0.0, 0.0);
+        let c = ctx(&map, VehicleState::new(75.0, 1.75, 0.0, 10.0));
+        let u = b.decide(&me, &c);
+        assert_eq!(u.accel, 0.0);
+    }
+
+    #[test]
+    fn rear_approach_ignores_leader() {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let me = VehicleState::new(10.0, 1.75, 0.0, 15.0);
+        let mut c = ctx(&map, VehicleState::new(30.0, 1.75, 0.0, 5.0));
+        c.lead = Some(LeadInfo { gap: 2.0, speed: 5.0 });
+        let u = Behavior::RearApproach { target_speed: 20.0 }.decide(&me, &c);
+        assert!(u.accel > 0.0, "keeps accelerating into the leader");
+    }
+
+    #[test]
+    fn pedestrian_waits_then_walks() {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let mut b = Behavior::PedestrianCross {
+            speed: 1.4,
+            trigger_distance: 15.0,
+            started: false,
+        };
+        let me = VehicleState::new(50.0, -1.0, std::f64::consts::FRAC_PI_2, 0.0);
+        let far = ctx(&map, VehicleState::new(10.0, 1.75, 0.0, 8.0));
+        let u = b.decide(&me, &far);
+        assert_eq!(u.accel, 0.0);
+        let near = ctx(&map, VehicleState::new(40.0, 1.75, 0.0, 8.0));
+        let u2 = b.decide(&me, &near);
+        assert!(u2.accel > 0.0);
+    }
+
+    #[test]
+    fn pull_out_triggers_near_ego() {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let mut b = Behavior::PullOut {
+            target_lane: LaneId(0),
+            trigger_distance: 20.0,
+            target_speed: 5.0,
+            started: false,
+        };
+        let me = VehicleState::new(60.0, -1.2, 0.0, 0.0);
+        let near = ctx(&map, VehicleState::new(45.0, 1.75, 0.0, 8.0));
+        let u = b.decide(&me, &near);
+        assert!(u.accel > 0.0);
+        assert!(u.steer > 0.0, "steers left into the lane");
+    }
+
+    #[test]
+    fn follow_trajectory_matches_speed() {
+        let map = RoadMap::straight_road(1, 3.5, 200.0);
+        let states = vec![
+            VehicleState::new(0.0, 1.75, 0.0, 5.0),
+            VehicleState::new(0.5, 1.75, 0.0, 5.0),
+            VehicleState::new(1.0, 1.75, 0.0, 5.0),
+        ];
+        let mut b = Behavior::FollowTrajectory {
+            trajectory: Trajectory::from_states(0.0, 0.1, states),
+        };
+        let me = VehicleState::new(0.0, 1.75, 0.0, 5.0);
+        let c = ctx(&map, VehicleState::new(0.0, 1.75, 0.0, 0.0));
+        let u = b.decide(&me, &c);
+        assert!(u.accel.abs() < 1e-9);
+        assert!(u.steer.abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_into_triggers_after_distance() {
+        let map = RoadMap::straight_road(2, 3.5, 300.0);
+        let mut b = Behavior::MergeInto {
+            target_lane: LaneId(0),
+            trigger_after: 20.0,
+            change_distance: 10.0,
+            speed: 8.0,
+            spawn_x: 50.0,
+            phase: CutInPhase::Waiting,
+        };
+        let c = ctx(&map, VehicleState::new(0.0, 1.75, 0.0, 8.0));
+        // Travelled only 10 m: waiting.
+        let _ = b.decide(&VehicleState::new(60.0, 5.25, 0.0, 8.0), &c);
+        match &b {
+            Behavior::MergeInto { phase, .. } => assert_eq!(*phase, CutInPhase::Waiting),
+            _ => unreachable!(),
+        }
+        // Travelled 25 m: merging.
+        let u = b.decide(&VehicleState::new(75.0, 5.25, 0.0, 8.0), &c);
+        match &b {
+            Behavior::MergeInto { phase, .. } => assert_eq!(*phase, CutInPhase::Cutting),
+            _ => unreachable!(),
+        }
+        assert!(u.steer < 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Episode loop: drive a world with an ego controller until collision,
+//! goal, or timeout.
+
+use iprism_dynamics::ControlInput;
+use serde::{Deserialize, Serialize};
+
+use crate::{ActorId, Trace, World};
+
+/// Drives the ego vehicle: given the current world, produce this step's
+/// control input.
+///
+/// Both the baseline ADS agents (LBC/RIP surrogates) and iPrism-augmented
+/// agents implement this trait; the simulator itself stays agnostic of how
+/// decisions are made. Controllers receive the full world — equivalent to
+/// the perfect perception the paper grants every evaluated agent in CARLA.
+pub trait EgoController {
+    /// Computes the ego control for the current step.
+    fn control(&mut self, world: &World) -> ControlInput;
+
+    /// Called once before an episode starts; resets internal state.
+    fn reset(&mut self) {}
+}
+
+/// A trivial controller that always applies the same input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantControl(pub ControlInput);
+
+impl ConstantControl {
+    /// A controller that coasts (zero input).
+    pub fn coast() -> Self {
+        ConstantControl(ControlInput::COAST)
+    }
+}
+
+impl EgoController for ConstantControl {
+    fn control(&mut self, _world: &World) -> ControlInput {
+        self.0
+    }
+}
+
+/// Episode termination goal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Goal {
+    /// Finish when the ego x-position reaches this threshold.
+    XThreshold(f64),
+    /// Finish when the ego is within `radius` of `(x, y)`.
+    Point {
+        /// Target x (m).
+        x: f64,
+        /// Target y (m).
+        y: f64,
+        /// Capture radius (m).
+        radius: f64,
+    },
+    /// No goal: run until collision or timeout.
+    None,
+}
+
+impl Goal {
+    /// Returns `true` when the goal is met for the given ego position.
+    pub fn reached(&self, ego: iprism_geom::Vec2) -> bool {
+        match *self {
+            Goal::XThreshold(x) => ego.x >= x,
+            Goal::Point { x, y, radius } => ego.distance(iprism_geom::Vec2::new(x, y)) <= radius,
+            Goal::None => false,
+        }
+    }
+}
+
+/// Configuration of an episode run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeConfig {
+    /// Hard time limit (s).
+    pub max_time: f64,
+    /// Termination goal.
+    pub goal: Goal,
+    /// Stop at the first ego collision (always true in the paper's setup).
+    pub stop_on_collision: bool,
+}
+
+impl Default for EpisodeConfig {
+    fn default() -> Self {
+        EpisodeConfig {
+            max_time: 30.0,
+            goal: Goal::None,
+            stop_on_collision: true,
+        }
+    }
+}
+
+/// How an episode ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EpisodeOutcome {
+    /// The ego collided with the listed actor (a *safety violation*, §II).
+    Collision {
+        /// The actor hit.
+        with: ActorId,
+        /// Simulation time of the collision (s).
+        time: f64,
+    },
+    /// The goal was reached without a collision.
+    ReachedGoal {
+        /// Completion time (s).
+        time: f64,
+    },
+    /// The time limit elapsed without collision or goal.
+    Timeout,
+}
+
+impl EpisodeOutcome {
+    /// `true` when the episode ended in an ego collision.
+    pub fn is_collision(&self) -> bool {
+        matches!(self, EpisodeOutcome::Collision { .. })
+    }
+}
+
+/// Result of [`run_episode`]: the outcome plus the full trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeResult {
+    /// How the episode ended.
+    pub outcome: EpisodeOutcome,
+    /// Per-step recording (includes the initial state).
+    pub trace: Trace,
+}
+
+/// Runs one episode: repeatedly queries `controller` and steps `world`
+/// until collision, goal, or timeout. Returns the outcome and the full
+/// trace. The world is left in its final state.
+pub fn run_episode(
+    world: &mut World,
+    controller: &mut dyn EgoController,
+    config: &EpisodeConfig,
+) -> EpisodeResult {
+    controller.reset();
+    let mut trace = Trace::new(world.dt());
+    trace.record(world);
+
+    let steps = (config.max_time / world.dt()).ceil() as usize;
+    for _ in 0..steps {
+        let u = controller.control(world);
+        let events = world.step(u);
+        trace.record(world);
+
+        if config.stop_on_collision {
+            if let Some(c) = events.collisions.iter().find(|c| c.a.is_none()) {
+                return EpisodeResult {
+                    outcome: EpisodeOutcome::Collision {
+                        with: c.b,
+                        time: world.time(),
+                    },
+                    trace,
+                };
+            }
+        }
+        if config.goal.reached(world.ego().position()) {
+            return EpisodeResult {
+                outcome: EpisodeOutcome::ReachedGoal { time: world.time() },
+                trace,
+            };
+        }
+    }
+    EpisodeResult {
+        outcome: EpisodeOutcome::Timeout,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Actor, Behavior};
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+
+    fn world_with_obstacle() -> World {
+        let map = RoadMap::straight_road(1, 3.5, 300.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
+        w.spawn(Actor::vehicle(1, VehicleState::new(40.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w
+    }
+
+    #[test]
+    fn collision_ends_episode() {
+        let mut w = world_with_obstacle();
+        let mut agent = ConstantControl::coast();
+        let r = run_episode(&mut w, &mut agent, &EpisodeConfig::default());
+        match r.outcome {
+            EpisodeOutcome::Collision { with, time } => {
+                assert_eq!(with, ActorId(1));
+                assert!(time > 0.0 && time < 5.0);
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+        assert!(r.outcome.is_collision());
+        assert!(r.trace.first_collision_index().is_some());
+    }
+
+    #[test]
+    fn goal_reached() {
+        let map = RoadMap::straight_road(1, 3.5, 300.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
+        let mut agent = ConstantControl::coast();
+        let cfg = EpisodeConfig {
+            max_time: 60.0,
+            goal: Goal::XThreshold(100.0),
+            stop_on_collision: true,
+        };
+        let r = run_episode(&mut w, &mut agent, &cfg);
+        match r.outcome {
+            EpisodeOutcome::ReachedGoal { time } => assert!((time - 9.0).abs() < 0.2),
+            other => panic!("expected goal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_without_goal() {
+        let map = RoadMap::straight_road(1, 3.5, 300.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 0.0), 0.1);
+        let mut agent = ConstantControl::coast();
+        let cfg = EpisodeConfig {
+            max_time: 1.0,
+            goal: Goal::None,
+            stop_on_collision: true,
+        };
+        let r = run_episode(&mut w, &mut agent, &cfg);
+        assert_eq!(r.outcome, EpisodeOutcome::Timeout);
+        assert_eq!(r.trace.len(), 11);
+    }
+
+    #[test]
+    fn point_goal() {
+        let g = Goal::Point {
+            x: 10.0,
+            y: 0.0,
+            radius: 2.0,
+        };
+        assert!(g.reached(iprism_geom::Vec2::new(9.0, 1.0)));
+        assert!(!g.reached(iprism_geom::Vec2::new(5.0, 0.0)));
+        assert!(!Goal::None.reached(iprism_geom::Vec2::ZERO));
+    }
+
+    #[test]
+    fn braking_controller_avoids_crash() {
+        struct Braker;
+        impl EgoController for Braker {
+            fn control(&mut self, world: &World) -> ControlInput {
+                // brake when anything is within 15 m ahead in our lane
+                let ego = world.ego();
+                let danger = world.actors().iter().any(|a| {
+                    let dx = a.state.x - ego.x;
+                    (a.state.y - ego.y).abs() < 1.75 && dx > 0.0 && dx < 15.0
+                });
+                if danger {
+                    ControlInput::new(-6.0, 0.0)
+                } else {
+                    ControlInput::COAST
+                }
+            }
+        }
+        let mut w = world_with_obstacle();
+        let mut agent = Braker;
+        let r = run_episode(&mut w, &mut agent, &EpisodeConfig::default());
+        assert!(!r.outcome.is_collision(), "got {:?}", r.outcome);
+    }
+}

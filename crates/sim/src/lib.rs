@@ -1,0 +1,61 @@
+//! A deterministic 2-D driving simulator — iPrism's CARLA substitute.
+//!
+//! The paper evaluates iPrism inside the CARLA simulator. The algorithms
+//! under study (STI, the SMC, the baselines) only consume actor poses,
+//! velocities, footprints and the drivable area, so this crate provides a
+//! kinematic 2-D world with:
+//!
+//! * vehicles and pedestrians as oriented boxes driven by scripted,
+//!   deterministic behaviours (lane keeping, cut-ins, slowdowns, rear
+//!   approaches, pedestrian crossings, pull-outs, …),
+//! * an ego vehicle driven externally through an [`EgoController`],
+//! * OBB collision detection (ego–actor and actor–actor),
+//! * a fixed-Δt episode loop that records a full [`Trace`] for offline risk
+//!   analysis (the ground-truth trajectories used by STI's Eq. 1–5).
+//!
+//! Determinism is a design requirement: identical initial worlds and
+//! controllers produce identical traces, which the experiment harness relies
+//! on to regenerate the paper's tables bit-for-bit.
+//!
+//! # Quick example
+//!
+//! ```
+//! use iprism_map::RoadMap;
+//! use iprism_sim::{Actor, Behavior, ConstantControl, EpisodeConfig, World};
+//! use iprism_dynamics::VehicleState;
+//!
+//! let map = RoadMap::straight_road(2, 3.5, 400.0);
+//! let mut world = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 8.0), 0.1);
+//! world.spawn(Actor::vehicle(1, VehicleState::new(40.0, 1.75, 0.0, 8.0), Behavior::lane_keep(8.0)));
+//!
+//! let mut agent = ConstantControl::coast();
+//! let result = iprism_sim::run_episode(&mut world, &mut agent, &EpisodeConfig::default());
+//! assert!(result.trace.len() > 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod actor;
+mod behavior;
+mod episode;
+mod render;
+mod trace;
+mod world;
+
+pub use actor::{Actor, ActorId, ActorKind, MotionModel};
+pub use behavior::{Behavior, BehaviorCtx, CutInPhase};
+pub use episode::{
+    run_episode, ConstantControl, EgoController, EpisodeConfig, EpisodeOutcome, EpisodeResult,
+    Goal,
+};
+pub use render::render_world;
+pub use trace::{Trace, TraceStep};
+pub use world::{CollisionEvent, StepEvents, World};
+
+/// Default ego/vehicle footprint length (m) — a typical passenger car.
+pub const VEHICLE_LENGTH: f64 = 4.6;
+/// Default ego/vehicle footprint width (m).
+pub const VEHICLE_WIDTH: f64 = 2.0;
+/// Pedestrian footprint side (m).
+pub const PEDESTRIAN_SIZE: f64 = 0.6;

@@ -1,0 +1,152 @@
+//! ASCII top-down scene rendering for debugging, examples and docs.
+
+use iprism_geom::Vec2;
+
+use crate::World;
+
+/// Renders a top-down ASCII view of the world around the ego vehicle.
+///
+/// Legend: `E` ego, `A`–`Z` actors (by spawn order), `.` drivable road,
+/// space off-road. One character covers `resolution` metres; the view spans
+/// `[-behind, +ahead]` metres longitudinally around the ego.
+///
+/// # Examples
+///
+/// ```
+/// use iprism_dynamics::VehicleState;
+/// use iprism_map::RoadMap;
+/// use iprism_sim::{render_world, Actor, Behavior, World};
+///
+/// let map = RoadMap::straight_road(2, 3.5, 200.0);
+/// let mut world = World::new(map, VehicleState::new(50.0, 1.75, 0.0, 8.0), 0.1);
+/// world.spawn(Actor::vehicle(1, VehicleState::new(65.0, 5.25, 0.0, 8.0), Behavior::Idle));
+/// let art = render_world(&world, 20.0, 30.0, 1.0);
+/// assert!(art.contains('E'));
+/// assert!(art.contains('A'));
+/// ```
+pub fn render_world(world: &World, behind: f64, ahead: f64, resolution: f64) -> String {
+    assert!(resolution > 0.0, "resolution must be positive");
+    assert!(behind >= 0.0 && ahead > 0.0, "view extents must be positive");
+    let ego = world.ego();
+    let bounds = world.map().bounds();
+    let x0 = ego.x - behind;
+    let x1 = ego.x + ahead;
+    let y0 = bounds.min.y - 1.0;
+    let y1 = bounds.max.y + 1.0;
+
+    let cols = ((x1 - x0) / resolution).ceil() as usize;
+    let rows = ((y1 - y0) / resolution).ceil() as usize;
+    let mut canvas = vec![vec![' '; cols]; rows];
+
+    // Road surface.
+    for (r, row) in canvas.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let p = Vec2::new(
+                x0 + (c as f64 + 0.5) * resolution,
+                y0 + (r as f64 + 0.5) * resolution,
+            );
+            if world.map().is_drivable(p) {
+                *cell = '.';
+            }
+        }
+    }
+
+    let mut paint = |footprint: iprism_geom::Obb, ch: char| {
+        let bb = footprint.aabb();
+        let c_lo = (((bb.min.x - x0) / resolution).floor().max(0.0)) as usize;
+        let c_hi = (((bb.max.x - x0) / resolution).ceil()).max(0.0) as usize;
+        let r_lo = (((bb.min.y - y0) / resolution).floor().max(0.0)) as usize;
+        let r_hi = (((bb.max.y - y0) / resolution).ceil()).max(0.0) as usize;
+        for r in r_lo..r_hi.min(rows) {
+            for c in c_lo..c_hi.min(cols) {
+                let p = Vec2::new(
+                    x0 + (c as f64 + 0.5) * resolution,
+                    y0 + (r as f64 + 0.5) * resolution,
+                );
+                if footprint.contains(p) {
+                    canvas[r][c] = ch;
+                }
+            }
+        }
+    };
+
+    for (i, actor) in world.actors().iter().enumerate() {
+        let ch = (b'A' + (i % 26) as u8) as char;
+        paint(actor.footprint(), ch);
+    }
+    paint(world.ego_footprint(), 'E');
+
+    // Rows top-down (larger y first) so "left" lanes appear above.
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for row in canvas.iter().rev() {
+        let line: String = row.iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Actor, Behavior};
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+
+    fn world() -> World {
+        let map = RoadMap::straight_road(2, 3.5, 200.0);
+        let mut w = World::new(map, VehicleState::new(50.0, 1.75, 0.0, 8.0), 0.1);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(62.0, 5.25, 0.0, 8.0),
+            Behavior::Idle,
+        ));
+        w
+    }
+
+    #[test]
+    fn renders_ego_actor_and_road() {
+        let art = render_world(&world(), 15.0, 25.0, 1.0);
+        assert!(art.contains('E'));
+        assert!(art.contains('A'));
+        assert!(art.contains('.'));
+        // ego's row is below the actor's row (actor in the upper lane)
+        let ego_row = art.lines().position(|l| l.contains('E')).unwrap();
+        let actor_row = art.lines().position(|l| l.contains('A')).unwrap();
+        assert!(actor_row < ego_row, "upper lane renders above");
+    }
+
+    #[test]
+    fn many_actors_cycle_letters() {
+        let map = RoadMap::straight_road(2, 3.5, 400.0);
+        let mut w = World::new(map, VehicleState::new(50.0, 1.75, 0.0, 8.0), 0.1);
+        for i in 0..3 {
+            w.spawn(Actor::vehicle(
+                i + 1,
+                VehicleState::new(60.0 + 8.0 * i as f64, 5.25, 0.0, 0.0),
+                Behavior::Idle,
+            ));
+        }
+        let art = render_world(&w, 15.0, 50.0, 1.0);
+        assert!(art.contains('A') && art.contains('B') && art.contains('C'));
+    }
+
+    #[test]
+    fn view_clamps_to_canvas() {
+        // An actor outside the view window simply does not appear.
+        let mut w = world();
+        w.spawn(Actor::vehicle(
+            9,
+            VehicleState::new(150.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        let art = render_world(&w, 10.0, 20.0, 1.0);
+        assert!(!art.contains('B'));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        let _ = render_world(&world(), 10.0, 10.0, 0.0);
+    }
+}

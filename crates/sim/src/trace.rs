@@ -1,0 +1,226 @@
+//! Episode traces: the recorded ground truth used for offline risk analysis.
+
+use iprism_dynamics::{Trajectory, VehicleState};
+use serde::{Deserialize, Serialize};
+
+use crate::{ActorId, World};
+
+/// One recorded simulation step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Simulation time (s).
+    pub time: f64,
+    /// Ego state at `time`.
+    pub ego: VehicleState,
+    /// Ego yaw rate (rad/s).
+    pub ego_yaw_rate: f64,
+    /// Every actor's `(id, state, yaw_rate, length, width)` at `time`.
+    pub actors: Vec<(ActorId, VehicleState, f64, f64, f64)>,
+    /// `true` when the ego collided at or before this step.
+    pub ego_collided: bool,
+}
+
+/// A full episode recording at the world's fixed Δt.
+///
+/// Traces are what the paper's offline evaluations consume: the *ground
+/// truth* future trajectories `X_{t:t+k}` in STI's Eq. (1)–(5) are read
+/// directly out of the trace, and the risk-metric time series of Fig. 4 are
+/// computed per recorded step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    dt: f64,
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace for a world stepped at `dt`.
+    pub fn new(dt: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "trace dt must be positive");
+        Trace {
+            dt,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Records the current state of `world`.
+    pub fn record(&mut self, world: &World) {
+        self.steps.push(TraceStep {
+            time: world.time(),
+            ego: world.ego(),
+            ego_yaw_rate: world.ego_yaw_rate(),
+            actors: world
+                .actors()
+                .iter()
+                .map(|a| (a.id, a.state, a.yaw_rate, a.length, a.width))
+                .collect(),
+            ego_collided: world.ego_collided(),
+        });
+    }
+
+    /// Recorded steps in time order.
+    #[inline]
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Recording period (s).
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Index of the first step at which the ego had collided, if any.
+    pub fn first_collision_index(&self) -> Option<usize> {
+        self.steps.iter().position(|s| s.ego_collided)
+    }
+
+    /// The ego trajectory over the whole episode.
+    pub fn ego_trajectory(&self) -> Trajectory {
+        let start = self.steps.first().map_or(0.0, |s| s.time);
+        Trajectory::from_states(start, self.dt, self.steps.iter().map(|s| s.ego).collect())
+    }
+
+    /// Ids of every actor that appears in the trace.
+    pub fn actor_ids(&self) -> Vec<ActorId> {
+        let mut ids: Vec<ActorId> = self
+            .steps
+            .iter()
+            .flat_map(|s| s.actors.iter().map(|(id, ..)| *id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Ground-truth trajectory of actor `id` from step `from` (inclusive)
+    /// for up to `horizon_steps + 1` samples — exactly the `X_{t:t+k}`
+    /// window that STI's counterfactual queries need.
+    ///
+    /// Returns `None` when the actor does not appear at step `from`.
+    pub fn actor_trajectory(
+        &self,
+        id: ActorId,
+        from: usize,
+        horizon_steps: usize,
+    ) -> Option<Trajectory> {
+        let first = self.steps.get(from)?;
+        first.actors.iter().find(|(aid, ..)| *aid == id)?;
+        let start_time = first.time;
+        let mut states = Vec::with_capacity(horizon_steps + 1);
+        for step in self.steps.iter().skip(from).take(horizon_steps + 1) {
+            match step.actors.iter().find(|(aid, ..)| *aid == id) {
+                Some((_, s, ..)) => states.push(*s),
+                None => break,
+            }
+        }
+        Some(Trajectory::from_states(start_time, self.dt, states))
+    }
+
+    /// Footprint dimensions `(length, width)` of actor `id`.
+    pub fn actor_dims(&self, id: ActorId) -> Option<(f64, f64)> {
+        self.steps.iter().find_map(|s| {
+            s.actors
+                .iter()
+                .find(|(aid, ..)| *aid == id)
+                .map(|&(_, _, _, l, w)| (l, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Actor, Behavior};
+    use iprism_dynamics::ControlInput;
+    use iprism_map::RoadMap;
+
+    fn traced_world(steps: usize) -> (World, Trace) {
+        let map = RoadMap::straight_road(2, 3.5, 500.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(50.0, 5.25, 0.0, 8.0),
+            Behavior::lane_keep(8.0),
+        ));
+        let mut trace = Trace::new(w.dt());
+        trace.record(&w);
+        for _ in 0..steps {
+            w.step(ControlInput::COAST);
+            trace.record(&w);
+        }
+        (w, trace)
+    }
+
+    #[test]
+    fn records_every_step() {
+        let (_, trace) = traced_world(50);
+        assert_eq!(trace.len(), 51);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.dt(), 0.1);
+        assert_eq!(trace.actor_ids(), vec![ActorId(1)]);
+    }
+
+    #[test]
+    fn ego_trajectory_covers_episode() {
+        let (_, trace) = traced_world(50);
+        let traj = trace.ego_trajectory();
+        assert_eq!(traj.len(), 51);
+        assert!((traj.states()[0].x - 10.0).abs() < 1e-9);
+        assert!(traj.states()[50].x > 50.0);
+    }
+
+    #[test]
+    fn actor_trajectory_window() {
+        let (_, trace) = traced_world(50);
+        let traj = trace.actor_trajectory(ActorId(1), 10, 20).unwrap();
+        assert_eq!(traj.len(), 21);
+        assert!((traj.start_time() - trace.steps()[10].time).abs() < 1e-9);
+        // Missing actor id yields None.
+        assert!(trace.actor_trajectory(ActorId(99), 0, 10).is_none());
+        // Window clipped at the end of the trace.
+        let clipped = trace.actor_trajectory(ActorId(1), 45, 20).unwrap();
+        assert_eq!(clipped.len(), 6);
+    }
+
+    #[test]
+    fn actor_dims_lookup() {
+        let (_, trace) = traced_world(5);
+        assert_eq!(trace.actor_dims(ActorId(1)), Some((4.6, 2.0)));
+        assert_eq!(trace.actor_dims(ActorId(9)), None);
+    }
+
+    #[test]
+    fn collision_index() {
+        let map = RoadMap::straight_road(1, 3.5, 200.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
+        w.spawn(Actor::vehicle(1, VehicleState::new(20.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        let mut trace = Trace::new(w.dt());
+        trace.record(&w);
+        for _ in 0..30 {
+            w.step(ControlInput::COAST);
+            trace.record(&w);
+        }
+        let idx = trace.first_collision_index().unwrap();
+        assert!(idx > 0 && idx < 15);
+        assert!(trace.steps()[idx].ego_collided);
+        assert!(!trace.steps()[idx - 1].ego_collided);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_dt_panics() {
+        let _ = Trace::new(-1.0);
+    }
+}

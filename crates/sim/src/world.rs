@@ -1,0 +1,439 @@
+//! The simulated world: ego + actors + map, stepped at a fixed Δt.
+
+use iprism_dynamics::{BicycleModel, ControlInput, CvtrModel, VehicleState};
+use iprism_geom::Obb;
+use iprism_map::RoadMap;
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::{BehaviorCtx, LeadInfo};
+use crate::{Actor, ActorId, MotionModel};
+
+/// A collision detected during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollisionEvent {
+    /// First participant; `None` means the ego vehicle.
+    pub a: Option<ActorId>,
+    /// Second participant.
+    pub b: ActorId,
+}
+
+/// Events produced by one [`World::step`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepEvents {
+    /// Collisions that occurred this step.
+    pub collisions: Vec<CollisionEvent>,
+    /// `true` when the ego footprint left the drivable area.
+    pub ego_offroad: bool,
+}
+
+impl StepEvents {
+    /// Returns `true` if the ego vehicle collided this step.
+    pub fn ego_collided(&self) -> bool {
+        self.collisions.iter().any(|c| c.a.is_none())
+    }
+}
+
+/// The simulation world.
+///
+/// The ego vehicle is driven externally (see [`crate::EgoController`]);
+/// all other actors are driven by their scripted [`crate::Behavior`]s.
+/// Stepping is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct World {
+    map: RoadMap,
+    ego: VehicleState,
+    ego_yaw_rate: f64,
+    ego_length: f64,
+    ego_width: f64,
+    actors: Vec<Actor>,
+    time: f64,
+    dt: f64,
+    model: BicycleModel,
+    ego_collided: bool,
+}
+
+impl World {
+    /// Creates a world with the ego at `ego_state` and no other actors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is not strictly positive and finite.
+    pub fn new(map: RoadMap, ego_state: VehicleState, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive, got {dt}");
+        World {
+            map,
+            ego: ego_state,
+            ego_yaw_rate: 0.0,
+            ego_length: crate::VEHICLE_LENGTH,
+            ego_width: crate::VEHICLE_WIDTH,
+            actors: Vec::new(),
+            time: 0.0,
+            dt,
+            model: BicycleModel::default(),
+            ego_collided: false,
+        }
+    }
+
+    /// Adds an actor to the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an actor with the same id already exists.
+    pub fn spawn(&mut self, actor: Actor) {
+        assert!(
+            self.actors.iter().all(|a| a.id != actor.id),
+            "duplicate actor id {:?}",
+            actor.id
+        );
+        self.actors.push(actor);
+    }
+
+    /// The road map.
+    #[inline]
+    pub fn map(&self) -> &RoadMap {
+        &self.map
+    }
+
+    /// Current ego state.
+    #[inline]
+    pub fn ego(&self) -> VehicleState {
+        self.ego
+    }
+
+    /// Ego yaw rate estimated from the last step (rad/s).
+    #[inline]
+    pub fn ego_yaw_rate(&self) -> f64 {
+        self.ego_yaw_rate
+    }
+
+    /// Ego footprint dimensions `(length, width)`.
+    #[inline]
+    pub fn ego_dims(&self) -> (f64, f64) {
+        (self.ego_length, self.ego_width)
+    }
+
+    /// Ego footprint as an oriented box.
+    pub fn ego_footprint(&self) -> Obb {
+        self.ego.footprint(self.ego_length, self.ego_width)
+    }
+
+    /// All non-ego actors.
+    #[inline]
+    pub fn actors(&self) -> &[Actor] {
+        &self.actors
+    }
+
+    /// Looks up an actor by id.
+    pub fn actor(&self, id: ActorId) -> Option<&Actor> {
+        self.actors.iter().find(|a| a.id == id)
+    }
+
+    /// Simulation time (s).
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Step period (s).
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The bicycle model used to integrate the ego and vehicle actors.
+    #[inline]
+    pub fn vehicle_model(&self) -> &BicycleModel {
+        &self.model
+    }
+
+    /// `true` once the ego has collided with any actor.
+    #[inline]
+    pub fn ego_collided(&self) -> bool {
+        self.ego_collided
+    }
+
+    /// Overrides the ego state (used by scenario builders and tests).
+    pub fn set_ego(&mut self, state: VehicleState) {
+        self.ego = state;
+    }
+
+    /// Advances the world by one step with the ego applying `ego_control`.
+    ///
+    /// Order of operations: actor behaviours observe the *pre-step* world,
+    /// then every body integrates simultaneously, then collisions are
+    /// detected on the post-step footprints. Actor-actor collisions turn
+    /// both participants into stationary wrecks (so a front-accident leaves
+    /// a blocked road, as the typology requires).
+    pub fn step(&mut self, ego_control: ControlInput) -> StepEvents {
+        // 1. Decide actor controls against the pre-step world.
+        let ego_snapshot = self.ego;
+        let mut controls = Vec::with_capacity(self.actors.len());
+        for i in 0..self.actors.len() {
+            let lead = self.lead_info(i);
+            let me = self.actors[i].state;
+            let ctx = BehaviorCtx {
+                map: &self.map,
+                ego: ego_snapshot,
+                time: self.time,
+                dt: self.dt,
+                lead,
+                wheelbase: self.model.wheelbase,
+            };
+            let u = self.actors[i].behavior.decide(&me, &ctx);
+            controls.push(u);
+        }
+
+        // 2. Integrate the ego.
+        let prev_ego_theta = self.ego.theta;
+        self.ego = self.model.step(self.ego, ego_control, self.dt);
+        self.ego_yaw_rate =
+            CvtrModel::estimate_yaw_rate(&VehicleState::new(0.0, 0.0, prev_ego_theta, 0.0), &self.ego, self.dt);
+
+        // 3. Integrate the actors.
+        for (actor, u) in self.actors.iter_mut().zip(&controls) {
+            let prev_theta = actor.state.theta;
+            match actor.motion {
+                MotionModel::Bicycle => {
+                    actor.state = self.model.step(actor.state, *u, self.dt);
+                }
+                MotionModel::Holonomic => {
+                    let v = (actor.state.v + u.accel * self.dt).clamp(0.0, 3.0);
+                    let theta = iprism_geom::wrap_to_pi(actor.state.theta + u.steer * self.dt);
+                    let (s, c) = theta.sin_cos();
+                    actor.state = VehicleState::new(
+                        actor.state.x + v * c * self.dt,
+                        actor.state.y + v * s * self.dt,
+                        theta,
+                        v,
+                    );
+                }
+                MotionModel::Static => {}
+            }
+            actor.yaw_rate = iprism_geom::wrap_to_pi(actor.state.theta - prev_theta) / self.dt;
+        }
+
+        self.time += self.dt;
+
+        // 4. Detect collisions.
+        let mut events = StepEvents::default();
+        let ego_fp = self.ego_footprint();
+        for actor in &self.actors {
+            if ego_fp.intersects(&actor.footprint()) {
+                events.collisions.push(CollisionEvent {
+                    a: None,
+                    b: actor.id,
+                });
+                self.ego_collided = true;
+            }
+        }
+        let mut wrecked: Vec<usize> = Vec::new();
+        for i in 0..self.actors.len() {
+            for j in (i + 1)..self.actors.len() {
+                if self.actors[i].footprint().intersects(&self.actors[j].footprint()) {
+                    events.collisions.push(CollisionEvent {
+                        a: Some(self.actors[i].id),
+                        b: self.actors[j].id,
+                    });
+                    wrecked.push(i);
+                    wrecked.push(j);
+                }
+            }
+        }
+        for i in wrecked {
+            let a = &mut self.actors[i];
+            a.state.v = 0.0;
+            a.behavior = crate::Behavior::Idle;
+            a.motion = MotionModel::Static;
+        }
+
+        events.ego_offroad = !self.map.is_obb_drivable(&ego_fp);
+        events
+    }
+
+    /// Gap and speed of the closest entity (actor or ego) ahead of actor
+    /// `idx` in its lane, within a 60 m lookahead.
+    fn lead_info(&self, idx: usize) -> Option<LeadInfo> {
+        let me = &self.actors[idx];
+        let lane = self.map.nearest_lane(me.state.position());
+        let my_s = lane.project(me.state.position()).s;
+        let half_w = lane.width() * 0.5;
+
+        let mut best: Option<LeadInfo> = None;
+        let mut consider = |pos: iprism_geom::Vec2, speed: f64, length: f64| {
+            let proj = lane.project(pos);
+            if proj.lateral.abs() > half_w {
+                return;
+            }
+            let ds = proj.s - my_s;
+            if ds <= 0.0 || ds > 60.0 {
+                return;
+            }
+            let gap = ds - (length + me.length) * 0.5;
+            if best.map_or(true, |b| gap < b.gap) {
+                best = Some(LeadInfo { gap, speed });
+            }
+        };
+
+        consider(self.ego.position(), self.ego.v, self.ego_length);
+        for (j, other) in self.actors.iter().enumerate() {
+            if j != idx {
+                consider(other.state.position(), other.state.v, other.length);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Behavior;
+
+    fn two_lane_world(ego_speed: f64) -> World {
+        let map = RoadMap::straight_road(2, 3.5, 500.0);
+        World::new(map, VehicleState::new(20.0, 1.75, 0.0, ego_speed), 0.1)
+    }
+
+    #[test]
+    fn empty_world_steps() {
+        let mut w = two_lane_world(10.0);
+        let ev = w.step(ControlInput::COAST);
+        assert!(ev.collisions.is_empty());
+        assert!(!ev.ego_offroad);
+        assert!((w.time() - 0.1).abs() < 1e-12);
+        assert!((w.ego().x - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spawn_duplicate_id_panics() {
+        let mut w = two_lane_world(0.0);
+        w.spawn(Actor::vehicle(1, VehicleState::new(50.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.spawn(Actor::vehicle(1, VehicleState::new(60.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn ego_collision_detected() {
+        let mut w = two_lane_world(10.0);
+        // Stationary car 3 m ahead of the ego: immediate crash.
+        w.spawn(Actor::vehicle(1, VehicleState::new(26.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        let mut hit = false;
+        for _ in 0..20 {
+            let ev = w.step(ControlInput::COAST);
+            if ev.ego_collided() {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit);
+        assert!(w.ego_collided());
+    }
+
+    #[test]
+    fn actor_actor_collision_makes_wrecks() {
+        let mut w = two_lane_world(0.0);
+        w.set_ego(VehicleState::new(5.0, 1.75, 0.0, 0.0));
+        // Fast car behind a stopped car in the same lane, far from the ego.
+        w.spawn(Actor::vehicle(1, VehicleState::new(200.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            2,
+            VehicleState::new(170.0, 1.75, 0.0, 20.0),
+            Behavior::RearApproach { target_speed: 20.0 },
+        ));
+        let mut crashed = false;
+        for _ in 0..60 {
+            let ev = w.step(ControlInput::COAST);
+            if !ev.collisions.is_empty() {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed);
+        // Both are now static wrecks.
+        for a in w.actors() {
+            assert_eq!(a.motion, MotionModel::Static);
+            assert_eq!(a.state.v, 0.0);
+        }
+    }
+
+    #[test]
+    fn offroad_reported() {
+        let map = RoadMap::straight_road(1, 3.5, 100.0);
+        let mut w = World::new(map, VehicleState::new(50.0, 10.0, 0.0, 5.0), 0.1);
+        let ev = w.step(ControlInput::COAST);
+        assert!(ev.ego_offroad);
+    }
+
+    #[test]
+    fn lane_keep_actor_follows_lane() {
+        let mut w = two_lane_world(0.0);
+        w.set_ego(VehicleState::new(5.0, 1.75, 0.0, 0.0));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(50.0, 5.0, 0.0, 8.0), // slightly off lane-1 center
+            Behavior::lane_keep(8.0),
+        ));
+        for _ in 0..100 {
+            w.step(ControlInput::COAST);
+        }
+        let a = &w.actors()[0];
+        assert!((a.state.y - 5.25).abs() < 0.3, "converged to lane center, y={}", a.state.y);
+        assert!((a.state.v - 8.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn lane_keep_actor_yields_to_leader() {
+        let mut w = two_lane_world(0.0);
+        w.set_ego(VehicleState::new(5.0, 5.25, 0.0, 0.0)); // ego out of the way
+        w.spawn(Actor::vehicle(1, VehicleState::new(120.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            2,
+            VehicleState::new(80.0, 1.75, 0.0, 10.0),
+            Behavior::lane_keep(10.0),
+        ));
+        for _ in 0..200 {
+            w.step(ControlInput::COAST);
+        }
+        // follower stopped before hitting the leader
+        let follower = w.actor(ActorId(2)).unwrap();
+        assert!(follower.state.v < 1.0);
+        assert!(!w.actors().iter().any(|a| a.motion == MotionModel::Static && a.id == ActorId(2)));
+    }
+
+    #[test]
+    fn yaw_rate_updates() {
+        let mut w = two_lane_world(10.0);
+        w.step(ControlInput::new(0.0, 0.3));
+        assert!(w.ego_yaw_rate() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_stepping() {
+        let build = || {
+            let mut w = two_lane_world(10.0);
+            w.spawn(Actor::vehicle(
+                1,
+                VehicleState::new(60.0, 5.25, 0.0, 12.0),
+                Behavior::ghost_cut_in(iprism_map::LaneId(0), 5.0, 10.0, 12.0),
+            ));
+            w
+        };
+        let mut w1 = build();
+        let mut w2 = build();
+        for _ in 0..100 {
+            w1.step(ControlInput::COAST);
+            w2.step(ControlInput::COAST);
+        }
+        assert_eq!(w1.ego(), w2.ego());
+        assert_eq!(w1.actors()[0].state, w2.actors()[0].state);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let map = RoadMap::straight_road(1, 3.5, 10.0);
+        let _ = World::new(map, VehicleState::default(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! §V-D style analysis: measure the STI distribution over benign,
+//! real-world-like traffic and show its long tail — the reason NHTSA
+//! pre-crash scenarios are out-of-distribution for models trained only on
+//! such data.
+//!
+//! Run with: `cargo run --release --example argoverse_risk_analysis [-- EPISODES]`
+
+use iprism::eval::{dataset_study, EvalConfig};
+use iprism::scenarios::BenignTrafficConfig;
+
+fn main() {
+    let episodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+
+    let config = EvalConfig {
+        instances: episodes,
+        ..EvalConfig::default()
+    };
+    println!("analysing {episodes} benign traffic episodes...");
+    let t0 = std::time::Instant::now();
+    let study = dataset_study(&config, &BenignTrafficConfig::default());
+    println!("done in {:?}\n", t0.elapsed());
+    println!("{study}");
+
+    println!("\ninterpretation:");
+    println!(
+        "  {:.0}% of per-actor STI samples are exactly zero — most actors",
+        study.actor_zero_fraction * 100.0
+    );
+    println!("  in lawful traffic never constrain the ego's escape routes.");
+    println!(
+        "  High-risk moments live in the long tail (p99 = {:.2}), which is",
+        study.actor_percentiles.p99
+    );
+    println!("  why NHTSA pre-crash typologies are OOD for data-driven ADSes.");
+}

@@ -1,0 +1,62 @@
+//! Train an SMC on one ghost cut-in scenario and watch it save the LBC
+//! baseline across a sweep of held-out instances — the paper's headline
+//! Table-III effect, end to end.
+//!
+//! Run with: `cargo run --release --example ghost_cut_in_mitigation`
+
+use iprism::prelude::*;
+
+fn main() {
+    // 1. Pick a scenario that reliably defeats the LBC baseline.
+    let train_spec = ScenarioSpec::new(Typology::GhostCutIn, vec![25.2, 5.6, 10.5], 0);
+    {
+        let mut world = train_spec.build_world();
+        let mut lbc = LbcAgent::default();
+        let r = run_episode(&mut world, &mut lbc, &train_spec.episode_config());
+        println!("LBC on the training scenario: {:?}", r.outcome);
+    }
+
+    // 2. Train the Safety-hazard Mitigation Controller (100 episodes, as in
+    //    the paper).
+    println!("training SMC (100 episodes)...");
+    let t0 = std::time::Instant::now();
+    let trained = train_smc(
+        vec![(train_spec.build_world(), train_spec.episode_config())],
+        LbcAgent::default(),
+        &SmcTrainConfig::default(),
+    );
+    println!("trained in {:?}", t0.elapsed());
+
+    // 3. Evaluate LBC vs LBC+iPrism on held-out instances.
+    let iprism = Iprism::new(trained.smc);
+    let sweep = sample_instances(Typology::GhostCutIn, 60, 7777);
+    let mut lbc_crashes: usize = 0;
+    let mut iprism_crashes: usize = 0;
+    let mut iprism_goals = 0;
+    for spec in &sweep {
+        let mut w = spec.build_world();
+        let mut lbc = LbcAgent::default();
+        if run_episode(&mut w, &mut lbc, &spec.episode_config()).outcome.is_collision() {
+            lbc_crashes += 1;
+        }
+
+        let mut w = spec.build_world();
+        let mut protected = iprism.attach(LbcAgent::default());
+        match run_episode(&mut w, &mut protected, &spec.episode_config()).outcome {
+            EpisodeOutcome::Collision { .. } => iprism_crashes += 1,
+            EpisodeOutcome::ReachedGoal { .. } => iprism_goals += 1,
+            EpisodeOutcome::Timeout => {}
+        }
+    }
+    let n = sweep.len();
+    println!("\nheld-out sweep ({n} instances):");
+    println!("  LBC         collisions: {lbc_crashes}/{n}");
+    println!("  LBC+iPrism  collisions: {iprism_crashes}/{n} (goals reached: {iprism_goals})");
+    if lbc_crashes > 0 {
+        let saved = lbc_crashes.saturating_sub(iprism_crashes);
+        println!(
+            "  iPrism prevented {:.0}% of the baseline's accidents",
+            saved as f64 / lbc_crashes as f64 * 100.0
+        );
+    }
+}

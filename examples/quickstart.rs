@@ -1,0 +1,49 @@
+//! Quickstart: compute the Safety-Threat Indicator for a dangerous cut-in
+//! moment and inspect which actor threatens the ego most.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use iprism::prelude::*;
+
+fn main() {
+    // A two-lane road; the ego cruises in the bottom lane at 10 m/s.
+    let map = RoadMap::straight_road(2, 3.5, 400.0);
+    let ego = VehicleState::new(100.0, 1.75, 0.0, 10.0);
+
+    // Actor 1 has just cut in 16 m ahead and is braking (classic cut-in).
+    let cut_in = Trajectory::from_states(
+        0.0,
+        0.25,
+        (0..11)
+            .map(|i| VehicleState::new(116.0 + 3.0 * 0.25 * i as f64, 1.75, 0.0, 3.0))
+            .collect(),
+    );
+    // Actor 2 drives parallel in the adjacent lane (harmless).
+    let parallel = Trajectory::from_states(
+        0.0,
+        0.25,
+        (0..11)
+            .map(|i| VehicleState::new(95.0 + 10.0 * 0.25 * i as f64, 5.25, 0.0, 10.0))
+            .collect(),
+    );
+
+    let scene = SceneSnapshot::new(0.0, ego, (4.6, 2.0))
+        .with_actor(SceneActor::new(ActorId(1), cut_in, 4.6, 2.0))
+        .with_actor(SceneActor::new(ActorId(2), parallel, 4.6, 2.0));
+
+    let evaluator = StiEvaluator::default();
+    let sti = evaluator.evaluate(&map, &scene);
+
+    println!("escape-route volume with all actors: {:7.1} m²", sti.volume_all);
+    println!("escape-route volume without actors:  {:7.1} m²", sti.volume_empty);
+    println!("combined STI:                        {:7.2}", sti.combined);
+    for (id, value) in &sti.per_actor {
+        println!("  actor #{:<2} STI = {value:.2}", id.0);
+    }
+    match sti.riskiest_actor() {
+        Some((id, value)) => {
+            println!("most safety-threatening actor: #{} (STI {value:.2})", id.0)
+        }
+        None => println!("no actor currently threatens the ego"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Watch the roundabout conflict unfold in ASCII: a ring vehicle fails to
+//! yield at the entry exactly as the ego arrives (the §V-C RIP scenario).
+//!
+//! Run with: `cargo run --release --example roundabout_demo`
+
+use iprism::prelude::*;
+use iprism::sim::render_world;
+
+fn main() {
+    let spec = sample_instances(Typology::RoundaboutGhostCutIn, 1, 2024).remove(0);
+    println!(
+        "roundabout ghost cut-in, params {:?} (offset, npc speed, ego speed)\n",
+        spec.params
+    );
+
+    let mut world = spec.build_world();
+    let mut agent = RipAgent::default();
+    let episode = spec.episode_config();
+
+    let mut frames = 0;
+    loop {
+        let u = agent.control(&world);
+        let events = world.step(u);
+        if (world.time() * 10.0).round() as i64 % 15 == 0 {
+            frames += 1;
+            println!("t = {:.1} s  (E ego at {:.1} m/s, A ring vehicle)", world.time(), world.ego().v);
+            println!("{}", render_world(&world, 25.0, 40.0, 1.4));
+        }
+        if events.ego_collided() {
+            println!("t = {:.1} s — COLLISION (RIP failed to yield-model the ring vehicle)", world.time());
+            println!("{}", render_world(&world, 25.0, 40.0, 1.4));
+            break;
+        }
+        if episode.goal.reached(world.ego().position()) {
+            println!("t = {:.1} s — ego traversed the roundabout safely", world.time());
+            break;
+        }
+        if world.time() > episode.max_time || frames > 40 {
+            println!("t = {:.1} s — episode ended without conflict", world.time());
+            break;
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Train a Safety-hazard Mitigation Controller with D-DQN and save its
+//! weights to disk, then reload and sanity-check the policy.
+//!
+//! Run with: `cargo run --release --example train_smc [-- EPISODES [PATH]]`
+
+use iprism::core::Smc;
+use iprism::prelude::*;
+
+fn main() {
+    let episodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "smc_weights.json".to_string());
+
+    // The lead-slowdown typology: a leader brakes hard in front of the ego.
+    let spec = ScenarioSpec::new(Typology::LeadSlowdown, vec![14.0, 6.0, 20.0], 0);
+    println!("training on {} for {episodes} episodes...", spec.typology);
+    let trained = train_smc(
+        vec![(spec.build_world(), spec.episode_config())],
+        LbcAgent::default(),
+        &SmcTrainConfig {
+            episodes,
+            ..SmcTrainConfig::default()
+        },
+    );
+
+    let first = trained.episode_returns.first().copied().unwrap_or(0.0);
+    let last = trained.episode_returns.last().copied().unwrap_or(0.0);
+    println!("episode return: first {first:.1}, last {last:.1}");
+
+    trained.smc.save(std::path::Path::new(&path)).expect("save weights");
+    println!("weights saved to {path}");
+
+    // Reload and verify the policies agree.
+    let mut reloaded = Smc::load(std::path::Path::new(&path)).expect("load weights");
+    let world = spec.build_world();
+    let mut original = trained.smc.clone();
+    let a = iprism::agents::MitigationPolicy::decide(&mut original, &world);
+    let b = iprism::agents::MitigationPolicy::decide(&mut reloaded, &world);
+    assert_eq!(a, b, "reloaded policy must match");
+    println!("reloaded policy decides: {a:?} (matches the trained policy)");
+}

@@ -1,0 +1,83 @@
+//! # iPrism
+//!
+//! A Rust reproduction of **"iPrism: Characterize and Mitigate Risk by
+//! Quantifying Change in Escape Routes"** (Cui et al., DSN 2024).
+//!
+//! iPrism quantifies the risk other road users pose to an autonomous
+//! vehicle as the *change in its escape routes* — the Safety-Threat
+//! Indicator (STI), computed by counterfactual reach-tube analysis — and
+//! mitigates that risk with a Double-DQN *Safety-hazard Mitigation
+//! Controller* (SMC) that brakes or accelerates before the situation
+//! becomes unrecoverable.
+//!
+//! This crate is the umbrella over the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`geom`] | `iprism-geom` | 2-D geometry (vectors, OBBs, occupancy grids) |
+//! | [`dynamics`] | `iprism-dynamics` | bicycle model, CVTR prediction, trajectories |
+//! | [`map`] | `iprism-map` | lanes, straight roads, roundabouts, drivable area |
+//! | [`sim`] | `iprism-sim` | deterministic 2-D driving simulator (CARLA substitute) |
+//! | [`reach`] | `iprism-reach` | Algorithm 1: sampled reach-tubes |
+//! | [`risk`] | `iprism-risk` | STI + baselines (TTC, Dist-CIPA, PKL), LTFMA |
+//! | [`nn`] | `iprism-nn` | minimal MLP + backprop + Adam |
+//! | [`rl`] | `iprism-rl` | Double-DQN trainer |
+//! | [`agents`] | `iprism-agents` | LBC/RIP surrogates, TTC-ACA, mitigation arbiter |
+//! | [`scenarios`] | `iprism-scenarios` | NHTSA typologies, benign traffic, case studies |
+//! | [`core`] | `iprism-core` | the iPrism framework (SMC training + inference) |
+//! | [`eval`] | `iprism-eval` | the paper's tables & figures as experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iprism::prelude::*;
+//!
+//! // A cut-in moment: the ego at 10 m/s, an actor swerving in 15 m ahead.
+//! let map = RoadMap::straight_road(2, 3.5, 400.0);
+//! let ego = VehicleState::new(100.0, 1.75, 0.0, 10.0);
+//! let intruder = Trajectory::from_states(
+//!     0.0,
+//!     2.5,
+//!     vec![VehicleState::new(115.0, 1.75, 0.0, 2.0); 2],
+//! );
+//! let scene = SceneSnapshot::new(0.0, ego, (4.6, 2.0))
+//!     .with_actor(SceneActor::new(ActorId(1), intruder, 4.6, 2.0));
+//!
+//! let sti = StiEvaluator::default().evaluate(&map, &scene);
+//! assert!(sti.combined > 0.1); // escape routes are shrinking
+//! ```
+
+#![warn(missing_docs)]
+
+pub use iprism_agents as agents;
+pub use iprism_core as core;
+pub use iprism_dynamics as dynamics;
+pub use iprism_eval as eval;
+pub use iprism_geom as geom;
+pub use iprism_map as map;
+pub use iprism_nn as nn;
+pub use iprism_reach as reach;
+pub use iprism_risk as risk;
+pub use iprism_rl as rl;
+pub use iprism_scenarios as scenarios;
+pub use iprism_sim as sim;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use iprism_agents::{
+        AcaController, LbcAgent, MitigatedAgent, MitigationAction, MitigationPolicy, RipAgent,
+    };
+    pub use iprism_core::{train_smc, Iprism, Smc, SmcTrainConfig};
+    pub use iprism_dynamics::{
+        BicycleModel, ControlInput, CvtrModel, Trajectory, VehicleState,
+    };
+    pub use iprism_geom::{Obb, Pose, Vec2};
+    pub use iprism_map::{LaneId, RoadMap};
+    pub use iprism_reach::{compute_reach_tube, Obstacle, ReachConfig};
+    pub use iprism_risk::{SceneActor, SceneSnapshot, Sti, StiEvaluator};
+    pub use iprism_scenarios::{sample_instances, ScenarioSpec, Typology};
+    pub use iprism_sim::{
+        run_episode, Actor, ActorId, Behavior, EgoController, EpisodeConfig, EpisodeOutcome,
+        Goal, World,
+    };
+}

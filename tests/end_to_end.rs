@@ -1,0 +1,171 @@
+//! End-to-end integration tests: the full pipeline from scenario
+//! construction through STI monitoring to SMC mitigation.
+
+use iprism::prelude::*;
+
+/// A ghost cut-in instance that reliably defeats the LBC baseline.
+fn defeating_spec() -> ScenarioSpec {
+    ScenarioSpec::new(Typology::GhostCutIn, vec![25.2, 5.6, 10.5], 0)
+}
+
+#[test]
+fn lbc_crashes_then_iprism_saves_it() {
+    let spec = defeating_spec();
+
+    // 1. The baseline crashes.
+    let mut world = spec.build_world();
+    let mut lbc = LbcAgent::default();
+    let baseline = run_episode(&mut world, &mut lbc, &spec.episode_config());
+    assert!(baseline.outcome.is_collision(), "{:?}", baseline.outcome);
+
+    // 2. Train an SMC on the same scenario (small config for test speed).
+    let trained = train_smc(
+        vec![(spec.build_world(), spec.episode_config())],
+        LbcAgent::default(),
+        &SmcTrainConfig {
+            episodes: 25,
+            ..SmcTrainConfig::default()
+        },
+    );
+
+    // 3. The protected agent survives the same scenario.
+    let iprism = Iprism::new(trained.smc);
+    let mut world = spec.build_world();
+    let mut protected = iprism.attach(LbcAgent::default());
+    let mitigated = run_episode(&mut world, &mut protected, &spec.episode_config());
+    assert!(
+        !mitigated.outcome.is_collision(),
+        "iPrism must prevent the accident: {:?}",
+        mitigated.outcome
+    );
+    // And it actually mitigated (not a fluke): the SMC activated.
+    assert!(protected.first_activation().is_some());
+}
+
+#[test]
+fn sti_rises_before_the_baseline_accident() {
+    let spec = defeating_spec();
+    let mut world = spec.build_world();
+    let mut lbc = LbcAgent::default();
+    let result = run_episode(&mut world, &mut lbc, &spec.episode_config());
+    let trace = result.trace;
+    let accident = trace.first_collision_index().expect("baseline crashes");
+
+    let evaluator = StiEvaluator::default();
+    let horizon_steps = (evaluator.config.horizon / trace.dt()).ceil() as usize;
+    let sti_at = |i: usize| {
+        let scene = SceneSnapshot::from_trace(&trace, i, horizon_steps).unwrap();
+        evaluator.evaluate_combined(world.map(), &scene)
+    };
+
+    // Early in the episode the risk is low; just before the accident it is
+    // high — the Fig. 4 shape.
+    let early = sti_at(0);
+    let late = sti_at(accident.saturating_sub(2));
+    assert!(early < 0.35, "early STI {early}");
+    assert!(late > 0.5, "late STI {late}");
+    assert!(late > early + 0.3, "STI must climb: {early} -> {late}");
+}
+
+#[test]
+fn sti_leads_ttc_on_the_cut_in() {
+    use iprism::risk::{ltfma_seconds, time_to_collision, RiskIndicator};
+
+    let spec = defeating_spec();
+    let mut world = spec.build_world();
+    let mut lbc = LbcAgent::default();
+    let result = run_episode(&mut world, &mut lbc, &spec.episode_config());
+    let trace = result.trace;
+    let accident = trace.first_collision_index().expect("baseline crashes");
+
+    let evaluator = StiEvaluator::default();
+    let horizon_steps = (evaluator.config.horizon / trace.dt()).ceil() as usize;
+
+    let sti_ind = RiskIndicator::Sti { floor: 0.02 };
+    let ttc_ind = RiskIndicator::Ttc { threshold: 3.0 };
+    let mut sti_risky = Vec::new();
+    let mut ttc_risky = Vec::new();
+    for i in 0..=accident {
+        let scene = SceneSnapshot::from_trace(&trace, i, horizon_steps).unwrap();
+        sti_risky.push(sti_ind.is_risky(Some(evaluator.evaluate_combined(world.map(), &scene))));
+        ttc_risky.push(ttc_ind.is_risky(time_to_collision(&scene)));
+    }
+    let sti_lead = ltfma_seconds(&sti_risky, accident, trace.dt());
+    let ttc_lead = ltfma_seconds(&ttc_risky, accident, trace.dt());
+    assert!(
+        sti_lead > ttc_lead,
+        "STI lead {sti_lead}s must beat TTC lead {ttc_lead}s (side threat)"
+    );
+}
+
+#[test]
+fn deterministic_full_pipeline() {
+    let run = || {
+        let spec = defeating_spec();
+        let trained = train_smc(
+            vec![(spec.build_world(), spec.episode_config())],
+            LbcAgent::default(),
+            &SmcTrainConfig {
+                episodes: 5,
+                ..SmcTrainConfig::default()
+            },
+        );
+        let iprism = Iprism::new(trained.smc);
+        let mut world = spec.build_world();
+        let mut protected = iprism.attach(LbcAgent::default());
+        let result = run_episode(&mut world, &mut protected, &spec.episode_config());
+        (format!("{:?}", result.outcome), result.trace.len())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn every_nhtsa_typology_runs_under_every_agent() {
+    for typology in Typology::NHTSA {
+        for spec in sample_instances(typology, 2, 5) {
+            let cfg = spec.episode_config();
+
+            let mut w = spec.build_world();
+            let mut lbc = LbcAgent::default();
+            let _ = run_episode(&mut w, &mut lbc, &cfg);
+
+            let mut w = spec.build_world();
+            let mut rip = RipAgent::default();
+            let _ = run_episode(&mut w, &mut rip, &cfg);
+
+            let mut w = spec.build_world();
+            let mut aca = AcaController::new(LbcAgent::default(), 2.5);
+            let _ = run_episode(&mut w, &mut aca, &cfg);
+        }
+    }
+}
+
+#[test]
+fn rear_end_is_mitigable_by_acceleration() {
+    // §V-C extension: braking cannot save the ego from a rear approach;
+    // acceleration can. Train on a rear-end scenario and check the SMC
+    // accelerates rather than brakes when the threat comes from behind.
+    let spec = ScenarioSpec::new(Typology::RearEnd, vec![11.0, 7.98, 55.8], 0);
+    let mut world = spec.build_world();
+    let mut lbc = LbcAgent::default();
+    let baseline = run_episode(&mut world, &mut lbc, &spec.episode_config());
+    assert!(baseline.outcome.is_collision(), "{:?}", baseline.outcome);
+
+    let trained = train_smc(
+        vec![(spec.build_world(), spec.episode_config())],
+        LbcAgent::default(),
+        &SmcTrainConfig {
+            episodes: 80,
+            ..SmcTrainConfig::default()
+        },
+    );
+    let iprism = Iprism::new(trained.smc);
+    let mut world = spec.build_world();
+    let mut protected = iprism.attach(LbcAgent::default());
+    let mitigated = run_episode(&mut world, &mut protected, &spec.episode_config());
+    assert!(
+        !mitigated.outcome.is_collision(),
+        "acceleration should escape the rear threat: {:?}",
+        mitigated.outcome
+    );
+}

@@ -1,0 +1,103 @@
+//! The paper's future-work extension (§VII): lane-change mitigation
+//! actions. The action space already defines LCL/LCR; these tests exercise
+//! an SMC trained with the *full* action set on a scenario where braking
+//! alone cannot help — only swerving into the free adjacent lane can.
+
+use iprism::agents::MitigationAction;
+use iprism::core::{EnvConfig, MitigationEnv, SmcTrainConfig};
+use iprism::prelude::*;
+use iprism::rl::Environment;
+
+/// Ego approaches a stopped wall of cars too fast to brake; lane 1 is free.
+fn brake_proof_trap() -> (World, EpisodeConfig) {
+    let map = RoadMap::straight_road(2, 3.5, 500.0);
+    let mut w = World::new(map, VehicleState::new(30.0, 1.75, 0.0, 17.0), 0.1);
+    // Wall: two stopped cars nose-to-tail in the ego lane.
+    w.spawn(Actor::vehicle(1, VehicleState::new(56.0, 1.75, 0.0, 0.0), Behavior::Idle));
+    w.spawn(Actor::vehicle(2, VehicleState::new(62.0, 1.75, 0.0, 0.0), Behavior::Idle));
+    (
+        w,
+        EpisodeConfig {
+            max_time: 10.0,
+            goal: Goal::XThreshold(150.0),
+            stop_on_collision: true,
+        },
+    )
+}
+
+fn full_action_env_config() -> EnvConfig {
+    EnvConfig {
+        actions: MitigationAction::ALL.to_vec(),
+        ..EnvConfig::default()
+    }
+}
+
+#[test]
+fn braking_alone_cannot_escape_the_trap() {
+    // Even an agent that brakes maximally from t=0 hits the wall:
+    // 17 m/s needs ~24 m to stop, the wall is ~21 m of clearance away.
+    struct FullBrake;
+    impl EgoController for FullBrake {
+        fn control(&mut self, world: &World) -> ControlInput {
+            ControlInput::new(world.vehicle_model().limits.accel_min, 0.0)
+        }
+    }
+    let (mut w, cfg) = brake_proof_trap();
+    let r = run_episode(&mut w, &mut FullBrake, &cfg);
+    assert!(r.outcome.is_collision(), "{:?}", r.outcome);
+}
+
+#[test]
+fn lane_change_action_escapes_the_trap() {
+    // Scripted proof that the LCL action suffices: swerve left for 1.2 s,
+    // then hold the new lane.
+    struct SwerveLeft;
+    impl EgoController for SwerveLeft {
+        fn control(&mut self, world: &World) -> ControlInput {
+            MitigationAction::LaneChangeLeft
+                .to_control(world)
+                .expect("LCL always yields a control")
+        }
+    }
+    let (mut w, cfg) = brake_proof_trap();
+    let r = run_episode(&mut w, &mut SwerveLeft, &cfg);
+    assert!(!r.outcome.is_collision(), "{:?}", r.outcome);
+}
+
+#[test]
+fn env_exposes_five_actions_and_they_all_run() {
+    let mut env = MitigationEnv::new(
+        vec![brake_proof_trap()],
+        LbcAgent::default(),
+        full_action_env_config(),
+    );
+    assert_eq!(env.num_actions(), 5);
+    for action in 0..5 {
+        env.reset();
+        let out = env.step(action);
+        assert!(out.reward.is_finite(), "action {action}");
+    }
+}
+
+#[test]
+fn smc_trained_with_lane_changes_escapes_the_trap() {
+    let trained = iprism::core::train_smc(
+        vec![brake_proof_trap()],
+        LbcAgent::default(),
+        &SmcTrainConfig {
+            episodes: 80,
+            env: full_action_env_config(),
+            ..SmcTrainConfig::default()
+        },
+    );
+    let iprism_fw = Iprism::new(trained.smc);
+    let (mut w, cfg) = brake_proof_trap();
+    let mut protected = iprism_fw.attach(LbcAgent::default());
+    let r = run_episode(&mut w, &mut protected, &cfg);
+    assert!(
+        !r.outcome.is_collision(),
+        "the extended action set should escape: {:?}",
+        r.outcome
+    );
+    assert!(protected.first_activation().is_some(), "SMC must have acted");
+}

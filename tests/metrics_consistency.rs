@@ -1,0 +1,123 @@
+//! Cross-crate consistency tests for the risk metrics: STI behaves like the
+//! paper claims relative to the baselines across whole scenario sweeps.
+
+use iprism::prelude::*;
+use iprism::risk::{dist_cipa, time_to_collision};
+
+fn scene_at(trace: &iprism::sim::Trace, i: usize, horizon: f64) -> Option<SceneSnapshot> {
+    let steps = (horizon / trace.dt()).ceil() as usize;
+    SceneSnapshot::from_trace(trace, i, steps)
+}
+
+#[test]
+fn sti_bounded_and_finite_across_typology_sweeps() {
+    let evaluator = StiEvaluator::new(ReachConfig::fast());
+    for typology in [Typology::GhostCutIn, Typology::LeadSlowdown, Typology::RearEnd] {
+        for spec in sample_instances(typology, 3, 31) {
+            let mut world = spec.build_world();
+            let mut agent = LbcAgent::default();
+            let result = run_episode(&mut world, &mut agent, &spec.episode_config());
+            let trace = result.trace;
+            for i in (0..trace.len()).step_by(10) {
+                if let Some(scene) = scene_at(&trace, i, 2.4) {
+                    let sti = evaluator.evaluate(world.map(), &scene);
+                    assert!((0.0..=1.0).contains(&sti.combined), "{typology}");
+                    for (_, v) in &sti.per_actor {
+                        assert!((0.0..=1.0).contains(v), "{typology}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn removing_the_threat_lowers_combined_sti() {
+    // Counterfactual sanity on a live cut-in: combined STI with the cutting
+    // actor removed must not exceed the factual combined STI.
+    let spec = ScenarioSpec::new(Typology::GhostCutIn, vec![25.2, 5.6, 10.5], 0);
+    let mut world = spec.build_world();
+    let mut agent = LbcAgent::default();
+    let result = run_episode(&mut world, &mut agent, &spec.episode_config());
+    let trace = result.trace;
+    let accident = trace.first_collision_index().expect("crashes");
+    let evaluator = StiEvaluator::default();
+
+    let scene = scene_at(&trace, accident.saturating_sub(5), 2.5).unwrap();
+    let factual = evaluator.evaluate(world.map(), &scene);
+    let mut emptied = scene.clone();
+    emptied.actors.clear();
+    let counterfactual = evaluator.evaluate(world.map(), &emptied);
+    assert!(factual.combined > counterfactual.combined);
+    assert_eq!(counterfactual.combined, 0.0);
+}
+
+#[test]
+fn ttc_and_cipa_are_blind_where_sti_is_not() {
+    // During the approach phase of a ghost cut-in (actor still in the
+    // adjacent lane), TTC and Dist-CIPA see nothing while STI already
+    // registers risk at some point before the metric baselines do.
+    let spec = ScenarioSpec::new(Typology::GhostCutIn, vec![25.2, 5.6, 10.5], 0);
+    let mut world = spec.build_world();
+    let mut agent = LbcAgent::default();
+    let result = run_episode(&mut world, &mut agent, &spec.episode_config());
+    let trace = result.trace;
+    let accident = trace.first_collision_index().expect("crashes");
+    let evaluator = StiEvaluator::default();
+
+    let mut sti_first_risky: Option<usize> = None;
+    let mut ttc_first_risky: Option<usize> = None;
+    let mut cipa_first_risky: Option<usize> = None;
+    for i in 0..=accident {
+        let scene = scene_at(&trace, i, 2.5).unwrap();
+        if sti_first_risky.is_none()
+            && evaluator.evaluate_combined(world.map(), &scene) > 0.05
+        {
+            sti_first_risky = Some(i);
+        }
+        if ttc_first_risky.is_none() && time_to_collision(&scene).is_some_and(|t| t < 3.0) {
+            ttc_first_risky = Some(i);
+        }
+        if cipa_first_risky.is_none() && dist_cipa(&scene).is_some_and(|d| d < 15.0) {
+            cipa_first_risky = Some(i);
+        }
+    }
+    let sti_i = sti_first_risky.expect("STI registers before the accident");
+    if let Some(ttc_i) = ttc_first_risky {
+        assert!(sti_i <= ttc_i, "STI at {sti_i}, TTC at {ttc_i}");
+    }
+    if let Some(cipa_i) = cipa_first_risky {
+        assert!(sti_i <= cipa_i, "STI at {sti_i}, CIPA at {cipa_i}");
+    }
+}
+
+#[test]
+fn benign_traffic_sti_is_low_risk() {
+    use iprism::scenarios::{generate_benign_episode, BenignTrafficConfig};
+
+    let evaluator = StiEvaluator::new(ReachConfig::fast());
+    let mut all_samples = Vec::new();
+    for seed in 0..4 {
+        let mut world = generate_benign_episode(&BenignTrafficConfig::default(), seed);
+        let mut agent = LbcAgent::default();
+        let cfg = EpisodeConfig {
+            max_time: 8.0,
+            goal: Goal::None,
+            stop_on_collision: true,
+        };
+        let result = run_episode(&mut world, &mut agent, &cfg);
+        for i in (0..result.trace.len()).step_by(20) {
+            if let Some(scene) = scene_at(&result.trace, i, 2.4) {
+                let sti = evaluator.evaluate(world.map(), &scene);
+                all_samples.extend(sti.per_actor.iter().map(|(_, v)| *v));
+            }
+        }
+    }
+    assert!(!all_samples.is_empty());
+    let median = {
+        let mut s = all_samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    };
+    assert!(median < 0.1, "benign traffic median actor STI {median}");
+}

@@ -1,0 +1,76 @@
+//! The roundabout substrate: agents must be able to navigate the ring at
+//! all (no NPC) before the RIP-vs-RIP+iPrism experiment is meaningful.
+
+use iprism::prelude::*;
+use iprism::scenarios::EGO_START_SPEED;
+
+fn roundabout_world(ego_speed: f64) -> (World, EpisodeConfig) {
+    let map = RoadMap::roundabout(Vec2::ZERO, 12.0, 19.0, 60.0);
+    let world = World::new(
+        map,
+        VehicleState::new(-40.0, -15.5, 0.0, ego_speed),
+        0.1,
+    );
+    let cfg = EpisodeConfig {
+        max_time: 40.0,
+        goal: Goal::Point {
+            x: 15.5,
+            y: 0.0,
+            radius: 4.0,
+        },
+        stop_on_collision: true,
+    };
+    (world, cfg)
+}
+
+#[test]
+fn lbc_navigates_empty_roundabout_to_exit() {
+    let (mut world, cfg) = roundabout_world(EGO_START_SPEED);
+    let mut agent = LbcAgent::default();
+    let r = run_episode(&mut world, &mut agent, &cfg);
+    assert!(
+        matches!(r.outcome, EpisodeOutcome::ReachedGoal { .. }),
+        "LBC must reach the exit mouth: {:?} (ego ended at {:?})",
+        r.outcome,
+        world.ego().position()
+    );
+    // It stayed on the drivable surface throughout.
+    for step in r.trace.steps() {
+        let fp = step.ego.footprint(4.6, 2.0);
+        assert!(
+            world.map().is_obb_drivable(&fp.inflated(-0.5)),
+            "off-road at t={:.1}: {:?}",
+            step.time,
+            step.ego.position()
+        );
+    }
+}
+
+#[test]
+fn rip_navigates_empty_roundabout_without_crashing() {
+    let (mut world, cfg) = roundabout_world(8.0);
+    let mut agent = RipAgent::default();
+    let r = run_episode(&mut world, &mut agent, &cfg);
+    assert!(
+        !r.outcome.is_collision(),
+        "no actors, no collisions: {:?}",
+        r.outcome
+    );
+}
+
+#[test]
+fn roundabout_scenario_instances_are_conflicting() {
+    // With the timed ring vehicle, at least some instances defeat RIP (the
+    // experiment's premise) while the scenario stays physically sound.
+    let mut collisions = 0;
+    let n = 12;
+    for spec in sample_instances(Typology::RoundaboutGhostCutIn, n, 2024) {
+        let mut world = spec.build_world();
+        let mut agent = RipAgent::default();
+        let r = run_episode(&mut world, &mut agent, &spec.episode_config());
+        if r.outcome.is_collision() {
+            collisions += 1;
+        }
+    }
+    assert!(collisions > 0, "conflict vehicle never hits RIP in {n} tries");
+}

@@ -1,0 +1,52 @@
+//! Dataset recording: traces, scenario specs and trained policies all
+//! round-trip through JSON, so sweeps can be archived and replayed — the
+//! workflow behind the §V-D dataset study.
+
+use iprism::prelude::*;
+use iprism::sim::Trace;
+
+#[test]
+fn trace_roundtrips_through_json() {
+    let spec = ScenarioSpec::new(Typology::GhostCutIn, vec![25.2, 5.6, 10.5], 0);
+    let mut world = spec.build_world();
+    let mut agent = LbcAgent::default();
+    let result = run_episode(&mut world, &mut agent, &spec.episode_config());
+
+    let json = serde_json::to_string(&result.trace).expect("trace serializes");
+    let back: Trace = serde_json::from_str(&json).expect("trace deserializes");
+    assert_eq!(back, result.trace);
+
+    // The reloaded trace supports the same offline risk analysis.
+    let scene_orig = SceneSnapshot::from_trace(&result.trace, 10, 20).unwrap();
+    let scene_back = SceneSnapshot::from_trace(&back, 10, 20).unwrap();
+    assert_eq!(scene_orig, scene_back);
+    let evaluator = StiEvaluator::new(ReachConfig::fast());
+    assert_eq!(
+        evaluator.evaluate_combined(world.map(), &scene_orig),
+        evaluator.evaluate_combined(world.map(), &scene_back),
+    );
+}
+
+#[test]
+fn scenario_specs_roundtrip_through_json() {
+    let specs = sample_instances(Typology::RearEnd, 5, 99);
+    let json = serde_json::to_string(&specs).unwrap();
+    let back: Vec<ScenarioSpec> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, specs);
+    // Worlds built from reloaded specs are identical.
+    for (a, b) in specs.iter().zip(&back) {
+        assert_eq!(a.build_world().ego(), b.build_world().ego());
+    }
+}
+
+#[test]
+fn maps_roundtrip_through_json() {
+    for map in [
+        RoadMap::straight_road(3, 3.5, 400.0),
+        RoadMap::roundabout(Vec2::ZERO, 12.0, 19.0, 60.0),
+    ] {
+        let json = serde_json::to_string(&map).unwrap();
+        let back: RoadMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+}
