@@ -98,7 +98,7 @@ impl LbcAgent {
                 continue; // behind, or beyond perception
             }
             let gap = ds - (actor.length + 4.6) * 0.5;
-            if best.map_or(true, |(g, _)| gap < g) {
+            if best.is_none_or(|(g, _)| gap < g) {
                 best = Some((gap, actor.state.v));
             }
         }

@@ -82,7 +82,10 @@ impl MitigationAction {
                 let proj = lane.project(ego.position());
                 let heading_err = iprism_geom::wrap_to_pi(proj.heading - ego.theta);
                 let cross = (-proj.lateral / 4.0).atan();
-                Some(ControlInput::new(0.0, (heading_err + cross).clamp(-0.6, 0.6)))
+                Some(ControlInput::new(
+                    0.0,
+                    (heading_err + cross).clamp(-0.6, 0.6),
+                ))
             }
         }
     }
@@ -174,6 +177,7 @@ impl<A: EgoController, P: MitigationPolicy> EgoController for MitigatedAgent<A, 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_dynamics::VehicleState;
     use iprism_map::RoadMap;

@@ -113,8 +113,9 @@ impl EgoController for RipAgent {
                 // Benign-driving log-likelihood: straight, smooth, on-speed,
                 // on-road plans are "what the experts did".
                 let mut loglik = -1.2 * s.abs() - 0.08 * a.abs();
-                let final_state = traj.states().last().expect("rollout non-empty");
-                loglik -= 0.05 * (final_state.v - cfg.target_speed).abs();
+                if let Some(final_state) = traj.states().last() {
+                    loglik -= 0.05 * (final_state.v - cfg.target_speed).abs();
+                }
                 let off_road = traj
                     .states()
                     .iter()
@@ -145,17 +146,17 @@ impl EgoController for RipAgent {
                 let mut worst = f64::INFINITY;
                 for m in 0..cfg.ensemble {
                     let perturb = cfg.noise * pseudo_noise(m as u64, (ci * 31 + si) as u64);
-                    let score = cfg.likelihood_weight * (loglik + perturb)
-                        - cfg.collision_weight * hazard;
+                    let score =
+                        cfg.likelihood_weight * (loglik + perturb) - cfg.collision_weight * hazard;
                     worst = worst.min(score);
                 }
 
-                if best.map_or(true, |(b, _)| worst > b) {
+                if best.is_none_or(|(b, _)| worst > b) {
                     best = Some((worst, u));
                 }
             }
         }
-        best.expect("candidate set non-empty").1
+        best.map_or(ControlInput::COAST, |(_, u)| u)
     }
 }
 
@@ -173,6 +174,7 @@ fn pseudo_noise(a: u64, b: u64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_dynamics::VehicleState;
     use iprism_map::RoadMap;
@@ -213,7 +215,11 @@ mod tests {
         // Move the ego close: collision within the hazard horizon.
         w.set_ego(VehicleState::new(49.0, 1.75, 0.0, 8.0));
         let u_near = agent.control(&w);
-        assert!(u_near.accel < -1.0, "late braking engages: {}", u_near.accel);
+        assert!(
+            u_near.accel < -1.0,
+            "late braking engages: {}",
+            u_near.accel
+        );
     }
 
     #[test]

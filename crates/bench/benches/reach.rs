@@ -26,15 +26,17 @@ fn bench_reach(c: &mut Criterion) {
         ("uniform3x5", SamplingMode::Uniform { na: 3, ns: 5 }),
     ];
     for (name, mode) in modes {
-        let mut cfg = ReachConfig::default();
-        cfg.mode = mode;
+        let cfg = ReachConfig {
+            mode,
+            ..ReachConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("mode", name), &cfg, |b, cfg| {
-            b.iter(|| compute_reach_tube(&map, ego, &obs, cfg))
+            b.iter(|| compute_reach_tube(&map, ego, &obs, cfg));
         });
     }
     let fast = ReachConfig::fast();
     group.bench_function("fast_preset", |b| {
-        b.iter(|| compute_reach_tube(&map, ego, &obs, &fast))
+        b.iter(|| compute_reach_tube(&map, ego, &obs, &fast));
     });
     group.finish();
 }

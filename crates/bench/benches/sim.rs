@@ -11,14 +11,14 @@ fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim");
     group.bench_function("world_step", |b| {
         let mut world = spec.build_world();
-        b.iter(|| world.step(iprism_dynamics::ControlInput::COAST))
+        b.iter(|| world.step(iprism_dynamics::ControlInput::COAST));
     });
     group.bench_function("lbc_episode_ghost_cut_in", |b| {
         b.iter(|| {
             let mut world = spec.build_world();
             let mut agent = LbcAgent::default();
             run_episode(&mut world, &mut agent, &spec.episode_config())
-        })
+        });
     });
     group.finish();
 }

@@ -10,10 +10,18 @@ use iprism_sim::{Actor, Behavior, EpisodeConfig, Goal, World};
 fn hazard_world() -> (World, EpisodeConfig) {
     let map = RoadMap::straight_road(2, 3.5, 500.0);
     let mut w = World::new(map, VehicleState::new(30.0, 1.75, 0.0, 10.0), 0.1);
-    w.spawn(Actor::vehicle(1, VehicleState::new(80.0, 1.75, 0.0, 0.0), Behavior::Idle));
+    w.spawn(Actor::vehicle(
+        1,
+        VehicleState::new(80.0, 1.75, 0.0, 0.0),
+        Behavior::Idle,
+    ));
     (
         w,
-        EpisodeConfig { max_time: 12.0, goal: Goal::XThreshold(200.0), stop_on_collision: true },
+        EpisodeConfig {
+            max_time: 12.0,
+            goal: Goal::XThreshold(200.0),
+            stop_on_collision: true,
+        },
     )
 }
 
@@ -31,7 +39,7 @@ fn bench_smc(c: &mut Criterion) {
     group.bench_function("inference_full", |b| b.iter(|| smc.decide(&world)));
     let features: Vec<f64> = vec![0.1; iprism_core::FEATURE_DIM];
     group.bench_function("q_network_forward", |b| {
-        b.iter(|| smc.agent().q_values(&features))
+        b.iter(|| smc.agent().q_values(&features));
     });
     group.finish();
 }

@@ -9,8 +9,7 @@ use iprism_sim::ActorId;
 
 fn scene_with_actors(n: usize) -> (RoadMap, SceneSnapshot) {
     let map = RoadMap::straight_road(3, 3.5, 600.0);
-    let mut scene =
-        SceneSnapshot::new(0.0, VehicleState::new(100.0, 5.25, 0.0, 10.0), (4.6, 2.0));
+    let mut scene = SceneSnapshot::new(0.0, VehicleState::new(100.0, 5.25, 0.0, 10.0), (4.6, 2.0));
     for i in 0..n {
         let x = 115.0 + 12.0 * i as f64;
         let y = [1.75, 5.25, 8.75][i % 3];
@@ -34,10 +33,10 @@ fn bench_sti(c: &mut Criterion) {
         let default_eval = StiEvaluator::new(ReachConfig::default());
         let fast_eval = StiEvaluator::new(ReachConfig::fast());
         group.bench_with_input(BenchmarkId::new("full_default", n), &n, |b, _| {
-            b.iter(|| default_eval.evaluate(&map, &scene))
+            b.iter(|| default_eval.evaluate(&map, &scene));
         });
         group.bench_with_input(BenchmarkId::new("combined_fast", n), &n, |b, _| {
-            b.iter(|| fast_eval.evaluate_combined(&map, &scene))
+            b.iter(|| fast_eval.evaluate_combined(&map, &scene));
         });
     }
     group.finish();

@@ -76,18 +76,24 @@ fn main() {
     run("fast preset".into(), ReachConfig::fast());
 
     for eps in [0.75, 1.5, 3.0] {
-        let mut c = ReachConfig::default();
-        c.dedup_epsilon = eps;
+        let c = ReachConfig {
+            dedup_epsilon: eps,
+            ..ReachConfig::default()
+        };
         run(format!("dedup epsilon = {eps}"), c);
     }
     for horizon in [1.5, 2.5, 3.5] {
-        let mut c = ReachConfig::default();
-        c.horizon = horizon;
+        let c = ReachConfig {
+            horizon,
+            ..ReachConfig::default()
+        };
         run(format!("horizon k = {horizon} s"), c);
     }
     for res in [0.25, 0.5, 1.0] {
-        let mut c = ReachConfig::default();
-        c.grid_resolution = res;
+        let c = ReachConfig {
+            grid_resolution: res,
+            ..ReachConfig::default()
+        };
         run(format!("grid resolution = {res} m"), c);
     }
     for (name, mode) in [
@@ -96,8 +102,10 @@ fn main() {
         ("uniform 3x5", SamplingMode::Uniform { na: 3, ns: 5 }),
         ("uniform 4x7", SamplingMode::Uniform { na: 4, ns: 7 }),
     ] {
-        let mut c = ReachConfig::default();
-        c.mode = mode;
+        let c = ReachConfig {
+            mode,
+            ..ReachConfig::default()
+        };
         run(format!("sampling: {name}"), c);
     }
 

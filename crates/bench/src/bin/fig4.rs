@@ -8,12 +8,20 @@ use iprism_scenarios::Typology;
 fn main() {
     let args = CommonArgs::parse();
     let t0 = std::time::Instant::now();
-    let metrics = [RiskMetricKind::Sti, RiskMetricKind::PklAll, RiskMetricKind::Ttc];
+    let metrics = [
+        RiskMetricKind::Sti,
+        RiskMetricKind::PklAll,
+        RiskMetricKind::Ttc,
+    ];
     let mut all = Vec::new();
     for typology in Typology::NHTSA {
         let series = risk_characterization(typology, &args.config, &metrics);
         for s in &series {
-            let label = if s.accident_population { "accident" } else { "safe" };
+            let label = if s.accident_population {
+                "accident"
+            } else {
+                "safe"
+            };
             println!("\n# {} / {} / {label}", s.typology.name(), s.metric.name());
             println!("{:>7}  {:>8}  {:>8}  {:>5}", "t(s)", "mean", "sd", "n");
             for p in &s.points {

@@ -18,7 +18,10 @@ fn main() {
     let trained = train_smc(
         templates,
         LbcAgent::default(),
-        &SmcTrainConfig { episodes: args.episodes, ..SmcTrainConfig::default() },
+        &SmcTrainConfig {
+            episodes: args.episodes,
+            ..SmcTrainConfig::default()
+        },
     );
     let (lbc, iprism) = iprism_sti_series(&trained.smc, &args.config);
     println!("Figure 5 — STI(combined) on ghost cut-in (mean over sweep)");
@@ -26,8 +29,14 @@ fn main() {
     let n = lbc.len().max(iprism.len());
     for i in 0..n {
         let t = lbc.get(i).or(iprism.get(i)).map(|p| p.time).unwrap_or(0.0);
-        let a = lbc.get(i).map(|p| format!("{:.3}", p.mean)).unwrap_or_else(|| "-".into());
-        let b = iprism.get(i).map(|p| format!("{:.3}", p.mean)).unwrap_or_else(|| "-".into());
+        let a = lbc
+            .get(i)
+            .map(|p| format!("{:.3}", p.mean))
+            .unwrap_or_else(|| "-".into());
+        let b = iprism
+            .get(i)
+            .map(|p| format!("{:.3}", p.mean))
+            .unwrap_or_else(|| "-".into());
         println!("{t:7.1}  {a:>10}  {b:>12}");
     }
     eprintln!("elapsed: {:?}", t0.elapsed());

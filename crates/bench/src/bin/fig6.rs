@@ -10,7 +10,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let study = dataset_study(&args.config, &BenignTrafficConfig::default());
     println!("Figure 6 — STI characterization of benign real-world-like data");
-    println!("({} episodes, {} actor samples)\n", study.episodes, study.actor_samples);
+    println!(
+        "({} episodes, {} actor samples)\n",
+        study.episodes, study.actor_samples
+    );
     println!("{study}");
     eprintln!("elapsed: {:?}", t0.elapsed());
     args.write_json(&study);

@@ -19,11 +19,17 @@ fn main() {
     let trained = train_smc(
         templates,
         LbcAgent::default(),
-        &SmcTrainConfig { episodes: args.episodes, ..SmcTrainConfig::default() },
+        &SmcTrainConfig {
+            episodes: args.episodes,
+            ..SmcTrainConfig::default()
+        },
     );
     let study = roundabout_study(&trained.smc, &args.config);
     println!("Roundabout ghost cut-in — RIP vs RIP+iPrism");
-    println!("({} instances, seed {})\n", args.config.instances, args.config.seed);
+    println!(
+        "({} instances, seed {})\n",
+        args.config.instances, args.config.seed
+    );
     println!("{study}");
     eprintln!("elapsed: {:?}", t0.elapsed());
     args.write_json(&study);

@@ -8,7 +8,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let study = baseline_study(&args.config);
     println!("Table I — scenario typologies and LBC baseline accidents");
-    println!("({} instances/typology, seed {})\n", args.config.instances, args.config.seed);
+    println!(
+        "({} instances/typology, seed {})\n",
+        args.config.instances, args.config.seed
+    );
     println!("{study}");
     println!("total valid scenarios: {}", study.total_valid());
     eprintln!("elapsed: {:?}", t0.elapsed());

@@ -8,10 +8,17 @@ fn main() {
     let t0 = std::time::Instant::now();
     let study = ltfma_study(&args.config);
     println!("Table II — Lead-Time-for-Mitigating-Accident (s), mean (SD)");
-    println!("({} instances/typology, seed {})\n", args.config.instances, args.config.seed);
+    println!(
+        "({} instances/typology, seed {})\n",
+        args.config.instances, args.config.seed
+    );
     println!("{study}");
     let sti = study.overall(RiskMetricKind::Sti);
-    for m in [RiskMetricKind::Ttc, RiskMetricKind::DistCipa, RiskMetricKind::PklAll] {
+    for m in [
+        RiskMetricKind::Ttc,
+        RiskMetricKind::DistCipa,
+        RiskMetricKind::PklAll,
+    ] {
         let v = study.overall(m);
         if v > 0.0 {
             println!("STI improvement over {}: {:.1}x", m.name(), sti / v);

@@ -18,6 +18,17 @@
 
 use iprism_eval::EvalConfig;
 
+/// Prints a CLI usage error and exits with status 2.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Parses `s`, exiting with `msg` when it is not a valid `T`.
+fn parse_or_die<T: std::str::FromStr>(s: &str, msg: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(msg))
+}
+
 /// Parses the common CLI flags (`--instances`, `--seed`, `--json`,
 /// `--episodes`) shared by the regeneration binaries.
 #[derive(Debug, Clone)]
@@ -31,11 +42,8 @@ pub struct CommonArgs {
 }
 
 impl CommonArgs {
-    /// Parses `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed flags.
+    /// Parses `std::env::args`, exiting with a usage message on
+    /// malformed flags.
     pub fn parse() -> Self {
         let mut config = EvalConfig::default();
         let mut json = None;
@@ -47,22 +55,22 @@ impl CommonArgs {
             let value = |i: &mut usize| -> String {
                 *i += 1;
                 args.get(*i)
-                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+                    .unwrap_or_else(|| die(&format!("missing value for {flag}")))
                     .clone()
             };
             match flag {
                 "--instances" => {
-                    config.instances = value(&mut i).parse().expect("--instances takes a number")
+                    config.instances = parse_or_die(&value(&mut i), "--instances takes a number");
                 }
-                "--seed" => config.seed = value(&mut i).parse().expect("--seed takes a number"),
+                "--seed" => config.seed = parse_or_die(&value(&mut i), "--seed takes a number"),
                 "--episodes" => {
-                    episodes = value(&mut i).parse().expect("--episodes takes a number")
+                    episodes = parse_or_die(&value(&mut i), "--episodes takes a number");
                 }
                 "--json" => json = Some(value(&mut i)),
                 "--paper-scale" => config.instances = 1000,
-                other => panic!(
+                other => die(&format!(
                     "unknown flag {other}; supported: --instances N --seed S --episodes E --json PATH --paper-scale"
-                ),
+                )),
             }
             i += 1;
         }
@@ -76,8 +84,11 @@ impl CommonArgs {
     /// Writes `value` as pretty JSON to the `--json` path, if one was given.
     pub fn write_json<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
-            let json = serde_json::to_string_pretty(value).expect("results serialize");
-            std::fs::write(path, json).expect("write results JSON");
+            let json = serde_json::to_string_pretty(value)
+                .unwrap_or_else(|e| die(&format!("results failed to serialize: {e}")));
+            if let Err(e) = std::fs::write(path, json) {
+                die(&format!("failed to write results JSON to {path}: {e}"));
+            }
             eprintln!("results written to {path}");
         }
     }

@@ -7,26 +7,38 @@ use iprism_scenarios::{sample_instances, Typology};
 use iprism_sim::run_episode;
 
 fn main() {
-    let episodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
-    let eval_n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let episodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let eval_n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
 
     // Training scenario: a known LBC-colliding ghost cut-in instance.
-    let spec = iprism_scenarios::ScenarioSpec::new(
-        Typology::GhostCutIn,
-        vec![25.2, 5.6, 10.5],
-        0,
-    );
+    let spec = iprism_scenarios::ScenarioSpec::new(Typology::GhostCutIn, vec![25.2, 5.6, 10.5], 0);
     let template = (spec.build_world(), spec.episode_config());
 
     let t0 = std::time::Instant::now();
-    let trained = train_smc(vec![template], LbcAgent::default(), &SmcTrainConfig {
-        episodes,
-        ..SmcTrainConfig::default()
-    });
+    let trained = train_smc(
+        vec![template],
+        LbcAgent::default(),
+        &SmcTrainConfig {
+            episodes,
+            ..SmcTrainConfig::default()
+        },
+    );
     println!("trained {episodes} episodes in {:?}", t0.elapsed());
     let n = trained.episode_returns.len();
-    let early: f64 = trained.episode_returns[..(n / 5).max(1)].iter().sum::<f64>() / (n / 5).max(1) as f64;
-    let late: f64 = trained.episode_returns[n - (n / 5).max(1)..].iter().sum::<f64>() / (n / 5).max(1) as f64;
+    let early: f64 = trained.episode_returns[..(n / 5).max(1)]
+        .iter()
+        .sum::<f64>()
+        / (n / 5).max(1) as f64;
+    let late: f64 = trained.episode_returns[n - (n / 5).max(1)..]
+        .iter()
+        .sum::<f64>()
+        / (n / 5).max(1) as f64;
     println!("avg return early {early:.2} late {late:.2}");
 
     let iprism = Iprism::new(trained.smc);
@@ -48,13 +60,18 @@ fn main() {
         match run_episode(&mut w2, &mut protected, &s.episode_config()).outcome {
             iprism_sim::EpisodeOutcome::Collision { .. } => smc_coll += 1,
             iprism_sim::EpisodeOutcome::ReachedGoal { .. } => smc_goal += 1,
-            _ => { smc_timeout_x.push(w2.ego().x); }
+            _ => {
+                smc_timeout_x.push(w2.ego().x);
+            }
         }
     }
     println!("LBC        collisions {lbc_coll}/{eval_n} goals {lbc_goal}");
     println!("LBC+iPrism collisions {smc_coll}/{eval_n} goals {smc_goal}");
     if !smc_timeout_x.is_empty() {
         let avg: f64 = smc_timeout_x.iter().sum::<f64>() / smc_timeout_x.len() as f64;
-        println!("iPrism timeouts: {} (avg final x {avg:.0}, goal x 260)", smc_timeout_x.len());
+        println!(
+            "iPrism timeouts: {} (avg final x {avg:.0}, goal x 260)",
+            smc_timeout_x.len()
+        );
     }
 }

@@ -163,7 +163,11 @@ impl<A: EgoController> Environment for MitigationEnv<A> {
 
         // Risk term: a collision means the escape routes are gone (STI 1).
         let sti = if collided { 1.0 } else { self.current_sti() };
-        let observed_sti = if self.config.sti_in_observation { sti } else { 0.0 };
+        let observed_sti = if self.config.sti_in_observation {
+            sti
+        } else {
+            0.0
+        };
 
         // Path completion: normalized goal-distance decrease per decision.
         let new_distance = goal_distance(&self.episode.goal, &self.world);
@@ -185,6 +189,7 @@ impl<A: EgoController> Environment for MitigationEnv<A> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_agents::LbcAgent;
     use iprism_dynamics::VehicleState;
@@ -287,7 +292,10 @@ mod tests {
                 break;
             }
         }
-        assert!(last > early, "STI should rise approaching hazard: {early} -> {last}");
+        assert!(
+            last > early,
+            "STI should rise approaching hazard: {early} -> {last}"
+        );
     }
 
     #[test]

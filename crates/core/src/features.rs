@@ -113,8 +113,8 @@ mod tests {
         assert_eq!(f.len(), FEATURE_DIM);
         assert!((f[0] - 0.3).abs() < 1e-9); // 9/30
         assert!(f[1].abs() < 1e-9); // lane-centred
-        assert_eq!(f[2], 0.2); // STI passes through
-        assert!(f[3..].iter().all(|&x| x == 0.0)); // no actors
+        assert!((f[2] - 0.2).abs() < 1e-12); // STI passes through
+        assert!(f[3..].iter().all(|&x| x.abs() < 1e-12)); // no actors
     }
 
     #[test]
@@ -131,7 +131,7 @@ mod tests {
         let closing0 = f[4];
         assert!(closing0 > 0.0, "ego closing on stopped car: {closing0}");
         // other sectors untouched
-        assert!(f[5..].iter().all(|&x| x == 0.0));
+        assert!(f[5..].iter().all(|&x| x.abs() < 1e-12));
     }
 
     #[test]
@@ -147,14 +147,25 @@ mod tests {
         let range4 = f[3 + 2 * 4];
         let closing4 = f[3 + 2 * 4 + 1];
         assert!(range4 > 0.4);
-        assert!(closing4 > 0.0, "rear car gaining must read as closing: {closing4}");
+        assert!(
+            closing4 > 0.0,
+            "rear car gaining must read as closing: {closing4}"
+        );
     }
 
     #[test]
     fn nearest_actor_wins_sector() {
         let mut w = world();
-        w.spawn(Actor::vehicle(1, VehicleState::new(150.0, 1.75, 0.0, 0.0), Behavior::Idle));
-        w.spawn(Actor::vehicle(2, VehicleState::new(120.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(150.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
+        w.spawn(Actor::vehicle(
+            2,
+            VehicleState::new(120.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         let f = FeatureExtractor::new().features(&w, 0.0);
         assert!((f[3] - (1.0 - 20.0 / 60.0)).abs() < 1e-9);
     }
@@ -162,9 +173,13 @@ mod tests {
     #[test]
     fn out_of_range_ignored() {
         let mut w = world();
-        w.spawn(Actor::vehicle(1, VehicleState::new(300.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(300.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         let f = FeatureExtractor::new().features(&w, 0.0);
-        assert!(f[3..].iter().all(|&x| x == 0.0));
+        assert!(f[3..].iter().all(|&x| x.abs() < 1e-12));
     }
 
     #[test]
@@ -173,7 +188,12 @@ mod tests {
         for i in 0..6 {
             w.spawn(Actor::vehicle(
                 i + 1,
-                VehicleState::new(80.0 + 10.0 * i as f64, (i % 2) as f64 * 3.5 + 1.75, 0.3, 20.0),
+                VehicleState::new(
+                    80.0 + 10.0 * i as f64,
+                    (i % 2) as f64 * 3.5 + 1.75,
+                    0.3,
+                    20.0,
+                ),
                 Behavior::Idle,
             ));
         }

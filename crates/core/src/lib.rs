@@ -55,3 +55,7 @@ pub use features::{FeatureExtractor, FEATURE_DIM};
 pub use iprism::Iprism;
 pub use reward::{RewardModel, RewardWeights};
 pub use smc::{train_smc, Smc, SmcTrainConfig, TrainedSmc};
+
+/// The numeric-invariant contracts enforced across the workspace
+/// (re-export of [`iprism_contracts`]); see `docs/INVARIANTS.md`.
+pub use iprism_contracts as invariants;

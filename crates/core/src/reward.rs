@@ -79,6 +79,7 @@ impl Default for RewardModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
 
     #[test]

@@ -23,10 +23,12 @@ pub struct SmcTrainConfig {
 
 impl Default for SmcTrainConfig {
     fn default() -> Self {
-        let mut ddqn = DdqnConfig::default();
-        ddqn.hidden = vec![64, 64];
-        ddqn.epsilon = iprism_rl::EpsilonSchedule::new(1.0, 0.05, 1_500);
-        ddqn.max_steps_per_episode = 0; // the env terminates episodes itself
+        let ddqn = DdqnConfig {
+            hidden: vec![64, 64],
+            epsilon: iprism_rl::EpsilonSchedule::new(1.0, 0.05, 1_500),
+            max_steps_per_episode: 0, // the env terminates episodes itself
+            ..DdqnConfig::default()
+        };
         SmcTrainConfig {
             ddqn,
             env: EnvConfig::default(),
@@ -38,10 +40,12 @@ impl Default for SmcTrainConfig {
 impl SmcTrainConfig {
     /// A tiny configuration for unit tests.
     pub fn small_test() -> Self {
-        let mut cfg = SmcTrainConfig::default();
-        cfg.ddqn = DdqnConfig::small_test();
+        let mut cfg = SmcTrainConfig {
+            ddqn: DdqnConfig::small_test(),
+            episodes: 3,
+            ..SmcTrainConfig::default()
+        };
         cfg.ddqn.max_steps_per_episode = 0;
-        cfg.episodes = 3;
         cfg
     }
 }
@@ -108,8 +112,7 @@ impl MitigationPolicy for Smc {
                 self.env_config.reach.horizon,
                 self.env_config.reach.dt,
             );
-            StiEvaluator::new(self.env_config.reach.clone())
-                .evaluate_combined(world.map(), &scene)
+            StiEvaluator::new(self.env_config.reach.clone()).evaluate_combined(world.map(), &scene)
         } else {
             0.0
         };

@@ -87,7 +87,17 @@ impl BicycleModel {
         let theta =
             iprism_geom::wrap_to_pi(state.theta + state.v / self.wheelbase * u.steer.tan() * dt);
         let v = self.limits.clamp_speed(state.v + u.accel * dt);
-        VehicleState::new(x, y, theta, v)
+        let next = VehicleState::new(x, y, theta, v);
+        if state.is_finite() {
+            // Propagation preserves finiteness and heading normalization
+            // whenever the input state was well-formed.
+            iprism_contracts::check_finite_state(
+                "BicycleModel::step",
+                &[next.x, next.y, next.theta, next.v],
+            );
+            iprism_contracts::check_heading_normalized("BicycleModel::step", next.theta);
+        }
+        next
     }
 
     /// Rolls out a constant control for `steps` steps of `dt` seconds and
@@ -138,6 +148,7 @@ impl BicycleModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
 
@@ -148,7 +159,11 @@ mod tests {
     #[test]
     fn straight_line_constant_speed() {
         let m = model();
-        let s = m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::COAST, 0.5);
+        let s = m.step(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            ControlInput::COAST,
+            0.5,
+        );
         assert!((s.x - 5.0).abs() < 1e-12);
         assert_eq!(s.y, 0.0);
         assert_eq!(s.theta, 0.0);
@@ -178,9 +193,16 @@ mod tests {
     #[test]
     fn steering_turns_heading() {
         let m = model();
-        let left = m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::new(0.0, 0.3), 0.1);
-        let right =
-            m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::new(0.0, -0.3), 0.1);
+        let left = m.step(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            ControlInput::new(0.0, 0.3),
+            0.1,
+        );
+        let right = m.step(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            ControlInput::new(0.0, -0.3),
+            0.1,
+        );
         assert!(left.theta > 0.0);
         assert!(right.theta < 0.0);
         assert!((left.theta + right.theta).abs() < 1e-12); // symmetric
@@ -189,7 +211,11 @@ mod tests {
     #[test]
     fn no_turn_at_zero_speed() {
         let m = model();
-        let s = m.step(VehicleState::new(0.0, 0.0, 0.0, 0.0), ControlInput::new(0.0, 0.6), 0.5);
+        let s = m.step(
+            VehicleState::new(0.0, 0.0, 0.0, 0.0),
+            ControlInput::new(0.0, 0.6),
+            0.5,
+        );
         assert_eq!(s.theta, 0.0);
         assert_eq!(s.position(), iprism_geom::Vec2::ZERO);
     }
@@ -198,7 +224,11 @@ mod tests {
     fn control_clamped() {
         let m = model();
         // An insane steering command behaves like the max steering command.
-        let wild = m.step(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::new(0.0, 10.0), 0.1);
+        let wild = m.step(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            ControlInput::new(0.0, 10.0),
+            0.1,
+        );
         let maxed = m.step(
             VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ControlInput::new(0.0, m.limits.steer_max),
@@ -210,7 +240,12 @@ mod tests {
     #[test]
     fn rollout_length_and_continuity() {
         let m = model();
-        let t = m.rollout(VehicleState::new(0.0, 0.0, 0.0, 10.0), ControlInput::COAST, 0.1, 10);
+        let t = m.rollout(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            ControlInput::COAST,
+            0.1,
+            10,
+        );
         assert_eq!(t.len(), 11);
         assert!((t.states()[10].x - 10.0).abs() < 1e-9);
     }
@@ -271,9 +306,18 @@ mod tests {
         let period = std::f64::consts::TAU / yaw_rate;
         let dt = 0.001;
         let steps = (period / dt).round() as usize;
-        let t = m.rollout(VehicleState::new(0.0, 0.0, 0.0, v), ControlInput::new(0.0, steer), dt, steps);
+        let t = m.rollout(
+            VehicleState::new(0.0, 0.0, 0.0, v),
+            ControlInput::new(0.0, steer),
+            dt,
+            steps,
+        );
         let last = *t.states().last().unwrap();
-        assert!(last.position().norm() < 0.2, "drift {}", last.position().norm());
+        assert!(
+            last.position().norm() < 0.2,
+            "drift {}",
+            last.position().norm()
+        );
     }
 
     proptest! {

@@ -152,16 +152,23 @@ mod tests {
         assert!(l.v_min <= l.v_max);
     }
 
+    /// Exact set membership for clamped values, without a float `==` (which
+    /// clippy's `float_cmp` rightly rejects): clamping returns bit-identical
+    /// inputs, so `total_cmp` equality is the correct comparison.
+    fn same(a: f64, b: f64) -> bool {
+        a.total_cmp(&b) == std::cmp::Ordering::Equal
+    }
+
     #[test]
     fn clamping() {
         let l = ControlLimits::default();
         let u = l.clamp(ControlInput::new(-100.0, 100.0));
-        assert_eq!(u.accel, l.accel_min);
-        assert_eq!(u.steer, l.steer_max);
+        assert!(same(u.accel, l.accel_min));
+        assert!(same(u.steer, l.steer_max));
         assert!(l.contains(u));
         assert!(!l.contains(ControlInput::new(99.0, 0.0)));
-        assert_eq!(l.clamp_speed(1000.0), l.v_max);
-        assert_eq!(l.clamp_speed(-5.0), l.v_min);
+        assert!(same(l.clamp_speed(1000.0), l.v_max));
+        assert!(same(l.clamp_speed(-5.0), l.v_min));
     }
 
     #[test]
@@ -170,11 +177,13 @@ mod tests {
         let b = l.boundary_controls();
         assert_eq!(b.len(), 6);
         // accelerations drawn from {0, a_max}
-        assert!(b.iter().all(|u| u.accel == 0.0 || u.accel == l.accel_max));
-        // steering drawn from {min, 0, max}
         assert!(b
             .iter()
-            .all(|u| u.steer == l.steer_min || u.steer == 0.0 || u.steer == l.steer_max));
+            .all(|u| same(u.accel, 0.0) || same(u.accel, l.accel_max)));
+        // steering drawn from {min, 0, max}
+        assert!(b.iter().all(|u| same(u.steer, l.steer_min)
+            || same(u.steer, 0.0)
+            || same(u.steer, l.steer_max)));
         // all distinct
         for i in 0..6 {
             for j in (i + 1)..6 {
@@ -188,7 +197,7 @@ mod tests {
         let l = ControlLimits::default();
         let e = l.extreme_controls();
         assert_eq!(e.len(), 9);
-        assert!(e.iter().any(|u| u.accel == l.accel_min));
+        assert!(e.iter().any(|u| same(u.accel, l.accel_min)));
     }
 
     #[test]

@@ -135,7 +135,7 @@ impl Trajectory {
 
     /// Positions of all samples.
     pub fn positions(&self) -> impl Iterator<Item = Vec2> + '_ {
-        self.states.iter().map(|s| s.position())
+        self.states.iter().map(super::state::VehicleState::position)
     }
 
     /// Returns `true` if this trajectory's position path comes within
@@ -166,6 +166,7 @@ impl Trajectory {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
 
@@ -256,7 +257,10 @@ mod tests {
         let a = Trajectory::from_states(
             0.0,
             1.0,
-            vec![VehicleState::new(-10.0, 0.0, 0.0, 10.0), VehicleState::new(0.0, 0.0, 0.0, 10.0)],
+            vec![
+                VehicleState::new(-10.0, 0.0, 0.0, 10.0),
+                VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            ],
         );
         let b = Trajectory::from_states(
             0.0,

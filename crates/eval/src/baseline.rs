@@ -103,7 +103,7 @@ pub fn baseline_study(config: &EvalConfig) -> BaselineStudy {
                 hyperparameters: typology
                     .hyperparameters()
                     .iter()
-                    .map(|s| s.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect(),
             }
         })

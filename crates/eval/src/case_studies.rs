@@ -94,7 +94,11 @@ mod tests {
         // (a) The crossing pedestrian is the most safety-threatening actor.
         let ped = get(CaseStudy::PedestrianCrossing);
         assert_eq!(ped.riskiest.expect("pedestrian risk > 0").0, ActorId(1));
-        assert!(ped.per_actor[0].1 > 0.1, "pedestrian STI {}", ped.per_actor[0].1);
+        assert!(
+            ped.per_actor[0].1 > 0.1,
+            "pedestrian STI {}",
+            ped.per_actor[0].1
+        );
 
         // (b) The encroaching oversized actor dominates despite never being
         // in the ego's path.
@@ -107,14 +111,21 @@ mod tests {
         let exiting = clutter.per_actor[0].1;
         let entering = clutter.per_actor[1].1;
         assert!(exiting < 0.05, "exiting actor STI {exiting}");
-        assert!(entering > exiting, "entering {entering} vs exiting {exiting}");
+        assert!(
+            entering > exiting,
+            "entering {entering} vs exiting {exiting}"
+        );
 
         // (d) The pull-out scene has nonzero combined risk from multiple
         // actors (top-lane blockers + the puller).
         let pullout = get(CaseStudy::ActorPullingOut);
         assert!(pullout.combined > 0.05);
         let nonzero = pullout.per_actor.iter().filter(|(_, v)| *v > 0.01).count();
-        assert!(nonzero >= 2, "multiple actors contribute: {:?}", pullout.per_actor);
+        assert!(
+            nonzero >= 2,
+            "multiple actors contribute: {:?}",
+            pullout.per_actor
+        );
 
         // The report renders.
         let text = report.to_string();

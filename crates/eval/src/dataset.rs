@@ -72,7 +72,11 @@ impl std::fmt::Display for DatasetStudy {
             ]
         };
         let rows = vec![
-            fmt_row("per-actor", &self.actor_percentiles, self.actor_zero_fraction),
+            fmt_row(
+                "per-actor",
+                &self.actor_percentiles,
+                self.actor_zero_fraction,
+            ),
             fmt_row(
                 "combined",
                 &self.combined_percentiles,
@@ -88,7 +92,9 @@ impl std::fmt::Display for DatasetStudy {
 /// every strided step.
 pub fn dataset_study(config: &EvalConfig, traffic: &BenignTrafficConfig) -> DatasetStudy {
     let evaluator = StiEvaluator::new(config.reach.clone());
-    let seeds: Vec<u64> = (0..config.instances as u64).map(|i| config.seed ^ i).collect();
+    let seeds: Vec<u64> = (0..config.instances as u64)
+        .map(|i| config.seed ^ i)
+        .collect();
 
     let samples: Vec<(Vec<f64>, Vec<f64>)> =
         parallel_map(seeds, config.resolved_workers(), |seed| {

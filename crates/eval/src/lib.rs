@@ -97,7 +97,7 @@ impl EvalConfig {
         if self.workers > 0 {
             self.workers
         } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         }
     }
 }
@@ -115,28 +115,31 @@ where
     }
     let n = items.len();
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let items: Vec<Option<T>> = items.into_iter().map(Some).collect();
-    let work = parking_lot::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
-    let out = parking_lot::Mutex::new(&mut results);
-    crossbeam::thread::scope(|scope| {
+    let work = std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
+    let out = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
-            scope.spawn(|_| loop {
-                let next = work.lock().pop();
+            scope.spawn(|| loop {
+                // A poisoned lock means a sibling worker panicked; the scope
+                // is about to propagate that panic, so workers just stop.
+                let next = match work.lock() {
+                    Ok(mut queue) => queue.pop(),
+                    Err(_) => break,
+                };
                 match next {
                     Some((i, item)) => {
-                        let r = f(item.expect("item taken once"));
-                        out.lock()[i] = Some(r);
+                        let r = f(item);
+                        match out.lock() {
+                            Ok(mut slots) => slots[i] = Some(r),
+                            Err(_) => break,
+                        }
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("eval worker panicked");
-    results
-        .into_iter()
-        .map(|r| r.expect("all work items completed"))
-        .collect()
+    });
+    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -176,9 +176,8 @@ fn trace_ltfma(
     let risky: Vec<bool> = idxs
         .iter()
         .map(|&i| {
-            let scene =
-                SceneSnapshot::from_trace(trace, i, horizon_steps).expect("index in range");
-            indicator.is_risky(suite.value(kind, map, &scene))
+            SceneSnapshot::from_trace(trace, i, horizon_steps)
+                .is_some_and(|scene| indicator.is_risky(suite.value(kind, map, &scene)))
         })
         .collect();
     let steps = ltfma_steps(&risky, risky.len() - 1);
@@ -205,7 +204,7 @@ fn fit_pkl(typologies: &[Typology], config: &EvalConfig) -> PklModel {
             map.get_or_insert_with(|| world.map().clone());
         }
     }
-    let map = map.expect("at least one training typology");
+    let map = map.unwrap_or_else(|| RoadMap::straight_road(3, 3.5, 400.0));
     PklModel::fit(PklPlannerConfig::default(), &map, scenes.iter())
 }
 

@@ -128,54 +128,54 @@ impl MitigationStudy {
 
 impl std::fmt::Display for MitigationStudy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            let typologies: Vec<Typology> = {
-                let mut ts: Vec<Typology> = self.rows.iter().map(|r| r.typology).collect();
-                ts.dedup();
-                ts
-            };
-            let mut header = vec!["Agent".to_string()];
-            for t in &typologies {
-                header.push(format!("{} CA%", t.name()));
-                header.push(format!("{} TCR%", t.name()));
-                header.push(format!("{} CA#/TAS", t.name()));
-            }
-            let mut rows = Vec::new();
-            for &agent in &AgentKind::ALL {
-                let mut row = vec![agent.name().to_string()];
-                for &t in &typologies {
-                    match self.cell(agent, t) {
-                        Some(c) => {
-                            row.push(format!("{:.0}%", c.ca_pct()));
-                            row.push(format!("{:.1}%", c.tcr_pct()));
-                            row.push(format!("{}/{}", c.ca, c.tas));
-                        }
-                        None => {
-                            row.extend(["-".to_string(), "-".to_string(), "-".to_string()]);
-                        }
+        let typologies: Vec<Typology> = {
+            let mut ts: Vec<Typology> = self.rows.iter().map(|r| r.typology).collect();
+            ts.dedup();
+            ts
+        };
+        let mut header = vec!["Agent".to_string()];
+        for t in &typologies {
+            header.push(format!("{} CA%", t.name()));
+            header.push(format!("{} TCR%", t.name()));
+            header.push(format!("{} CA#/TAS", t.name()));
+        }
+        let mut rows = Vec::new();
+        for &agent in &AgentKind::ALL {
+            let mut row = vec![agent.name().to_string()];
+            for &t in &typologies {
+                match self.cell(agent, t) {
+                    Some(c) => {
+                        row.push(format!("{:.0}%", c.ca_pct()));
+                        row.push(format!("{:.1}%", c.tcr_pct()));
+                        row.push(format!("{}/{}", c.ca, c.tas));
+                    }
+                    None => {
+                        row.extend(["-".to_string(), "-".to_string(), "-".to_string()]);
                     }
                 }
-                rows.push(row);
             }
-            writeln!(f, "{}", render_table(&header, &rows))?;
-            writeln!(f, "Activation timing (Table IV):")?;
-            let t_header = vec![
-                "Typology".to_string(),
-                "LBC+iPrism avg t (s)".to_string(),
-                "LBC+ACA avg t (s)".to_string(),
-                "Lead time (s)".to_string(),
-            ];
-            let t_rows: Vec<Vec<String>> = self
-                .timings
-                .iter()
-                .map(|t| {
-                    vec![
-                        t.typology.name().to_string(),
-                        format!("{:.2}", t.iprism_avg),
-                        format!("{:.2}", t.aca_avg),
-                        format!("{:.2}", t.lead_time()),
-                    ]
-                })
-                .collect();
+            rows.push(row);
+        }
+        writeln!(f, "{}", render_table(&header, &rows))?;
+        writeln!(f, "Activation timing (Table IV):")?;
+        let t_header = vec![
+            "Typology".to_string(),
+            "LBC+iPrism avg t (s)".to_string(),
+            "LBC+ACA avg t (s)".to_string(),
+            "Lead time (s)".to_string(),
+        ];
+        let t_rows: Vec<Vec<String>> = self
+            .timings
+            .iter()
+            .map(|t| {
+                vec![
+                    t.typology.name().to_string(),
+                    format!("{:.2}", t.iprism_avg),
+                    format!("{:.2}", t.aca_avg),
+                    format!("{:.2}", t.lead_time()),
+                ]
+            })
+            .collect();
         write!(f, "{}", render_table(&t_header, &t_rows))
     }
 }
@@ -211,7 +211,7 @@ pub fn select_training_scenarios(
         Some((spec, stats::mean(&values)))
     });
     let mut scored: Vec<(ScenarioSpec, f64)> = scored.into_iter().flatten().collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite STI"));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.into_iter().take(k).map(|(spec, _)| spec).collect()
 }
 
@@ -222,12 +222,16 @@ pub fn select_training_scenario(
     config: &EvalConfig,
     pool: usize,
 ) -> Option<ScenarioSpec> {
-    select_training_scenarios(typology, config, pool, 1).into_iter().next()
+    select_training_scenarios(typology, config, pool, 1)
+        .into_iter()
+        .next()
 }
 
 fn smc_train_config(episodes: usize, with_sti: bool) -> SmcTrainConfig {
-    let mut cfg = SmcTrainConfig::default();
-    cfg.episodes = episodes;
+    let mut cfg = SmcTrainConfig {
+        episodes,
+        ..SmcTrainConfig::default()
+    };
     if !with_sti {
         // Full ablation: STI leaves both the reward (Eq. 8 with α₀ = 0)
         // and the observation vector.
@@ -303,22 +307,22 @@ pub fn mitigation_study(
                 AgentKind::LbcIprism => run_with(
                     &spec,
                     MitigatedAgent::new(LbcAgent::default(), smc_sti.clone()),
-                    |a| a.first_activation(),
+                    iprism_agents::MitigatedAgent::first_activation,
                 ),
                 AgentKind::LbcSmcNoSti => run_with(
                     &spec,
                     MitigatedAgent::new(LbcAgent::default(), smc_nosti.clone()),
-                    |a| a.first_activation(),
+                    iprism_agents::MitigatedAgent::first_activation,
                 ),
                 AgentKind::LbcAca => run_with(
                     &spec,
                     AcaController::new(LbcAgent::default(), 1.8),
-                    |a| a.first_activation(),
+                    iprism_agents::AcaController::first_activation,
                 ),
                 AgentKind::RipIprism => run_with(
                     &spec,
                     MitigatedAgent::new(RipAgent::default(), smc_sti.clone()),
-                    |a| a.first_activation(),
+                    iprism_agents::MitigatedAgent::first_activation,
                 ),
             })
         };

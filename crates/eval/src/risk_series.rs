@@ -141,10 +141,7 @@ fn aggregate(series: &[Vec<(f64, Option<f64>)>]) -> Vec<SeriesPoint> {
 /// Reproduces Fig. 5: the combined-STI series on ghost cut-in scenarios for
 /// the plain LBC agent vs. LBC+iPrism. Returns `(lbc, iprism)` series
 /// aggregated over the sweep.
-pub fn iprism_sti_series(
-    smc: &Smc,
-    config: &EvalConfig,
-) -> (Vec<SeriesPoint>, Vec<SeriesPoint>) {
+pub fn iprism_sti_series(smc: &Smc, config: &EvalConfig) -> (Vec<SeriesPoint>, Vec<SeriesPoint>) {
     let specs = sample_instances(Typology::GhostCutIn, config.instances, config.seed);
     let sti = StiEvaluator::new(config.reach.clone());
 
@@ -179,6 +176,7 @@ pub fn iprism_sti_series(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
 
     #[test]

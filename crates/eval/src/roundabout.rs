@@ -63,14 +63,22 @@ impl std::fmt::Display for RoundaboutStudy {
             ],
         ];
         writeln!(f, "{}", render_table(&header, &rows))?;
-        write!(f, "iPrism mitigates {:.1}% of RIP's accidents", self.mitigated_pct())
+        write!(
+            f,
+            "iPrism mitigates {:.1}% of RIP's accidents",
+            self.mitigated_pct()
+        )
     }
 }
 
 /// Runs the roundabout sweep with RIP and RIP+iPrism (the SMC trained on
 /// LBC straight-road scenarios, per the paper's generalization claim).
 pub fn roundabout_study(smc: &Smc, config: &EvalConfig) -> RoundaboutStudy {
-    let specs = sample_instances(Typology::RoundaboutGhostCutIn, config.instances, config.seed);
+    let specs = sample_instances(
+        Typology::RoundaboutGhostCutIn,
+        config.instances,
+        config.seed,
+    );
     let workers = config.resolved_workers();
 
     let rip_cfg = RipConfig::default();

@@ -24,7 +24,7 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
                 line.push_str("  ");
             }
             line.push_str(cell);
-            line.extend(std::iter::repeat(' ').take(w - cell.len()));
+            line.extend(std::iter::repeat_n(' ', w - cell.len()));
         }
         line.trim_end().to_string()
     };
@@ -45,12 +45,15 @@ mod tests {
     use super::*;
 
     fn s(v: &[&str]) -> Vec<String> {
-        v.iter().map(|x| x.to_string()).collect()
+        v.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
     fn renders_aligned_columns() {
-        let t = render_table(&s(&["Metric", "Value"]), &[s(&["STI", "3.69"]), s(&["TTC", "0.83"])]);
+        let t = render_table(
+            &s(&["Metric", "Value"]),
+            &[s(&["STI", "3.69"]), s(&["TTC", "0.83"])],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("Metric"));

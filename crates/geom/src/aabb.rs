@@ -101,6 +101,7 @@ impl Aabb {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
 
@@ -114,9 +115,12 @@ mod tests {
     #[test]
     fn from_points() {
         assert!(Aabb::from_points(&[]).is_none());
-        let bb =
-            Aabb::from_points(&[Vec2::new(0.0, 0.0), Vec2::new(2.0, 1.0), Vec2::new(-1.0, 5.0)])
-                .unwrap();
+        let bb = Aabb::from_points(&[
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(-1.0, 5.0),
+        ])
+        .unwrap();
         assert_eq!(bb.min, Vec2::new(-1.0, 0.0));
         assert_eq!(bb.max, Vec2::new(2.0, 5.0));
     }

@@ -85,7 +85,10 @@ impl Obb {
 
     /// The tight axis-aligned bounding box of the rectangle.
     pub fn aabb(&self) -> Aabb {
-        Aabb::from_points(&self.corners()).expect("OBB always has 4 corners")
+        // `corners()` is never empty, so the fallback is unreachable; it
+        // exists to keep this path panic-free.
+        Aabb::from_points(&self.corners())
+            .unwrap_or_else(|| Aabb::new(self.center(), self.center()))
     }
 
     /// Returns the OBB uniformly inflated by `margin` on every side.
@@ -167,6 +170,7 @@ fn project(points: &[Vec2; 4], axis: Vec2) -> (f64, f64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
     use std::f64::consts::FRAC_PI_4;

@@ -100,6 +100,7 @@ impl Pose {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
     use std::f64::consts::{FRAC_PI_2, PI};

@@ -224,6 +224,7 @@ impl From<Vec2> for (f64, f64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use crate::approx_eq;
     use proptest::prelude::*;

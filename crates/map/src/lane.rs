@@ -96,7 +96,7 @@ impl Lane {
     /// Total centerline length (m).
     #[inline]
     pub fn length(&self) -> f64 {
-        *self.cumulative.last().expect("non-empty cumulative")
+        self.cumulative.last().copied().unwrap_or(0.0)
     }
 
     /// Centerline polyline.
@@ -168,10 +168,7 @@ impl Lane {
     fn locate(&self, s: f64) -> (usize, f64) {
         let s = s.clamp(0.0, self.length());
         // binary search over the cumulative table
-        let i = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
-        {
+        let i = match self.cumulative.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i.min(self.centerline.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.centerline.len() - 2),
         };
@@ -187,6 +184,7 @@ impl Lane {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
     use std::f64::consts::{FRAC_PI_2, PI};

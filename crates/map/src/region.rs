@@ -109,7 +109,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_annulus_radial_symmetry(angle in 0.0..6.28f64, rad in 0.0..30.0f64) {
+        fn prop_annulus_radial_symmetry(angle in 0.0..std::f64::consts::TAU, rad in 0.0..30.0f64) {
             let a = DrivableRegion::Annulus {
                 center: Vec2::ZERO,
                 r_inner: 10.0,

@@ -24,11 +24,7 @@ impl RoadMap {
     /// # Panics
     ///
     /// Panics when `lanes` or `regions` is empty.
-    pub fn new(
-        name: impl Into<String>,
-        lanes: Vec<Lane>,
-        regions: Vec<DrivableRegion>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, lanes: Vec<Lane>, regions: Vec<DrivableRegion>) -> Self {
         assert!(!lanes.is_empty(), "a road map needs at least one lane");
         assert!(!regions.is_empty(), "a road map needs at least one region");
         RoadMap {
@@ -61,11 +57,7 @@ impl RoadMap {
             Vec2::ZERO,
             Vec2::new(length, num_lanes as f64 * lane_width),
         ));
-        RoadMap::new(
-            format!("straight-{num_lanes}-lane"),
-            lanes,
-            vec![region],
-        )
+        RoadMap::new(format!("straight-{num_lanes}-lane"), lanes, vec![region])
     }
 
     /// A single-lane roundabout: an annular carriageway centred at `center`
@@ -176,22 +168,35 @@ impl RoadMap {
     }
 
     /// The lane whose centerline is closest to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the map has no lanes (constructors always add at least
+    /// one).
     pub fn nearest_lane(&self, p: Vec2) -> &Lane {
-        self.lanes
-            .iter()
-            .min_by(|a, b| {
-                let da = a.project(p).point.distance_sq(p);
-                let db = b.project(p).point.distance_sq(p);
-                da.partial_cmp(&db).expect("finite distances")
-            })
-            .expect("road map has at least one lane")
+        let mut it = self.lanes.iter();
+        let Some(first) = it.next() else {
+            panic!("road map has at least one lane");
+        };
+        let mut best = first;
+        let mut best_d = best.project(p).point.distance_sq(p);
+        for lane in it {
+            let d = lane.project(p).point.distance_sq(p);
+            if d < best_d {
+                best = lane;
+                best_d = d;
+            }
+        }
+        best
     }
 
     /// Bounding box of the full drivable area.
     pub fn bounds(&self) -> Aabb {
-        let mut it = self.regions.iter().map(DrivableRegion::aabb);
-        let first = it.next().expect("road map has regions");
-        it.fold(first, |acc, bb| acc.union(&bb))
+        self.regions
+            .iter()
+            .map(DrivableRegion::aabb)
+            .reduce(|acc, bb| acc.union(&bb))
+            .unwrap_or_else(|| Aabb::new(Vec2::ZERO, Vec2::ZERO))
     }
 }
 

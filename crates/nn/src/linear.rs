@@ -74,13 +74,13 @@ impl Linear {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim, "input size mismatch");
         let mut y = self.b.clone();
-        for o in 0..self.out_dim {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc = 0.0;
             for (wi, xi) in row.iter().zip(x) {
                 acc += wi * xi;
             }
-            y[o] += acc;
+            *yo += acc;
         }
         y
     }
@@ -92,8 +92,7 @@ impl Linear {
         assert_eq!(x.len(), self.in_dim, "input size mismatch");
         assert_eq!(dy.len(), self.out_dim, "grad size mismatch");
         let mut dx = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = dy[o];
+        for (o, &g) in dy.iter().enumerate() {
             self.grad_b[o] += g;
             let row_start = o * self.in_dim;
             for i in 0..self.in_dim {
@@ -133,6 +132,7 @@ impl Linear {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
 
     #[test]

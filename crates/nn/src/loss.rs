@@ -32,6 +32,7 @@ pub fn huber_grad(pred: f64, target: f64, delta: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
 

@@ -25,7 +25,7 @@ pub struct MlpCache {
 impl MlpCache {
     /// The network output for the cached forward pass.
     pub fn output(&self) -> &[f64] {
-        self.inputs.last().expect("cache has output")
+        self.inputs.last().map_or(&[], Vec::as_slice)
     }
 }
 
@@ -36,7 +36,10 @@ impl Mlp {
     ///
     /// Panics when fewer than two sizes are given or any size is zero.
     pub fn new(sizes: &[usize], seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .enumerate()
@@ -47,12 +50,12 @@ impl Mlp {
 
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().expect("non-empty").in_dim()
+        self.layers.first().map_or(0, Linear::in_dim)
     }
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("non-empty").out_dim()
+        self.layers.last().map_or(0, Linear::out_dim)
     }
 
     /// Total parameter count.
@@ -77,14 +80,15 @@ impl Mlp {
     pub fn forward_cached(&self, x: &[f64]) -> MlpCache {
         let n = self.layers.len();
         let mut inputs = Vec::with_capacity(n + 1);
-        inputs.push(x.to_vec());
+        let mut cur = x.to_vec();
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut h = layer.forward(inputs.last().expect("pushed"));
+            let mut h = layer.forward(&cur);
             if i + 1 < n {
                 relu_inplace(&mut h);
             }
-            inputs.push(h);
+            inputs.push(std::mem::replace(&mut cur, h));
         }
+        inputs.push(cur);
         MlpCache { inputs }
     }
 
@@ -206,12 +210,9 @@ mod tests {
         // parameter gradients: collect analytic grads, then perturb each
         let mut analytic = Vec::new();
         net.visit_params(|_, g| analytic.push(g));
-        let mut idx = 0;
         let mut net2 = net.clone();
-        let total = net2.param_count();
-        for _ in 0..total {
-            let mut plus = f64::NAN;
-            let mut minus = f64::NAN;
+        assert_eq!(analytic.len(), net2.param_count());
+        for (idx, &expected) in analytic.iter().enumerate() {
             let mut j = 0;
             net2.visit_params(|p, _| {
                 if j == idx {
@@ -219,7 +220,7 @@ mod tests {
                 }
                 j += 1;
             });
-            plus = loss(&net2, &x);
+            let plus = loss(&net2, &x);
             let mut j = 0;
             net2.visit_params(|p, _| {
                 if j == idx {
@@ -227,7 +228,7 @@ mod tests {
                 }
                 j += 1;
             });
-            minus = loss(&net2, &x);
+            let minus = loss(&net2, &x);
             let mut j = 0;
             net2.visit_params(|p, _| {
                 if j == idx {
@@ -237,11 +238,9 @@ mod tests {
             });
             let num = (plus - minus) / (2.0 * eps);
             assert!(
-                (num - analytic[idx]).abs() < 1e-5,
-                "param {idx}: {num} vs {}",
-                analytic[idx]
+                (num - expected).abs() < 1e-5,
+                "param {idx}: {num} vs {expected}"
             );
-            idx += 1;
         }
     }
 
@@ -267,7 +266,10 @@ mod tests {
         let net = Mlp::new(&[3, 4, 2], 9);
         let json = serde_json::to_string(&net).unwrap();
         let back: Mlp = serde_json::from_str(&json).unwrap();
-        assert_eq!(net.forward(&[0.1, 0.2, 0.3]), back.forward(&[0.1, 0.2, 0.3]));
+        assert_eq!(
+            net.forward(&[0.1, 0.2, 0.3]),
+            back.forward(&[0.1, 0.2, 0.3])
+        );
     }
 
     proptest! {

@@ -105,10 +105,12 @@ mod tests {
 
     /// Trains y = 2x − 1 on a tiny net; returns final loss.
     fn train(optimizer: &mut dyn FnMut(&mut Mlp), net: &mut Mlp, iters: usize) -> f64 {
-        let data: Vec<(f64, f64)> = (0..8).map(|i| {
-            let x = i as f64 / 4.0 - 1.0;
-            (x, 2.0 * x - 1.0)
-        }).collect();
+        let data: Vec<(f64, f64)> = (0..8)
+            .map(|i| {
+                let x = i as f64 / 4.0 - 1.0;
+                (x, 2.0 * x - 1.0)
+            })
+            .collect();
         let mut last = f64::INFINITY;
         for _ in 0..iters {
             net.zero_grad();

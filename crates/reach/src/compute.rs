@@ -33,14 +33,18 @@ pub fn compute_reach_tube(
     config: &ReachConfig,
 ) -> ReachTube {
     config.validate();
+    iprism_contracts::check_finite_state(
+        "compute_reach_tube ego",
+        &[ego.x, ego.y, ego.theta, ego.v],
+    );
+    iprism_contracts::check_heading_normalized("compute_reach_tube ego", ego.theta);
     let controls = control_set(config);
     let n_slices = config.slices();
     let (ego_len, ego_wid) = config.ego_dims;
 
     // Ego-centred grid covering everything reachable within the horizon.
     let k = config.horizon;
-    let reach_radius =
-        ego.v * k + 0.5 * config.model.limits.accel_max * k * k + ego_len + 2.0;
+    let reach_radius = ego.v * k + 0.5 * config.model.limits.accel_max * k * k + ego_len + 2.0;
     let grid_bounds = Aabb::new(
         ego.position() - Vec2::new(reach_radius, reach_radius),
         ego.position() + Vec2::new(reach_radius, reach_radius),
@@ -89,8 +93,12 @@ pub fn compute_reach_tube(
                     cand.v,
                 );
                 let mid_fp = mid.footprint(ego_len, ego_wid);
-                if collides(&mid_fp, obstacles, slice_time - config.dt * 0.5, config.safety_margin)
-                {
+                if collides(
+                    &mid_fp,
+                    obstacles,
+                    slice_time - config.dt * 0.5,
+                    config.safety_margin,
+                ) {
                     continue;
                 }
                 grid.mark_segment(state.position(), cand.position());
@@ -158,17 +166,20 @@ fn quantize(s: &VehicleState, eps: f64) -> (i64, i64, i64, i64) {
     )
 }
 
-/// Deterministic total order on (finite) states: primarily by speed — the
-/// canonical dedup representative is the fastest, farthest-reaching state —
-/// with full-state tie-breaking for reproducibility.
+/// Deterministic total order on states: primarily by speed — the canonical
+/// dedup representative is the fastest, farthest-reaching state — with
+/// full-state tie-breaking for reproducibility. `total_cmp` keeps the order
+/// total even for non-finite states, so the sort can never misbehave.
 fn canonical_order(a: &VehicleState, b: &VehicleState) -> Ordering {
-    (a.v, a.x, a.y, a.theta)
-        .partial_cmp(&(b.v, b.x, b.y, b.theta))
-        .expect("reach states are finite")
+    a.v.total_cmp(&b.v)
+        .then(a.x.total_cmp(&b.x))
+        .then(a.y.total_cmp(&b.y))
+        .then(a.theta.total_cmp(&b.theta))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_dynamics::Trajectory;
 
@@ -217,8 +228,10 @@ mod tests {
             stationary_obstacle(106.0, 8.75),
             stationary_obstacle(106.0, 1.75),
         ];
-        let mut cfg = ReachConfig::default();
-        cfg.mode = SamplingMode::Boundary;
+        let cfg = ReachConfig {
+            mode: SamplingMode::Boundary,
+            ..ReachConfig::default()
+        };
         let tube = compute_reach_tube(&open_road(), ego(), &obstacles, &cfg);
         // With 10 m/s the ego cannot stop before 106 and cannot swerve.
         assert!(
@@ -255,10 +268,14 @@ mod tests {
 
     #[test]
     fn longer_horizon_grows_tube_volume() {
-        let mut short = ReachConfig::default();
-        short.horizon = 1.5;
-        let mut long = ReachConfig::default();
-        long.horizon = 3.0;
+        let short = ReachConfig {
+            horizon: 1.5,
+            ..ReachConfig::default()
+        };
+        let long = ReachConfig {
+            horizon: 3.0,
+            ..ReachConfig::default()
+        };
         let ts = compute_reach_tube(&open_road(), ego(), &[], &short);
         let tl = compute_reach_tube(&open_road(), ego(), &[], &long);
         // Same grid extents depend on horizon, so compare cell counts scaled
@@ -279,11 +296,13 @@ mod tests {
         ];
         let mut ratios = Vec::new();
         for mode in modes {
-            let mut cfg = ReachConfig::default();
-            cfg.mode = mode;
+            let cfg = ReachConfig {
+                mode,
+                ..ReachConfig::default()
+            };
             let free = compute_reach_tube(&open_road(), ego(), &[], &cfg);
             let blocked =
-                compute_reach_tube(&open_road(), ego(), &[obstacle.clone()], &cfg);
+                compute_reach_tube(&open_road(), ego(), std::slice::from_ref(&obstacle), &cfg);
             ratios.push(blocked.volume() / free.volume());
         }
         for r in &ratios {
@@ -301,7 +320,14 @@ mod tests {
         // than for the same actor parked at its *current* position... and
         // more than for no actor.
         let closing_states: Vec<VehicleState> = (0..14)
-            .map(|i| VehicleState::new(150.0 - 8.0 * 0.25 * i as f64, 5.25, std::f64::consts::PI, 8.0))
+            .map(|i| {
+                VehicleState::new(
+                    150.0 - 8.0 * 0.25 * i as f64,
+                    5.25,
+                    std::f64::consts::PI,
+                    8.0,
+                )
+            })
             .collect();
         let closing = Obstacle::new(Trajectory::from_states(0.0, 0.25, closing_states), 4.6, 2.0);
         let free = compute_reach_tube(&open_road(), ego(), &[], &ReachConfig::default());
@@ -313,7 +339,7 @@ mod tests {
     fn deterministic() {
         let cfg = ReachConfig::default();
         let o = stationary_obstacle(115.0, 5.25);
-        let a = compute_reach_tube(&open_road(), ego(), &[o.clone()], &cfg);
+        let a = compute_reach_tube(&open_road(), ego(), std::slice::from_ref(&o), &cfg);
         let b = compute_reach_tube(&open_road(), ego(), &[o], &cfg);
         assert_eq!(a.volume(), b.volume());
         assert_eq!(a.state_count(), b.state_count());
@@ -331,14 +357,15 @@ mod tests {
         let base = compute_reach_tube(&map, ego(), &[], &cfg);
         let mut state = 0x1234_5678_u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for _ in 0..16 {
             let x = 105.0 + 35.0 * next();
             let y = 1.75 + 7.0 * next();
-            let blocked =
-                compute_reach_tube(&map, ego(), &[stationary_obstacle(x, y)], &cfg);
+            let blocked = compute_reach_tube(&map, ego(), &[stationary_obstacle(x, y)], &cfg);
             assert!(
                 blocked.volume() <= base.volume() * 1.05 + 1.0,
                 "obstacle at ({x:.1},{y:.1}) grew tube: {} -> {}",

@@ -133,7 +133,10 @@ impl ReachConfig {
             "horizon must be at least one time slice"
         );
         assert!(self.dedup_epsilon > 0.0, "dedup epsilon must be positive");
-        assert!(self.grid_resolution > 0.0, "grid resolution must be positive");
+        assert!(
+            self.grid_resolution > 0.0,
+            "grid resolution must be positive"
+        );
         assert!(self.safety_margin >= 0.0, "safety margin must be >= 0");
         assert!(self.max_frontier >= 1, "frontier cap must be >= 1");
         assert!(
@@ -152,6 +155,7 @@ impl ReachConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
 
     #[test]
@@ -170,25 +174,31 @@ mod tests {
 
     #[test]
     fn slices_rounds_up() {
-        let mut c = ReachConfig::default();
-        c.horizon = 1.1;
-        c.dt = 0.25;
+        let c = ReachConfig {
+            horizon: 1.1,
+            dt: 0.25,
+            ..ReachConfig::default()
+        };
         assert_eq!(c.slices(), 5);
     }
 
     #[test]
     #[should_panic(expected = "dt must be positive")]
     fn bad_dt_panics() {
-        let mut c = ReachConfig::default();
-        c.dt = 0.0;
+        let c = ReachConfig {
+            dt: 0.0,
+            ..ReachConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "2x2")]
     fn bad_uniform_panics() {
-        let mut c = ReachConfig::default();
-        c.mode = SamplingMode::Uniform { na: 1, ns: 5 };
+        let c = ReachConfig {
+            mode: SamplingMode::Uniform { na: 1, ns: 5 },
+            ..ReachConfig::default()
+        };
         c.validate();
     }
 }

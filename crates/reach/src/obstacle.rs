@@ -30,7 +30,10 @@ impl Obstacle {
     /// Panics when the trajectory is empty or the dimensions are not
     /// strictly positive.
     pub fn new(trajectory: Trajectory, length: f64, width: f64) -> Self {
-        assert!(!trajectory.is_empty(), "obstacle trajectory must be non-empty");
+        assert!(
+            !trajectory.is_empty(),
+            "obstacle trajectory must be non-empty"
+        );
         assert!(
             length > 0.0 && width > 0.0,
             "obstacle dims must be positive, got {length} x {width}"
@@ -46,16 +49,21 @@ impl Obstacle {
     /// the trajectory (clamped at the ends), optionally inflated by
     /// `margin`.
     pub fn footprint_at(&self, time: f64, margin: f64) -> Obb {
-        let s = self
-            .trajectory
-            .state_at_time(time)
-            .expect("non-empty trajectory");
-        Obb::new(s.pose(), self.length + 2.0 * margin, self.width + 2.0 * margin)
+        // `new` rejects empty trajectories, so the fallback is unreachable
+        // unless the public field was overwritten; a zero-size footprint at
+        // the origin then prunes nothing instead of panicking mid-reach.
+        let s = self.trajectory.state_at_time(time).unwrap_or_default();
+        Obb::new(
+            s.pose(),
+            self.length + 2.0 * margin,
+            self.width + 2.0 * margin,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_dynamics::VehicleState;
 

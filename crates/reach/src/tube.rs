@@ -87,11 +87,15 @@ impl ReachTube {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_geom::{Aabb, Vec2};
 
     fn tube_with(slices: Vec<Vec<VehicleState>>) -> ReachTube {
-        let mut grid = Grid2::new(Aabb::new(Vec2::new(-50.0, -50.0), Vec2::new(50.0, 50.0)), 0.5);
+        let mut grid = Grid2::new(
+            Aabb::new(Vec2::new(-50.0, -50.0), Vec2::new(50.0, 50.0)),
+            0.5,
+        );
         for s in slices.iter().skip(1).flatten() {
             grid.mark(s.position());
         }
@@ -111,7 +115,10 @@ mod tests {
     fn volume_counts_future_slices_only() {
         let t = tube_with(vec![
             vec![VehicleState::new(0.0, 0.0, 0.0, 5.0)],
-            vec![VehicleState::new(1.0, 0.0, 0.0, 5.0), VehicleState::new(2.0, 0.0, 0.0, 5.0)],
+            vec![
+                VehicleState::new(1.0, 0.0, 0.0, 5.0),
+                VehicleState::new(2.0, 0.0, 0.0, 5.0),
+            ],
         ]);
         assert!(!t.is_empty());
         assert_eq!(t.cell_count(), 2);

@@ -22,16 +22,16 @@ pub fn dist_cipa(scene: &SceneSnapshot) -> Option<f64> {
         let dist = a.position().distance(ego.position());
         let half_lengths = (scene.ego_dims.0 + actor.length) * 0.5;
         let d = (dist - half_lengths).max(0.0);
-        if best.map_or(true, |b| d < b) {
+        if best.is_none_or(|b| d < b) {
             best = Some(d);
         }
     }
     best
 }
 
-
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use crate::SceneActor;
     use iprism_dynamics::{Trajectory, VehicleState};

@@ -76,6 +76,7 @@ pub fn ltfma_seconds(risky: &[bool], accident_index: usize, dt: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
 

@@ -107,7 +107,7 @@ impl PklModel {
             let var = deltas.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n;
             spreads.push(var.sqrt());
         }
-        spreads.sort_by(|a, b| a.partial_cmp(b).expect("finite spreads"));
+        spreads.sort_by(f64::total_cmp);
         let tau = if spreads.is_empty() {
             1.0
         } else {
@@ -179,7 +179,7 @@ fn candidate_costs(
                     cost += cfg.clearance_weight * (-min_d / cfg.clearance_decay).exp();
                 }
             }
-            let progress = traj.states().last().expect("rollout non-empty").x - scene.ego.x;
+            let progress = traj.states().last().map_or(0.0, |s| s.x - scene.ego.x);
             cost -= cfg.progress_weight * progress;
             costs.push(cost);
         }
@@ -189,10 +189,7 @@ fn candidate_costs(
 
 /// `softmax(-c / τ)`.
 fn softmax_neg(costs: &[f64], tau: f64) -> Vec<f64> {
-    let m = costs
-        .iter()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
+    let m = costs.iter().copied().fold(f64::INFINITY, f64::min);
     let exps: Vec<f64> = costs.iter().map(|c| (-(c - m) / tau).exp()).collect();
     let z: f64 = exps.iter().sum();
     exps.iter().map(|e| e / z).collect()
@@ -273,7 +270,7 @@ mod tests {
 
     #[test]
     fn fit_learns_positive_tau() {
-        let scenes = vec![
+        let scenes = [
             ego_scene().with_actor(parked(1, 120.0, 5.25)),
             ego_scene().with_actor(parked(2, 130.0, 1.75)),
             ego_scene(),
@@ -286,19 +283,24 @@ mod tests {
     fn different_training_sets_give_different_models() {
         // "All" includes a near-collision scene with huge cost spread;
         // "holdout" only benign scenes → smaller τ.
-        let risky = vec![
+        let risky = [
             ego_scene().with_actor(parked(1, 110.0, 5.25)),
             ego_scene().with_actor(parked(2, 112.0, 5.25)),
             ego_scene().with_actor(parked(3, 114.0, 5.25)),
         ];
-        let benign = vec![
+        let benign = [
             ego_scene(),
             ego_scene().with_actor(parked(1, 400.0, 5.25)),
             ego_scene().with_actor(parked(2, 500.0, 1.75)),
         ];
         let m_all = PklModel::fit(PklPlannerConfig::default(), &map3(), risky.iter());
         let m_holdout = PklModel::fit(PklPlannerConfig::default(), &map3(), benign.iter());
-        assert!(m_all.tau > m_holdout.tau, "{} vs {}", m_all.tau, m_holdout.tau);
+        assert!(
+            m_all.tau > m_holdout.tau,
+            "{} vs {}",
+            m_all.tau,
+            m_holdout.tau
+        );
 
         // And the two models score the same risky scene differently — PKL's
         // training-data sensitivity.

@@ -148,6 +148,7 @@ impl SceneSnapshot {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_dynamics::ControlInput;
     use iprism_map::RoadMap;

@@ -24,12 +24,16 @@ pub struct Sti {
 
 impl Sti {
     /// The most safety-threatening actor, if any actor has STI > 0.
+    ///
+    /// Uses `total_cmp`, so the result is well-defined for every input
+    /// (NaN values sort below all finite STI values and are filtered out
+    /// by the `> 0.0` guard anyway).
     pub fn riskiest_actor(&self) -> Option<(ActorId, f64)> {
         self.per_actor
             .iter()
             .copied()
             .filter(|(_, v)| *v > 0.0)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite STI"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -61,17 +65,30 @@ impl StiEvaluator {
         let v_all = all.volume();
         let v_empty = empty.volume();
 
-        let per_actor = scene
+        let per_actor: Vec<(ActorId, f64)> = scene
             .actors
             .iter()
             .map(|a| {
-                let without = compute_reach_tube(map, scene.ego, &scene.obstacles_without(a.id), &cfg);
-                (a.id, sti_ratio(without.volume() - v_all, v_empty))
+                let without =
+                    compute_reach_tube(map, scene.ego, &scene.obstacles_without(a.id), &cfg);
+                let v_without = without.volume();
+                iprism_contracts::check_tube_monotone(
+                    "StiEvaluator::evaluate",
+                    v_all,
+                    v_without,
+                    v_empty,
+                );
+                let sti = sti_ratio(v_without - v_all, v_empty);
+                iprism_contracts::check_sti("StiEvaluator::evaluate per-actor", sti);
+                (a.id, sti)
             })
             .collect();
 
+        let combined = sti_ratio(v_empty - v_all, v_empty);
+        iprism_contracts::check_sti("StiEvaluator::evaluate combined", combined);
+
         Sti {
-            combined: sti_ratio(v_empty - v_all, v_empty),
+            combined,
             per_actor,
             volume_all: v_all,
             volume_empty: v_empty,
@@ -84,7 +101,9 @@ impl StiEvaluator {
         let cfg = self.scene_config(scene);
         let all = compute_reach_tube(map, scene.ego, &scene.obstacles(), &cfg);
         let empty = compute_reach_tube(map, scene.ego, &[], &cfg);
-        sti_ratio(empty.volume() - all.volume(), empty.volume())
+        let sti = sti_ratio(empty.volume() - all.volume(), empty.volume());
+        iprism_contracts::check_sti("StiEvaluator::evaluate_combined", sti);
+        sti
     }
 
     fn scene_config(&self, scene: &SceneSnapshot) -> ReachConfig {
@@ -106,6 +125,8 @@ fn sti_ratio(numerator: f64, v_empty: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
+
     use super::*;
     use crate::SceneActor;
     use iprism_dynamics::{Trajectory, VehicleState};
@@ -139,8 +160,7 @@ mod tests {
 
     #[test]
     fn harmless_distant_actor_near_zero() {
-        let scene =
-            SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 500.0, 5.25));
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 500.0, 5.25));
         let sti = StiEvaluator::default().evaluate(&map3(), &scene);
         assert!(sti.combined < 0.02, "combined {}", sti.combined);
         assert!(sti.per_actor[0].1 < 0.02);
@@ -148,8 +168,7 @@ mod tests {
 
     #[test]
     fn blocking_actor_raises_risk() {
-        let scene =
-            SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
         let sti = StiEvaluator::default().evaluate(&map3(), &scene);
         assert!(sti.combined > 0.1, "combined {}", sti.combined);
         assert_eq!(sti.riskiest_actor().unwrap().0, ActorId(1));
@@ -194,8 +213,7 @@ mod tests {
 
     #[test]
     fn combined_fast_path_matches_full() {
-        let scene =
-            SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
         let ev = StiEvaluator::default();
         let full = ev.evaluate(&map3(), &scene);
         let fast = ev.evaluate_combined(&map3(), &scene);
@@ -216,11 +234,7 @@ mod tests {
         // ego lane poses risk although it never crosses the ego's path.
         let encroaching = SceneActor::new(
             ActorId(1),
-            Trajectory::from_states(
-                0.0,
-                2.5,
-                vec![VehicleState::new(110.0, 7.3, 0.0, 0.0); 2],
-            ),
+            Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(110.0, 7.3, 0.0, 0.0); 2]),
             8.0,
             2.6, // oversized
         );

@@ -38,16 +38,16 @@ pub fn time_to_collision(scene: &SceneSnapshot) -> Option<f64> {
             continue; // separating or static relative motion
         }
         let ttc = d / s_r;
-        if best.map_or(true, |b| ttc < b) {
+        if best.is_none_or(|b| ttc < b) {
             best = Some(ttc);
         }
     }
     best
 }
 
-
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use crate::SceneActor;
     use iprism_dynamics::{Trajectory, VehicleState};

@@ -156,7 +156,7 @@ impl DdqnAgent {
                 self.learn_batch();
             }
         }
-        if self.steps % self.config.target_sync_interval == 0 {
+        if self.steps.is_multiple_of(self.config.target_sync_interval) {
             self.target.copy_params_from(&self.online);
         }
     }
@@ -329,8 +329,7 @@ mod tests {
         let mut env = Chain { pos: 0 };
         let trained = train(&mut env, &DdqnConfig::small_test(), 120);
         let early: f64 = trained.episode_returns[..20].iter().sum::<f64>() / 20.0;
-        let late: f64 =
-            trained.episode_returns.iter().rev().take(20).sum::<f64>() / 20.0;
+        let late: f64 = trained.episode_returns.iter().rev().take(20).sum::<f64>() / 20.0;
         assert!(
             late > early && late > 0.5,
             "no learning: early {early}, late {late}"
@@ -356,7 +355,10 @@ mod tests {
         let mut env = Chain { pos: 0 };
         let vanilla = train(&mut env, &cfg, 120);
         let late: f64 = vanilla.episode_returns.iter().rev().take(20).sum::<f64>() / 20.0;
-        assert!(late > 0.5, "vanilla DQN should still solve the chain: {late}");
+        assert!(
+            late > 0.5,
+            "vanilla DQN should still solve the chain: {late}"
+        );
         // The two targets genuinely change the trajectory of learning.
         let mut env = Chain { pos: 0 };
         let double = train(&mut env, &DdqnConfig::small_test(), 120);

@@ -53,6 +53,7 @@ impl Default for EpsilonSchedule {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use proptest::prelude::*;
 

@@ -4,7 +4,10 @@ use iprism_scenarios::{sample_instances, Typology};
 use iprism_sim::{run_episode, EpisodeOutcome, MotionModel};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     for t in Typology::NHTSA {
         let mut coll = 0;
         let mut valid = 0;
@@ -15,14 +18,25 @@ fn main() {
             let r = run_episode(&mut w, &mut agent, &spec.episode_config());
             if t == Typology::FrontAccident {
                 let wrecked = w.actors().iter().any(|a| a.motion == MotionModel::Static);
-                if wrecked { valid += 1; }
-            } else { valid += 1; }
+                if wrecked {
+                    valid += 1;
+                }
+            } else {
+                valid += 1;
+            }
             match r.outcome {
                 EpisodeOutcome::Collision { .. } => coll += 1,
                 EpisodeOutcome::Timeout => timeouts += 1,
                 _ => {}
             }
         }
-        println!("{:<16} collisions {:>4}/{} valid {:>4} timeouts {:>3}", t.name(), coll, n, valid, timeouts);
+        println!(
+            "{:<16} collisions {:>4}/{} valid {:>4} timeouts {:>3}",
+            t.name(),
+            coll,
+            n,
+            valid,
+            timeouts
+        );
     }
 }

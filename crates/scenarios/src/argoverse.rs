@@ -102,13 +102,24 @@ pub fn generate_benign_episode(config: &BenignTrafficConfig, seed: u64) -> World
 
     if rng.gen_range(0.0..1.0) < config.parked_probability {
         // Badly parked car at the right road edge, slightly into lane 0.
-        let x = rng.gen_range(ego_x + 40.0..ego_x + 120.0);
+        // Resample the position until it clears the lane traffic — benign
+        // data must never start inside a collision — and give up (no parked
+        // car) when the sampled stretch is fully occupied.
         let intrusion = rng.gen_range(-0.4..0.6);
-        world.spawn(Actor::parked(
-            id,
-            VehicleState::new(x, intrusion, 0.0, 0.0),
-        ));
-        id += 1;
+        for _ in 0..8 {
+            let x = rng.gen_range(ego_x + 40.0..ego_x + 120.0);
+            let parked = Actor::parked(id, VehicleState::new(x, intrusion, 0.0, 0.0));
+            let fp = parked.footprint();
+            if world
+                .actors()
+                .iter()
+                .all(|a| !a.footprint().intersects(&fp))
+            {
+                world.spawn(parked);
+                id += 1;
+                break;
+            }
+        }
     }
 
     if rng.gen_range(0.0..1.0) < config.pedestrian_probability {
@@ -155,7 +166,11 @@ mod tests {
         for seed in 0..20 {
             let w = generate_benign_episode(&cfg, seed);
             // no initial overlaps anywhere
-            let fps: Vec<_> = w.actors().iter().map(|a| a.footprint()).collect();
+            let fps: Vec<_> = w
+                .actors()
+                .iter()
+                .map(iprism_sim::Actor::footprint)
+                .collect();
             for i in 0..fps.len() {
                 for j in (i + 1)..fps.len() {
                     assert!(!fps[i].intersects(&fps[j]), "seed {seed}: overlap");

@@ -104,6 +104,7 @@ pub fn sample_instances(typology: Typology, count: usize, base_seed: u64) -> Vec
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
 
     #[test]

@@ -52,24 +52,32 @@ impl Typology {
     /// The hyperparameter names of Table I, in sampling order.
     pub fn hyperparameters(self) -> &'static [&'static str] {
         match self {
-            Typology::GhostCutIn => {
-                &["distance_same_lane", "distance_lane_change", "speed_lane_change"]
-            }
-            Typology::LeadCutIn => {
-                &["event_trigger_distance", "distance_lane_change", "speed_lane_change"]
-            }
-            Typology::LeadSlowdown => {
-                &["npc_vehicle_location", "npc_vehicle_speed", "event_trigger_distance"]
-            }
-            Typology::FrontAccident => {
-                &["distance_lane_change", "distance_same_lane", "event_trigger_distance"]
-            }
-            Typology::RearEnd => {
-                &["npc_vehicle_1_speed", "npc_vehicle_2_speed", "npc_vehicle_1_location"]
-            }
-            Typology::RoundaboutGhostCutIn => {
-                &["npc_arc_offset", "npc_speed", "ego_speed"]
-            }
+            Typology::GhostCutIn => &[
+                "distance_same_lane",
+                "distance_lane_change",
+                "speed_lane_change",
+            ],
+            Typology::LeadCutIn => &[
+                "event_trigger_distance",
+                "distance_lane_change",
+                "speed_lane_change",
+            ],
+            Typology::LeadSlowdown => &[
+                "npc_vehicle_location",
+                "npc_vehicle_speed",
+                "event_trigger_distance",
+            ],
+            Typology::FrontAccident => &[
+                "distance_lane_change",
+                "distance_same_lane",
+                "event_trigger_distance",
+            ],
+            Typology::RearEnd => &[
+                "npc_vehicle_1_speed",
+                "npc_vehicle_2_speed",
+                "npc_vehicle_1_location",
+            ],
+            Typology::RoundaboutGhostCutIn => &["npc_arc_offset", "npc_speed", "ego_speed"],
         }
     }
 

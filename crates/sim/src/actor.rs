@@ -128,6 +128,7 @@ impl Actor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
 
     #[test]
@@ -141,10 +142,19 @@ mod tests {
     #[test]
     fn constructors_assign_motion_models() {
         let s = VehicleState::new(0.0, 0.0, 0.0, 5.0);
-        assert_eq!(Actor::vehicle(1, s, Behavior::Idle).motion, MotionModel::Bicycle);
-        assert_eq!(Actor::pedestrian(2, s, Behavior::Idle).motion, MotionModel::Holonomic);
+        assert_eq!(
+            Actor::vehicle(1, s, Behavior::Idle).motion,
+            MotionModel::Bicycle
+        );
+        assert_eq!(
+            Actor::pedestrian(2, s, Behavior::Idle).motion,
+            MotionModel::Holonomic
+        );
         assert_eq!(Actor::parked(3, s).motion, MotionModel::Static);
-        assert_eq!(Actor::oversized(4, s, Behavior::Idle).motion, MotionModel::Bicycle);
+        assert_eq!(
+            Actor::oversized(4, s, Behavior::Idle).motion,
+            MotionModel::Bicycle
+        );
     }
 
     #[test]

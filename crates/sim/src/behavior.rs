@@ -228,10 +228,12 @@ impl Behavior {
                         speed_only_control(me, &lane, *speed, ctx)
                     }
                     CutInPhase::Cutting | CutInPhase::Done => {
+                        // A misconfigured target lane degrades to the
+                        // nearest lane instead of aborting the simulation.
                         let lane = ctx
                             .map
                             .lane(*target_lane)
-                            .expect("cut-in target lane exists")
+                            .unwrap_or_else(|| ctx.map.nearest_lane(me.position()))
                             .clone();
                         if *phase == CutInPhase::Cutting
                             && lane.project(me.position()).lateral.abs() < 0.15
@@ -291,7 +293,7 @@ impl Behavior {
                         let lane = ctx
                             .map
                             .lane(*target_lane)
-                            .expect("merge target lane exists")
+                            .unwrap_or_else(|| ctx.map.nearest_lane(me.position()))
                             .clone();
                         if lane.project(me.position()).lateral.abs() < 0.15 {
                             *phase = CutInPhase::Done;
@@ -305,7 +307,7 @@ impl Behavior {
                         let lane = ctx
                             .map
                             .lane(*target_lane)
-                            .expect("merge target lane exists")
+                            .unwrap_or_else(|| ctx.map.nearest_lane(me.position()))
                             .clone();
                         lane_keep_control(me, &lane, *speed, ctx)
                     }
@@ -340,7 +342,7 @@ impl Behavior {
                     let lane = ctx
                         .map
                         .lane(*target_lane)
-                        .expect("pull-out target lane exists")
+                        .unwrap_or_else(|| ctx.map.nearest_lane(me.position()))
                         .clone();
                     lane_change_control(me, &lane, *target_speed, 8.0, ctx)
                 } else {
@@ -425,6 +427,7 @@ pub(crate) fn lane_change_control(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_map::RoadMap;
 
@@ -471,7 +474,10 @@ mod tests {
         let map = RoadMap::straight_road(2, 3.5, 100.0);
         let me = VehicleState::new(10.0, 1.75, 0.0, 10.0);
         let mut c = ctx(&map, me);
-        c.lead = Some(LeadInfo { gap: 3.0, speed: 0.0 });
+        c.lead = Some(LeadInfo {
+            gap: 3.0,
+            speed: 0.0,
+        });
         let u = Behavior::lane_keep(10.0).decide(&me, &c);
         assert!(u.accel < -1.0);
     }
@@ -566,7 +572,10 @@ mod tests {
         let map = RoadMap::straight_road(2, 3.5, 200.0);
         let me = VehicleState::new(10.0, 1.75, 0.0, 15.0);
         let mut c = ctx(&map, VehicleState::new(30.0, 1.75, 0.0, 5.0));
-        c.lead = Some(LeadInfo { gap: 2.0, speed: 5.0 });
+        c.lead = Some(LeadInfo {
+            gap: 2.0,
+            speed: 5.0,
+        });
         let u = Behavior::RearApproach { target_speed: 20.0 }.decide(&me, &c);
         assert!(u.accel > 0.0, "keeps accelerating into the leader");
     }

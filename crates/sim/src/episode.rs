@@ -175,7 +175,11 @@ mod tests {
     fn world_with_obstacle() -> World {
         let map = RoadMap::straight_road(1, 3.5, 300.0);
         let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
-        w.spawn(Actor::vehicle(1, VehicleState::new(40.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(40.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         w
     }
 

@@ -46,8 +46,7 @@ mod world;
 pub use actor::{Actor, ActorId, ActorKind, MotionModel};
 pub use behavior::{Behavior, BehaviorCtx, CutInPhase};
 pub use episode::{
-    run_episode, ConstantControl, EgoController, EpisodeConfig, EpisodeOutcome, EpisodeResult,
-    Goal,
+    run_episode, ConstantControl, EgoController, EpisodeConfig, EpisodeOutcome, EpisodeResult, Goal,
 };
 pub use render::render_world;
 pub use trace::{Trace, TraceStep};

@@ -26,7 +26,10 @@ use crate::World;
 /// ```
 pub fn render_world(world: &World, behind: f64, ahead: f64, resolution: f64) -> String {
     assert!(resolution > 0.0, "resolution must be positive");
-    assert!(behind >= 0.0 && ahead > 0.0, "view extents must be positive");
+    assert!(
+        behind >= 0.0 && ahead > 0.0,
+        "view extents must be positive"
+    );
     let ego = world.ego();
     let bounds = world.map().bounds();
     let x0 = ego.x - behind;
@@ -57,14 +60,19 @@ pub fn render_world(world: &World, behind: f64, ahead: f64, resolution: f64) -> 
         let c_hi = (((bb.max.x - x0) / resolution).ceil()).max(0.0) as usize;
         let r_lo = (((bb.min.y - y0) / resolution).floor().max(0.0)) as usize;
         let r_hi = (((bb.max.y - y0) / resolution).ceil()).max(0.0) as usize;
-        for r in r_lo..r_hi.min(rows) {
-            for c in c_lo..c_hi.min(cols) {
+        for (r, row) in canvas
+            .iter_mut()
+            .enumerate()
+            .take(r_hi.min(rows))
+            .skip(r_lo)
+        {
+            for (c, cell) in row.iter_mut().enumerate().take(c_hi.min(cols)).skip(c_lo) {
                 let p = Vec2::new(
                     x0 + (c as f64 + 0.5) * resolution,
                     y0 + (r as f64 + 0.5) * resolution,
                 );
                 if footprint.contains(p) {
-                    canvas[r][c] = ch;
+                    *cell = ch;
                 }
             }
         }

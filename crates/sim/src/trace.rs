@@ -141,6 +141,7 @@ impl Trace {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use crate::{Actor, Behavior};
     use iprism_dynamics::ControlInput;
@@ -205,7 +206,11 @@ mod tests {
     fn collision_index() {
         let map = RoadMap::straight_road(1, 3.5, 200.0);
         let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
-        w.spawn(Actor::vehicle(1, VehicleState::new(20.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(20.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         let mut trace = Trace::new(w.dt());
         trace.record(&w);
         for _ in 0..30 {

@@ -186,8 +186,11 @@ impl World {
         // 2. Integrate the ego.
         let prev_ego_theta = self.ego.theta;
         self.ego = self.model.step(self.ego, ego_control, self.dt);
-        self.ego_yaw_rate =
-            CvtrModel::estimate_yaw_rate(&VehicleState::new(0.0, 0.0, prev_ego_theta, 0.0), &self.ego, self.dt);
+        self.ego_yaw_rate = CvtrModel::estimate_yaw_rate(
+            &VehicleState::new(0.0, 0.0, prev_ego_theta, 0.0),
+            &self.ego,
+            self.dt,
+        );
 
         // 3. Integrate the actors.
         for (actor, u) in self.actors.iter_mut().zip(&controls) {
@@ -229,7 +232,10 @@ impl World {
         let mut wrecked: Vec<usize> = Vec::new();
         for i in 0..self.actors.len() {
             for j in (i + 1)..self.actors.len() {
-                if self.actors[i].footprint().intersects(&self.actors[j].footprint()) {
+                if self.actors[i]
+                    .footprint()
+                    .intersects(&self.actors[j].footprint())
+                {
                     events.collisions.push(CollisionEvent {
                         a: Some(self.actors[i].id),
                         b: self.actors[j].id,
@@ -247,6 +253,26 @@ impl World {
         }
 
         events.ego_offroad = !self.map.is_obb_drivable(&ego_fp);
+
+        // Post-step contracts: every integrated body is finite with a
+        // wrapped heading, or downstream risk math is meaningless.
+        iprism_contracts::check_finite_state(
+            "World::step ego",
+            &[self.ego.x, self.ego.y, self.ego.theta, self.ego.v],
+        );
+        iprism_contracts::check_heading_normalized("World::step ego", self.ego.theta);
+        for actor in &self.actors {
+            iprism_contracts::check_finite_state(
+                "World::step actor",
+                &[
+                    actor.state.x,
+                    actor.state.y,
+                    actor.state.theta,
+                    actor.state.v,
+                ],
+            );
+            iprism_contracts::check_heading_normalized("World::step actor", actor.state.theta);
+        }
         events
     }
 
@@ -269,7 +295,7 @@ impl World {
                 return;
             }
             let gap = ds - (length + me.length) * 0.5;
-            if best.map_or(true, |b| gap < b.gap) {
+            if best.is_none_or(|b| gap < b.gap) {
                 best = Some(LeadInfo { gap, speed });
             }
         };
@@ -286,6 +312,7 @@ impl World {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use crate::Behavior;
 
@@ -307,9 +334,17 @@ mod tests {
     #[test]
     fn spawn_duplicate_id_panics() {
         let mut w = two_lane_world(0.0);
-        w.spawn(Actor::vehicle(1, VehicleState::new(50.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(50.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            w.spawn(Actor::vehicle(1, VehicleState::new(60.0, 1.75, 0.0, 0.0), Behavior::Idle));
+            w.spawn(Actor::vehicle(
+                1,
+                VehicleState::new(60.0, 1.75, 0.0, 0.0),
+                Behavior::Idle,
+            ));
         }));
         assert!(result.is_err());
     }
@@ -318,7 +353,11 @@ mod tests {
     fn ego_collision_detected() {
         let mut w = two_lane_world(10.0);
         // Stationary car 3 m ahead of the ego: immediate crash.
-        w.spawn(Actor::vehicle(1, VehicleState::new(26.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(26.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         let mut hit = false;
         for _ in 0..20 {
             let ev = w.step(ControlInput::COAST);
@@ -336,7 +375,11 @@ mod tests {
         let mut w = two_lane_world(0.0);
         w.set_ego(VehicleState::new(5.0, 1.75, 0.0, 0.0));
         // Fast car behind a stopped car in the same lane, far from the ego.
-        w.spawn(Actor::vehicle(1, VehicleState::new(200.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(200.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         w.spawn(Actor::vehicle(
             2,
             VehicleState::new(170.0, 1.75, 0.0, 20.0),
@@ -379,7 +422,11 @@ mod tests {
             w.step(ControlInput::COAST);
         }
         let a = &w.actors()[0];
-        assert!((a.state.y - 5.25).abs() < 0.3, "converged to lane center, y={}", a.state.y);
+        assert!(
+            (a.state.y - 5.25).abs() < 0.3,
+            "converged to lane center, y={}",
+            a.state.y
+        );
         assert!((a.state.v - 8.0).abs() < 0.5);
     }
 
@@ -387,7 +434,11 @@ mod tests {
     fn lane_keep_actor_yields_to_leader() {
         let mut w = two_lane_world(0.0);
         w.set_ego(VehicleState::new(5.0, 5.25, 0.0, 0.0)); // ego out of the way
-        w.spawn(Actor::vehicle(1, VehicleState::new(120.0, 1.75, 0.0, 0.0), Behavior::Idle));
+        w.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(120.0, 1.75, 0.0, 0.0),
+            Behavior::Idle,
+        ));
         w.spawn(Actor::vehicle(
             2,
             VehicleState::new(80.0, 1.75, 0.0, 10.0),
@@ -399,7 +450,10 @@ mod tests {
         // follower stopped before hitting the leader
         let follower = w.actor(ActorId(2)).unwrap();
         assert!(follower.state.v < 1.0);
-        assert!(!w.actors().iter().any(|a| a.motion == MotionModel::Static && a.id == ActorId(2)));
+        assert!(!w
+            .actors()
+            .iter()
+            .any(|a| a.motion == MotionModel::Static && a.id == ActorId(2)));
     }
 
     #[test]

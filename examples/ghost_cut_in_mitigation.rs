@@ -36,7 +36,10 @@ fn main() {
     for spec in &sweep {
         let mut w = spec.build_world();
         let mut lbc = LbcAgent::default();
-        if run_episode(&mut w, &mut lbc, &spec.episode_config()).outcome.is_collision() {
+        if run_episode(&mut w, &mut lbc, &spec.episode_config())
+            .outcome
+            .is_collision()
+        {
             lbc_crashes += 1;
         }
 

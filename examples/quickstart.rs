@@ -34,15 +34,21 @@ fn main() {
     let evaluator = StiEvaluator::default();
     let sti = evaluator.evaluate(&map, &scene);
 
-    println!("escape-route volume with all actors: {:7.1} m²", sti.volume_all);
-    println!("escape-route volume without actors:  {:7.1} m²", sti.volume_empty);
+    println!(
+        "escape-route volume with all actors: {:7.1} m²",
+        sti.volume_all
+    );
+    println!(
+        "escape-route volume without actors:  {:7.1} m²",
+        sti.volume_empty
+    );
     println!("combined STI:                        {:7.2}", sti.combined);
     for (id, value) in &sti.per_actor {
         println!("  actor #{:<2} STI = {value:.2}", id.0);
     }
     match sti.riskiest_actor() {
         Some((id, value)) => {
-            println!("most safety-threatening actor: #{} (STI {value:.2})", id.0)
+            println!("most safety-threatening actor: #{} (STI {value:.2})", id.0);
         }
         None => println!("no actor currently threatens the ego"),
     }

@@ -23,16 +23,26 @@ fn main() {
         let events = world.step(u);
         if (world.time() * 10.0).round() as i64 % 15 == 0 {
             frames += 1;
-            println!("t = {:.1} s  (E ego at {:.1} m/s, A ring vehicle)", world.time(), world.ego().v);
+            println!(
+                "t = {:.1} s  (E ego at {:.1} m/s, A ring vehicle)",
+                world.time(),
+                world.ego().v
+            );
             println!("{}", render_world(&world, 25.0, 40.0, 1.4));
         }
         if events.ego_collided() {
-            println!("t = {:.1} s — COLLISION (RIP failed to yield-model the ring vehicle)", world.time());
+            println!(
+                "t = {:.1} s — COLLISION (RIP failed to yield-model the ring vehicle)",
+                world.time()
+            );
             println!("{}", render_world(&world, 25.0, 40.0, 1.4));
             break;
         }
         if episode.goal.reached(world.ego().position()) {
-            println!("t = {:.1} s — ego traversed the roundabout safely", world.time());
+            println!(
+                "t = {:.1} s — ego traversed the roundabout safely",
+                world.time()
+            );
             break;
         }
         if world.time() > episode.max_time || frames > 40 {

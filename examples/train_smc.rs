@@ -31,11 +31,20 @@ fn main() {
     let last = trained.episode_returns.last().copied().unwrap_or(0.0);
     println!("episode return: first {first:.1}, last {last:.1}");
 
-    trained.smc.save(std::path::Path::new(&path)).expect("save weights");
+    if let Err(e) = trained.smc.save(std::path::Path::new(&path)) {
+        eprintln!("failed to save weights to {path}: {e}");
+        std::process::exit(1);
+    }
     println!("weights saved to {path}");
 
     // Reload and verify the policies agree.
-    let mut reloaded = Smc::load(std::path::Path::new(&path)).expect("load weights");
+    let mut reloaded = match Smc::load(std::path::Path::new(&path)) {
+        Ok(smc) => smc,
+        Err(e) => {
+            eprintln!("failed to reload weights from {path}: {e}");
+            std::process::exit(1);
+        }
+    };
     let world = spec.build_world();
     let mut original = trained.smc.clone();
     let a = iprism::agents::MitigationPolicy::decide(&mut original, &world);

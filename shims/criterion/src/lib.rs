@@ -1,0 +1,244 @@
+//! Offline shim of `criterion`: a minimal wall-clock benchmark harness with
+//! the `criterion_group!`/`criterion_main!`/`benchmark_group` API this
+//! workspace's benches use.
+//!
+//! Each benchmark warms up briefly, then runs timed batches for a fixed
+//! measurement budget and reports the per-iteration mean and best batch.
+//! There is no statistical analysis or HTML report — the point is that
+//! `cargo bench` compiles, runs, and prints comparable numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(120),
+            measurement: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &id.to_string(), &mut routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut routine);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut |b: &mut Bencher| {
+            routine(b, input);
+        });
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// (total elapsed, iterations) per measured batch.
+    batches: Vec<(Duration, u64)>,
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~20 batches inside the measurement budget.
+        let batch_size = ((self.measurement.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch_size {
+                std_black_box(routine());
+            }
+            self.batches.push((start.elapsed(), batch_size));
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.batches.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .batches
+            .iter()
+            .map(|(elapsed, iters)| elapsed.as_secs_f64() / *iters as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let best = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let total_iters: u64 = self.batches.iter().map(|(_, n)| n).sum();
+        println!(
+            "{label:<48} median {} best {} ({} iters)",
+            format_time(median),
+            format_time(best),
+            total_iters
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, routine: &mut F) {
+    let mut bencher = Bencher {
+        batches: Vec::new(),
+        warmup: criterion.warmup,
+        measurement: criterion.measurement,
+    };
+    routine(&mut bencher);
+    bencher.report(label);
+}
+
+/// Declares a benchmark group function, like the real crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, like the real crate's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

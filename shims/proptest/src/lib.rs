@@ -1,0 +1,141 @@
+//! Offline shim of `proptest`: deterministic randomized property testing.
+//!
+//! Provides the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! numeric-range / tuple / `prop_map` / `collection::vec` / `any::<T>()`
+//! strategies — the subset this workspace's tests use. Unlike the real
+//! crate there is no shrinking: failures report the failing case's values
+//! through the assertion message and are reproducible because every run is
+//! seeded deterministically (override the case count with the
+//! `PROPTEST_CASES` environment variable).
+
+use rand_chacha::rand_core::SeedableRng;
+
+pub mod strategy;
+
+/// `use proptest::prelude::*;` brings the macro and strategy surface in.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The RNG driving every test case.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Number of cases per property (default 64, `PROPTEST_CASES` overrides).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `body` once per case with a deterministic per-case RNG. Used by the
+/// `proptest!` macro; not part of the public API surface mirrored from the
+/// real crate.
+pub fn run_cases(test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    // Seed differs per test so sibling properties explore different inputs,
+    // but is stable across runs for reproducibility.
+    let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    for case in 0..case_count() {
+        let mut rng = TestRng::seed_from_u64(name_hash ^ u64::from(case));
+        body(&mut rng);
+    }
+}
+
+/// Property-test entry point: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`case_count`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)*
+                $body
+            });
+        }
+    )*};
+}
+
+/// Asserts a property holds for the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal for the sampled case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0..5.0f64, n in 1usize..10, k in 0..=3u32) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(k <= 3);
+        }
+
+        #[test]
+        fn dependent_strategies(n in 2usize..20, i in 0..2usize) {
+            // The second strategy may reference the first binding.
+            let j = i * n;
+            prop_assert!(j < 2 * n);
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0.0..1.0f64, -1.0..0.0f64).prop_map(|(a, b)| a - b)) {
+            prop_assert!(p > 0.0 && p < 2.0);
+        }
+
+        #[test]
+        fn vec_strategy(xs in crate::collection::vec(0.0..1.0f64, 3..7), flag in any::<bool>()) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+            let _ = flag;
+        }
+
+        #[test]
+        fn fixed_len_vec(xs in crate::collection::vec(-1.0..1.0f64, 4)) {
+            prop_assert_eq!(xs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            first.push(Strategy::sample(&(0.0..1.0f64), rng));
+        });
+        crate::run_cases("determinism_probe", |rng| {
+            second.push(Strategy::sample(&(0.0..1.0f64), rng));
+        });
+        assert_eq!(first, second);
+        assert!(first.len() >= 32);
+    }
+}

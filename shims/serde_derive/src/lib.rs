@@ -1,0 +1,534 @@
+//! Offline shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item's
+//! token stream is walked directly, and the generated impls are emitted as
+//! source strings targeting the sibling `serde` shim's value-tree model.
+//!
+//! Supported shapes — the full set this workspace uses:
+//! * structs with named fields, including `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path")]` field attributes,
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics, lifetimes, and other serde attributes are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match direction {
+            Direction::Serialize => gen_serialize(&item),
+            Direction::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde shim codegen error: {e}\");")
+            .parse()
+            .unwrap_or_default()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_any_ident(&tokens, &mut i)?;
+    let name = expect_any_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct(name, fields))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream())?;
+                Ok(Item::TupleStruct(name, arity))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct(name)),
+            _ => Err(format!("serde shim: unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum(name, variants))
+            }
+            _ => Err(format!("serde shim: malformed enum `{name}`")),
+        },
+        other => Err(format!("serde shim: cannot derive for item kind `{other}`")),
+    }
+}
+
+/// Skips `#[...]` attribute groups, returning an error only on stray `#`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            _ => return Err("serde shim: malformed attribute".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// Parses field/variant-level attributes, extracting `#[serde(...)]` info.
+fn parse_field_attributes(
+    tokens: &[TokenTree],
+    i: &mut usize,
+) -> Result<(bool, Option<String>), String> {
+    let mut skip = false;
+    let mut default_path = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("serde shim: malformed attribute".to_string()),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => return Err("serde shim: malformed #[serde(...)] attribute".to_string()),
+        };
+        let args: Vec<TokenTree> = args.into_iter().collect();
+        let mut j = 0;
+        while j < args.len() {
+            match &args[j] {
+                TokenTree::Ident(id) if id.to_string() == "skip" => {
+                    skip = true;
+                    j += 1;
+                }
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    j += 1;
+                    if !matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        return Err("serde shim: expected `default = \"path\"`".to_string());
+                    }
+                    j += 1;
+                    match args.get(j) {
+                        Some(TokenTree::Literal(lit)) => {
+                            let raw = lit.to_string();
+                            default_path = Some(raw.trim_matches('"').to_string());
+                            j += 1;
+                        }
+                        _ => return Err("serde shim: expected string after `default =`".into()),
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                other => {
+                    return Err(format!(
+                        "serde shim: unsupported #[serde] argument `{other}`"
+                    ))
+                }
+            }
+        }
+    }
+    Ok((skip, default_path))
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_any_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("serde shim: expected identifier, got {other:?}")),
+    }
+}
+
+/// Advances past one type, tracking `<`/`>` nesting so commas inside
+/// generics do not terminate the field.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, default_path) = parse_field_attributes(&tokens, &mut i)?;
+        skip_visibility(&tokens, &mut i);
+        let name = expect_any_ident(&tokens, &mut i)?;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("serde shim: expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type(&tokens, &mut i);
+        // Now at a comma or end of stream.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default_path,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn tuple_arity(stream: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, _) = parse_field_attributes(&tokens, &mut i)?;
+        if skip {
+            return Err("serde shim: #[serde(skip)] on tuple fields is unsupported".into());
+        }
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(arity)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, _) = parse_field_attributes(&tokens, &mut i)?;
+        if skip {
+            return Err("serde shim: #[serde(skip)] on variants is unsupported".into());
+        }
+        let name = expect_any_ident(&tokens, &mut i)?;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream())?;
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde shim: explicit discriminant on variant `{name}` is unsupported"
+            ));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let field = &f.name;
+                pushes.push_str(&format!(
+                    "entries.push(({field:?}.to_string(), ::serde::Serialize::to_value(&self.{field})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(entries)\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}"
+        ),
+        Item::TupleStruct(name, arity) => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Array(vec![{items}]) }}\n}}"
+            )
+        }
+        Item::UnitStruct(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let variant = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{variant}(f0) => ::serde::Value::Object(vec![({variant:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders = (0..*arity)
+                            .map(|idx| format!("f{idx}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*arity)
+                            .map(|idx| format!("::serde::Serialize::to_value(f{idx})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{variant}({binders}) => ::serde::Value::Object(vec![({variant:?}.to_string(), ::serde::Value::Array(vec![{items}]))]),\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let field = &f.name;
+                                format!(
+                                    "({field:?}.to_string(), ::serde::Serialize::to_value({field}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{variant} {{ {binders} }} => ::serde::Value::Object(vec![({variant:?}.to_string(), ::serde::Value::Object(vec![{items}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
+
+fn field_expr(owner: &str, f: &Field) -> String {
+    let field = &f.name;
+    if f.skip {
+        match &f.default_path {
+            Some(path) => format!("{field}: {path}(),\n"),
+            None => format!("{field}: ::std::default::Default::default(),\n"),
+        }
+    } else {
+        format!(
+            "{field}: match source.get({field:?}) {{\n\
+             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             None => return Err(::serde::Error::custom(concat!(\"missing field `\", {field:?}, \"` in \", {owner:?}))),\n\
+             }},\n"
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let assigns: String = fields.iter().map(|f| field_expr(name, f)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(source: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if source.as_object().is_none() {{\n\
+                 return Err(::serde::Error::expected(concat!(\"object for \", {name:?}), source));\n\
+                 }}\n\
+                 Ok({name} {{\n{assigns}}})\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(source: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             Ok({name}(::serde::Deserialize::from_value(source)?))\n\
+             }}\n}}"
+        ),
+        Item::TupleStruct(name, arity) => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(source: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let items = source.as_array().ok_or_else(|| ::serde::Error::expected(concat!(\"array for \", {name:?}), source))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return Err(::serde::Error::custom(concat!(\"wrong tuple arity for \", {name:?})));\n\
+                 }}\n\
+                 Ok({name}({items}))\n\
+                 }}\n}}"
+            )
+        }
+        Item::UnitStruct(name) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(source: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             match source {{\n\
+             ::serde::Value::Null => Ok({name}),\n\
+             other => Err(::serde::Error::expected(concat!(\"null for unit struct \", {name:?}), other)),\n\
+             }}\n\
+             }}\n}}"
+        ),
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let variant = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{variant:?} => Ok({name}::{variant}),\n"
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "{variant:?} => Ok({name}::{variant}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items = (0..*arity)
+                            .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms.push_str(&format!(
+                            "{variant:?} => {{\n\
+                             let items = payload.as_array().ok_or_else(|| ::serde::Error::expected(\"variant tuple array\", payload))?;\n\
+                             if items.len() != {arity} {{\n\
+                             return Err(::serde::Error::custom(concat!(\"wrong arity for variant \", {variant:?})));\n\
+                             }}\n\
+                             Ok({name}::{variant}({items}))\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let assigns: String = fields
+                            .iter()
+                            .map(|f| field_expr(variant, f).replace("source.get", "payload.get"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{variant:?} => {{\n\
+                             if payload.as_object().is_none() {{\n\
+                             return Err(::serde::Error::expected(\"variant object\", payload));\n\
+                             }}\n\
+                             Ok({name}::{variant} {{\n{assigns}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(source: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match source {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(concat!(\"unknown variant `{{}}` of \", {name:?}), other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(::serde::Error::custom(format!(concat!(\"unknown variant `{{}}` of \", {name:?}), other))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::Error::expected(concat!(\"enum value for \", {name:?}), other)),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}

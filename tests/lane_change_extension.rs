@@ -13,8 +13,16 @@ fn brake_proof_trap() -> (World, EpisodeConfig) {
     let map = RoadMap::straight_road(2, 3.5, 500.0);
     let mut w = World::new(map, VehicleState::new(30.0, 1.75, 0.0, 17.0), 0.1);
     // Wall: two stopped cars nose-to-tail in the ego lane.
-    w.spawn(Actor::vehicle(1, VehicleState::new(56.0, 1.75, 0.0, 0.0), Behavior::Idle));
-    w.spawn(Actor::vehicle(2, VehicleState::new(62.0, 1.75, 0.0, 0.0), Behavior::Idle));
+    w.spawn(Actor::vehicle(
+        1,
+        VehicleState::new(56.0, 1.75, 0.0, 0.0),
+        Behavior::Idle,
+    ));
+    w.spawn(Actor::vehicle(
+        2,
+        VehicleState::new(62.0, 1.75, 0.0, 0.0),
+        Behavior::Idle,
+    ));
     (
         w,
         EpisodeConfig {
@@ -99,5 +107,8 @@ fn smc_trained_with_lane_changes_escapes_the_trap() {
         "the extended action set should escape: {:?}",
         r.outcome
     );
-    assert!(protected.first_activation().is_some(), "SMC must have acted");
+    assert!(
+        protected.first_activation().is_some(),
+        "SMC must have acted"
+    );
 }

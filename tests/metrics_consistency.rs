@@ -1,6 +1,7 @@
 //! Cross-crate consistency tests for the risk metrics: STI behaves like the
 //! paper claims relative to the baselines across whole scenario sweeps.
 
+#![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
 use iprism::prelude::*;
 use iprism::risk::{dist_cipa, time_to_collision};
 
@@ -12,7 +13,11 @@ fn scene_at(trace: &iprism::sim::Trace, i: usize, horizon: f64) -> Option<SceneS
 #[test]
 fn sti_bounded_and_finite_across_typology_sweeps() {
     let evaluator = StiEvaluator::new(ReachConfig::fast());
-    for typology in [Typology::GhostCutIn, Typology::LeadSlowdown, Typology::RearEnd] {
+    for typology in [
+        Typology::GhostCutIn,
+        Typology::LeadSlowdown,
+        Typology::RearEnd,
+    ] {
         for spec in sample_instances(typology, 3, 31) {
             let mut world = spec.build_world();
             let mut agent = LbcAgent::default();
@@ -70,9 +75,7 @@ fn ttc_and_cipa_are_blind_where_sti_is_not() {
     let mut cipa_first_risky: Option<usize> = None;
     for i in 0..=accident {
         let scene = scene_at(&trace, i, 2.5).unwrap();
-        if sti_first_risky.is_none()
-            && evaluator.evaluate_combined(world.map(), &scene) > 0.05
-        {
+        if sti_first_risky.is_none() && evaluator.evaluate_combined(world.map(), &scene) > 0.05 {
             sti_first_risky = Some(i);
         }
         if ttc_first_risky.is_none() && time_to_collision(&scene).is_some_and(|t| t < 3.0) {

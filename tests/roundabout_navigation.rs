@@ -6,11 +6,7 @@ use iprism::scenarios::EGO_START_SPEED;
 
 fn roundabout_world(ego_speed: f64) -> (World, EpisodeConfig) {
     let map = RoadMap::roundabout(Vec2::ZERO, 12.0, 19.0, 60.0);
-    let world = World::new(
-        map,
-        VehicleState::new(-40.0, -15.5, 0.0, ego_speed),
-        0.1,
-    );
+    let world = World::new(map, VehicleState::new(-40.0, -15.5, 0.0, ego_speed), 0.1);
     let cfg = EpisodeConfig {
         max_time: 40.0,
         goal: Goal::Point {
@@ -72,5 +68,8 @@ fn roundabout_scenario_instances_are_conflicting() {
             collisions += 1;
         }
     }
-    assert!(collisions > 0, "conflict vehicle never hits RIP in {n} tries");
+    assert!(
+        collisions > 0,
+        "conflict vehicle never hits RIP in {n} tries"
+    );
 }

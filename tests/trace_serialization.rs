@@ -2,6 +2,7 @@
 //! round-trip through JSON, so sweeps can be archived and replayed — the
 //! workflow behind the §V-D dataset study.
 
+#![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
 use iprism::prelude::*;
 use iprism::sim::Trace;
 

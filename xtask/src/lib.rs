@@ -1,0 +1,129 @@
+//! Workspace automation library behind `cargo xtask`.
+//!
+//! The flagship task is `cargo xtask lint`, a custom static-analysis pass
+//! over every workspace `.rs` file enforcing the four iPrism-specific rules
+//! that `rustc`/`clippy` cannot express precisely (see [`rules::Rule`] and
+//! `docs/INVARIANTS.md`):
+//!
+//! * `no-panic-in-lib` — numeric core crates must not panic in library code.
+//! * `no-float-eq` — no `==`/`!=` on floats outside tests.
+//! * `no-wallclock-in-sim` — sims stay deterministic: no wall-clock time or
+//!   entropy-seeded RNGs.
+//! * `pub-fn-docs` — every `pub fn` is documented.
+//!
+//! Violations can be locally waived with a justifying comment:
+//! `// iprism-lint: allow(<rule>[, <rule>...])` on, or directly above, the
+//! offending line.
+
+pub mod mask;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{Diagnostic, FileClass, Rule, ALL_RULES};
+
+/// Crates whose library code must never panic (reach/risk math must degrade
+/// gracefully, not abort the vehicle stack).
+const PANIC_BANNED_CRATES: [&str; 6] = [
+    "crates/geom/",
+    "crates/dynamics/",
+    "crates/reach/",
+    "crates/risk/",
+    "crates/sim/",
+    "crates/core/",
+];
+
+/// Crates whose code must be deterministic (no wall clock, no entropy).
+const WALLCLOCK_BANNED_CRATES: [&str; 2] = ["crates/sim/", "crates/scenarios/"];
+
+/// Lints a single source string as if it lived at `rel_path` (workspace
+/// relative, forward slashes). This is the entry point the fixture tests
+/// use; [`run_lint`] maps it over the real tree.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let Some(class) = classify(rel_path) else {
+        return Vec::new();
+    };
+    let masked = mask::mask(source);
+    rules::lint_masked(rel_path, &masked, class)
+}
+
+/// Decides which rule families apply to `rel_path`; `None` means the file
+/// is skipped entirely (test binaries, benches, build scripts, fixtures).
+#[must_use]
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    let skip = rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.starts_with("benches/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/examples/")
+        || rel_path.contains("/fixtures/")
+        || rel_path.ends_with("build.rs")
+        || rel_path.starts_with("target/")
+        || rel_path.contains("/target/");
+    if skip {
+        return None;
+    }
+    Some(FileClass {
+        panic_banned: PANIC_BANNED_CRATES.iter().any(|p| rel_path.starts_with(p)),
+        wallclock_banned: WALLCLOCK_BANNED_CRATES
+            .iter()
+            .any(|p| rel_path.starts_with(p)),
+    })
+}
+
+/// Recursively collects workspace `.rs` files under `root`, pruning VCS and
+/// build-output directories. Paths come back sorted for stable output.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking the tree.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace `.rs` file under `workspace_root`.
+///
+/// Returns `(files_checked, diagnostics)`.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading the tree.
+pub fn run_lint(workspace_root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
+    let mut checked = 0usize;
+    let mut diagnostics = Vec::new();
+    for path in collect_rust_files(workspace_root)? {
+        let rel = path
+            .strip_prefix(workspace_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if classify(&rel).is_none() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)?;
+        checked += 1;
+        diagnostics.extend(lint_source(&rel, &source));
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok((checked, diagnostics))
+}

@@ -1,0 +1,59 @@
+//! `cargo xtask` — workspace automation entry point.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask <task>\n\n\
+         tasks:\n  \
+         lint    run the iPrism custom lints over every workspace .rs file\n\n\
+         lint rules: no-panic-in-lib, no-float-eq, no-wallclock-in-sim, pub-fn-docs\n\
+         waive a finding with `// iprism-lint: allow(<rule>)` on or above the line"
+    );
+}
+
+fn lint() -> ExitCode {
+    // xtask lives one level below the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf();
+    match xtask::run_lint(&root) {
+        Ok((checked, diagnostics)) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            if diagnostics.is_empty() {
+                println!("xtask lint: {checked} files checked, no violations");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "xtask lint: {checked} files checked, {} violation(s)",
+                    diagnostics.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("xtask lint: I/O error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

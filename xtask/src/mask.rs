@@ -1,0 +1,302 @@
+//! Source masking: separates Rust code from comments and string contents so
+//! the rules in [`crate::rules`] never fire on text inside a string literal
+//! or a comment, and computes the regions (test modules, `macro_rules!`
+//! bodies) that individual rules skip.
+//!
+//! This is a hand-rolled scanner, not a full parser: the build environment
+//! is offline, so `syn` is unavailable. The scanner understands exactly the
+//! lexical structure needed to mask reliably — line/block (nested) comments,
+//! string/raw-string/byte-string literals, char literals vs lifetimes — and
+//! leaves everything else untouched.
+
+/// One source file, split into per-line code and comment channels.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// Line text with comments and string *contents* blanked to spaces
+    /// (string delimiters are kept so call structure stays visible).
+    pub code: Vec<String>,
+    /// Line text of comments only (code blanked); used to find
+    /// `iprism-lint: allow(...)` directives.
+    pub comments: Vec<String>,
+    /// Original line text, used for doc-comment lookup.
+    pub original: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` / `#[test]` item regions.
+    pub test: Vec<bool>,
+    /// `true` for lines inside `macro_rules!` bodies.
+    pub macro_body: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Masks `source` into code/comment channels and marks skip regions.
+pub fn mask(source: &str) -> MaskedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut state = State::Code;
+    let mut i = 0;
+    let mut prev_code_char = ' ';
+
+    macro_rules! code_push {
+        ($c:expr) => {{
+            let c: char = $c;
+            code.last_mut().expect("line buffer").push(c);
+            comments.last_mut().expect("line buffer").push(' ');
+            if c != ' ' {
+                prev_code_char = c;
+            }
+        }};
+    }
+    macro_rules! comment_push {
+        ($c:expr) => {{
+            code.last_mut().expect("line buffer").push(' ');
+            comments.last_mut().expect("line buffer").push($c);
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code.push(String::new());
+            comments.push(String::new());
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    comment_push!('/');
+                    comment_push!('/');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    comment_push!('/');
+                    comment_push!('*');
+                    i += 2;
+                } else if c == '"' {
+                    code_push!('"');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some(hashes) = raw_string_start(&chars, i, prev_code_char) {
+                    // r"...", r#"..."#, br"..." — blank the prefix, keep a quote.
+                    let prefix_len = chars[i..].iter().take_while(|&&c| c != '"').count();
+                    for _ in 0..prefix_len {
+                        code_push!(' ');
+                    }
+                    code_push!('"');
+                    state = State::RawStr(hashes);
+                    i += prefix_len + 1;
+                } else if c == '\'' && !is_ident_char(prev_code_char) && prev_code_char != '\'' {
+                    i = consume_char_or_lifetime(&chars, i, |ch| code_push!(ch));
+                } else {
+                    code_push!(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_push!(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment_push!('/');
+                    comment_push!('*');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    comment_push!('*');
+                    comment_push!('/');
+                    i += 2;
+                } else {
+                    comment_push!(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code_push!(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        code_push!(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code_push!('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code_push!(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    code_push!('"');
+                    for _ in 0..hashes {
+                        code_push!(' ');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code_push!(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let original: Vec<String> = source.split('\n').map(str::to_string).collect();
+    debug_assert_eq!(original.len(), code.len());
+    let test = mark_attr_regions(&code);
+    let macro_body = mark_macro_regions(&code);
+    MaskedFile {
+        code,
+        comments,
+        original,
+        test,
+        macro_body,
+    }
+}
+
+/// Returns `Some(hash_count)` when position `i` starts a raw (byte) string.
+fn raw_string_start(chars: &[char], i: usize, prev_code_char: char) -> Option<u32> {
+    if is_ident_char(prev_code_char) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Consumes either a char literal (blanked) or a lifetime tick (kept) at
+/// `chars[i] == '\''`; returns the next index.
+fn consume_char_or_lifetime(chars: &[char], i: usize, mut emit: impl FnMut(char)) -> usize {
+    if chars.get(i + 1) == Some(&'\\') {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        // Skip the escaped character itself so '\'' terminates correctly.
+        if j < chars.len() {
+            j += 1;
+        }
+        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+            j += 1;
+        }
+        let end = (j + 1).min(chars.len());
+        for _ in i..end {
+            emit(' ');
+        }
+        end
+    } else if chars.get(i + 2) == Some(&'\'') {
+        // Plain one-char literal like 'x' (works for multi-byte chars since
+        // we iterate over chars, not bytes).
+        emit(' ');
+        emit(' ');
+        emit(' ');
+        i + 3
+    } else {
+        // A lifetime: keep the tick as code.
+        emit('\'');
+        i + 1
+    }
+}
+
+/// Marks line regions covered by `#[cfg(test)]` / `#[test]` attributes by
+/// brace-matching the item that follows the attribute.
+fn mark_attr_regions(code: &[String]) -> Vec<bool> {
+    let mut marked = vec![false; code.len()];
+    for start in 0..code.len() {
+        let line = &code[start];
+        let is_test_attr = line.contains("cfg(test)")
+            || line.contains("cfg(all(test")
+            || line.contains("cfg(any(test")
+            || has_bare_test_attr(line);
+        if is_test_attr {
+            mark_item(code, start, &mut marked);
+        }
+    }
+    marked
+}
+
+fn has_bare_test_attr(line: &str) -> bool {
+    line.contains("#[test]") || line.contains("#[ignore]")
+}
+
+/// Marks `macro_rules!` bodies; rules that reason about item structure
+/// (doc coverage) skip them since macro bodies are templates, not items.
+fn mark_macro_regions(code: &[String]) -> Vec<bool> {
+    let mut marked = vec![false; code.len()];
+    for start in 0..code.len() {
+        if code[start].contains("macro_rules!") && !marked[start] {
+            mark_item(code, start, &mut marked);
+        }
+    }
+    marked
+}
+
+/// Marks from `start` to the end of the item that begins there: through the
+/// matching `}` of the first `{`, or through the first `;` outside brackets
+/// if it appears before any brace (e.g. `#[cfg(test)] use foo;`).
+fn mark_item(code: &[String], start: usize, marked: &mut [bool]) {
+    let mut brace = 0i32;
+    let mut bracket = 0i32;
+    let mut seen_brace = false;
+    for (offset, line) in code[start..].iter().enumerate() {
+        marked[start + offset] = true;
+        for c in line.chars() {
+            match c {
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                '{' => {
+                    brace += 1;
+                    seen_brace = true;
+                }
+                '}' => {
+                    brace -= 1;
+                    if seen_brace && brace == 0 {
+                        return;
+                    }
+                }
+                ';' if !seen_brace && brace == 0 && bracket == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The four iPrism workspace lint rules.
+//!
+//! Every rule reports `file:line` diagnostics and honours the
+//! `// iprism-lint: allow(<rule>)` escape hatch, which suppresses a rule on
+//! the comment's own line and — when the comment stands alone — on the next
+//! code line. See `docs/INVARIANTS.md` for the rationale behind each rule.
+
+use crate::mask::{is_ident_char, MaskedFile};
+
+/// The lint rules enforced by `cargo xtask lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in non-test
+    /// library code of the numeric core crates.
+    NoPanicInLib,
+    /// No `==`/`!=` on floating-point operands outside tests.
+    NoFloatEq,
+    /// No wall-clock time or entropy-seeded RNGs in sim/scenario code.
+    NoWallclockInSim,
+    /// Every `pub fn` carries a doc comment.
+    PubFnDocs,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 4] = [
+    Rule::NoPanicInLib,
+    Rule::NoFloatEq,
+    Rule::NoWallclockInSim,
+    Rule::PubFnDocs,
+];
+
+impl Rule {
+    /// The kebab-case name used in diagnostics and `allow(...)` directives.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanicInLib => "no-panic-in-lib",
+            Rule::NoFloatEq => "no-float-eq",
+            Rule::NoWallclockInSim => "no-wallclock-in-sim",
+            Rule::PubFnDocs => "pub-fn-docs",
+        }
+    }
+
+    /// Parses a rule name as written inside `allow(...)`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Which rule families apply to a given file (decided from its path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// File belongs to a numeric core crate where panicking is banned.
+    pub panic_banned: bool,
+    /// File belongs to sim/scenario code where wall-clock time is banned.
+    pub wallclock_banned: bool,
+}
+
+/// Runs every applicable rule over one masked file.
+#[must_use]
+pub fn lint_masked(path: &str, file: &MaskedFile, class: FileClass) -> Vec<Diagnostic> {
+    let allows = allow_directives(file);
+    let mut out = Vec::new();
+    let mut push = |line: usize, rule: Rule, message: String| {
+        if !allowed(&allows, file, line, rule) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (idx, code) in file.code.iter().enumerate() {
+        if file.test[idx] {
+            continue;
+        }
+        if class.panic_banned {
+            check_no_panic(code, idx, &mut push);
+        }
+        check_no_float_eq(code, idx, &mut push);
+        if class.wallclock_banned {
+            check_no_wallclock(code, idx, &mut push);
+        }
+        if !file.macro_body[idx] {
+            check_pub_fn_docs(file, idx, &mut push);
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Per-line sets of rules suppressed via `iprism-lint: allow(...)`.
+fn allow_directives(file: &MaskedFile) -> Vec<Vec<Rule>> {
+    file.comments
+        .iter()
+        .map(|comment| parse_allow(comment))
+        .collect()
+}
+
+fn parse_allow(comment: &str) -> Vec<Rule> {
+    let Some(pos) = comment.find("iprism-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[pos + "iprism-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return Vec::new();
+    };
+    let args = &rest[open + "allow(".len()..];
+    let Some(close) = args.find(')') else {
+        return Vec::new();
+    };
+    let mut rules = Vec::new();
+    for name in args[..close].split(',') {
+        let name = name.trim();
+        if name == "all" {
+            return ALL_RULES.to_vec();
+        }
+        if let Some(rule) = Rule::from_name(name) {
+            rules.push(rule);
+        }
+    }
+    rules
+}
+
+/// A rule is suppressed on line `idx` if an allow directive sits on the
+/// line itself or on a contiguous run of comment-only lines directly above.
+fn allowed(allows: &[Vec<Rule>], file: &MaskedFile, idx: usize, rule: Rule) -> bool {
+    if allows[idx].contains(&rule) {
+        return true;
+    }
+    let mut l = idx;
+    while l > 0 {
+        l -= 1;
+        let comment_only = file.code[l].trim().is_empty() && !file.comments[l].trim().is_empty();
+        if !comment_only {
+            return false;
+        }
+        if allows[l].contains(&rule) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Iterates identifier-like words in a code line as `(start, end)` spans.
+fn words(code: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut spans = Vec::new();
+    let mut start = None;
+    for (i, &c) in chars.iter().enumerate() {
+        if is_ident_char(c) {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            spans.push((s, i));
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, chars.len()));
+    }
+    spans
+}
+
+fn char_at(chars: &[char], i: usize) -> char {
+    chars.get(i).copied().unwrap_or(' ')
+}
+
+fn next_nonspace(chars: &[char], mut i: usize) -> char {
+    while char_at(chars, i) == ' ' && i < chars.len() {
+        i += 1;
+    }
+    char_at(chars, i)
+}
+
+fn prev_nonspace(chars: &[char], i: usize) -> char {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if chars[j] != ' ' {
+            return chars[j];
+        }
+    }
+    ' '
+}
+
+fn check_no_panic(code: &str, idx: usize, push: &mut impl FnMut(usize, Rule, String)) {
+    let chars: Vec<char> = code.chars().collect();
+    for (s, e) in words(code) {
+        let word: String = chars[s..e].iter().collect();
+        match word.as_str() {
+            "unwrap" | "expect"
+                // Only method-call position (`.unwrap()`), so `#[expect(...)]`
+                // attributes and `unwrap_or` relatives never match.
+                if prev_nonspace(&chars, s) == '.' && next_nonspace(&chars, e) == '(' => {
+                    push(
+                        idx,
+                        Rule::NoPanicInLib,
+                        format!(
+                            "`.{word}()` in library code; return a Result, use \
+                             `total_cmp`/`unwrap_or`, or justify with \
+                             `// iprism-lint: allow(no-panic-in-lib)`"
+                        ),
+                    );
+                }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next_nonspace(&chars, e) == '!' => {
+                    push(
+                        idx,
+                        Rule::NoPanicInLib,
+                        format!("`{word}!` in library code; make the failure a Result or an invariant contract"),
+                    );
+                }
+            _ => {}
+        }
+    }
+}
+
+fn check_no_float_eq(code: &str, idx: usize, push: &mut impl FnMut(usize, Rule, String)) {
+    let chars: Vec<char> = code.chars().collect();
+    let n = chars.len();
+    for i in 0..n.saturating_sub(1) {
+        let pair = (chars[i], chars[i + 1]);
+        let is_eq = pair == ('=', '=');
+        let is_ne = pair == ('!', '=');
+        if !is_eq && !is_ne {
+            continue;
+        }
+        // Not part of `<=`, `>=`, `..=`, `=>`, `!=` second char, etc.
+        let before = if i > 0 { chars[i - 1] } else { ' ' };
+        let after = char_at(&chars, i + 2);
+        if is_eq
+            && (matches!(
+                before,
+                '<' | '>' | '=' | '!' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '.'
+            ) || after == '=')
+        {
+            continue;
+        }
+        if is_ne && after == '=' {
+            continue;
+        }
+        let left = operand_window(&chars[..i], true);
+        let right = operand_window(&chars[i + 2..], false);
+        if float_like(&left) || float_like(&right) {
+            let op = if is_eq { "==" } else { "!=" };
+            push(
+                idx,
+                Rule::NoFloatEq,
+                format!(
+                    "float `{op}` comparison (`{} {op} {}`); compare with an \
+                     epsilon, `total_cmp`, or bit patterns",
+                    left.trim(),
+                    right.trim()
+                ),
+            );
+        }
+    }
+}
+
+/// Extracts the operand text adjacent to a comparison operator, stopping at
+/// expression delimiters and boolean connectives.
+fn operand_window(chars: &[char], leftward: bool) -> String {
+    let stop = |c: char| {
+        matches!(
+            c,
+            ',' | ';' | '(' | ')' | '[' | ']' | '{' | '}' | '=' | '<' | '>' | '!'
+        )
+    };
+    let mut out: Vec<char> = Vec::new();
+    if leftward {
+        let mut prev = ' ';
+        for &c in chars.iter().rev() {
+            if stop(c) || (c == '&' && prev == '&') || (c == '|' && prev == '|') {
+                break;
+            }
+            out.push(c);
+            prev = c;
+        }
+        out.reverse();
+        // `&&` lookahead above needs one-char delay; drop a trailing lone
+        // `&`/`|` left over from a connective.
+        while matches!(out.first(), Some('&' | '|' | ' ')) {
+            out.remove(0);
+        }
+    } else {
+        let mut prev = ' ';
+        for &c in chars.iter() {
+            if stop(c) || (c == '&' && prev == '&') || (c == '|' && prev == '|') {
+                break;
+            }
+            out.push(c);
+            prev = c;
+        }
+        while matches!(out.last(), Some('&' | '|' | ' ')) {
+            out.pop();
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Heuristic: does this operand text look like a floating-point expression?
+fn float_like(text: &str) -> bool {
+    if text.contains("f64") || text.contains("f32") {
+        return true;
+    }
+    has_float_literal(text)
+}
+
+fn has_float_literal(text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    for i in 1..chars.len() {
+        if chars[i] == '.'
+            && chars[i - 1].is_ascii_digit()
+            && chars
+                .get(i + 1)
+                .is_none_or(|c| c.is_ascii_digit() || !is_ident_char(*c) && *c != '.')
+        {
+            // Walk back over the integer part; a float literal's digits must
+            // not be preceded by an identifier char or `.` (which would make
+            // this a tuple-field access like `pair.0`).
+            let mut j = i - 1;
+            while j > 0 && (chars[j - 1].is_ascii_digit() || chars[j - 1] == '_') {
+                j -= 1;
+            }
+            let lead = if j == 0 { ' ' } else { chars[j - 1] };
+            if !is_ident_char(lead) && lead != '.' {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn check_no_wallclock(code: &str, idx: usize, push: &mut impl FnMut(usize, Rule, String)) {
+    let chars: Vec<char> = code.chars().collect();
+    for (s, e) in words(code) {
+        let word: String = chars[s..e].iter().collect();
+        if matches!(
+            word.as_str(),
+            "Instant" | "SystemTime" | "thread_rng" | "from_entropy"
+        ) {
+            push(
+                idx,
+                Rule::NoWallclockInSim,
+                format!(
+                    "`{word}` in simulation code; sims must be deterministic — \
+                     use the step counter and seeded RNGs"
+                ),
+            );
+        }
+    }
+}
+
+fn check_pub_fn_docs(file: &MaskedFile, idx: usize, push: &mut impl FnMut(usize, Rule, String)) {
+    let code = &file.code[idx];
+    let chars: Vec<char> = code.chars().collect();
+    for (s, e) in words(code) {
+        let word: String = chars[s..e].iter().collect();
+        if word != "pub" {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API.
+        if next_nonspace(&chars, e) == '(' {
+            continue;
+        }
+        // Find the keyword chain after `pub`: [const|async|unsafe]* fn.
+        let mut rest = words(code)
+            .into_iter()
+            .filter(|&(ws, _)| ws >= e)
+            .map(|(ws, we)| chars[ws..we].iter().collect::<String>());
+        let mut next = rest.next();
+        while matches!(next.as_deref(), Some("const" | "async" | "unsafe")) {
+            next = rest.next();
+        }
+        if next.as_deref() != Some("fn") {
+            continue;
+        }
+        let name = rest.next().unwrap_or_default();
+        if !is_documented(file, idx) {
+            push(
+                idx,
+                Rule::PubFnDocs,
+                format!("public function `{name}` has no doc comment"),
+            );
+        }
+        // One `pub fn` per line is the overwhelmingly common case; stop so a
+        // single line never double-reports.
+        break;
+    }
+}
+
+/// Walks upward from the line above a `pub fn`, skipping attributes, until a
+/// doc comment or something else is found.
+fn is_documented(file: &MaskedFile, idx: usize) -> bool {
+    let mut l = idx;
+    while l > 0 {
+        l -= 1;
+        let original = file.original[l].trim();
+        if original.starts_with("///")
+            || original.starts_with("#[doc")
+            || original.starts_with("/**")
+        {
+            return true;
+        }
+        let is_attr_start = original.starts_with("#[");
+        let is_attr_tail = original.ends_with(']') && !original.contains('{');
+        if is_attr_start || is_attr_tail {
+            continue;
+        }
+        return false;
+    }
+    false
+}

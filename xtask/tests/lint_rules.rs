@@ -1,0 +1,218 @@
+//! Fixture tests: every lint rule must fire on a bad fixture and stay
+//! silent on the corresponding good fixture, and the `iprism-lint:
+//! allow(...)` escape hatch must suppress findings.
+
+use xtask::{classify, lint_source, Rule};
+
+const LIB_PATH: &str = "crates/risk/src/fixture.rs";
+const SIM_PATH: &str = "crates/sim/src/fixture.rs";
+const SHIM_PATH: &str = "shims/rand/src/fixture.rs";
+
+fn rules_fired(path: &str, source: &str) -> Vec<Rule> {
+    lint_source(path, source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn no_panic_fires_on_unwrap_expect_and_panic_macros() {
+    let bad = r#"
+pub mod m {
+    fn f(x: Option<u32>) -> u32 { x.unwrap() }
+    fn g(x: Option<u32>) -> u32 { x.expect("present") }
+    fn h() { panic!("boom"); }
+    fn i() { unreachable!(); }
+}
+"#;
+    let fired = rules_fired(LIB_PATH, bad);
+    assert_eq!(
+        fired.iter().filter(|r| **r == Rule::NoPanicInLib).count(),
+        4,
+        "got {fired:?}"
+    );
+    let lines: Vec<usize> = lint_source(LIB_PATH, bad).iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![3, 4, 5, 6]);
+}
+
+#[test]
+fn no_panic_ignores_tests_relatives_and_non_core_crates() {
+    let good = r#"
+fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 1) }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1u32).unwrap(); panic!("fine in tests"); }
+}
+"#;
+    assert!(rules_fired(LIB_PATH, good).is_empty());
+
+    // Same unwrap is fine outside the numeric core crates.
+    let bad_elsewhere = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(!rules_fired(LIB_PATH, bad_elsewhere).is_empty());
+    assert!(rules_fired(SHIM_PATH, bad_elsewhere).is_empty());
+}
+
+#[test]
+fn no_panic_ignores_strings_and_comments() {
+    let good = r#"
+fn f() -> &'static str {
+    // calling .unwrap() here would panic!(...)
+    "contains .unwrap() and panic!(text)"
+}
+"#;
+    assert!(rules_fired(LIB_PATH, good).is_empty());
+}
+
+#[test]
+fn float_eq_fires_on_literal_and_suffix_comparisons() {
+    let bad = r#"
+fn f(x: f64) -> bool { x == 0.0 }
+fn g(x: f64) -> bool { x != 1.5 }
+fn h(x: f64, y: f64) -> bool { x as f64 == y }
+"#;
+    let fired = rules_fired(SHIM_PATH, bad);
+    assert_eq!(
+        fired.iter().filter(|r| **r == Rule::NoFloatEq).count(),
+        3,
+        "got {:?}",
+        lint_source(SHIM_PATH, bad)
+    );
+}
+
+#[test]
+fn float_eq_ignores_ints_ranges_tuple_fields_and_tests() {
+    let good = r#"
+fn f(x: u32) -> bool { x == 0 }
+fn g(x: usize) -> bool { x != 15 }
+fn h(pair: (u32, u32)) -> bool { pair.0 == pair.1 }
+fn i(x: u32) -> bool { (0..=10).contains(&x) }
+fn j(a: &str) -> bool { a == "0.5" }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert!(0.5 == 0.5); }
+}
+"#;
+    assert!(
+        rules_fired(SHIM_PATH, good).is_empty(),
+        "got {:?}",
+        lint_source(SHIM_PATH, good)
+    );
+}
+
+#[test]
+fn wallclock_fires_only_in_sim_code() {
+    let bad = r#"
+fn now() -> std::time::Instant { std::time::Instant::now() }
+fn stamp() -> std::time::SystemTime { std::time::SystemTime::now() }
+"#;
+    let fired = rules_fired(SIM_PATH, bad);
+    assert!(
+        fired
+            .iter()
+            .filter(|r| **r == Rule::NoWallclockInSim)
+            .count()
+            >= 2,
+        "got {fired:?}"
+    );
+    // The identical code is allowed outside sim/scenario crates.
+    assert!(rules_fired(LIB_PATH, bad)
+        .iter()
+        .all(|r| *r != Rule::NoWallclockInSim));
+}
+
+#[test]
+fn wallclock_fires_on_entropy_rngs() {
+    let bad = "fn f() { let _r = rand::thread_rng(); }\n";
+    assert_eq!(rules_fired(SIM_PATH, bad), vec![Rule::NoWallclockInSim]);
+    let good = "fn f(seed: u64) { let _r = SmallRng::seed_from_u64(seed); }\n";
+    assert!(rules_fired(SIM_PATH, good).is_empty());
+}
+
+#[test]
+fn pub_fn_docs_fires_on_undocumented_public_fns() {
+    let bad = "pub fn naked() {}\n";
+    assert_eq!(rules_fired(SHIM_PATH, bad), vec![Rule::PubFnDocs]);
+
+    let bad_with_attr = "#[inline]\npub fn naked() {}\n";
+    assert_eq!(rules_fired(SHIM_PATH, bad_with_attr), vec![Rule::PubFnDocs]);
+}
+
+#[test]
+fn pub_fn_docs_accepts_documented_restricted_and_test_fns() {
+    let good = r#"
+/// Documented.
+pub fn documented() {}
+
+/// Documented, with attributes between doc and fn.
+#[inline]
+#[must_use]
+pub const fn documented_const() -> u32 { 0 }
+
+pub(crate) fn crate_private() {}
+
+fn private() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn helper_inside_tests() {}
+}
+"#;
+    assert!(
+        rules_fired(SHIM_PATH, good).is_empty(),
+        "got {:?}",
+        lint_source(SHIM_PATH, good)
+    );
+}
+
+#[test]
+fn allow_directive_suppresses_on_same_and_next_line() {
+    let same_line =
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } // iprism-lint: allow(no-panic-in-lib)\n";
+    assert!(rules_fired(LIB_PATH, same_line).is_empty());
+
+    let line_above = r#"
+// Justification for the waiver.
+// iprism-lint: allow(no-panic-in-lib)
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+    assert!(rules_fired(LIB_PATH, line_above).is_empty());
+
+    // The waiver names a different rule: the finding stands.
+    let wrong_rule = r#"
+// iprism-lint: allow(no-float-eq)
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+    assert_eq!(rules_fired(LIB_PATH, wrong_rule), vec![Rule::NoPanicInLib]);
+
+    // And it does not leak past the next code line.
+    let too_far = r#"
+// iprism-lint: allow(no-panic-in-lib)
+fn ok() {}
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+    assert_eq!(rules_fired(LIB_PATH, too_far), vec![Rule::NoPanicInLib]);
+}
+
+#[test]
+fn diagnostics_carry_path_line_and_rule_name() {
+    let bad = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let diags = lint_source(LIB_PATH, bad);
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(rendered.starts_with("crates/risk/src/fixture.rs:2: [no-panic-in-lib]"));
+}
+
+#[test]
+fn test_and_bench_files_are_skipped_entirely() {
+    assert!(classify("tests/end_to_end.rs").is_none());
+    assert!(classify("crates/bench/benches/sti.rs").is_none());
+    assert!(classify("xtask/tests/lint_rules.rs").is_none());
+    assert!(classify("crates/risk/src/sti.rs").is_some());
+    let class = classify("crates/sim/src/world.rs").unwrap();
+    assert!(class.panic_banned && class.wallclock_banned);
+    let class = classify("shims/rand/src/lib.rs").unwrap();
+    assert!(!class.panic_banned && !class.wallclock_banned);
+}
