@@ -3,6 +3,7 @@
 use iprism_dynamics::ControlInput;
 use iprism_risk::{time_to_collision, SceneSnapshot};
 use iprism_sim::{EgoController, World};
+use iprism_units::Seconds;
 
 use crate::util::lane_follow_control;
 
@@ -54,7 +55,11 @@ impl<A> AcaController<A> {
 
 impl<A: EgoController> EgoController for AcaController<A> {
     fn control(&mut self, world: &World) -> ControlInput {
-        let scene = SceneSnapshot::from_world_cvtr(world, self.horizon, self.dt);
+        let scene = SceneSnapshot::from_world_cvtr(
+            world,
+            Seconds::new(self.horizon),
+            Seconds::new(self.dt),
+        );
         let triggered = time_to_collision(&scene).is_some_and(|t| t < self.ttc_threshold);
         if triggered {
             self.first_activation.get_or_insert(world.time());

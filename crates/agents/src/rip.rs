@@ -2,6 +2,7 @@
 
 use iprism_dynamics::{BicycleModel, ControlInput, CvtrModel};
 use iprism_sim::{EgoController, World};
+use iprism_units::{Meters, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`RipAgent`] surrogate.
@@ -97,7 +98,13 @@ impl EgoController for RipAgent {
             .iter()
             .map(|a| {
                 (
-                    cvtr.predict(a.state, a.yaw_rate, world.time(), cfg.dt, steps),
+                    cvtr.predict(
+                        a.state,
+                        a.yaw_rate,
+                        Seconds::new(world.time()),
+                        Seconds::new(cfg.dt),
+                        steps,
+                    ),
                     a.length,
                     a.width,
                 )
@@ -108,7 +115,7 @@ impl EgoController for RipAgent {
         for (ci, &a) in cfg.accels.iter().enumerate() {
             for (si, &s) in cfg.steers.iter().enumerate() {
                 let u = ControlInput::new(a, s);
-                let traj = model.rollout(ego, u, cfg.dt, steps);
+                let traj = model.rollout(ego, u, Seconds::new(cfg.dt), steps);
 
                 // Benign-driving log-likelihood: straight, smooth, on-speed,
                 // on-road plans are "what the experts did".
@@ -116,11 +123,11 @@ impl EgoController for RipAgent {
                 if let Some(final_state) = traj.states().last() {
                     loglik -= 0.05 * (final_state.v - cfg.target_speed).abs();
                 }
-                let off_road = traj
-                    .states()
-                    .iter()
-                    .skip(1)
-                    .any(|st| !world.map().is_obb_drivable(&st.footprint(ego_len, ego_wid)));
+                let off_road = traj.states().iter().skip(1).any(|st| {
+                    !world
+                        .map()
+                        .is_obb_drivable(&st.footprint(Meters::new(ego_len), Meters::new(ego_wid)))
+                });
                 if off_road {
                     // Experts never leave the road: overwhelming penalty so
                     // no hazard trade-off ever prefers an off-road plan.
@@ -130,11 +137,12 @@ impl EgoController for RipAgent {
                 // Short-sighted hazard penalty.
                 let mut hazard = 0.0;
                 for (i, st) in traj.states().iter().enumerate().skip(1).take(hazard_steps) {
-                    let fp = st.footprint(ego_len, ego_wid);
+                    let fp = st.footprint(Meters::new(ego_len), Meters::new(ego_wid));
                     let time = world.time() + i as f64 * cfg.dt;
                     for (otraj, olen, owid) in &obstacles {
                         if let Some(os) = otraj.state_at_time(time) {
-                            if fp.intersects(&os.footprint(*olen, *owid)) {
+                            if fp.intersects(&os.footprint(Meters::new(*olen), Meters::new(*owid)))
+                            {
                                 hazard += 1.0;
                             }
                         }

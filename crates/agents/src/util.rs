@@ -15,11 +15,13 @@ pub fn lane_follow_control(map: &RoadMap, state: &VehicleState, target_speed: f6
     // Aim at the centerline a little ahead: heading target comes from the
     // lookahead point, cross-track correction from the current position.
     let lookahead = (0.8 * state.v).max(2.0);
-    let ahead =
-        lane.project(state.position() + iprism_geom::Vec2::from_angle(state.theta) * lookahead);
+    let ahead = lane.project(
+        state.position()
+            + iprism_geom::Vec2::from_angle(iprism_units::Radians::raw(state.theta)) * lookahead,
+    );
     let target_heading = (ahead.point - state.position())
         .try_normalize()
-        .map_or(ahead.heading, iprism_geom::Vec2::angle);
+        .map_or(ahead.heading, |d| d.angle().get());
     let heading_err = wrap_to_pi(target_heading - state.theta);
     let cross = (-here.lateral / 3.0).atan();
     let steer = (heading_err + cross).clamp(-0.6, 0.6);

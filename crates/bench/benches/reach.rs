@@ -5,12 +5,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iprism_dynamics::{Trajectory, VehicleState};
 use iprism_map::RoadMap;
 use iprism_reach::{compute_reach_tube, Obstacle, ReachConfig, SamplingMode};
+use iprism_units::{Meters, Seconds};
 
 fn obstacles() -> Vec<Obstacle> {
     vec![Obstacle::new(
-        Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(120.0, 5.25, 0.0, 0.0); 2]),
-        4.6,
-        2.0,
+        Trajectory::from_states(
+            Seconds::new(0.0),
+            Seconds::new(2.5),
+            vec![VehicleState::new(120.0, 5.25, 0.0, 0.0); 2],
+        ),
+        Meters::new(4.6),
+        Meters::new(2.0),
     )]
 }
 

@@ -6,6 +6,7 @@ use iprism_map::RoadMap;
 use iprism_reach::ReachConfig;
 use iprism_risk::{SceneActor, SceneSnapshot, StiEvaluator};
 use iprism_sim::ActorId;
+use iprism_units::Seconds;
 
 fn scene_with_actors(n: usize) -> (RoadMap, SceneSnapshot) {
     let map = RoadMap::straight_road(3, 3.5, 600.0);
@@ -18,7 +19,7 @@ fn scene_with_actors(n: usize) -> (RoadMap, SceneSnapshot) {
             .collect();
         scene.actors.push(SceneActor::new(
             ActorId(i as u32 + 1),
-            Trajectory::from_states(0.0, 0.25, states),
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.25), states),
             4.6,
             2.0,
         ));

@@ -15,6 +15,7 @@ use iprism_map::RoadMap;
 use iprism_reach::{ReachConfig, SamplingMode};
 use iprism_risk::{SceneActor, SceneSnapshot, StiEvaluator};
 use iprism_sim::ActorId;
+use iprism_units::Seconds;
 
 fn reference_scene() -> (RoadMap, SceneSnapshot) {
     let map = RoadMap::straight_road(2, 3.5, 400.0);
@@ -32,13 +33,13 @@ fn reference_scene() -> (RoadMap, SceneSnapshot) {
     let scene = SceneSnapshot::new(0.0, VehicleState::new(100.0, 1.75, 0.0, 10.0), (4.6, 2.0))
         .with_actor(SceneActor::new(
             ActorId(1),
-            Trajectory::from_states(0.0, 0.25, cutter),
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.25), cutter),
             4.6,
             2.0,
         ))
         .with_actor(SceneActor::new(
             ActorId(2),
-            Trajectory::from_states(0.0, 0.25, lead),
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.25), lead),
             4.6,
             2.0,
         ));
@@ -84,14 +85,14 @@ fn main() {
     }
     for horizon in [1.5, 2.5, 3.5] {
         let c = ReachConfig {
-            horizon,
+            horizon: iprism_units::Seconds::new(horizon),
             ..ReachConfig::default()
         };
         run(format!("horizon k = {horizon} s"), c);
     }
     for res in [0.25, 0.5, 1.0] {
         let c = ReachConfig {
-            grid_resolution: res,
+            grid_resolution: iprism_units::Meters::new(res),
             ..ReachConfig::default()
         };
         run(format!("grid resolution = {res} m"), c);

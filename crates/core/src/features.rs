@@ -51,7 +51,7 @@ impl FeatureExtractor {
             if dist > SCAN_RANGE || dist <= f64::EPSILON {
                 continue;
             }
-            let bearing = wrap_to_pi(offset.angle() - ego.theta);
+            let bearing = wrap_to_pi(offset.angle().get() - ego.theta);
             let sector = sector_of(bearing);
             if dist < nearest[sector] {
                 nearest[sector] = dist;

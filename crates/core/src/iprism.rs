@@ -107,7 +107,11 @@ mod tests {
         );
         let iprism = Iprism::new(trained.smc).with_monitor_config(ReachConfig::fast());
         let (w, _) = template();
-        let scene = iprism_risk::SceneSnapshot::from_world_cvtr(&w, 2.4, 0.3);
+        let scene = iprism_risk::SceneSnapshot::from_world_cvtr(
+            &w,
+            iprism_units::Seconds::new(2.4),
+            iprism_units::Seconds::new(0.3),
+        );
         let sti = iprism.monitor().evaluate(w.map(), &scene);
         assert!((0.0..=1.0).contains(&sti.combined));
         assert_eq!(sti.per_actor.len(), 1);

@@ -1,5 +1,6 @@
 //! Kinematic bicycle model (paper reference [42]).
 
+use iprism_units::{Meters, MetersPerSecond, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::{ControlInput, ControlLimits, Trajectory, VehicleState};
@@ -20,17 +21,18 @@ use crate::{ControlInput, ControlLimits, Trajectory, VehicleState};
 ///
 /// ```
 /// use iprism_dynamics::{BicycleModel, ControlInput, VehicleState};
+/// use iprism_units::{Meters, Seconds};
 ///
-/// let m = BicycleModel::new(2.9);
+/// let m = BicycleModel::new(Meters::new(2.9));
 /// let s0 = VehicleState::new(0.0, 0.0, 0.0, 10.0);
 /// // Full-left steering turns the heading left.
-/// let s1 = m.step(s0, ControlInput::new(0.0, 0.5), 0.1);
+/// let s1 = m.step(s0, ControlInput::new(0.0, 0.5), Seconds::new(0.1));
 /// assert!(s1.theta > 0.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BicycleModel {
-    /// Wheelbase `L` (m).
-    pub wheelbase: f64,
+    /// Wheelbase `L`.
+    pub wheelbase: Meters,
     /// Control/speed limits enforced during propagation.
     pub limits: ControlLimits,
 }
@@ -39,7 +41,7 @@ impl Default for BicycleModel {
     /// Typical passenger-car parameters (wheelbase 2.9 m, default limits),
     /// following the paper's reference [46].
     fn default() -> Self {
-        BicycleModel::new(2.9)
+        BicycleModel::new(Meters::new(2.9))
     }
 }
 
@@ -49,9 +51,9 @@ impl BicycleModel {
     /// # Panics
     ///
     /// Panics when `wheelbase` is not strictly positive and finite.
-    pub fn new(wheelbase: f64) -> Self {
+    pub fn new(wheelbase: Meters) -> Self {
         assert!(
-            wheelbase > 0.0 && wheelbase.is_finite(),
+            wheelbase.get() > 0.0 && wheelbase.is_finite(),
             "wheelbase must be positive and finite, got {wheelbase}"
         );
         BicycleModel {
@@ -61,7 +63,7 @@ impl BicycleModel {
     }
 
     /// Creates a model with explicit limits.
-    pub fn with_limits(wheelbase: f64, limits: ControlLimits) -> Self {
+    pub fn with_limits(wheelbase: Meters, limits: ControlLimits) -> Self {
         let mut m = BicycleModel::new(wheelbase);
         m.limits = limits;
         m
@@ -72,7 +74,8 @@ impl BicycleModel {
     /// The control is clamped into the admissible ranges and the resulting
     /// speed into the speed envelope, so the output is always dynamically
     /// feasible. The heading is kept wrapped in `(-π, π]`.
-    pub fn step(&self, state: VehicleState, u: ControlInput, dt: f64) -> VehicleState {
+    pub fn step(&self, state: VehicleState, u: ControlInput, dt: Seconds) -> VehicleState {
+        let dt = dt.get();
         debug_assert!(dt >= 0.0, "negative dt");
         // Sanitize non-finite controls (a faulty agent must not poison the
         // simulation with NaNs — `clamp` propagates NaN).
@@ -84,9 +87,13 @@ impl BicycleModel {
         let (sin_t, cos_t) = state.theta.sin_cos();
         let x = state.x + state.v * cos_t * dt;
         let y = state.y + state.v * sin_t * dt;
-        let theta =
-            iprism_geom::wrap_to_pi(state.theta + state.v / self.wheelbase * u.steer.tan() * dt);
-        let v = self.limits.clamp_speed(state.v + u.accel * dt);
+        let theta = iprism_geom::wrap_to_pi(
+            state.theta + state.v / self.wheelbase.get() * u.steer.tan() * dt,
+        );
+        let v = self
+            .limits
+            .clamp_speed(MetersPerSecond::new(state.v + u.accel * dt))
+            .get();
         let next = VehicleState::new(x, y, theta, v);
         if state.is_finite() {
             // Propagation preserves finiteness and heading normalization
@@ -106,10 +113,10 @@ impl BicycleModel {
         &self,
         state: VehicleState,
         u: ControlInput,
-        dt: f64,
+        dt: Seconds,
         steps: usize,
     ) -> Trajectory {
-        let mut traj = Trajectory::with_capacity(0.0, dt, steps + 1);
+        let mut traj = Trajectory::with_capacity(Seconds::new(0.0), dt, steps + 1);
         traj.push(state);
         let mut s = state;
         for _ in 0..steps {
@@ -124,9 +131,9 @@ impl BicycleModel {
         &self,
         state: VehicleState,
         controls: &[ControlInput],
-        dt: f64,
+        dt: Seconds,
     ) -> Trajectory {
-        let mut traj = Trajectory::with_capacity(0.0, dt, controls.len() + 1);
+        let mut traj = Trajectory::with_capacity(Seconds::new(0.0), dt, controls.len() + 1);
         traj.push(state);
         let mut s = state;
         for &u in controls {
@@ -137,12 +144,13 @@ impl BicycleModel {
     }
 
     /// Distance covered from speed `v` to a full stop under maximum braking.
-    pub fn stopping_distance(&self, v: f64) -> f64 {
+    pub fn stopping_distance(&self, v: MetersPerSecond) -> Meters {
         let b = -self.limits.accel_min;
         if b <= 0.0 {
-            return f64::INFINITY;
+            return Meters::new(f64::INFINITY);
         }
-        v * v / (2.0 * b)
+        let v = v.get();
+        Meters::new(v * v / (2.0 * b))
     }
 }
 
@@ -162,7 +170,7 @@ mod tests {
         let s = m.step(
             VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ControlInput::COAST,
-            0.5,
+            Seconds::new(0.5),
         );
         assert!((s.x - 5.0).abs() < 1e-12);
         assert_eq!(s.y, 0.0);
@@ -175,7 +183,7 @@ mod tests {
         let m = model();
         let mut s = VehicleState::new(0.0, 0.0, 0.0, 2.0);
         for _ in 0..20 {
-            s = m.step(s, ControlInput::new(-6.0, 0.0), 0.5);
+            s = m.step(s, ControlInput::new(-6.0, 0.0), Seconds::new(0.5));
         }
         assert_eq!(s.v, 0.0);
     }
@@ -185,7 +193,7 @@ mod tests {
         let m = model();
         let mut s = VehicleState::new(0.0, 0.0, 0.0, 29.0);
         for _ in 0..20 {
-            s = m.step(s, ControlInput::new(3.5, 0.0), 1.0);
+            s = m.step(s, ControlInput::new(3.5, 0.0), Seconds::new(1.0));
         }
         assert_eq!(s.v, m.limits.v_max);
     }
@@ -196,12 +204,12 @@ mod tests {
         let left = m.step(
             VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ControlInput::new(0.0, 0.3),
-            0.1,
+            Seconds::new(0.1),
         );
         let right = m.step(
             VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ControlInput::new(0.0, -0.3),
-            0.1,
+            Seconds::new(0.1),
         );
         assert!(left.theta > 0.0);
         assert!(right.theta < 0.0);
@@ -214,7 +222,7 @@ mod tests {
         let s = m.step(
             VehicleState::new(0.0, 0.0, 0.0, 0.0),
             ControlInput::new(0.0, 0.6),
-            0.5,
+            Seconds::new(0.5),
         );
         assert_eq!(s.theta, 0.0);
         assert_eq!(s.position(), iprism_geom::Vec2::ZERO);
@@ -227,12 +235,12 @@ mod tests {
         let wild = m.step(
             VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ControlInput::new(0.0, 10.0),
-            0.1,
+            Seconds::new(0.1),
         );
         let maxed = m.step(
             VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ControlInput::new(0.0, m.limits.steer_max),
-            0.1,
+            Seconds::new(0.1),
         );
         assert_eq!(wild, maxed);
     }
@@ -243,7 +251,7 @@ mod tests {
         let t = m.rollout(
             VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ControlInput::COAST,
-            0.1,
+            Seconds::new(0.1),
             10,
         );
         assert_eq!(t.len(), 11);
@@ -254,7 +262,11 @@ mod tests {
     fn rollout_sequence_applies_each_control() {
         let m = model();
         let controls = [ControlInput::new(3.5, 0.0), ControlInput::new(-6.0, 0.0)];
-        let t = m.rollout_sequence(VehicleState::new(0.0, 0.0, 0.0, 10.0), &controls, 1.0);
+        let t = m.rollout_sequence(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            &controls,
+            Seconds::new(1.0),
+        );
         assert_eq!(t.len(), 3);
         assert!((t.states()[1].v - 13.5).abs() < 1e-12);
         assert!((t.states()[2].v - 7.5).abs() < 1e-12);
@@ -263,16 +275,16 @@ mod tests {
     #[test]
     fn stopping_distance_quadratic() {
         let m = model();
-        let d10 = m.stopping_distance(10.0);
-        let d20 = m.stopping_distance(20.0);
+        let d10 = m.stopping_distance(MetersPerSecond::new(10.0));
+        let d20 = m.stopping_distance(MetersPerSecond::new(20.0));
         assert!((d20 / d10 - 4.0).abs() < 1e-9);
-        assert!((d10 - 100.0 / 12.0).abs() < 1e-9);
+        assert!((d10.get() - 100.0 / 12.0).abs() < 1e-9);
     }
 
     #[test]
     #[should_panic(expected = "wheelbase")]
     fn bad_wheelbase_panics() {
-        let _ = BicycleModel::new(0.0);
+        let _ = BicycleModel::new(Meters::new(0.0));
     }
 
     #[test]
@@ -286,12 +298,12 @@ mod tests {
             ControlInput::new(0.0, f64::NAN),
             ControlInput::new(f64::INFINITY, f64::NEG_INFINITY),
         ] {
-            let s1 = m.step(s0, u, 0.1);
+            let s1 = m.step(s0, u, Seconds::new(0.1));
             assert!(s1.is_finite(), "{u:?}");
         }
         // NaN controls behave exactly like coasting.
-        let coast = m.step(s0, ControlInput::COAST, 0.1);
-        let nan = m.step(s0, ControlInput::new(f64::NAN, f64::NAN), 0.1);
+        let coast = m.step(s0, ControlInput::COAST, Seconds::new(0.1));
+        let nan = m.step(s0, ControlInput::new(f64::NAN, f64::NAN), Seconds::new(0.1));
         assert_eq!(coast, nan);
     }
 
@@ -302,14 +314,14 @@ mod tests {
         let m = model();
         let steer = 0.3f64;
         let v = 5.0;
-        let yaw_rate = v / m.wheelbase * steer.tan();
+        let yaw_rate = v / m.wheelbase.get() * steer.tan();
         let period = std::f64::consts::TAU / yaw_rate;
         let dt = 0.001;
         let steps = (period / dt).round() as usize;
         let t = m.rollout(
             VehicleState::new(0.0, 0.0, 0.0, v),
             ControlInput::new(0.0, steer),
-            dt,
+            Seconds::new(dt),
             steps,
         );
         let last = *t.states().last().unwrap();
@@ -327,7 +339,7 @@ mod tests {
             a in -10.0..10.0f64, s in -1.0..1.0f64, dt in 0.001..1.0f64,
         ) {
             let m = model();
-            let next = m.step(VehicleState::new(x, y, th, v), ControlInput::new(a, s), dt);
+            let next = m.step(VehicleState::new(x, y, th, v), ControlInput::new(a, s), Seconds::new(dt));
             prop_assert!(next.is_finite());
             prop_assert!(next.v >= m.limits.v_min && next.v <= m.limits.v_max);
         }
@@ -339,7 +351,7 @@ mod tests {
         ) {
             let m = model();
             let s0 = VehicleState::new(0.0, 0.0, th, v);
-            let s1 = m.step(s0, ControlInput::new(a, s), dt);
+            let s1 = m.step(s0, ControlInput::new(a, s), Seconds::new(dt));
             // Euler step moves exactly v*dt
             prop_assert!((s1.position().norm() - v * dt).abs() < 1e-9);
         }
@@ -349,7 +361,7 @@ mod tests {
             th in -3.0..3.0f64, v in 0.0..30.0f64, s in -1.0..1.0f64,
         ) {
             let m = model();
-            let next = m.step(VehicleState::new(0.0, 0.0, th, v), ControlInput::new(0.0, s), 0.5);
+            let next = m.step(VehicleState::new(0.0, 0.0, th, v), ControlInput::new(0.0, s), Seconds::new(0.5));
             prop_assert!(next.theta > -std::f64::consts::PI - 1e-9);
             prop_assert!(next.theta <= std::f64::consts::PI + 1e-9);
         }

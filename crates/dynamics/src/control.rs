@@ -1,5 +1,6 @@
 //! Control inputs `u = (a, φ)` and their limits.
 
+use iprism_units::MetersPerSecond;
 use serde::{Deserialize, Serialize};
 
 /// A control input to the bicycle model: longitudinal acceleration and
@@ -14,7 +15,12 @@ pub struct ControlInput {
 
 impl ControlInput {
     /// Creates a control input.
+    ///
+    /// Takes raw `f64`s deliberately: this is the storage-layer constructor
+    /// mirroring the serialized field layout, and control samples are built
+    /// in bulk inside the reach-tube hot loops.
     #[inline]
+    // iprism-lint: allow(raw-f64-param)
     pub const fn new(accel: f64, steer: f64) -> Self {
         ControlInput { accel, steer }
     }
@@ -80,8 +86,8 @@ impl ControlLimits {
 
     /// Clamps a speed into `[v_min, v_max]`.
     #[inline]
-    pub fn clamp_speed(&self, v: f64) -> f64 {
-        v.clamp(self.v_min, self.v_max)
+    pub fn clamp_speed(&self, v: MetersPerSecond) -> MetersPerSecond {
+        MetersPerSecond::new(v.get().clamp(self.v_min, self.v_max))
     }
 
     /// The boundary control set used by the paper's optimization 2:
@@ -126,11 +132,13 @@ impl ControlLimits {
     pub fn lattice(&self, na: usize, ns: usize) -> Vec<ControlInput> {
         assert!(na >= 2 && ns >= 2, "lattice needs at least 2x2 samples");
         let mut out = Vec::with_capacity(na * ns);
+        // The `>= 2` assert above keeps both denominators at least 1.
+        let (na_den, ns_den) = ((na - 1) as f64, (ns - 1) as f64);
         for i in 0..na {
-            let fa = i as f64 / (na - 1) as f64;
+            let fa = i as f64 / na_den;
             let a = self.accel_min + fa * (self.accel_max - self.accel_min);
             for j in 0..ns {
-                let fs = j as f64 / (ns - 1) as f64;
+                let fs = j as f64 / ns_den;
                 let s = self.steer_min + fs * (self.steer_max - self.steer_min);
                 out.push(ControlInput::new(a, s));
             }
@@ -167,8 +175,14 @@ mod tests {
         assert!(same(u.steer, l.steer_max));
         assert!(l.contains(u));
         assert!(!l.contains(ControlInput::new(99.0, 0.0)));
-        assert!(same(l.clamp_speed(1000.0), l.v_max));
-        assert!(same(l.clamp_speed(-5.0), l.v_min));
+        assert!(same(
+            l.clamp_speed(MetersPerSecond::new(1000.0)).get(),
+            l.v_max
+        ));
+        assert!(same(
+            l.clamp_speed(MetersPerSecond::new(-5.0)).get(),
+            l.v_min
+        ));
     }
 
     #[test]

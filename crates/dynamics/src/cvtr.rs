@@ -4,6 +4,7 @@
 //! future trajectories `X` of other actors are unknown, so iPrism predicts
 //! them with a CVTR model — each actor keeps its current speed and yaw rate.
 
+use iprism_units::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::{Trajectory, VehicleState};
@@ -15,10 +16,12 @@ use crate::{Trajectory, VehicleState};
 ///
 /// ```
 /// use iprism_dynamics::{CvtrModel, VehicleState};
+/// use iprism_units::Seconds;
 ///
 /// let cvtr = CvtrModel::default();
 /// let now = VehicleState::new(0.0, 0.0, 0.0, 10.0);
-/// let pred = cvtr.predict(now, 0.0, 0.0, 0.1, 10); // straight at 10 m/s
+/// // straight at 10 m/s
+/// let pred = cvtr.predict(now, 0.0, Seconds::new(0.0), Seconds::new(0.1), 10);
 /// assert!((pred.states().last().unwrap().x - 10.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -43,11 +46,12 @@ impl CvtrModel {
         &self,
         state: VehicleState,
         yaw_rate: f64,
-        start_time: f64,
-        dt: f64,
+        start_time: Seconds,
+        dt: Seconds,
         steps: usize,
     ) -> Trajectory {
         let mut traj = Trajectory::with_capacity(start_time, dt, steps + 1);
+        let dt = dt.get();
         traj.push(state);
         let mut s = state;
         for _ in 0..steps {
@@ -66,11 +70,11 @@ impl CvtrModel {
 
     /// Estimates a yaw rate from two consecutive states `prev → cur`
     /// observed `dt` seconds apart.
-    pub fn estimate_yaw_rate(prev: &VehicleState, cur: &VehicleState, dt: f64) -> f64 {
-        if dt <= 0.0 {
+    pub fn estimate_yaw_rate(prev: &VehicleState, cur: &VehicleState, dt: Seconds) -> f64 {
+        if dt.get() <= 0.0 {
             return 0.0;
         }
-        iprism_geom::wrap_to_pi(cur.theta - prev.theta) / dt
+        iprism_geom::wrap_to_pi(cur.theta - prev.theta) / dt.get()
     }
 }
 
@@ -83,9 +87,15 @@ mod tests {
     #[test]
     fn straight_prediction() {
         let cvtr = CvtrModel::new();
-        let p = cvtr.predict(VehicleState::new(0.0, 0.0, 0.0, 5.0), 0.0, 2.0, 0.5, 4);
+        let p = cvtr.predict(
+            VehicleState::new(0.0, 0.0, 0.0, 5.0),
+            0.0,
+            Seconds::new(2.0),
+            Seconds::new(0.5),
+            4,
+        );
         assert_eq!(p.len(), 5);
-        assert_eq!(p.start_time(), 2.0);
+        assert_eq!(p.start_time().get(), 2.0);
         let last = p.states().last().unwrap();
         assert!((last.x - 10.0).abs() < 1e-9);
         assert_eq!(last.y, 0.0);
@@ -94,7 +104,13 @@ mod tests {
     #[test]
     fn turning_prediction_curves() {
         let cvtr = CvtrModel::new();
-        let p = cvtr.predict(VehicleState::new(0.0, 0.0, 0.0, 5.0), 0.5, 0.0, 0.1, 20);
+        let p = cvtr.predict(
+            VehicleState::new(0.0, 0.0, 0.0, 5.0),
+            0.5,
+            Seconds::new(0.0),
+            Seconds::new(0.1),
+            20,
+        );
         let last = p.states().last().unwrap();
         assert!(last.y > 0.5); // curved left
         assert!((last.theta - 1.0).abs() < 1e-9); // 0.5 rad/s * 2 s
@@ -103,7 +119,13 @@ mod tests {
     #[test]
     fn speed_decay_slows_down() {
         let cvtr = CvtrModel { speed_decay: 0.5 };
-        let p = cvtr.predict(VehicleState::new(0.0, 0.0, 0.0, 10.0), 0.0, 0.0, 0.5, 8);
+        let p = cvtr.predict(
+            VehicleState::new(0.0, 0.0, 0.0, 10.0),
+            0.0,
+            Seconds::new(0.0),
+            Seconds::new(0.5),
+            8,
+        );
         let last = p.states().last().unwrap();
         assert!(last.v < 10.0);
         assert!(last.v >= 0.0);
@@ -113,8 +135,8 @@ mod tests {
     fn yaw_rate_estimation() {
         let a = VehicleState::new(0.0, 0.0, 0.0, 5.0);
         let b = VehicleState::new(0.5, 0.0, 0.2, 5.0);
-        assert!((CvtrModel::estimate_yaw_rate(&a, &b, 0.1) - 2.0).abs() < 1e-9);
-        assert_eq!(CvtrModel::estimate_yaw_rate(&a, &b, 0.0), 0.0);
+        assert!((CvtrModel::estimate_yaw_rate(&a, &b, Seconds::new(0.1)) - 2.0).abs() < 1e-9);
+        assert_eq!(CvtrModel::estimate_yaw_rate(&a, &b, Seconds::new(0.0)), 0.0);
     }
 
     #[test]
@@ -122,7 +144,7 @@ mod tests {
         use std::f64::consts::PI;
         let a = VehicleState::new(0.0, 0.0, PI - 0.05, 5.0);
         let b = VehicleState::new(0.0, 0.0, -PI + 0.05, 5.0);
-        let w = CvtrModel::estimate_yaw_rate(&a, &b, 0.1);
+        let w = CvtrModel::estimate_yaw_rate(&a, &b, Seconds::new(0.1));
         assert!((w - 1.0).abs() < 1e-9); // +0.1 rad through the wrap
     }
 
@@ -133,7 +155,7 @@ mod tests {
             th in -3.0..3.0f64, v in 0.0..30.0f64,
             w in -1.0..1.0f64, steps in 0usize..50,
         ) {
-            let p = CvtrModel::new().predict(VehicleState::new(x, y, th, v), w, 0.0, 0.1, steps);
+            let p = CvtrModel::new().predict(VehicleState::new(x, y, th, v), w, Seconds::new(0.0), Seconds::new(0.1), steps);
             prop_assert_eq!(p.len(), steps + 1);
             for s in p.states() {
                 prop_assert!(s.is_finite());
@@ -144,7 +166,7 @@ mod tests {
         fn prop_zero_speed_stays_put(
             th in -3.0..3.0f64, w in -1.0..1.0f64, steps in 1usize..30,
         ) {
-            let p = CvtrModel::new().predict(VehicleState::new(1.0, 2.0, th, 0.0), w, 0.0, 0.1, steps);
+            let p = CvtrModel::new().predict(VehicleState::new(1.0, 2.0, th, 0.0), w, Seconds::new(0.0), Seconds::new(0.1), steps);
             for s in p.states() {
                 prop_assert!((s.x - 1.0).abs() < 1e-12 && (s.y - 2.0).abs() < 1e-12);
             }

@@ -11,10 +11,11 @@
 //!
 //! ```
 //! use iprism_dynamics::{BicycleModel, ControlInput, VehicleState};
+//! use iprism_units::Seconds;
 //!
 //! let model = BicycleModel::default();
 //! let state = VehicleState::new(0.0, 0.0, 0.0, 10.0);
-//! let next = model.step(state, ControlInput::new(1.0, 0.0), 0.1);
+//! let next = model.step(state, ControlInput::new(1.0, 0.0), Seconds::new(0.1));
 //! assert!(next.x > state.x);          // moved forward
 //! assert!(next.v > state.v);          // accelerated
 //! ```

@@ -1,6 +1,6 @@
 //! The vehicle state `x = [x, y, θ, v]` used throughout the paper.
 
-use iprism_geom::{Obb, Pose, Vec2};
+use iprism_geom::{Meters, Obb, Pose, Radians, Vec2};
 use serde::{Deserialize, Serialize};
 
 /// Kinematic state of a vehicle: position, heading and scalar speed along
@@ -19,7 +19,13 @@ pub struct VehicleState {
 
 impl VehicleState {
     /// Creates a state from its four components.
+    ///
+    /// Takes raw `f64`s deliberately: this is the storage-layer constructor
+    /// mirroring the serialized field layout, called from the innermost
+    /// integration loops. [`VehicleState::pose`] and
+    /// [`VehicleState::velocity`] expose the typed views.
     #[inline]
+    // iprism-lint: allow(raw-f64-param)
     pub const fn new(x: f64, y: f64, theta: f64, v: f64) -> Self {
         VehicleState { x, y, theta, v }
     }
@@ -39,23 +45,29 @@ impl VehicleState {
     /// Pose (position + heading).
     #[inline]
     pub fn pose(&self) -> Pose {
-        Pose::new(self.x, self.y, self.theta)
+        // `raw`: the stored heading is kept normalized by the dynamics
+        // contracts; re-wrapping here would hide violations.
+        Pose::new(self.x, self.y, Radians::raw(self.theta))
     }
 
     /// Velocity vector `v · (cos θ, sin θ)`.
     #[inline]
     pub fn velocity(&self) -> Vec2 {
-        Vec2::from_angle(self.theta) * self.v
+        Vec2::from_angle(Radians::raw(self.theta)) * self.v
     }
 
     /// The vehicle footprint as an oriented box of `length` × `width`.
     #[inline]
-    pub fn footprint(&self, length: f64, width: f64) -> Obb {
+    pub fn footprint(&self, length: Meters, width: Meters) -> Obb {
         Obb::new(self.pose(), length, width)
     }
 
     /// L2 norm of the full state vector difference — the distance used by
     /// the paper's ε-deduplication optimization (§III-A, optimization 1).
+    ///
+    /// The norm mixes metres, radians and m/s, so it is *not* a `Meters`
+    /// quantity; it stays a dimensionless raw `f64` by design.
+    // iprism-lint: allow(raw-f64-return)
     pub fn l2_distance(&self, other: &VehicleState) -> f64 {
         let dx = self.x - other.x;
         let dy = self.y - other.y;
@@ -89,7 +101,7 @@ mod tests {
     fn accessors() {
         let s = VehicleState::new(1.0, 2.0, FRAC_PI_2, 3.0);
         assert_eq!(s.position(), Vec2::new(1.0, 2.0));
-        assert_eq!(s.pose(), Pose::new(1.0, 2.0, FRAC_PI_2));
+        assert_eq!(s.pose(), Pose::new(1.0, 2.0, Radians::new(FRAC_PI_2)));
         assert!(s.velocity().distance(Vec2::new(0.0, 3.0)) < 1e-12);
         let p: Pose = s.into();
         assert_eq!(p, s.pose());
@@ -97,7 +109,7 @@ mod tests {
 
     #[test]
     fn at_rest_has_zero_speed() {
-        let s = VehicleState::at_rest(Pose::new(5.0, 5.0, 1.0));
+        let s = VehicleState::at_rest(Pose::new(5.0, 5.0, Radians::new(1.0)));
         assert_eq!(s.v, 0.0);
         assert_eq!(s.velocity(), Vec2::ZERO);
     }
@@ -105,7 +117,7 @@ mod tests {
     #[test]
     fn footprint_dimensions() {
         let s = VehicleState::new(0.0, 0.0, 0.0, 0.0);
-        let fp = s.footprint(4.6, 2.0);
+        let fp = s.footprint(Meters::new(4.6), Meters::new(2.0));
         assert_eq!(fp.length, 4.6);
         assert_eq!(fp.width, 2.0);
         assert_eq!(fp.center(), Vec2::ZERO);

@@ -1,6 +1,7 @@
 //! Timestamped state sequences.
 
 use iprism_geom::Vec2;
+use iprism_units::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::VehicleState;
@@ -24,12 +25,13 @@ impl Trajectory {
     /// # Panics
     ///
     /// Panics when `dt` is not strictly positive and finite.
-    pub fn new(start_time: f64, dt: f64) -> Self {
+    pub fn new(start_time: Seconds, dt: Seconds) -> Self {
         Trajectory::with_capacity(start_time, dt, 0)
     }
 
     /// Like [`Trajectory::new`] but pre-allocates room for `cap` samples.
-    pub fn with_capacity(start_time: f64, dt: f64, cap: usize) -> Self {
+    pub fn with_capacity(start_time: Seconds, dt: Seconds, cap: usize) -> Self {
+        let (start_time, dt) = (start_time.get(), dt.get());
         assert!(
             dt > 0.0 && dt.is_finite(),
             "trajectory dt must be positive and finite, got {dt}"
@@ -42,7 +44,7 @@ impl Trajectory {
     }
 
     /// Builds a trajectory directly from states.
-    pub fn from_states(start_time: f64, dt: f64, states: Vec<VehicleState>) -> Self {
+    pub fn from_states(start_time: Seconds, dt: Seconds, states: Vec<VehicleState>) -> Self {
         let mut t = Trajectory::new(start_time, dt);
         t.states = states;
         t
@@ -80,23 +82,23 @@ impl Trajectory {
 
     /// Time of the first sample.
     #[inline]
-    pub fn start_time(&self) -> f64 {
-        self.start_time
+    pub fn start_time(&self) -> Seconds {
+        Seconds::new(self.start_time)
     }
 
     /// Time of the last sample, or `start_time` when empty.
-    pub fn end_time(&self) -> f64 {
+    pub fn end_time(&self) -> Seconds {
         if self.states.is_empty() {
-            self.start_time
+            self.start_time()
         } else {
-            self.start_time + (self.states.len() - 1) as f64 * self.dt
+            Seconds::new(self.start_time + (self.states.len() - 1) as f64 * self.dt)
         }
     }
 
     /// Time of sample `i`.
     #[inline]
-    pub fn time_at(&self, i: usize) -> f64 {
-        self.start_time + i as f64 * self.dt
+    pub fn time_at(&self, i: usize) -> Seconds {
+        Seconds::new(self.start_time + i as f64 * self.dt)
     }
 
     /// The state at time `t`, linearly interpolated between samples and
@@ -146,7 +148,7 @@ impl Trajectory {
     /// place at the same time.
     pub fn intersects(&self, other: &Trajectory, threshold: f64) -> bool {
         let t0 = self.start_time.max(other.start_time);
-        let t1 = self.end_time().min(other.end_time());
+        let t1 = self.end_time().get().min(other.end_time().get());
         if t1 < t0 {
             return false;
         }
@@ -174,7 +176,7 @@ mod tests {
         let states = (0..n)
             .map(|i| VehicleState::new(speed * dt * i as f64, 0.0, 0.0, speed))
             .collect();
-        Trajectory::from_states(start, dt, states)
+        Trajectory::from_states(Seconds::new(start), Seconds::new(dt), states)
     }
 
     #[test]
@@ -182,17 +184,17 @@ mod tests {
         let t = straight(1.0, 0.5, 5, 10.0);
         assert_eq!(t.len(), 5);
         assert!(!t.is_empty());
-        assert_eq!(t.start_time(), 1.0);
-        assert_eq!(t.end_time(), 3.0);
-        assert_eq!(t.time_at(2), 2.0);
+        assert_eq!(t.start_time().get(), 1.0);
+        assert_eq!(t.end_time().get(), 3.0);
+        assert_eq!(t.time_at(2).get(), 2.0);
         assert_eq!(t.dt(), 0.5);
     }
 
     #[test]
     fn empty_trajectory() {
-        let t = Trajectory::new(0.0, 0.1);
+        let t = Trajectory::new(Seconds::new(0.0), Seconds::new(0.1));
         assert!(t.is_empty());
-        assert_eq!(t.end_time(), 0.0);
+        assert_eq!(t.end_time().get(), 0.0);
         assert!(t.state_at_time(0.0).is_none());
         assert_eq!(t.path_length(), 0.0);
     }
@@ -214,7 +216,7 @@ mod tests {
             VehicleState::new(0.0, 0.0, PI - 0.1, 0.0),
             VehicleState::new(0.0, 0.0, -PI + 0.1, 0.0),
         ];
-        let t = Trajectory::from_states(0.0, 1.0, states);
+        let t = Trajectory::from_states(Seconds::new(0.0), Seconds::new(1.0), states);
         let mid = t.state_at_time(0.5).unwrap();
         // interpolates through the wrap, not through zero
         assert!(mid.theta.abs() > 3.0);
@@ -240,7 +242,7 @@ mod tests {
         for i in 0..50 {
             states.push(VehicleState::new(i as f64, 10.0, 0.0, 10.0));
         }
-        let b = Trajectory::from_states(0.0, 0.1, states);
+        let b = Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.1), states);
         assert!(!a.intersects(&b, 1.0));
     }
 
@@ -255,16 +257,16 @@ mod tests {
     fn crossing_at_same_time_intersects() {
         // two actors pass through the origin at t = 1
         let a = Trajectory::from_states(
-            0.0,
-            1.0,
+            Seconds::new(0.0),
+            Seconds::new(1.0),
             vec![
                 VehicleState::new(-10.0, 0.0, 0.0, 10.0),
                 VehicleState::new(0.0, 0.0, 0.0, 10.0),
             ],
         );
         let b = Trajectory::from_states(
-            0.0,
-            1.0,
+            Seconds::new(0.0),
+            Seconds::new(1.0),
             vec![
                 VehicleState::new(0.0, -10.0, 1.57, 10.0),
                 VehicleState::new(0.0, 0.0, 1.57, 10.0),
@@ -276,7 +278,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dt")]
     fn zero_dt_panics() {
-        let _ = Trajectory::new(0.0, 0.0);
+        let _ = Trajectory::new(Seconds::new(0.0), Seconds::new(0.0));
     }
 
     proptest! {
@@ -291,7 +293,7 @@ mod tests {
             for i in 0..m {
                 states.push(VehicleState::new(va * 0.1 * i as f64, off, 0.0, vb));
             }
-            let b = Trajectory::from_states(0.0, 0.1, states);
+            let b = Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.1), states);
             prop_assert_eq!(a.intersects(&b, 1.0), b.intersects(&a, 1.0));
         }
 

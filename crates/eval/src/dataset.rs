@@ -107,7 +107,7 @@ pub fn dataset_study(config: &EvalConfig, traffic: &BenignTrafficConfig) -> Data
             };
             let result = run_episode(&mut world, &mut agent, &episode);
             let trace = result.trace;
-            let horizon_steps = (evaluator.config.horizon / trace.dt()).ceil() as usize;
+            let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
             let mut actor_samples = Vec::new();
             let mut combined_samples = Vec::new();
             // Sample sparsely: benign episodes are long and homogeneous.

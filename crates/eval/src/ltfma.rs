@@ -167,7 +167,7 @@ fn trace_ltfma(
     config: &EvalConfig,
 ) -> Option<f64> {
     let accident = trace.first_collision_index()?;
-    let horizon_steps = (suite.sti.config.horizon / trace.dt()).ceil() as usize;
+    let horizon_steps = (suite.sti.config.horizon.get() / trace.dt()).ceil() as usize;
     let mut idxs: Vec<usize> = (0..=accident).step_by(config.stride.max(1)).collect();
     if *idxs.last()? != accident {
         idxs.push(accident);
@@ -193,7 +193,7 @@ fn fit_pkl(typologies: &[Typology], config: &EvalConfig) -> PklModel {
         for spec in sample_instances(t, 3.min(config.instances), config.seed ^ 0x51ED) {
             let (result, world) = run_lbc(&spec);
             let trace = result.trace;
-            let horizon_steps = (config.reach.horizon / trace.dt()).ceil() as usize;
+            let horizon_steps = (config.reach.horizon.get() / trace.dt()).ceil() as usize;
             let n = trace.len();
             for k in 1..=5 {
                 let idx = (n - 1) * k / 6;

@@ -202,7 +202,7 @@ pub fn select_training_scenarios(
         }
         let trace = result.trace;
         let accident = trace.first_collision_index()?;
-        let horizon_steps = (evaluator.config.horizon / trace.dt()).ceil() as usize;
+        let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
         let mut values = Vec::new();
         for i in (0..=accident).step_by(config.stride.max(1) * 2) {
             let scene = SceneSnapshot::from_trace(&trace, i, horizon_steps)?;

@@ -48,7 +48,7 @@ fn metric_series(
     pkl: &PklModel,
     stride: usize,
 ) -> Vec<(f64, Option<f64>)> {
-    let horizon_steps = (sti.config.horizon / trace.dt()).ceil() as usize;
+    let horizon_steps = (sti.config.horizon.get() / trace.dt()).ceil() as usize;
     let mut out = Vec::new();
     for i in (0..trace.len()).step_by(stride.max(1)) {
         let scene = match SceneSnapshot::from_trace(trace, i, horizon_steps) {
@@ -156,7 +156,7 @@ pub fn iprism_sti_series(smc: &Smc, config: &EvalConfig) -> (Vec<SeriesPoint>, V
                     let mut agent = LbcAgent::default();
                     run_episode(&mut world, &mut agent, &spec.episode_config()).trace
                 };
-                let horizon_steps = (sti.config.horizon / trace.dt()).ceil() as usize;
+                let horizon_steps = (sti.config.horizon.get() / trace.dt()).ceil() as usize;
                 let mut out = Vec::new();
                 for i in (0..trace.len()).step_by(config.stride.max(1)) {
                     if let Some(scene) = SceneSnapshot::from_trace(&trace, i, horizon_steps) {

@@ -81,7 +81,7 @@ mod tests {
         ) {
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-12);
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.sort_by(f64::total_cmp);
             prop_assert!(percentile(&xs, 0.0) >= xs[0] - 1e-12);
             prop_assert!(percentile(&xs, 100.0) <= xs[xs.len() - 1] + 1e-12);
         }

@@ -1,5 +1,6 @@
 //! Axis-aligned bounding boxes.
 
+use iprism_units::Meters;
 use serde::{Deserialize, Serialize};
 
 use crate::Vec2;
@@ -44,7 +45,8 @@ impl Aabb {
     }
 
     /// Returns the box uniformly inflated by `margin` on every side.
-    pub fn inflated(&self, margin: f64) -> Aabb {
+    pub fn inflated(&self, margin: Meters) -> Aabb {
+        let margin = margin.get();
         Aabb {
             min: self.min - Vec2::new(margin, margin),
             max: self.max + Vec2::new(margin, margin),
@@ -150,7 +152,7 @@ mod tests {
 
     #[test]
     fn inflate() {
-        let bb = Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)).inflated(0.5);
+        let bb = Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)).inflated(Meters::new(0.5));
         assert_eq!(bb.min, Vec2::new(-0.5, -0.5));
         assert_eq!(bb.max, Vec2::new(1.5, 1.5));
     }

@@ -4,6 +4,7 @@
 //! paper): each cell marks whether any sampled ego state fell inside it, and
 //! the tube volume `|T|` is the occupied-cell count (times cell area).
 
+use iprism_units::Meters;
 use serde::{Deserialize, Serialize};
 
 use crate::{Aabb, Vec2};
@@ -17,9 +18,9 @@ use crate::{Aabb, Vec2};
 /// # Examples
 ///
 /// ```
-/// use iprism_geom::{Aabb, Grid2, Vec2};
+/// use iprism_geom::{Aabb, Grid2, Meters, Vec2};
 ///
-/// let mut g = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 10.0)), 1.0);
+/// let mut g = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 10.0)), Meters::new(1.0));
 /// g.mark(Vec2::new(0.5, 0.5));
 /// g.mark(Vec2::new(0.6, 0.6)); // same cell
 /// g.mark(Vec2::new(5.5, 5.5));
@@ -44,7 +45,8 @@ impl Grid2 {
     ///
     /// Panics if `resolution` is not strictly positive and finite, or if the
     /// bounds are degenerate.
-    pub fn new(bounds: Aabb, resolution: f64) -> Self {
+    pub fn new(bounds: Aabb, resolution: Meters) -> Self {
+        let resolution = resolution.get();
         assert!(
             resolution > 0.0 && resolution.is_finite(),
             "grid resolution must be positive and finite, got {resolution}"
@@ -179,7 +181,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn grid10() -> Grid2 {
-        Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 10.0)), 1.0)
+        Grid2::new(
+            Aabb::new(Vec2::ZERO, Vec2::new(10.0, 10.0)),
+            Meters::new(1.0),
+        )
     }
 
     #[test]
@@ -193,7 +198,10 @@ mod tests {
 
     #[test]
     fn non_integer_bounds_round_up() {
-        let g = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(10.5, 0.2)), 1.0);
+        let g = Grid2::new(
+            Aabb::new(Vec2::ZERO, Vec2::new(10.5, 0.2)),
+            Meters::new(1.0),
+        );
         assert_eq!(g.dims(), (11, 1));
     }
 
@@ -262,7 +270,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "resolution")]
     fn zero_resolution_panics() {
-        let _ = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)), 0.0);
+        let _ = Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)), Meters::new(0.0));
     }
 
     proptest! {

@@ -13,10 +13,10 @@
 //! # Quick example
 //!
 //! ```
-//! use iprism_geom::{Obb, Pose, Vec2};
+//! use iprism_geom::{Meters, Obb, Pose, Radians, Vec2};
 //!
-//! let ego = Obb::new(Pose::new(0.0, 0.0, 0.0), 4.6, 2.0);
-//! let npc = Obb::new(Pose::new(3.0, 0.5, 0.2), 4.6, 2.0);
+//! let ego = Obb::new(Pose::new(0.0, 0.0, Radians::new(0.0)), Meters::new(4.6), Meters::new(2.0));
+//! let npc = Obb::new(Pose::new(3.0, 0.5, Radians::new(0.2)), Meters::new(4.6), Meters::new(2.0));
 //! assert!(ego.intersects(&npc));
 //! ```
 
@@ -24,7 +24,6 @@
 #![warn(missing_debug_implementations)]
 
 mod aabb;
-mod angle;
 mod grid;
 mod obb;
 mod polygon;
@@ -33,8 +32,11 @@ mod segment;
 mod vec2;
 
 pub use aabb::Aabb;
-pub use angle::{normalize_angle, wrap_to_pi, AngleExt};
 pub use grid::Grid2;
+// The angle primitives live in `iprism-units` (the workspace's unit layer);
+// they are re-exported here, together with the unit newtypes geometry APIs
+// take, so downstream crates keep their historical `iprism_geom::` paths.
+pub use iprism_units::{normalize_angle, wrap_to_pi, Meters, MetersPerSecond, Radians, Seconds};
 pub use obb::Obb;
 pub use polygon::Polygon;
 pub use pose::Pose;

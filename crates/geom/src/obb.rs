@@ -4,6 +4,7 @@
 //! the separating-axis theorem (SAT) test here is the collision primitive of
 //! both the simulator and the reach-tube computation.
 
+use iprism_units::Meters;
 use serde::{Deserialize, Serialize};
 
 use crate::{Aabb, Pose, Segment, Vec2};
@@ -14,9 +15,9 @@ use crate::{Aabb, Pose, Segment, Vec2};
 /// # Examples
 ///
 /// ```
-/// use iprism_geom::{Obb, Pose, Vec2};
+/// use iprism_geom::{Meters, Obb, Pose, Radians, Vec2};
 ///
-/// let car = Obb::new(Pose::new(0.0, 0.0, 0.0), 4.6, 2.0);
+/// let car = Obb::new(Pose::new(0.0, 0.0, Radians::new(0.0)), Meters::new(4.6), Meters::new(2.0));
 /// assert!(car.contains(Vec2::new(2.2, 0.9)));
 /// assert!(!car.contains(Vec2::new(2.4, 0.0)));
 /// ```
@@ -36,7 +37,8 @@ impl Obb {
     /// # Panics
     ///
     /// Panics if `length` or `width` is negative or non-finite.
-    pub fn new(pose: Pose, length: f64, width: f64) -> Self {
+    pub fn new(pose: Pose, length: Meters, width: Meters) -> Self {
+        let (length, width) = (length.get(), width.get());
         assert!(
             length >= 0.0 && width >= 0.0 && length.is_finite() && width.is_finite(),
             "OBB extents must be finite and non-negative (got {length} x {width})"
@@ -92,11 +94,11 @@ impl Obb {
     }
 
     /// Returns the OBB uniformly inflated by `margin` on every side.
-    pub fn inflated(&self, margin: f64) -> Obb {
+    pub fn inflated(&self, margin: Meters) -> Obb {
         Obb::new(
             self.pose,
-            self.length + 2.0 * margin,
-            self.width + 2.0 * margin,
+            Meters::new(self.length) + margin * 2.0,
+            Meters::new(self.width) + margin * 2.0,
         )
     }
 
@@ -172,16 +174,25 @@ fn project(points: &[Vec2; 4], axis: Vec2) -> (f64, f64) {
 mod tests {
     #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
+    use iprism_units::Radians;
     use proptest::prelude::*;
     use std::f64::consts::FRAC_PI_4;
 
     fn car_at(x: f64, y: f64, theta: f64) -> Obb {
-        Obb::new(Pose::new(x, y, theta), 4.6, 2.0)
+        Obb::new(
+            Pose::new(x, y, Radians::new(theta)),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        )
     }
 
     #[test]
     fn corners_axis_aligned() {
-        let o = Obb::new(Pose::new(0.0, 0.0, 0.0), 4.0, 2.0);
+        let o = Obb::new(
+            Pose::new(0.0, 0.0, Radians::new(0.0)),
+            Meters::new(4.0),
+            Meters::new(2.0),
+        );
         let c = o.corners();
         assert!(c[0].distance(Vec2::new(2.0, 1.0)) < 1e-12);
         assert!(c[1].distance(Vec2::new(-2.0, 1.0)) < 1e-12);
@@ -212,8 +223,16 @@ mod tests {
     #[test]
     fn diagonal_gap_that_aabbs_miss() {
         // Two diagonal boxes whose AABBs overlap but which do not intersect.
-        let a = Obb::new(Pose::new(0.0, 0.0, FRAC_PI_4), 4.0, 0.5);
-        let b = Obb::new(Pose::new(2.5, -2.5, FRAC_PI_4), 4.0, 0.5);
+        let a = Obb::new(
+            Pose::new(0.0, 0.0, Radians::new(FRAC_PI_4)),
+            Meters::new(4.0),
+            Meters::new(0.5),
+        );
+        let b = Obb::new(
+            Pose::new(2.5, -2.5, Radians::new(FRAC_PI_4)),
+            Meters::new(4.0),
+            Meters::new(0.5),
+        );
         assert!(a.aabb().intersects(&b.aabb()));
         assert!(!a.intersects(&b));
     }
@@ -235,7 +254,7 @@ mod tests {
 
     #[test]
     fn inflation_grows_area() {
-        let o = car_at(0.0, 0.0, 0.3).inflated(0.5);
+        let o = car_at(0.0, 0.0, 0.3).inflated(Meters::new(0.5));
         assert!((o.length - 5.6).abs() < 1e-12);
         assert!((o.width - 3.0).abs() < 1e-12);
     }
@@ -243,12 +262,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "OBB extents")]
     fn negative_extent_panics() {
-        let _ = Obb::new(Pose::default(), -1.0, 2.0);
+        let _ = Obb::new(Pose::default(), Meters::new(-1.0), Meters::new(2.0));
     }
 
     fn obb_strategy() -> impl Strategy<Value = Obb> {
-        (-30.0..30.0, -30.0..30.0, -3.2..3.2, 0.5..8.0, 0.5..4.0)
-            .prop_map(|(x, y, t, l, w)| Obb::new(Pose::new(x, y, t), l, w))
+        (-30.0..30.0, -30.0..30.0, -3.2..3.2, 0.5..8.0, 0.5..4.0).prop_map(|(x, y, t, l, w)| {
+            Obb::new(
+                Pose::new(x, y, Radians::new(t)),
+                Meters::new(l),
+                Meters::new(w),
+            )
+        })
     }
 
     proptest! {
@@ -265,7 +289,7 @@ mod tests {
 
         #[test]
         fn prop_corners_inside_aabb(a in obb_strategy()) {
-            let bb = a.aabb().inflated(1e-9);
+            let bb = a.aabb().inflated(Meters::new(1e-9));
             for c in a.corners() {
                 prop_assert!(bb.contains(c));
             }

@@ -112,6 +112,9 @@ impl Polygon {
             let vi = self.vertices[i];
             let vj = self.vertices[j];
             if ((vi.y > p.y) != (vj.y > p.y))
+                // The strict-inequality test above puts vi.y and vj.y on
+                // opposite sides of p.y, so the denominator cannot be zero.
+                // iprism-lint: allow(unguarded-float-div)
                 && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
             {
                 inside = !inside;
@@ -138,6 +141,7 @@ impl Polygon {
 mod tests {
     #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
+    use iprism_units::Meters;
     use proptest::prelude::*;
 
     fn unit_square() -> Polygon {
@@ -242,7 +246,7 @@ mod tests {
             // Triangles are always simple; their centroid lies inside the AABB.
             let p = Polygon::new(xs.into_iter().map(|(x, y)| Vec2::new(x, y)).collect());
             let c = p.centroid();
-            let bb = p.aabb().inflated(1e-6);
+            let bb = p.aabb().inflated(Meters::new(1e-6));
             prop_assert!(bb.contains(c));
         }
     }

@@ -1,5 +1,6 @@
 //! Planar rigid-body pose (position + heading).
 
+use iprism_units::Radians;
 use serde::{Deserialize, Serialize};
 
 use crate::{wrap_to_pi, Vec2};
@@ -14,9 +15,9 @@ use crate::{wrap_to_pi, Vec2};
 ///
 /// ```
 /// use std::f64::consts::FRAC_PI_2;
-/// use iprism_geom::{Pose, Vec2};
+/// use iprism_geom::{Pose, Radians, Vec2};
 ///
-/// let p = Pose::new(1.0, 2.0, FRAC_PI_2);
+/// let p = Pose::new(1.0, 2.0, Radians::new(FRAC_PI_2));
 /// let w = p.to_world(Vec2::new(1.0, 0.0)); // 1 m "forward" points +y
 /// assert!((w.x - 1.0).abs() < 1e-12 && (w.y - 3.0).abs() < 1e-12);
 /// ```
@@ -32,14 +33,22 @@ pub struct Pose {
 
 impl Pose {
     /// Creates a pose from position and heading.
+    ///
+    /// The heading is stored exactly as given (use [`Radians::raw`] for a
+    /// deliberately unnormalized winding angle); [`Pose::wrapped`]
+    /// renormalizes.
     #[inline]
-    pub const fn new(x: f64, y: f64, theta: f64) -> Self {
-        Pose { x, y, theta }
+    pub const fn new(x: f64, y: f64, theta: Radians) -> Self {
+        Pose {
+            x,
+            y,
+            theta: theta.get(),
+        }
     }
 
     /// Creates a pose at `position` with heading `theta`.
     #[inline]
-    pub fn from_position(position: Vec2, theta: f64) -> Self {
+    pub fn from_position(position: Vec2, theta: Radians) -> Self {
         Pose::new(position.x, position.y, theta)
     }
 
@@ -49,10 +58,16 @@ impl Pose {
         Vec2::new(self.x, self.y)
     }
 
+    /// The heading as a typed angle.
+    #[inline]
+    pub fn heading(&self) -> Radians {
+        Radians::raw(self.theta)
+    }
+
     /// Unit vector pointing along the heading.
     #[inline]
     pub fn forward(&self) -> Vec2 {
-        Vec2::from_angle(self.theta)
+        Vec2::from_angle(self.heading())
     }
 
     /// Unit vector pointing 90° left of the heading.
@@ -64,25 +79,25 @@ impl Pose {
     /// Transforms a point from the body frame to the world frame.
     #[inline]
     pub fn to_world(&self, local: Vec2) -> Vec2 {
-        self.position() + local.rotated(self.theta)
+        self.position() + local.rotated(self.heading())
     }
 
     /// Transforms a world point into the body frame.
     #[inline]
     pub fn to_local(&self, world: Vec2) -> Vec2 {
-        (world - self.position()).rotated(-self.theta)
+        (world - self.position()).rotated(-self.heading())
     }
 
     /// Returns the pose translated by `delta` (world frame).
     #[inline]
     pub fn translated(&self, delta: Vec2) -> Pose {
-        Pose::new(self.x + delta.x, self.y + delta.y, self.theta)
+        Pose::new(self.x + delta.x, self.y + delta.y, self.heading())
     }
 
     /// Returns the pose with heading wrapped into `(-π, π]`.
     #[inline]
     pub fn wrapped(&self) -> Pose {
-        Pose::new(self.x, self.y, wrap_to_pi(self.theta))
+        Pose::new(self.x, self.y, Radians::raw(wrap_to_pi(self.theta)))
     }
 
     /// Euclidean distance between the positions of two poses.
@@ -107,7 +122,7 @@ mod tests {
 
     #[test]
     fn world_local_roundtrip() {
-        let p = Pose::new(3.0, -2.0, 0.7);
+        let p = Pose::new(3.0, -2.0, Radians::new(0.7));
         let local = Vec2::new(1.5, -0.5);
         let back = p.to_local(p.to_world(local));
         assert!(back.distance(local) < 1e-12);
@@ -115,14 +130,14 @@ mod tests {
 
     #[test]
     fn forward_left() {
-        let p = Pose::new(0.0, 0.0, FRAC_PI_2);
+        let p = Pose::new(0.0, 0.0, Radians::new(FRAC_PI_2));
         assert!(p.forward().distance(Vec2::UNIT_Y) < 1e-12);
         assert!(p.left().distance(-Vec2::UNIT_X) < 1e-12);
     }
 
     #[test]
     fn translate_and_wrap() {
-        let p = Pose::new(0.0, 0.0, 3.0 * PI).translated(Vec2::new(1.0, 1.0));
+        let p = Pose::new(0.0, 0.0, Radians::raw(3.0 * PI)).translated(Vec2::new(1.0, 1.0));
         assert_eq!(p.position(), Vec2::new(1.0, 1.0));
         let w = p.wrapped();
         assert!((w.theta - PI).abs() < 1e-9);
@@ -130,19 +145,19 @@ mod tests {
 
     #[test]
     fn distance_between_poses() {
-        let a = Pose::new(0.0, 0.0, 0.0);
-        let b = Pose::new(3.0, 4.0, 1.0);
+        let a = Pose::new(0.0, 0.0, Radians::new(0.0));
+        let b = Pose::new(3.0, 4.0, Radians::new(1.0));
         assert_eq!(a.distance(&b), 5.0);
     }
 
     #[test]
     fn finiteness() {
-        assert!(Pose::new(0.0, 0.0, 0.0).is_finite());
-        assert!(!Pose::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(Pose::new(0.0, 0.0, Radians::new(0.0)).is_finite());
+        assert!(!Pose::new(f64::NAN, 0.0, Radians::new(0.0)).is_finite());
     }
 
     fn pose_strategy() -> impl Strategy<Value = Pose> {
-        (-1e3..1e3, -1e3..1e3, -10.0..10.0).prop_map(|(x, y, t)| Pose::new(x, y, t))
+        (-1e3..1e3, -1e3..1e3, -10.0..10.0).prop_map(|(x, y, t)| Pose::new(x, y, Radians::new(t)))
     }
 
     proptest! {

@@ -2,6 +2,7 @@
 
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
+use iprism_units::Radians;
 use serde::{Deserialize, Serialize};
 
 /// A 2-D vector (or point) with `f64` components.
@@ -40,10 +41,11 @@ impl Vec2 {
         Vec2 { x, y }
     }
 
-    /// Creates a unit vector pointing at `angle` radians from the x-axis.
+    /// Creates a unit vector pointing at `angle` from the x-axis.
     #[inline]
-    pub fn from_angle(angle: f64) -> Self {
-        Vec2::new(angle.cos(), angle.sin())
+    pub fn from_angle(angle: Radians) -> Self {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c, s)
     }
 
     /// Dot product with `other`.
@@ -103,15 +105,15 @@ impl Vec2 {
         self.try_normalize().unwrap_or(Vec2::ZERO)
     }
 
-    /// The angle of the vector in radians, in `(-π, π]`.
+    /// The angle of the vector, in `(-π, π]`.
     #[inline]
-    pub fn angle(self) -> f64 {
-        self.y.atan2(self.x)
+    pub fn angle(self) -> Radians {
+        Radians::raw(self.y.atan2(self.x))
     }
 
-    /// Rotates the vector counter-clockwise by `angle` radians.
+    /// Rotates the vector counter-clockwise by `angle`.
     #[inline]
-    pub fn rotated(self, angle: f64) -> Vec2 {
+    pub fn rotated(self, angle: Radians) -> Vec2 {
         let (s, c) = angle.sin_cos();
         Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
     }
@@ -279,8 +281,8 @@ mod tests {
 
     #[test]
     fn angles_and_rotation() {
-        assert!(approx_eq(Vec2::UNIT_Y.angle(), FRAC_PI_2));
-        let r = Vec2::UNIT_X.rotated(PI);
+        assert!(approx_eq(Vec2::UNIT_Y.angle().get(), FRAC_PI_2));
+        let r = Vec2::UNIT_X.rotated(Radians::new(PI));
         assert!(approx_eq(r.x, -1.0) && approx_eq(r.y.abs(), 0.0));
         assert_eq!(Vec2::UNIT_X.perp(), Vec2::UNIT_Y);
     }
@@ -289,7 +291,7 @@ mod tests {
     fn from_angle_is_unit() {
         for i in 0..16 {
             let a = i as f64 * PI / 8.0;
-            assert!(approx_eq(Vec2::from_angle(a).norm(), 1.0));
+            assert!(approx_eq(Vec2::from_angle(Radians::new(a)).norm(), 1.0));
         }
     }
 
@@ -342,7 +344,7 @@ mod tests {
 
         #[test]
         fn prop_rotation_preserves_norm(a in small_vec(), ang in -10.0..10.0f64) {
-            prop_assert!((a.rotated(ang).norm() - a.norm()).abs() < 1e-6);
+            prop_assert!((a.rotated(Radians::new(ang)).norm() - a.norm()).abs() < 1e-6);
         }
 
         #[test]

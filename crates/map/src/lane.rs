@@ -1,6 +1,6 @@
 //! Lane centerlines and arc-length projections.
 
-use iprism_geom::{Segment, Vec2};
+use iprism_geom::{Radians, Segment, Vec2};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a lane within a [`crate::RoadMap`].
@@ -75,7 +75,7 @@ impl Lane {
         let pts = (0..=n)
             .map(|i| {
                 let a = a0 + span * i as f64 / n as f64;
-                center + Vec2::from_angle(a) * radius
+                center + Vec2::from_angle(Radians::new(a)) * radius
             })
             .collect();
         Lane::new(id, pts, width)
@@ -114,7 +114,7 @@ impl Lane {
     /// Centerline heading at arc length `s` (clamped to the ends).
     pub fn heading_at(&self, s: f64) -> f64 {
         let (i, _) = self.locate(s);
-        (self.centerline[i + 1] - self.centerline[i]).angle()
+        (self.centerline[i + 1] - self.centerline[i]).angle().get()
     }
 
     /// Projects a world point onto the centerline.
@@ -140,7 +140,7 @@ impl Lane {
                     s: self.cumulative[i] + along,
                     lateral,
                     point: c,
-                    heading: dir.angle(),
+                    heading: dir.angle().get(),
                 };
             }
         }

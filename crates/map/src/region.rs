@@ -66,6 +66,7 @@ impl DrivableRegion {
 mod tests {
     use super::*;
     use iprism_geom::Pose;
+    use iprism_geom::{Meters, Radians};
     use proptest::prelude::*;
 
     #[test]
@@ -101,8 +102,16 @@ mod tests {
     #[test]
     fn obb_containment() {
         let r = DrivableRegion::Rect(Aabb::new(Vec2::ZERO, Vec2::new(100.0, 7.0)));
-        let inside = Obb::new(Pose::new(50.0, 3.5, 0.0), 4.6, 2.0);
-        let poking_out = Obb::new(Pose::new(50.0, 6.5, 0.0), 4.6, 2.0);
+        let inside = Obb::new(
+            Pose::new(50.0, 3.5, Radians::new(0.0)),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        );
+        let poking_out = Obb::new(
+            Pose::new(50.0, 6.5, Radians::new(0.0)),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        );
         assert!(r.contains_obb(&inside));
         assert!(!r.contains_obb(&poking_out));
     }
@@ -115,7 +124,7 @@ mod tests {
                 r_inner: 10.0,
                 r_outer: 20.0,
             };
-            let p = Vec2::from_angle(angle) * rad;
+            let p = Vec2::from_angle(Radians::new(angle)) * rad;
             prop_assert_eq!(a.contains(p), (10.0..=20.0).contains(&rad));
         }
 

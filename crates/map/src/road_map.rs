@@ -204,6 +204,7 @@ impl RoadMap {
 mod tests {
     use super::*;
     use iprism_geom::Pose;
+    use iprism_geom::{Meters, Radians};
     use proptest::prelude::*;
 
     #[test]
@@ -232,8 +233,16 @@ mod tests {
     #[test]
     fn obb_drivability() {
         let m = RoadMap::straight_road(2, 3.5, 100.0);
-        let ok = Obb::new(Pose::new(50.0, 3.5, 0.0), 4.6, 2.0);
-        let off = Obb::new(Pose::new(50.0, 6.8, 0.0), 4.6, 2.0);
+        let ok = Obb::new(
+            Pose::new(50.0, 3.5, Radians::new(0.0)),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        );
+        let off = Obb::new(
+            Pose::new(50.0, 6.8, Radians::new(0.0)),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        );
         assert!(m.is_obb_drivable(&ok));
         assert!(!m.is_obb_drivable(&off));
     }

@@ -1,11 +1,11 @@
 //! Algorithm 1: frontier-by-frontier reach-tube propagation.
 
 use std::cmp::Ordering;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 use iprism_dynamics::{ControlInput, VehicleState};
-use iprism_geom::{Aabb, Grid2, Obb, Vec2};
+use iprism_geom::{Aabb, Grid2, Meters, Obb, Seconds, Vec2};
 use iprism_map::RoadMap;
 
 use crate::{Obstacle, ReachConfig, ReachTube, SamplingMode};
@@ -43,8 +43,9 @@ pub fn compute_reach_tube(
     let (ego_len, ego_wid) = config.ego_dims;
 
     // Ego-centred grid covering everything reachable within the horizon.
-    let k = config.horizon;
-    let reach_radius = ego.v * k + 0.5 * config.model.limits.accel_max * k * k + ego_len + 2.0;
+    let k = config.horizon.get();
+    let reach_radius =
+        ego.v * k + 0.5 * config.model.limits.accel_max * k * k + ego_len.get() + 2.0;
     let grid_bounds = Aabb::new(
         ego.position() - Vec2::new(reach_radius, reach_radius),
         ego.position() + Vec2::new(reach_radius, reach_radius),
@@ -76,8 +77,8 @@ pub fn compute_reach_tube(
                 // state near a lane edge dies and the tube loses all
                 // lateral spread.
                 let drive_fp = cand.footprint(
-                    (ego_len - 2.0 * config.drivable_margin).max(0.1),
-                    (ego_wid - 2.0 * config.drivable_margin).max(0.1),
+                    (ego_len - 2.0 * config.drivable_margin).max(Meters::new(0.1)),
+                    (ego_wid - 2.0 * config.drivable_margin).max(Meters::new(0.1)),
                 );
                 if !map.is_obb_drivable(&drive_fp) {
                     continue;
@@ -112,7 +113,7 @@ pub fn compute_reach_tube(
         // robust to pruning: removing candidates (because an obstacle
         // appeared) can only replace a representative with a slower one,
         // never with a farther-reaching one.
-        let mut best: HashMap<(i64, i64, i64, i64), VehicleState> = HashMap::new();
+        let mut best: BTreeMap<(i64, i64, i64, i64), VehicleState> = BTreeMap::new();
         for cand in candidates {
             let key = quantize(&cand, config.dedup_epsilon);
             match best.entry(key) {
@@ -138,7 +139,7 @@ pub fn compute_reach_tube(
     ReachTube::new(slices, grid, truncated)
 }
 
-fn collides(fp: &Obb, obstacles: &[Obstacle], time: f64, margin: f64) -> bool {
+fn collides(fp: &Obb, obstacles: &[Obstacle], time: Seconds, margin: Meters) -> bool {
     obstacles
         .iter()
         .any(|o| fp.intersects(&o.footprint_at(time, margin)))
@@ -193,7 +194,11 @@ mod tests {
 
     fn stationary_obstacle(x: f64, y: f64) -> Obstacle {
         let states = vec![VehicleState::new(x, y, 0.0, 0.0); 2];
-        Obstacle::new(Trajectory::from_states(0.0, 3.0, states), 4.6, 2.0)
+        Obstacle::new(
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(3.0), states),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        )
     }
 
     #[test]
@@ -269,11 +274,11 @@ mod tests {
     #[test]
     fn longer_horizon_grows_tube_volume() {
         let short = ReachConfig {
-            horizon: 1.5,
+            horizon: Seconds::new(1.5),
             ..ReachConfig::default()
         };
         let long = ReachConfig {
-            horizon: 3.0,
+            horizon: Seconds::new(3.0),
             ..ReachConfig::default()
         };
         let ts = compute_reach_tube(&open_road(), ego(), &[], &short);
@@ -329,7 +334,11 @@ mod tests {
                 )
             })
             .collect();
-        let closing = Obstacle::new(Trajectory::from_states(0.0, 0.25, closing_states), 4.6, 2.0);
+        let closing = Obstacle::new(
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.25), closing_states),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        );
         let free = compute_reach_tube(&open_road(), ego(), &[], &ReachConfig::default());
         let blocked = compute_reach_tube(&open_road(), ego(), &[closing], &ReachConfig::default());
         assert!(blocked.volume() < free.volume());

@@ -1,6 +1,7 @@
 //! Reach-tube computation parameters.
 
 use iprism_dynamics::{BicycleModel, ControlLimits};
+use iprism_units::{Meters, Radians, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// How controls are sampled at each time slice of Algorithm 1.
@@ -27,14 +28,14 @@ pub enum SamplingMode {
 /// time slice that every steered state leaves its lane footprint-first;
 /// escape-route analysis samples the dynamically sensible range instead
 /// (±17°, comfortable evasive steering at road speeds).
-pub const REACH_STEER_LIMIT: f64 = 0.3;
+pub const REACH_STEER_LIMIT: Radians = Radians::raw(0.3);
 
 fn reach_model() -> BicycleModel {
     BicycleModel::with_limits(
-        2.9,
+        Meters::new(2.9),
         ControlLimits {
-            steer_min: -REACH_STEER_LIMIT,
-            steer_max: REACH_STEER_LIMIT,
+            steer_min: -REACH_STEER_LIMIT.get(),
+            steer_max: REACH_STEER_LIMIT.get(),
             ..ControlLimits::default()
         },
     )
@@ -43,32 +44,32 @@ fn reach_model() -> BicycleModel {
 /// Configuration of [`crate::compute_reach_tube`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReachConfig {
-    /// Time-slice length Δt (s).
-    pub dt: f64,
-    /// Horizon k (s): the tube spans `[t, t+k]`.
-    pub horizon: f64,
+    /// Time-slice length Δt.
+    pub dt: Seconds,
+    /// Horizon k: the tube spans `[t, t+k]`.
+    pub horizon: Seconds,
     /// ε of the paper's optimization 1 — states closer than this (L2 over a
     /// scaled state vector) are deduplicated.
     pub dedup_epsilon: f64,
     /// Control sampling strategy.
     pub mode: SamplingMode,
-    /// Occupancy-grid cell size for the volume measure (m).
-    pub grid_resolution: f64,
-    /// Obstacle inflation margin (m); a small buffer around other actors.
-    pub safety_margin: f64,
+    /// Occupancy-grid cell size for the volume measure.
+    pub grid_resolution: Meters,
+    /// Obstacle inflation margin; a small buffer around other actors.
+    pub safety_margin: Meters,
     /// Hard cap on the per-slice frontier size (deterministic truncation).
     pub max_frontier: usize,
     /// Lateral/longitudinal shrink applied to the ego footprint for the
     /// *drivability* check only (m per side). Roads have usable margins;
     /// without this, any tilted body near a lane edge is spuriously
     /// pruned and lateral escape routes vanish.
-    pub drivable_margin: f64,
+    pub drivable_margin: Meters,
     /// Ego footprint `(length, width)` used for collision checks.
-    pub ego_dims: (f64, f64),
+    pub ego_dims: (Meters, Meters),
     /// Vehicle model used for propagation.
     pub model: BicycleModel,
     /// Absolute start time `t` (must match the obstacle trajectories).
-    pub start_time: f64,
+    pub start_time: Seconds,
 }
 
 impl Default for ReachConfig {
@@ -76,17 +77,17 @@ impl Default for ReachConfig {
     /// ε = 1.5, boundary-control enumeration, 0.5 m grid.
     fn default() -> Self {
         ReachConfig {
-            dt: 0.25,
-            horizon: 2.5,
+            dt: Seconds::new(0.25),
+            horizon: Seconds::new(2.5),
             dedup_epsilon: 1.5,
             mode: SamplingMode::Boundary,
-            grid_resolution: 0.5,
-            safety_margin: 0.25,
+            grid_resolution: Meters::new(0.5),
+            safety_margin: Meters::new(0.25),
             max_frontier: 768,
-            drivable_margin: 0.3,
-            ego_dims: (4.6, 2.0),
+            drivable_margin: Meters::new(0.3),
+            ego_dims: (Meters::new(4.6), Meters::new(2.0)),
             model: reach_model(),
-            start_time: 0.0,
+            start_time: Seconds::new(0.0),
         }
     }
 }
@@ -98,10 +99,10 @@ impl ReachConfig {
     /// coarser tube.
     pub fn fast() -> Self {
         ReachConfig {
-            dt: 0.3,
-            horizon: 2.4,
+            dt: Seconds::new(0.3),
+            horizon: Seconds::new(2.4),
             dedup_epsilon: 2.0,
-            grid_resolution: 0.75,
+            grid_resolution: Meters::new(0.75),
             max_frontier: 256,
             ..ReachConfig::default()
         }
@@ -114,7 +115,7 @@ impl ReachConfig {
 
     /// Returns a copy with a different start time (convenience for sweeping
     /// a trace).
-    pub fn at_time(&self, t: f64) -> Self {
+    pub fn at_time(&self, t: Seconds) -> Self {
         let mut c = self.clone();
         c.start_time = t;
         c
@@ -127,24 +128,31 @@ impl ReachConfig {
     /// Panics when any parameter is non-positive where positivity is
     /// required, or when a uniform mode has fewer than 2×2 samples.
     pub fn validate(&self) {
-        assert!(self.dt > 0.0 && self.dt.is_finite(), "dt must be positive");
+        assert!(
+            self.dt.get() > 0.0 && self.dt.is_finite(),
+            "dt must be positive"
+        );
         assert!(
             self.horizon >= self.dt,
             "horizon must be at least one time slice"
         );
         assert!(self.dedup_epsilon > 0.0, "dedup epsilon must be positive");
         assert!(
-            self.grid_resolution > 0.0,
+            self.grid_resolution.get() > 0.0,
             "grid resolution must be positive"
         );
-        assert!(self.safety_margin >= 0.0, "safety margin must be >= 0");
+        assert!(
+            self.safety_margin.get() >= 0.0,
+            "safety margin must be >= 0"
+        );
         assert!(self.max_frontier >= 1, "frontier cap must be >= 1");
         assert!(
-            self.drivable_margin >= 0.0 && 2.0 * self.drivable_margin < self.ego_dims.1,
+            self.drivable_margin.get() >= 0.0
+                && 2.0 * self.drivable_margin.get() < self.ego_dims.1.get(),
             "drivable margin must be >= 0 and less than half the ego width"
         );
         assert!(
-            self.ego_dims.0 > 0.0 && self.ego_dims.1 > 0.0,
+            self.ego_dims.0.get() > 0.0 && self.ego_dims.1.get() > 0.0,
             "ego dims must be positive"
         );
         if let SamplingMode::Uniform { na, ns } = self.mode {
@@ -167,16 +175,16 @@ mod tests {
 
     #[test]
     fn at_time_shifts_start() {
-        let c = ReachConfig::default().at_time(5.0);
-        assert_eq!(c.start_time, 5.0);
+        let c = ReachConfig::default().at_time(Seconds::new(5.0));
+        assert_eq!(c.start_time, Seconds::new(5.0));
         assert_eq!(c.dt, ReachConfig::default().dt);
     }
 
     #[test]
     fn slices_rounds_up() {
         let c = ReachConfig {
-            horizon: 1.1,
-            dt: 0.25,
+            horizon: Seconds::new(1.1),
+            dt: Seconds::new(0.25),
             ..ReachConfig::default()
         };
         assert_eq!(c.slices(), 5);
@@ -186,7 +194,7 @@ mod tests {
     #[should_panic(expected = "dt must be positive")]
     fn bad_dt_panics() {
         let c = ReachConfig {
-            dt: 0.0,
+            dt: Seconds::new(0.0),
             ..ReachConfig::default()
         };
         c.validate();

@@ -1,7 +1,7 @@
 //! Moving obstacles against which the reach-tube is pruned.
 
 use iprism_dynamics::Trajectory;
-use iprism_geom::Obb;
+use iprism_geom::{Meters, Obb, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// An obstacle with a (predicted or ground-truth) trajectory and a
@@ -29,7 +29,8 @@ impl Obstacle {
     ///
     /// Panics when the trajectory is empty or the dimensions are not
     /// strictly positive.
-    pub fn new(trajectory: Trajectory, length: f64, width: f64) -> Self {
+    pub fn new(trajectory: Trajectory, length: Meters, width: Meters) -> Self {
+        let (length, width) = (length.get(), width.get());
         assert!(
             !trajectory.is_empty(),
             "obstacle trajectory must be non-empty"
@@ -48,15 +49,18 @@ impl Obstacle {
     /// The obstacle footprint at absolute time `time`, interpolated along
     /// the trajectory (clamped at the ends), optionally inflated by
     /// `margin`.
-    pub fn footprint_at(&self, time: f64, margin: f64) -> Obb {
+    pub fn footprint_at(&self, time: Seconds, margin: Meters) -> Obb {
         // `new` rejects empty trajectories, so the fallback is unreachable
         // unless the public field was overwritten; a zero-size footprint at
         // the origin then prunes nothing instead of panicking mid-reach.
-        let s = self.trajectory.state_at_time(time).unwrap_or_default();
+        let s = self
+            .trajectory
+            .state_at_time(time.get())
+            .unwrap_or_default();
         Obb::new(
             s.pose(),
-            self.length + 2.0 * margin,
-            self.width + 2.0 * margin,
+            Meters::new(self.length) + margin * 2.0,
+            Meters::new(self.width) + margin * 2.0,
         )
     }
 }
@@ -71,13 +75,17 @@ mod tests {
         let states = (0..11)
             .map(|i| VehicleState::new(i as f64, 0.0, 0.0, 10.0))
             .collect();
-        Obstacle::new(Trajectory::from_states(0.0, 0.1, states), 4.6, 2.0)
+        Obstacle::new(
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.1), states),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        )
     }
 
     #[test]
     fn footprint_interpolates() {
         let o = moving_obstacle();
-        let fp = o.footprint_at(0.55, 0.0);
+        let fp = o.footprint_at(Seconds::new(0.55), Meters::new(0.0));
         assert!((fp.center().x - 5.5).abs() < 1e-9);
         assert_eq!(fp.length, 4.6);
     }
@@ -85,14 +93,27 @@ mod tests {
     #[test]
     fn footprint_clamps_beyond_horizon() {
         let o = moving_obstacle();
-        assert!((o.footprint_at(99.0, 0.0).center().x - 10.0).abs() < 1e-9);
-        assert!((o.footprint_at(-1.0, 0.0).center().x).abs() < 1e-9);
+        assert!(
+            (o.footprint_at(Seconds::new(99.0), Meters::new(0.0))
+                .center()
+                .x
+                - 10.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (o.footprint_at(Seconds::new(-1.0), Meters::new(0.0))
+                .center()
+                .x)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn margin_inflates() {
         let o = moving_obstacle();
-        let fp = o.footprint_at(0.0, 0.5);
+        let fp = o.footprint_at(Seconds::new(0.0), Meters::new(0.5));
         assert!((fp.length - 5.6).abs() < 1e-12);
         assert!((fp.width - 3.0).abs() < 1e-12);
     }
@@ -100,6 +121,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_trajectory_panics() {
-        let _ = Obstacle::new(Trajectory::new(0.0, 0.1), 4.6, 2.0);
+        let _ = Obstacle::new(
+            Trajectory::new(Seconds::new(0.0), Seconds::new(0.1)),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        );
     }
 }

@@ -89,12 +89,12 @@ impl ReachTube {
 mod tests {
     #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
-    use iprism_geom::{Aabb, Vec2};
+    use iprism_geom::{Aabb, Meters, Vec2};
 
     fn tube_with(slices: Vec<Vec<VehicleState>>) -> ReachTube {
         let mut grid = Grid2::new(
             Aabb::new(Vec2::new(-50.0, -50.0), Vec2::new(50.0, 50.0)),
-            0.5,
+            Meters::new(0.5),
         );
         for s in slices.iter().skip(1).flatten() {
             grid.mark(s.position());
@@ -131,7 +131,7 @@ mod tests {
     fn truncation_flag() {
         let t = ReachTube::new(
             vec![vec![VehicleState::default()]],
-            Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)), 0.5),
+            Grid2::new(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)), Meters::new(0.5)),
             true,
         );
         assert!(t.was_truncated());

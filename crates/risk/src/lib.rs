@@ -16,12 +16,14 @@
 //! use iprism_map::RoadMap;
 //! use iprism_risk::{SceneActor, SceneSnapshot, StiEvaluator};
 //! use iprism_sim::ActorId;
+//! use iprism_units::Seconds;
 //!
 //! let map = RoadMap::straight_road(2, 3.5, 400.0);
 //! // A stopped car 16 m ahead of a 10 m/s ego.
 //! let ego = VehicleState::new(100.0, 1.75, 0.0, 10.0);
 //! let blocker = Trajectory::from_states(
-//!     0.0, 2.5, vec![VehicleState::new(116.0, 1.75, 0.0, 0.0); 2]);
+//!     Seconds::new(0.0), Seconds::new(2.5),
+//!     vec![VehicleState::new(116.0, 1.75, 0.0, 0.0); 2]);
 //! let scene = SceneSnapshot::new(0.0, ego, (4.6, 2.0))
 //!     .with_actor(SceneActor::new(ActorId(1), blocker, 4.6, 2.0));
 //!

@@ -12,6 +12,7 @@ use iprism_dynamics::{BicycleModel, ControlInput};
 use iprism_map::RoadMap;
 use iprism_reach::Obstacle;
 use iprism_sim::ActorId;
+use iprism_units::{Meters, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::SceneSnapshot;
@@ -159,18 +160,24 @@ fn candidate_costs(
     let mut costs = Vec::with_capacity(cfg.accels.len() * cfg.steers.len());
     for &a in &cfg.accels {
         for &s in &cfg.steers {
-            let traj = model.rollout(scene.ego, ControlInput::new(a, s), cfg.dt, steps);
+            let traj = model.rollout(
+                scene.ego,
+                ControlInput::new(a, s),
+                Seconds::new(cfg.dt),
+                steps,
+            );
             let mut cost = 0.0;
             for (i, state) in traj.states().iter().enumerate().skip(1) {
                 let time = scene.time + i as f64 * cfg.dt;
-                let fp = state.footprint(scene.ego_dims.0, scene.ego_dims.1);
+                let fp =
+                    state.footprint(Meters::new(scene.ego_dims.0), Meters::new(scene.ego_dims.1));
                 if !map.is_obb_drivable(&fp) {
                     cost += cfg.collision_weight * 0.5;
                     continue;
                 }
                 let mut min_d = f64::INFINITY;
                 for o in obstacles {
-                    let od = fp.distance(&o.footprint_at(time, 0.0));
+                    let od = fp.distance(&o.footprint_at(Seconds::new(time), Meters::new(0.0)));
                     min_d = min_d.min(od);
                 }
                 if min_d <= 0.0 {
@@ -229,7 +236,11 @@ mod tests {
     fn parked(id: u32, x: f64, y: f64) -> SceneActor {
         SceneActor::new(
             ActorId(id),
-            Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(x, y, 0.0, 0.0); 2]),
+            Trajectory::from_states(
+                Seconds::new(0.0),
+                Seconds::new(2.5),
+                vec![VehicleState::new(x, y, 0.0, 0.0); 2],
+            ),
             4.6,
             2.0,
         )

@@ -3,6 +3,7 @@
 use iprism_dynamics::{CvtrModel, Trajectory, VehicleState};
 use iprism_reach::Obstacle;
 use iprism_sim::{ActorId, Trace, World};
+use iprism_units::{Meters, Radians, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// One actor in a scene: its identity, footprint and trajectory over the
@@ -37,7 +38,11 @@ impl SceneActor {
 
     /// Converts to a reach-tube obstacle.
     pub fn to_obstacle(&self) -> Obstacle {
-        Obstacle::new(self.trajectory.clone(), self.length, self.width)
+        Obstacle::new(
+            self.trajectory.clone(),
+            Meters::new(self.length),
+            Meters::new(self.width),
+        )
     }
 }
 
@@ -96,12 +101,18 @@ impl SceneSnapshot {
     /// Builds a snapshot from a live world, **predicting** every actor's
     /// trajectory with the CVTR model over `horizon` seconds at period `dt`
     /// — the online mode used during SMC training and inference (§IV-C).
-    pub fn from_world_cvtr(world: &World, horizon: f64, dt: f64) -> Self {
+    pub fn from_world_cvtr(world: &World, horizon: Seconds, dt: Seconds) -> Self {
         let steps = (horizon / dt).ceil() as usize;
         let cvtr = CvtrModel::new();
         let mut scene = SceneSnapshot::new(world.time(), world.ego(), world.ego_dims());
         for actor in world.actors() {
-            let traj = cvtr.predict(actor.state, actor.yaw_rate, world.time(), dt, steps);
+            let traj = cvtr.predict(
+                actor.state,
+                actor.yaw_rate,
+                Seconds::new(world.time()),
+                dt,
+                steps,
+            );
             scene
                 .actors
                 .push(SceneActor::new(actor.id, traj, actor.length, actor.width));
@@ -135,7 +146,7 @@ impl SceneSnapshot {
     /// is in path no matter how slowly the ego approaches.
     pub fn is_in_path(&self, actor: &SceneActor) -> bool {
         let ego_pos = self.ego.position();
-        let dir = iprism_geom::Vec2::from_angle(self.ego.theta);
+        let dir = iprism_geom::Vec2::from_angle(Radians::raw(self.ego.theta));
         let reach = (self.ego.v * 4.0).max(60.0);
         let path = iprism_geom::Segment::new(ego_pos, ego_pos + dir * reach);
         let threshold = (self.ego_dims.1 + actor.width) * 0.5 + 0.4;
@@ -202,7 +213,7 @@ mod tests {
             Behavior::lane_keep(8.0),
         ));
         w.step(ControlInput::COAST);
-        let scene = SceneSnapshot::from_world_cvtr(&w, 2.5, 0.25);
+        let scene = SceneSnapshot::from_world_cvtr(&w, Seconds::new(2.5), Seconds::new(0.25));
         assert_eq!(scene.actors.len(), 1);
         let traj = &scene.actors[0].trajectory;
         assert_eq!(traj.len(), 11);
@@ -221,7 +232,11 @@ mod tests {
 
     #[test]
     fn scene_actor_accessors() {
-        let traj = Trajectory::from_states(0.0, 0.1, vec![VehicleState::new(1.0, 2.0, 0.0, 3.0)]);
+        let traj = Trajectory::from_states(
+            Seconds::new(0.0),
+            Seconds::new(0.1),
+            vec![VehicleState::new(1.0, 2.0, 0.0, 3.0)],
+        );
         let a = SceneActor::new(ActorId(7), traj, 4.6, 2.0);
         assert_eq!(a.current_state().x, 1.0);
         let o = a.to_obstacle();

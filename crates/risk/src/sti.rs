@@ -3,6 +3,7 @@
 use iprism_map::RoadMap;
 use iprism_reach::{compute_reach_tube, ReachConfig};
 use iprism_sim::ActorId;
+use iprism_units::{Meters, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::SceneSnapshot;
@@ -107,8 +108,8 @@ impl StiEvaluator {
     }
 
     fn scene_config(&self, scene: &SceneSnapshot) -> ReachConfig {
-        let mut cfg = self.config.at_time(scene.time);
-        cfg.ego_dims = scene.ego_dims;
+        let mut cfg = self.config.at_time(Seconds::new(scene.time));
+        cfg.ego_dims = (Meters::new(scene.ego_dims.0), Meters::new(scene.ego_dims.1));
         cfg
     }
 }
@@ -142,7 +143,11 @@ mod tests {
     fn parked(id: u32, x: f64, y: f64) -> SceneActor {
         SceneActor::new(
             ActorId(id),
-            Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(x, y, 0.0, 0.0); 2]),
+            Trajectory::from_states(
+                Seconds::new(0.0),
+                Seconds::new(2.5),
+                vec![VehicleState::new(x, y, 0.0, 0.0); 2],
+            ),
             4.6,
             2.0,
         )
@@ -234,7 +239,11 @@ mod tests {
         // ego lane poses risk although it never crosses the ego's path.
         let encroaching = SceneActor::new(
             ActorId(1),
-            Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(110.0, 7.3, 0.0, 0.0); 2]),
+            Trajectory::from_states(
+                Seconds::new(0.0),
+                Seconds::new(2.5),
+                vec![VehicleState::new(110.0, 7.3, 0.0, 0.0); 2],
+            ),
             8.0,
             2.6, // oversized
         );

@@ -52,6 +52,7 @@ mod tests {
     use crate::SceneActor;
     use iprism_dynamics::{Trajectory, VehicleState};
     use iprism_sim::ActorId;
+    use iprism_units::Seconds;
 
     fn scene_with(actors: Vec<SceneActor>) -> SceneSnapshot {
         let mut s = SceneSnapshot::new(0.0, VehicleState::new(0.0, 0.0, 0.0, 10.0), (4.6, 2.0));
@@ -62,7 +63,11 @@ mod tests {
     fn stopped_ahead(id: u32, x: f64) -> SceneActor {
         SceneActor::new(
             ActorId(id),
-            Trajectory::from_states(0.0, 0.25, vec![VehicleState::new(x, 0.0, 0.0, 0.0); 21]),
+            Trajectory::from_states(
+                Seconds::new(0.0),
+                Seconds::new(0.25),
+                vec![VehicleState::new(x, 0.0, 0.0, 0.0); 21],
+            ),
             4.6,
             2.0,
         )
@@ -94,8 +99,8 @@ mod tests {
         let side = SceneActor::new(
             ActorId(1),
             Trajectory::from_states(
-                0.0,
-                0.25,
+                Seconds::new(0.0),
+                Seconds::new(0.25),
                 (0..21)
                     .map(|i| VehicleState::new(10.0 + 2.5 * i as f64 * 0.25, 3.5, 0.0, 10.0))
                     .collect(),
@@ -112,8 +117,8 @@ mod tests {
         let fleeing = SceneActor::new(
             ActorId(1),
             Trajectory::from_states(
-                0.0,
-                0.25,
+                Seconds::new(0.0),
+                Seconds::new(0.25),
                 (0..21)
                     .map(|i| VehicleState::new(20.0 + 15.0 * i as f64 * 0.25, 0.0, 0.0, 15.0))
                     .collect(),
@@ -137,7 +142,7 @@ mod tests {
             .collect();
         let actor = SceneActor::new(
             ActorId(1),
-            Trajectory::from_states(0.0, 0.25, cutting),
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.25), cutting),
             4.6,
             2.0,
         );

@@ -14,12 +14,17 @@ use iprism_map::RoadMap;
 use iprism_reach::{compute_reach_tube, ReachConfig};
 use iprism_risk::{SceneActor, SceneSnapshot, StiEvaluator};
 use iprism_sim::ActorId;
+use iprism_units::Seconds;
 use proptest::prelude::*;
 
 fn parked(id: u32, x: f64, y: f64) -> SceneActor {
     SceneActor::new(
         ActorId(id),
-        Trajectory::from_states(0.0, 2.5, vec![VehicleState::new(x, y, 0.0, 0.0); 2]),
+        Trajectory::from_states(
+            Seconds::new(0.0),
+            Seconds::new(2.5),
+            vec![VehicleState::new(x, y, 0.0, 0.0); 2],
+        ),
         4.6,
         2.0,
     )
@@ -66,7 +71,10 @@ proptest! {
         let (map, snapshot) = scene(ego_v, ax, ay, bx, by);
         let cfg = {
             let mut c = ReachConfig::fast();
-            c.ego_dims = snapshot.ego_dims;
+            c.ego_dims = (
+                iprism_units::Meters::new(snapshot.ego_dims.0),
+                iprism_units::Meters::new(snapshot.ego_dims.1),
+            );
             c
         };
         let v_all = compute_reach_tube(&map, snapshot.ego, &snapshot.obstacles(), &cfg).volume();

@@ -109,7 +109,7 @@ mod tests {
         assert_eq!(b.capacity(), 3);
         // Oldest (0 and 1) evicted: rewards are {2,3,4} in some order.
         let mut rewards: Vec<f64> = b.data.iter().map(|x| x.reward).collect();
-        rewards.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rewards.sort_by(f64::total_cmp);
         assert_eq!(rewards, vec![2.0, 3.0, 4.0]);
     }
 

@@ -1,7 +1,7 @@
 //! World construction per typology.
 
 use iprism_dynamics::{Trajectory, VehicleState};
-use iprism_geom::Vec2;
+use iprism_geom::{Seconds, Vec2};
 use iprism_map::{LaneId, RoadMap};
 use iprism_sim::{Actor, Behavior, CutInPhase, World};
 
@@ -190,7 +190,7 @@ fn roundabout_ghost_cut_in(spec: &ScenarioSpec) -> World {
     for i in 0..=steps {
         let t = i as f64 * SIM_DT;
         let ang = start_angle + omega * t;
-        let pos = center + Vec2::from_angle(ang) * r_mid;
+        let pos = center + Vec2::from_angle(iprism_geom::Radians::new(ang)) * r_mid;
         // counter-clockwise tangent
         let heading = ang + std::f64::consts::FRAC_PI_2;
         states.push(VehicleState::new(
@@ -200,7 +200,7 @@ fn roundabout_ghost_cut_in(spec: &ScenarioSpec) -> World {
             npc_speed,
         ));
     }
-    let trajectory = Trajectory::from_states(0.0, SIM_DT, states);
+    let trajectory = Trajectory::from_states(Seconds::new(0.0), Seconds::new(SIM_DT), states);
     w.spawn(Actor::vehicle(
         1,
         trajectory.states()[0],

@@ -1,7 +1,7 @@
 //! Non-ego actors: vehicles, pedestrians and static obstacles.
 
 use iprism_dynamics::VehicleState;
-use iprism_geom::Obb;
+use iprism_geom::{Meters, Obb};
 use serde::{Deserialize, Serialize};
 
 use crate::Behavior;
@@ -122,7 +122,8 @@ impl Actor {
 
     /// Current footprint as an oriented box.
     pub fn footprint(&self) -> Obb {
-        self.state.footprint(self.length, self.width)
+        self.state
+            .footprint(Meters::new(self.length), Meters::new(self.width))
     }
 }
 

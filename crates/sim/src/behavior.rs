@@ -429,6 +429,7 @@ pub(crate) fn lane_change_control(
 mod tests {
     #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
+    use iprism_geom::Seconds;
     use iprism_map::RoadMap;
 
     fn ctx<'a>(map: &'a RoadMap, ego: VehicleState) -> BehaviorCtx<'a> {
@@ -622,7 +623,7 @@ mod tests {
             VehicleState::new(1.0, 1.75, 0.0, 5.0),
         ];
         let mut b = Behavior::FollowTrajectory {
-            trajectory: Trajectory::from_states(0.0, 0.1, states),
+            trajectory: Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.1), states),
         };
         let me = VehicleState::new(0.0, 1.75, 0.0, 5.0);
         let c = ctx(&map, VehicleState::new(0.0, 1.75, 0.0, 0.0));

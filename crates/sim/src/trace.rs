@@ -1,6 +1,7 @@
 //! Episode traces: the recorded ground truth used for offline risk analysis.
 
 use iprism_dynamics::{Trajectory, VehicleState};
+use iprism_geom::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::{ActorId, World};
@@ -89,7 +90,11 @@ impl Trace {
     /// The ego trajectory over the whole episode.
     pub fn ego_trajectory(&self) -> Trajectory {
         let start = self.steps.first().map_or(0.0, |s| s.time);
-        Trajectory::from_states(start, self.dt, self.steps.iter().map(|s| s.ego).collect())
+        Trajectory::from_states(
+            Seconds::new(start),
+            Seconds::new(self.dt),
+            self.steps.iter().map(|s| s.ego).collect(),
+        )
     }
 
     /// Ids of every actor that appears in the trace.
@@ -125,7 +130,11 @@ impl Trace {
                 None => break,
             }
         }
-        Some(Trajectory::from_states(start_time, self.dt, states))
+        Some(Trajectory::from_states(
+            Seconds::new(start_time),
+            Seconds::new(self.dt),
+            states,
+        ))
     }
 
     /// Footprint dimensions `(length, width)` of actor `id`.
@@ -187,7 +196,7 @@ mod tests {
         let (_, trace) = traced_world(50);
         let traj = trace.actor_trajectory(ActorId(1), 10, 20).unwrap();
         assert_eq!(traj.len(), 21);
-        assert!((traj.start_time() - trace.steps()[10].time).abs() < 1e-9);
+        assert!((traj.start_time().get() - trace.steps()[10].time).abs() < 1e-9);
         // Missing actor id yields None.
         assert!(trace.actor_trajectory(ActorId(99), 0, 10).is_none());
         // Window clipped at the end of the trace.

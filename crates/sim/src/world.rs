@@ -1,7 +1,7 @@
 //! The simulated world: ego + actors + map, stepped at a fixed Δt.
 
 use iprism_dynamics::{BicycleModel, ControlInput, CvtrModel, VehicleState};
-use iprism_geom::Obb;
+use iprism_geom::{Meters, Obb, Seconds};
 use iprism_map::RoadMap;
 use serde::{Deserialize, Serialize};
 
@@ -114,7 +114,8 @@ impl World {
 
     /// Ego footprint as an oriented box.
     pub fn ego_footprint(&self) -> Obb {
-        self.ego.footprint(self.ego_length, self.ego_width)
+        self.ego
+            .footprint(Meters::new(self.ego_length), Meters::new(self.ego_width))
     }
 
     /// All non-ego actors.
@@ -177,7 +178,7 @@ impl World {
                 time: self.time,
                 dt: self.dt,
                 lead,
-                wheelbase: self.model.wheelbase,
+                wheelbase: self.model.wheelbase.get(),
             };
             let u = self.actors[i].behavior.decide(&me, &ctx);
             controls.push(u);
@@ -185,11 +186,13 @@ impl World {
 
         // 2. Integrate the ego.
         let prev_ego_theta = self.ego.theta;
-        self.ego = self.model.step(self.ego, ego_control, self.dt);
+        self.ego = self
+            .model
+            .step(self.ego, ego_control, Seconds::new(self.dt));
         self.ego_yaw_rate = CvtrModel::estimate_yaw_rate(
             &VehicleState::new(0.0, 0.0, prev_ego_theta, 0.0),
             &self.ego,
-            self.dt,
+            Seconds::new(self.dt),
         );
 
         // 3. Integrate the actors.
@@ -197,7 +200,7 @@ impl World {
             let prev_theta = actor.state.theta;
             match actor.motion {
                 MotionModel::Bicycle => {
-                    actor.state = self.model.step(actor.state, *u, self.dt);
+                    actor.state = self.model.step(actor.state, *u, Seconds::new(self.dt));
                 }
                 MotionModel::Holonomic => {
                     let v = (actor.state.v + u.accel * self.dt).clamp(0.0, 3.0);

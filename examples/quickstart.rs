@@ -12,16 +12,16 @@ fn main() {
 
     // Actor 1 has just cut in 16 m ahead and is braking (classic cut-in).
     let cut_in = Trajectory::from_states(
-        0.0,
-        0.25,
+        Seconds::new(0.0),
+        Seconds::new(0.25),
         (0..11)
             .map(|i| VehicleState::new(116.0 + 3.0 * 0.25 * i as f64, 1.75, 0.0, 3.0))
             .collect(),
     );
     // Actor 2 drives parallel in the adjacent lane (harmless).
     let parallel = Trajectory::from_states(
-        0.0,
-        0.25,
+        Seconds::new(0.0),
+        Seconds::new(0.25),
         (0..11)
             .map(|i| VehicleState::new(95.0 + 10.0 * 0.25 * i as f64, 5.25, 0.0, 10.0))
             .collect(),

@@ -97,7 +97,7 @@ fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usi
         Value::Array(items) => {
             write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
                 write_value(o, v, indent, d);
-            })
+            });
         }
         Value::Object(entries) => {
             write_seq(

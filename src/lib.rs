@@ -36,8 +36,8 @@
 //! let map = RoadMap::straight_road(2, 3.5, 400.0);
 //! let ego = VehicleState::new(100.0, 1.75, 0.0, 10.0);
 //! let intruder = Trajectory::from_states(
-//!     0.0,
-//!     2.5,
+//!     Seconds::new(0.0),
+//!     Seconds::new(2.5),
 //!     vec![VehicleState::new(115.0, 1.75, 0.0, 2.0); 2],
 //! );
 //! let scene = SceneSnapshot::new(0.0, ego, (4.6, 2.0))
@@ -61,6 +61,7 @@ pub use iprism_risk as risk;
 pub use iprism_rl as rl;
 pub use iprism_scenarios as scenarios;
 pub use iprism_sim as sim;
+pub use iprism_units as units;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -78,4 +79,5 @@ pub mod prelude {
         run_episode, Actor, ActorId, Behavior, EgoController, EpisodeConfig, EpisodeOutcome, Goal,
         World,
     };
+    pub use iprism_units::{Meters, MetersPerSecond, Radians, Seconds};
 }

@@ -52,7 +52,7 @@ fn sti_rises_before_the_baseline_accident() {
     let accident = trace.first_collision_index().expect("baseline crashes");
 
     let evaluator = StiEvaluator::default();
-    let horizon_steps = (evaluator.config.horizon / trace.dt()).ceil() as usize;
+    let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
     let sti_at = |i: usize| {
         let scene = SceneSnapshot::from_trace(&trace, i, horizon_steps).unwrap();
         evaluator.evaluate_combined(world.map(), &scene)
@@ -79,7 +79,7 @@ fn sti_leads_ttc_on_the_cut_in() {
     let accident = trace.first_collision_index().expect("baseline crashes");
 
     let evaluator = StiEvaluator::default();
-    let horizon_steps = (evaluator.config.horizon / trace.dt()).ceil() as usize;
+    let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
 
     let sti_ind = RiskIndicator::Sti { floor: 0.02 };
     let ttc_ind = RiskIndicator::Ttc { threshold: 3.0 };

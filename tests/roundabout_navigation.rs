@@ -32,9 +32,9 @@ fn lbc_navigates_empty_roundabout_to_exit() {
     );
     // It stayed on the drivable surface throughout.
     for step in r.trace.steps() {
-        let fp = step.ego.footprint(4.6, 2.0);
+        let fp = step.ego.footprint(Meters::new(4.6), Meters::new(2.0));
         assert!(
-            world.map().is_obb_drivable(&fp.inflated(-0.5)),
+            world.map().is_obb_drivable(&fp.inflated(Meters::new(-0.5))),
             "off-road at t={:.1}: {:?}",
             step.time,
             step.ego.position()

@@ -1,0 +1,432 @@
+//! A self-contained Rust lexer producing position-tagged tokens.
+//!
+//! The build environment is offline, so `proc-macro2`/`syn` are unavailable;
+//! this lexer understands exactly the lexical grammar the AST rules need:
+//! comments (skipped), string/raw-string/byte-string literals, char literals
+//! vs lifetimes, numeric literals with a float/int distinction, identifiers
+//! and single-character punctuation. Multi-character operators come out as
+//! adjacent punctuation tokens (`->` is `-` then `>`), which the rule
+//! matchers handle explicitly where it matters.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `pub`, `f64`, `partial_cmp`, ...).
+    Ident,
+    /// Lifetime tick plus name (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary and int-suffixed forms).
+    Int,
+    /// Floating-point literal (`1.5`, `1e-3`, `2f64`).
+    Float,
+    /// String, raw-string or byte-string literal (content not retained).
+    Str,
+    /// Char or byte-char literal (content not retained).
+    Char,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: Kind,
+    /// Token text (empty for `Str`/`Char`, whose content is irrelevant
+    /// to the rules and must never trigger them).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+}
+
+impl Token {
+    /// Returns `true` when the token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == Kind::Ident && self.text == word
+    }
+
+    /// Returns `true` when the token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens, skipping whitespace and comments.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Advances one char, maintaining the line/col counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes chars while `pred` holds, appending them to `text`.
+    fn bump_while(&mut self, text: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+            text.push(c);
+        }
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.bump();
+                }
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if let Some((prefix, hashes)) = self.raw_string_lookahead() {
+                self.raw_string(prefix, hashes);
+                self.push(Kind::Str, String::new(), line, col);
+            } else if c == '"' || (c == 'b' && self.peek(1) == Some('"')) {
+                if c == 'b' {
+                    self.bump();
+                }
+                self.string_literal();
+                self.push(Kind::Str, String::new(), line, col);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump();
+                self.char_literal();
+                self.push(Kind::Char, String::new(), line, col);
+            } else if c == '\'' {
+                self.tick(line, col);
+            } else if is_ident_start(c) {
+                let mut text = String::new();
+                self.bump_while(&mut text, is_ident_continue);
+                self.push(Kind::Ident, text, line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else {
+                self.bump();
+                self.push(Kind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// Detects `r"`/`r#"`/`br#"` at the cursor; returns `(prefix_len, hashes)`.
+    fn raw_string_lookahead(&self) -> Option<(usize, u32)> {
+        let mut j = 0usize;
+        if self.peek(j) == Some('b') {
+            j += 1;
+        }
+        if self.peek(j) != Some('r') {
+            return None;
+        }
+        j += 1;
+        let mut hashes = 0u32;
+        while self.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        (self.peek(j) == Some('"')).then_some((j + 1, hashes))
+    }
+
+    fn raw_string(&mut self, prefix: usize, hashes: u32) {
+        for _ in 0..prefix {
+            self.bump();
+        }
+        loop {
+            match self.peek(0) {
+                Some('"') if (1..=hashes as usize).all(|k| self.peek(k) == Some('#')) => {
+                    for _ in 0..=hashes as usize {
+                        self.bump();
+                    }
+                    return;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('"') => {
+                    self.bump();
+                    return;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening tick
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    /// A tick is either a char literal or a lifetime; disambiguate with the
+    /// same lookahead rustc uses: `'X'` closes within two chars (or is an
+    /// escape) → char literal, otherwise lifetime.
+    fn tick(&mut self, line: usize, col: usize) {
+        if self.peek(1) == Some('\\') || self.peek(2) == Some('\'') {
+            self.char_literal();
+            self.push(Kind::Char, String::new(), line, col);
+        } else {
+            self.bump();
+            let mut text = String::from("'");
+            self.bump_while(&mut text, is_ident_continue);
+            self.push(Kind::Lifetime, text, line, col);
+        }
+    }
+
+    fn number(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Radix literal: never a float; suffix chars are hex digits too,
+            // so just consume the alphanumeric run.
+            self.bump_while(&mut text, is_ident_continue);
+            self.push(Kind::Int, text, line, col);
+            return;
+        }
+        self.bump_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        // Fractional part: `1.5` or trailing `1.`; but not `1..2` (range) and
+        // not `1.method()`.
+        if self.peek(0) == Some('.')
+            && self.peek(1) != Some('.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            is_float = true;
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+            self.bump_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some('+' | '-')));
+            if self.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                for _ in 0..=sign {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                self.bump_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+            }
+        }
+        // Type suffix (`1f64`, `10usize`).
+        let suffix_start = text.len();
+        self.bump_while(&mut text, is_ident_continue);
+        if text[suffix_start..].starts_with('f') {
+            is_float = true;
+        }
+        let kind = if is_float { Kind::Float } else { Kind::Int };
+        self.push(kind, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn f(x: f64) {}");
+        assert_eq!(
+            toks[0],
+            Token {
+                kind: Kind::Ident,
+                text: "fn".into(),
+                line: 1,
+                col: 1
+            }
+        );
+        assert_eq!(toks[1].text, "f");
+        assert!(toks[2].is_punct('('));
+        assert_eq!(toks[5].text, "f64");
+        let last = toks.last().unwrap();
+        assert_eq!((last.line, last.col), (1, 15));
+    }
+
+    #[test]
+    fn line_tracking_across_newlines() {
+        let toks = lex("a\n  b\nc");
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (3, 1));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // HashMap in a comment\nb /* thread_rng /* nested */ */ c"),
+            vec![
+                (Kind::Ident, "a".into()),
+                (Kind::Ident, "b".into()),
+                (Kind::Ident, "c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_raw_strings_and_chars_drop_content() {
+        let toks = kinds(r##"let s = "HashMap"; let r = r#"thread_rng "q" "#; let c = 'x';"##);
+        assert!(toks
+            .iter()
+            .all(|(_, t)| t != "HashMap" && t != "thread_rng"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r##"let a = b'"'; let s = b"bytes"; let r = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Str).count(), 2);
+        // The quote inside b'"' must not have opened a string: the trailing
+        // semicolons survive as punctuation.
+        assert_eq!(toks.iter().filter(|(_, t)| t == ";").count(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let e = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            kinds("1 1.5 1e-3 2f64 10usize 0xFF 1..2"),
+            vec![
+                (Kind::Int, "1".into()),
+                (Kind::Float, "1.5".into()),
+                (Kind::Float, "1e-3".into()),
+                (Kind::Float, "2f64".into()),
+                (Kind::Int, "10usize".into()),
+                (Kind::Int, "0xFF".into()),
+                (Kind::Int, "1".into()),
+                (Kind::Punct, ".".into()),
+                (Kind::Punct, ".".into()),
+                (Kind::Int, "2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        assert_eq!(
+            kinds("pair.0.abs()"),
+            vec![
+                (Kind::Ident, "pair".into()),
+                (Kind::Punct, ".".into()),
+                (Kind::Int, "0".into()),
+                (Kind::Punct, ".".into()),
+                (Kind::Ident, "abs".into()),
+                (Kind::Punct, "(".into()),
+                (Kind::Punct, ")".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! AST-level static analysis: determinism, dimensional safety, NaN hygiene.
+//!
+//! `cargo xtask lint --ast` runs these checks over every workspace `.rs`
+//! file. Unlike the line-oriented text rules in [`crate::rules`], these
+//! operate on a real token stream (see [`lexer`]) and parse function
+//! signatures, call chains and cast expressions, so they can reason about
+//! *structure*: which parameters of a `pub fn` are raw `f64`, whether a
+//! `partial_cmp` result is unwrapped, whether a float→int cast was rounded
+//! first.
+//!
+//! The rule catalogue, per-crate scoping, message format and the JSON
+//! output schema are documented in `docs/STATIC_ANALYSIS.md`. Findings are
+//! waived exactly like text-rule findings, with a justifying
+//! `// iprism-lint: allow(<rule>)` comment on or directly above the line.
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::Path;
+
+use crate::mask::{self, MaskedFile};
+
+/// The AST-level lint rules enforced by `cargo xtask lint --ast`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstRule {
+    /// No `HashMap`/`HashSet` in determinism-critical crates: iteration
+    /// order varies run to run.
+    NoHashCollections,
+    /// No OS-entropy RNGs (`thread_rng`, `from_entropy`, `OsRng`) in
+    /// determinism-critical crates.
+    NoUnseededRng,
+    /// Public fns in the units-API crates must not take raw `f64` for
+    /// physically-dimensioned parameters; use `iprism-units` newtypes.
+    RawF64Param,
+    /// Public fns in dynamics/reach whose names promise a dimensioned
+    /// quantity must not return raw `f64`.
+    RawF64Return,
+    /// `to_radians`/`to_degrees` only inside `crates/units`.
+    AngleConvOutsideUnits,
+    /// `partial_cmp(..).unwrap()` panics on NaN; use `total_cmp`.
+    PartialCmpUnwrap,
+    /// Division by an unguarded parenthesized difference (`a / (b - c)`).
+    UnguardedFloatDiv,
+    /// Float→int `as` cast without an explicit rounding step.
+    FloatIntCast,
+}
+
+/// All AST rules, in reporting order.
+pub const ALL_AST_RULES: [AstRule; 8] = [
+    AstRule::NoHashCollections,
+    AstRule::NoUnseededRng,
+    AstRule::RawF64Param,
+    AstRule::RawF64Return,
+    AstRule::AngleConvOutsideUnits,
+    AstRule::PartialCmpUnwrap,
+    AstRule::UnguardedFloatDiv,
+    AstRule::FloatIntCast,
+];
+
+impl AstRule {
+    /// The kebab-case name used in diagnostics and `allow(...)` directives.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AstRule::NoHashCollections => "no-hash-collections",
+            AstRule::NoUnseededRng => "no-unseeded-rng",
+            AstRule::RawF64Param => "raw-f64-param",
+            AstRule::RawF64Return => "raw-f64-return",
+            AstRule::AngleConvOutsideUnits => "angle-conv-outside-units",
+            AstRule::PartialCmpUnwrap => "partial-cmp-unwrap",
+            AstRule::UnguardedFloatDiv => "unguarded-float-div",
+            AstRule::FloatIntCast => "float-int-cast",
+        }
+    }
+
+    /// Parses a rule name as written inside `allow(...)`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<AstRule> {
+        ALL_AST_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// A single AST-lint finding, with full line *and column* position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstDiagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    /// The rule that fired.
+    pub rule: AstRule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for AstDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+impl AstDiagnostic {
+    /// Renders the diagnostic as a JSON object (hand-rolled: xtask has no
+    /// dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"path":{},"line":{},"col":{},"rule":{},"message":{}}}"#,
+            json_string(&self.path),
+            self.line,
+            self.col,
+            json_string(self.rule.name()),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Renders a full AST-lint report as a JSON document for CI consumption.
+#[must_use]
+pub fn report_json(checked: usize, diagnostics: &[AstDiagnostic]) -> String {
+    let items: Vec<String> = diagnostics.iter().map(AstDiagnostic::to_json).collect();
+    format!(
+        r#"{{"files_checked":{},"violations":[{}]}}"#,
+        checked,
+        items.join(",")
+    )
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Which AST rule families apply to a file (decided from its path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstFileClass {
+    /// Determinism-critical: reach/risk math and everything the simulator
+    /// replays must be bit-reproducible across runs.
+    pub determinism: bool,
+    /// Public fns must take unit newtypes for physical parameters.
+    pub units_param_api: bool,
+    /// Public fns with dimension-promising names must return unit newtypes.
+    pub units_return_api: bool,
+    /// Hot numeric paths: NaN-hygiene rules (division, casts) apply.
+    pub hot_path: bool,
+    /// The units layer itself (angle conversions are allowed here).
+    pub units_crate: bool,
+}
+
+/// Crates whose iteration order and entropy sources must be deterministic.
+const DETERMINISM_CRATES: [&str; 4] = [
+    "crates/sim/",
+    "crates/scenarios/",
+    "crates/reach/",
+    "crates/risk/",
+];
+
+/// Crates whose public fn *parameters* must use unit newtypes.
+const UNITS_PARAM_CRATES: [&str; 3] = ["crates/dynamics/", "crates/geom/", "crates/reach/"];
+
+/// Crates whose public fn *returns* must use unit newtypes.
+const UNITS_RETURN_CRATES: [&str; 2] = ["crates/dynamics/", "crates/reach/"];
+
+/// Hot numeric paths where the NaN-hygiene rules apply.
+const HOT_PATH_CRATES: [&str; 4] = [
+    "crates/geom/",
+    "crates/dynamics/",
+    "crates/reach/",
+    "crates/risk/",
+];
+
+/// Decides which AST rule families apply to `rel_path`; `None` means the
+/// file is skipped entirely (same skip set as the text lints: tests,
+/// benches, examples, fixtures, build scripts).
+#[must_use]
+pub fn classify_ast(rel_path: &str) -> Option<AstFileClass> {
+    crate::classify(rel_path)?;
+    let starts = |prefixes: &[&str]| prefixes.iter().any(|p| rel_path.starts_with(p));
+    Some(AstFileClass {
+        determinism: starts(&DETERMINISM_CRATES),
+        units_param_api: starts(&UNITS_PARAM_CRATES),
+        units_return_api: starts(&UNITS_RETURN_CRATES),
+        hot_path: starts(&HOT_PATH_CRATES),
+        units_crate: rel_path.starts_with("crates/units/"),
+    })
+}
+
+/// AST-lints a single source string as if it lived at `rel_path`. This is
+/// the entry point the fixture tests use; [`run_ast_lint`] maps it over the
+/// real tree.
+#[must_use]
+pub fn ast_lint_source(rel_path: &str, source: &str) -> Vec<AstDiagnostic> {
+    let Some(class) = classify_ast(rel_path) else {
+        return Vec::new();
+    };
+    let masked = mask::mask(source);
+    let tokens = lexer::lex(source);
+    let allows = allow_lines(&masked);
+    let skip = |line: usize| {
+        let idx = line - 1;
+        masked.test.get(idx).copied().unwrap_or(false)
+            || masked.macro_body.get(idx).copied().unwrap_or(false)
+    };
+    let mut out = Vec::new();
+    let mut push = |t: &lexer::Token, rule: AstRule, message: String| {
+        if !allowed(&allows, &masked, t.line - 1, rule) {
+            out.push(AstDiagnostic {
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule,
+                message,
+            });
+        }
+    };
+    rules::check_tokens(&tokens, class, &skip, &mut push);
+    out.sort_by_key(|d| (d.line, d.col));
+    out.dedup();
+    out
+}
+
+/// Per-line sets of AST rules suppressed via `iprism-lint: allow(...)`.
+fn allow_lines(file: &MaskedFile) -> Vec<Vec<AstRule>> {
+    file.comments.iter().map(|c| parse_allow(c)).collect()
+}
+
+fn parse_allow(comment: &str) -> Vec<AstRule> {
+    let Some(pos) = comment.find("iprism-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[pos + "iprism-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return Vec::new();
+    };
+    let args = &rest[open + "allow(".len()..];
+    let Some(close) = args.find(')') else {
+        return Vec::new();
+    };
+    let mut rules = Vec::new();
+    for name in args[..close].split(',') {
+        let name = name.trim();
+        if name == "all" {
+            return ALL_AST_RULES.to_vec();
+        }
+        if let Some(rule) = AstRule::from_name(name) {
+            rules.push(rule);
+        }
+    }
+    rules
+}
+
+/// A rule is suppressed on 0-based line `idx` if an allow directive sits on
+/// the line itself or on a contiguous run of comment-only lines directly
+/// above (mirrors the text-lint escape hatch exactly).
+fn allowed(allows: &[Vec<AstRule>], file: &MaskedFile, idx: usize, rule: AstRule) -> bool {
+    if allows.get(idx).is_some_and(|a| a.contains(&rule)) {
+        return true;
+    }
+    let mut l = idx;
+    while l > 0 {
+        l -= 1;
+        let comment_only = file.code[l].trim().is_empty() && !file.comments[l].trim().is_empty();
+        if !comment_only {
+            return false;
+        }
+        if allows[l].contains(&rule) {
+            return true;
+        }
+    }
+    false
+}
+
+/// AST-lints every workspace `.rs` file under `workspace_root`.
+///
+/// Returns `(files_checked, diagnostics)`.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading the tree.
+pub fn run_ast_lint(workspace_root: &Path) -> std::io::Result<(usize, Vec<AstDiagnostic>)> {
+    let mut checked = 0usize;
+    let mut diagnostics = Vec::new();
+    for path in crate::collect_rust_files(workspace_root)? {
+        let rel = path
+            .strip_prefix(workspace_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if classify_ast(&rel).is_none() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)?;
+        checked += 1;
+        diagnostics.extend(ast_lint_source(&rel, &source));
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok((checked, diagnostics))
+}

@@ -1,0 +1,582 @@
+//! The eight AST-level rules: determinism, dimensional safety, NaN hygiene.
+//!
+//! Every check walks the token stream produced by [`crate::ast::lexer`] and
+//! reports findings through a `push(token, rule, message)` callback; the
+//! caller (in [`crate::ast`]) applies test-region filtering and the
+//! `iprism-lint: allow(...)` escape hatch.
+
+use crate::ast::lexer::{Kind, Token};
+use crate::ast::{AstFileClass, AstRule};
+
+/// Parameter-name vocabulary: a `pub fn` parameter whose snake_case name
+/// contains one of these segments carries physical units and must not be a
+/// raw `f64`. The second element is the `iprism-units` newtype to suggest.
+const PARAM_VOCAB: &[(&str, &str)] = &[
+    ("dt", "Seconds"),
+    ("time", "Seconds"),
+    ("duration", "Seconds"),
+    ("horizon", "Seconds"),
+    ("theta", "Radians"),
+    ("angle", "Radians"),
+    ("heading", "Radians"),
+    ("yaw", "Radians"),
+    ("phi", "Radians"),
+    ("steer", "Radians"),
+    ("steering", "Radians"),
+    ("speed", "MetersPerSecond"),
+    ("vel", "MetersPerSecond"),
+    ("velocity", "MetersPerSecond"),
+    ("wheelbase", "Meters"),
+    ("radius", "Meters"),
+    ("margin", "Meters"),
+    ("length", "Meters"),
+    ("width", "Meters"),
+    ("dist", "Meters"),
+    ("distance", "Meters"),
+    ("resolution", "Meters"),
+];
+
+/// Name segments that mark a quantity as a unit *quotient* (yaw_rate,
+/// speed_ratio, time_scale): those are not representable by the four base
+/// newtypes and are exempt from the param rule.
+const QUOTIENT_SEGMENTS: &[&str] = &["rate", "ratio", "factor", "scale", "frac", "fraction"];
+
+/// Return-name vocabulary for [`AstRule::RawF64Return`] (scoped tighter than
+/// the param vocabulary: only names that unambiguously promise a dimensioned
+/// quantity).
+const RETURN_VOCAB: &[&str] = &[
+    "distance", "speed", "velocity", "heading", "time", "duration", "radius",
+];
+
+/// Methods that make a following float→int `as` cast explicit and exact
+/// (rounding already happened, or the value was clamped onto a lattice).
+const ROUNDING_METHODS: &[&str] = &[
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "signum",
+    "clamp",
+    "min",
+    "max",
+    "rem_euclid",
+    "div_euclid",
+];
+
+/// Methods that definitely produce an un-rounded float.
+const FLOAT_METHODS: &[&str] = &[
+    "sqrt",
+    "powi",
+    "powf",
+    "exp",
+    "ln",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "hypot",
+    "to_radians",
+    "to_degrees",
+    "recip",
+    "get",
+    "norm",
+];
+
+/// Identifiers whose presence in a divisor expression counts as a guard.
+const DIV_GUARDS: &[&str] = &["max", "abs", "hypot", "clamp", "EPSILON", "EPS"];
+
+/// Integer type names that make an `as` cast a float→int truncation hazard.
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Runs every rule enabled by `class` over `tokens`.
+///
+/// `skip` returns `true` for 1-based source lines the rules must ignore
+/// (test modules, `macro_rules!` bodies).
+pub fn check_tokens(
+    tokens: &[Token],
+    class: AstFileClass,
+    skip: &dyn Fn(usize) -> bool,
+    push: &mut dyn FnMut(&Token, AstRule, String),
+) {
+    let mut push = |t: &Token, rule: AstRule, msg: String| {
+        if !skip(t.line) {
+            push(t, rule, msg);
+        }
+    };
+    if class.determinism {
+        check_hash_collections(tokens, &mut push);
+        check_unseeded_rng(tokens, &mut push);
+    }
+    if class.units_param_api || class.units_return_api {
+        check_signatures(tokens, class, &mut push);
+    }
+    if !class.units_crate {
+        check_angle_conv(tokens, &mut push);
+    }
+    check_partial_cmp_unwrap(tokens, &mut push);
+    if class.hot_path {
+        check_float_div(tokens, &mut push);
+        check_float_int_cast(tokens, &mut push);
+    }
+}
+
+fn check_hash_collections(tokens: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    for t in tokens {
+        if t.kind == Kind::Ident && matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            let alt = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            push(
+                t,
+                AstRule::NoHashCollections,
+                format!(
+                    "`{}` in determinism-critical code: iteration order varies \
+                     between runs; use `{alt}` (ordered) instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_unseeded_rng(tokens: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    for t in tokens {
+        if t.kind == Kind::Ident
+            && matches!(
+                t.text.as_str(),
+                "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng"
+            )
+        {
+            push(
+                t,
+                AstRule::NoUnseededRng,
+                format!(
+                    "`{}` draws entropy from the OS: runs become irreproducible; \
+                     seed explicitly with `SmallRng::seed_from_u64`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_angle_conv(tokens: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    for t in tokens {
+        if t.kind == Kind::Ident && matches!(t.text.as_str(), "to_radians" | "to_degrees") {
+            push(
+                t,
+                AstRule::AngleConvOutsideUnits,
+                format!(
+                    "`{}` outside `crates/units`: angle-unit conversions live in \
+                     the units layer so degrees never leak into the geometry core",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_partial_cmp_unwrap(tokens: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("partial_cmp") || !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let Some(close) = matching_close(tokens, i + 1) else {
+            continue;
+        };
+        if tokens.get(close + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens
+                .get(close + 2)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+        {
+            push(
+                &tokens[close + 2],
+                AstRule::PartialCmpUnwrap,
+                "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp` for \
+                 floats (or handle the `None` explicitly)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_float_div(tokens: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_punct('/') {
+            continue;
+        }
+        // `/=` compound assignment: the divisor starts after the `=`.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|n| n.is_punct('=')) {
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let Some(close) = matching_close(tokens, j) else {
+            continue;
+        };
+        let group = &tokens[j + 1..close];
+        let guarded = group
+            .iter()
+            .any(|g| g.kind == Kind::Ident && DIV_GUARDS.contains(&g.text.as_str()));
+        if guarded {
+            continue;
+        }
+        // A *binary* minus at the group's top level: the classic
+        // catastrophic-cancellation divisor `a / (b - c)`.
+        let mut depth = 0i32;
+        let mut has_difference = false;
+        for (k, g) in group.iter().enumerate() {
+            match g.text.as_str() {
+                "(" | "[" | "{" if g.kind == Kind::Punct => depth += 1,
+                ")" | "]" | "}" if g.kind == Kind::Punct => depth -= 1,
+                "-" if g.kind == Kind::Punct && depth == 0 => {
+                    let binary = k > 0
+                        && (matches!(group[k - 1].kind, Kind::Ident | Kind::Int | Kind::Float)
+                            || group[k - 1].is_punct(')')
+                            || group[k - 1].is_punct(']'));
+                    if binary {
+                        has_difference = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if has_difference {
+            push(
+                t,
+                AstRule::UnguardedFloatDiv,
+                "division by a parenthesized difference can hit a ~0 denominator \
+                 and produce inf/NaN; guard it (`.max(eps)`, `.abs()` check) or \
+                 restructure"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_float_int_cast(tokens: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("as")
+            || !tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == Kind::Ident && INT_TYPES.contains(&n.text.as_str()))
+        {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        let fire = if prev.kind == Kind::Float {
+            true
+        } else if prev.is_punct(')') {
+            let Some(open) = matching_open(tokens, i - 1) else {
+                continue;
+            };
+            let method = (open >= 2 && tokens[open - 2].is_punct('.'))
+                .then(|| tokens[open - 1].text.as_str())
+                .filter(|_| tokens[open - 1].kind == Kind::Ident);
+            match method {
+                Some(m) if ROUNDING_METHODS.contains(&m) => false,
+                Some(m) if FLOAT_METHODS.contains(&m) => true,
+                _ => tokens[open + 1..i - 1].iter().any(float_evidence),
+            }
+        } else {
+            false
+        };
+        if fire {
+            push(
+                t,
+                AstRule::FloatIntCast,
+                "float→int `as` cast truncates silently (and saturates on \
+                 NaN/overflow); make the rounding explicit with \
+                 `.floor()`/`.ceil()`/`.round()` before the cast"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Is this token clear evidence that the surrounding expression is a float?
+fn float_evidence(t: &Token) -> bool {
+    t.kind == Kind::Float
+        || (t.kind == Kind::Ident
+            && (matches!(t.text.as_str(), "f64" | "f32")
+                || FLOAT_METHODS.contains(&t.text.as_str())))
+}
+
+/// Scans `pub fn` signatures for raw-`f64` physical parameters and returns.
+fn check_signatures(
+    tokens: &[Token],
+    class: AstFileClass,
+    push: &mut impl FnMut(&Token, AstRule, String),
+) {
+    for f in 0..tokens.len() {
+        if !tokens[f].is_ident("fn") || !is_public_fn(tokens, f) {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(f + 1).filter(|t| t.kind == Kind::Ident) else {
+            continue; // `fn(...)` pointer type, not an item
+        };
+        let mut k = f + 2;
+        if tokens.get(k).is_some_and(|t| t.is_punct('<')) {
+            let Some(after) = skip_generics(tokens, k) else {
+                continue;
+            };
+            k = after;
+        }
+        if !tokens.get(k).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some(close) = matching_close(tokens, k) else {
+            continue;
+        };
+        if class.units_param_api {
+            for (name, ty) in split_params(&tokens[k + 1..close]) {
+                check_one_param(name, ty, push);
+            }
+        }
+        if class.units_return_api {
+            check_return(tokens, name_tok, close, push);
+        }
+    }
+}
+
+/// Walks back from the `fn` keyword over qualifiers to find a bare `pub`
+/// (`pub(crate)` and private fns are not public API).
+fn is_public_fn(tokens: &[Token], f: usize) -> bool {
+    let mut j = f;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.kind == Kind::Ident
+            && matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern")
+        {
+            continue;
+        }
+        if t.kind == Kind::Str {
+            continue; // the ABI string of `extern "C"`
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// Skips a balanced `<...>` generics list starting at `open`; returns the
+/// index just past the closing `>`. An `->` inside (e.g. `F: Fn(f64) -> f64`)
+/// does not close the list.
+fn skip_generics(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(i > 0 && tokens[i - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits a parameter-list token slice at top-level commas into
+/// `(name_token, type_tokens)` pairs; `self` receivers and destructuring
+/// patterns are skipped.
+fn split_params(params: &[Token]) -> Vec<(&Token, &[Token])> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    for i in 0..=params.len() {
+        let at_end = i == params.len();
+        if !at_end {
+            let t = &params[i];
+            if t.kind == Kind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => paren += 1,
+                    ")" | "]" | "}" => paren -= 1,
+                    "<" => angle += 1,
+                    ">" if !(i > 0 && params[i - 1].is_punct('-')) => angle -= 1,
+                    _ => {}
+                }
+            }
+        }
+        if at_end || (params[i].is_punct(',') && paren == 0 && angle == 0) {
+            if let Some(pair) = parse_param(&params[start..i]) {
+                out.push(pair);
+            }
+            start = i + 1;
+        }
+    }
+    out
+}
+
+fn parse_param(param: &[Token]) -> Option<(&Token, &[Token])> {
+    // The pattern:type separator is the first top-level `:` that is not `::`.
+    let mut depth = 0i32;
+    let mut colon = None;
+    let mut i = 0;
+    while i < param.len() {
+        let t = &param[i];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ":" if depth == 0 => {
+                    if param.get(i + 1).is_some_and(|n| n.is_punct(':')) {
+                        i += 1; // path `::`
+                    } else {
+                        colon = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    let colon = colon?;
+    let (pattern, ty) = (&param[..colon], &param[colon + 1..]);
+    // Simple binding only (optionally `mut name`); destructuring patterns
+    // have no single name to check.
+    let name = pattern
+        .iter()
+        .filter(|t| t.kind == Kind::Ident && t.text != "mut")
+        .collect::<Vec<_>>();
+    match name.as_slice() {
+        [single] if pattern.iter().all(|t| t.kind == Kind::Ident) => Some((single, ty)),
+        _ => None,
+    }
+}
+
+fn check_one_param(name: &Token, ty: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    if !type_is_bare_f64(ty) {
+        return;
+    }
+    let ident = name.text.trim_start_matches('_');
+    if ident.split('_').any(|seg| QUOTIENT_SEGMENTS.contains(&seg)) {
+        return;
+    }
+    let Some((_, newtype)) = PARAM_VOCAB
+        .iter()
+        .find(|(seg, _)| ident.split('_').any(|s| s == *seg))
+    else {
+        return;
+    };
+    push(
+        name,
+        AstRule::RawF64Param,
+        format!(
+            "public parameter `{}: f64` carries physical units; take \
+             `{newtype}` from `iprism-units` so callers cannot transpose \
+             arguments or mix unit conventions",
+            name.text
+        ),
+    );
+}
+
+fn check_return(
+    tokens: &[Token],
+    name_tok: &Token,
+    close: usize,
+    push: &mut impl FnMut(&Token, AstRule, String),
+) {
+    if !(tokens.get(close + 1).is_some_and(|t| t.is_punct('-'))
+        && tokens.get(close + 2).is_some_and(|t| t.is_punct('>')))
+    {
+        return;
+    }
+    let mut ret = Vec::new();
+    let mut depth = 0i32;
+    for t in &tokens[close + 3..] {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "{" | ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if t.is_ident("where") && depth == 0 {
+            break;
+        }
+        ret.push(t.clone());
+    }
+    if !type_is_bare_f64(&ret) {
+        return;
+    }
+    let name = name_tok.text.trim_start_matches('_');
+    if !name.split('_').any(|seg| RETURN_VOCAB.contains(&seg)) {
+        return;
+    }
+    push(
+        name_tok,
+        AstRule::RawF64Return,
+        format!(
+            "public function `{}` promises a dimensioned quantity but returns \
+             a raw `f64`; return the matching `iprism-units` newtype",
+            name_tok.text
+        ),
+    );
+}
+
+/// Is the type token list a bare `f64` (possibly behind `&`/`mut`)?
+fn type_is_bare_f64(ty: &[Token]) -> bool {
+    let core: Vec<&Token> = ty
+        .iter()
+        .filter(|t| !(t.is_punct('&') || t.is_ident("mut") || t.kind == Kind::Lifetime))
+        .collect();
+    matches!(core.as_slice(), [only] if only.is_ident("f64"))
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close`.
+fn matching_open(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = close;
+    loop {
+        let t = &tokens[i];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+}

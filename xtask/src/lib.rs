@@ -1,25 +1,28 @@
 //! Workspace automation library behind `cargo xtask`.
 //!
 //! The flagship task is `cargo xtask lint`, a custom static-analysis pass
-//! over every workspace `.rs` file enforcing the four iPrism-specific rules
-//! that `rustc`/`clippy` cannot express precisely (see [`rules::Rule`] and
-//! `docs/INVARIANTS.md`):
+//! over every workspace `.rs` file. It has two layers:
 //!
-//! * `no-panic-in-lib` — numeric core crates must not panic in library code.
-//! * `no-float-eq` — no `==`/`!=` on floats outside tests.
-//! * `no-wallclock-in-sim` — sims stay deterministic: no wall-clock time or
-//!   entropy-seeded RNGs.
-//! * `pub-fn-docs` — every `pub fn` is documented.
+//! * **Text rules** (the default; [`rules::Rule`]) — line-oriented checks:
+//!   `no-panic-in-lib`, `no-float-eq`, `no-wallclock-in-sim`, `pub-fn-docs`.
+//! * **AST rules** (`cargo xtask lint --ast`; [`ast::AstRule`]) — token- and
+//!   signature-level checks for determinism (`no-hash-collections`,
+//!   `no-unseeded-rng`), dimensional safety (`raw-f64-param`,
+//!   `raw-f64-return`, `angle-conv-outside-units`) and NaN hygiene
+//!   (`partial-cmp-unwrap`, `unguarded-float-div`, `float-int-cast`).
 //!
-//! Violations can be locally waived with a justifying comment:
-//! `// iprism-lint: allow(<rule>[, <rule>...])` on, or directly above, the
-//! offending line.
+//! Both layers are documented in `docs/STATIC_ANALYSIS.md` and
+//! `docs/INVARIANTS.md`. Violations can be locally waived with a justifying
+//! comment: `// iprism-lint: allow(<rule>[, <rule>...])` on, or directly
+//! above, the offending line.
 
+pub mod ast;
 pub mod mask;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
 
+pub use ast::{ast_lint_source, classify_ast, run_ast_lint, AstDiagnostic, AstRule, ALL_AST_RULES};
 pub use rules::{Diagnostic, FileClass, Rule, ALL_RULES};
 
 /// Crates whose library code must never panic (reach/risk math must degrade

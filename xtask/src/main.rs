@@ -1,12 +1,12 @@
 //! `cargo xtask` — workspace automation entry point.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -23,37 +23,114 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <task>\n\n\
          tasks:\n  \
-         lint    run the iPrism custom lints over every workspace .rs file\n\n\
-         lint rules: no-panic-in-lib, no-float-eq, no-wallclock-in-sim, pub-fn-docs\n\
-         waive a finding with `// iprism-lint: allow(<rule>)` on or above the line"
+         lint [--ast] [--json]   run the iPrism custom lints over every workspace .rs file\n\n\
+         flags:\n  \
+         --ast    run the AST-level rules (determinism, dimensional safety, NaN hygiene)\n           \
+         instead of the text rules\n  \
+         --json   emit machine-readable JSON instead of human-readable diagnostics\n\n\
+         text rules: no-panic-in-lib, no-float-eq, no-wallclock-in-sim, pub-fn-docs\n\
+         ast rules:  no-hash-collections, no-unseeded-rng, raw-f64-param, raw-f64-return,\n            \
+         angle-conv-outside-units, partial-cmp-unwrap, unguarded-float-div,\n            \
+         float-int-cast\n\
+         waive a finding with `// iprism-lint: allow(<rule>)` on or above the line\n\
+         (see docs/STATIC_ANALYSIS.md for the full catalogue)"
     );
 }
 
-fn lint() -> ExitCode {
+fn workspace_root() -> PathBuf {
     // xtask lives one level below the workspace root.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .unwrap_or_else(|| Path::new("."))
-        .to_path_buf();
-    match xtask::run_lint(&root) {
+        .to_path_buf()
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let mut ast = false;
+    let mut json = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--ast" => ast = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`\n");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root();
+    if ast {
+        ast_lint(&root, json)
+    } else {
+        text_lint(&root, json)
+    }
+}
+
+fn text_lint(root: &Path, json: bool) -> ExitCode {
+    match xtask::run_lint(root) {
         Ok((checked, diagnostics)) => {
-            for d in &diagnostics {
-                println!("{d}");
-            }
-            if diagnostics.is_empty() {
-                println!("xtask lint: {checked} files checked, no violations");
-                ExitCode::SUCCESS
-            } else {
+            if json {
+                // Text diagnostics have no column; report col 1.
+                let items: Vec<String> = diagnostics
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            r#"{{"path":{},"line":{},"col":1,"rule":{},"message":{}}}"#,
+                            xtask::ast::json_string(&d.path),
+                            d.line,
+                            xtask::ast::json_string(d.rule.name()),
+                            xtask::ast::json_string(&d.message)
+                        )
+                    })
+                    .collect();
                 println!(
-                    "xtask lint: {checked} files checked, {} violation(s)",
-                    diagnostics.len()
+                    "{{\"files_checked\":{checked},\"violations\":[{}]}}",
+                    items.join(",")
                 );
-                ExitCode::FAILURE
+            } else {
+                for d in &diagnostics {
+                    println!("{d}");
+                }
             }
+            summary("lint", checked, diagnostics.len(), json)
         }
         Err(err) => {
             eprintln!("xtask lint: I/O error: {err}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn ast_lint(root: &Path, json: bool) -> ExitCode {
+    match xtask::run_ast_lint(root) {
+        Ok((checked, diagnostics)) => {
+            if json {
+                println!("{}", xtask::ast::report_json(checked, &diagnostics));
+            } else {
+                for d in &diagnostics {
+                    println!("{d}");
+                }
+            }
+            summary("lint --ast", checked, diagnostics.len(), json)
+        }
+        Err(err) => {
+            eprintln!("xtask lint --ast: I/O error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn summary(task: &str, checked: usize, violations: usize, json: bool) -> ExitCode {
+    if violations == 0 {
+        if !json {
+            println!("xtask {task}: {checked} files checked, no violations");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            println!("xtask {task}: {checked} files checked, {violations} violation(s)");
+        }
+        ExitCode::FAILURE
     }
 }

@@ -102,6 +102,16 @@ pub fn mask(source: &str) -> MaskedFile {
                     code_push!('"');
                     state = State::RawStr(hashes);
                     i += prefix_len + 1;
+                } else if c == 'b'
+                    && next == Some('\'')
+                    && !is_ident_char(prev_code_char)
+                    && prev_code_char != '\''
+                {
+                    // Byte-char literal `b'x'` (incl. `b'"'`): without this
+                    // branch the `b` prefix reads as an identifier character
+                    // and a quote inside would open a phantom string state.
+                    code_push!(' ');
+                    i = consume_char_or_lifetime(&chars, i + 1, |ch| code_push!(ch));
                 } else if c == '\'' && !is_ident_char(prev_code_char) && prev_code_char != '\'' {
                     i = consume_char_or_lifetime(&chars, i, |ch| code_push!(ch));
                 } else {
@@ -298,5 +308,121 @@ fn mark_item(code: &[String], start: usize, marked: &mut [bool]) {
                 _ => {}
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The code channel with string contents blanked but delimiters kept.
+    fn code_of(src: &str) -> Vec<String> {
+        mask(src).code
+    }
+
+    #[test]
+    fn line_and_block_comments_move_to_comment_channel() {
+        let m = mask("let x = 1; // trailing panic!()\n/* block */ let y = 2;\n");
+        assert_eq!(m.code[0].trim_end(), "let x = 1;");
+        assert!(m.comments[0].contains("panic!()"));
+        assert_eq!(m.code[1].trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let m = mask(src);
+        assert_eq!(m.code[0].trim(), "let x = 1;");
+        assert!(m.comments[0].contains("still comment"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_delimiters_kept() {
+        let code = code_of(r#"let s = "contains .unwrap() and // no comment";"#);
+        assert!(!code[0].contains("unwrap"));
+        assert!(!code[0].contains("//"));
+        assert_eq!(code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let code = code_of(r#"let s = "a\"b"; let t = 1;"#);
+        assert!(code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_inner_quotes() {
+        let src = "let s = r#\"has \"quotes\" and \\ backslash\"#; let t = 1;\n";
+        let code = code_of(src);
+        assert!(code[0].contains("let t = 1;"), "{:?}", code[0]);
+        assert!(!code[0].contains("quotes"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_only_close_on_matching_hashes() {
+        let src = "let s = r##\"inner \"# still inside\"##; let t = 1;\n";
+        let code = code_of(src);
+        assert!(code[0].contains("let t = 1;"), "{:?}", code[0]);
+        assert!(!code[0].contains("still inside"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_masked() {
+        let code =
+            code_of("let s = b\"bytes .unwrap()\"; let r = br#\"raw .unwrap()\"#; let t = 1;\n");
+        assert!(!code[0].contains("unwrap"));
+        assert!(code[0].contains("let t = 1;"), "{:?}", code[0]);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let code = code_of("let var\" = 1;\n".replace('"', "").as_str());
+        assert!(code[0].contains("var"));
+        let code = code_of("let expr = ptr.cast::<u8>();\n");
+        assert!(code[0].contains("cast"));
+    }
+
+    #[test]
+    fn byte_char_quote_literal_does_not_open_a_string() {
+        // Regression: `b'"'` used to leave the scanner stuck in Str state,
+        // swallowing the rest of the file.
+        let src = "let q = b'\"'; let x: Option<u32> = None; x.unwrap();\n";
+        let code = code_of(src);
+        assert!(code[0].contains("x.unwrap();"), "{:?}", code[0]);
+    }
+
+    #[test]
+    fn byte_char_literals_are_blanked() {
+        let code = code_of("let a = b'x'; let b = b'\\n'; let t = 1;\n");
+        assert!(!code[0].contains('x'), "{:?}", code[0]);
+        assert!(code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_open_a_string() {
+        let src = "let q = '\"'; let t = 1;\n";
+        let code = code_of(src);
+        assert!(code[0].contains("let t = 1;"), "{:?}", code[0]);
+    }
+
+    #[test]
+    fn lifetimes_survive_in_the_code_channel() {
+        let code = code_of("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert_eq!(code[0].matches('\'').count(), 3);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked_through_the_closing_brace() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let m = mask(src);
+        assert_eq!(m.test[0..6], [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_marked() {
+        let src = "macro_rules! m {\n    () => {};\n}\nfn after() {}\n";
+        let m = mask(src);
+        assert_eq!(m.macro_body[0..3], [true, true, true]);
+        assert!(!m.macro_body[3]);
     }
 }

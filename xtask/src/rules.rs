@@ -434,7 +434,9 @@ fn is_documented(file: &MaskedFile, idx: usize) -> bool {
         }
         let is_attr_start = original.starts_with("#[");
         let is_attr_tail = original.ends_with(']') && !original.contains('{');
-        if is_attr_start || is_attr_tail {
+        // Plain comments (e.g. `// iprism-lint: allow(...)` directives) may
+        // sit between the doc comment and the item; keep walking.
+        if is_attr_start || is_attr_tail || original.starts_with("//") {
             continue;
         }
         return false;

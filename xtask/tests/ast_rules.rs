@@ -1,0 +1,368 @@
+//! Fixture tests for the AST-level lint rules: every rule must fire on a
+//! bad fixture, stay silent on the corresponding good fixture, and be
+//! suppressed by an `iprism-lint: allow(<rule>)` directive.
+//!
+//! Paths select the rule families that apply (see `classify_ast`):
+//! determinism rules run in sim/scenarios/reach/risk, the units-API rules
+//! in dynamics/geom/reach, the NaN-hygiene rules in the numeric hot paths.
+
+use xtask::{ast_lint_source, classify_ast, AstRule, ALL_AST_RULES};
+
+/// Determinism-critical, not a hot path, no units-API rules.
+const SIM_PATH: &str = "crates/sim/src/fixture.rs";
+/// Hot path + units params (but not the return rule).
+const GEOM_PATH: &str = "crates/geom/src/fixture.rs";
+/// Units params *and* returns + hot path.
+const DYN_PATH: &str = "crates/dynamics/src/fixture.rs";
+/// In the workspace but outside every AST rule family except the
+/// unconditional NaN-panic rule.
+const SHIM_PATH: &str = "shims/rand/src/fixture.rs";
+/// The units layer itself: angle conversions are allowed here.
+const UNITS_PATH: &str = "crates/units/src/fixture.rs";
+
+fn fired(path: &str, source: &str) -> Vec<AstRule> {
+    ast_lint_source(path, source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn hash_collections_fire_in_determinism_crates() {
+    let bad = "use std::collections::HashMap;\nfn f() { let s: HashSet<u32> = HashSet::new(); }\n";
+    let rules = fired(SIM_PATH, bad);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == AstRule::NoHashCollections)
+            .count(),
+        3,
+        "got {rules:?}"
+    );
+}
+
+#[test]
+fn hash_collections_silent_on_btree_and_outside_scope() {
+    let good =
+        "use std::collections::BTreeMap;\nfn f() { let s: BTreeSet<u32> = BTreeSet::new(); }\n";
+    assert!(fired(SIM_PATH, good).is_empty());
+    // The same HashMap is fine outside the determinism-critical crates.
+    let bad_elsewhere = "use std::collections::HashMap;\n";
+    assert!(fired(SHIM_PATH, bad_elsewhere).is_empty());
+    // ... and inside a #[cfg(test)] module of a determinism crate.
+    let in_tests = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(fired(SIM_PATH, in_tests).is_empty());
+}
+
+#[test]
+fn hash_collections_suppressed_by_allow() {
+    let waived = "// iprism-lint: allow(no-hash-collections)\nuse std::collections::HashMap;\n";
+    assert!(fired(SIM_PATH, waived).is_empty());
+}
+
+#[test]
+fn unseeded_rng_fires_in_determinism_crates() {
+    let bad = "fn f() { let mut rng = rand::thread_rng(); let r = SmallRng::from_entropy(); }\n";
+    let rules = fired(SIM_PATH, bad);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == AstRule::NoUnseededRng)
+            .count(),
+        2,
+        "got {rules:?}"
+    );
+}
+
+#[test]
+fn unseeded_rng_silent_on_seeded_and_outside_scope() {
+    let good = "fn f(seed: u64) { let mut rng = SmallRng::seed_from_u64(seed); }\n";
+    assert!(fired(SIM_PATH, good).is_empty());
+    let bad_elsewhere = "fn f() { let mut rng = rand::thread_rng(); }\n";
+    assert!(fired(SHIM_PATH, bad_elsewhere).is_empty());
+}
+
+#[test]
+fn unseeded_rng_suppressed_by_allow() {
+    let waived =
+        "fn f() { let mut rng = rand::thread_rng(); } // iprism-lint: allow(no-unseeded-rng)\n";
+    assert!(fired(SIM_PATH, waived).is_empty());
+}
+
+// ------------------------------------------------------------- units: params
+
+#[test]
+fn raw_f64_param_fires_on_dimensioned_names() {
+    let bad = "pub fn step(dt: f64, heading: f64) {}\n";
+    let rules = fired(DYN_PATH, bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == AstRule::RawF64Param).count(),
+        2,
+        "got {rules:?}"
+    );
+    // The message names the newtype to use.
+    let diags = ast_lint_source(DYN_PATH, bad);
+    assert!(diags[0].message.contains("Seconds"), "{}", diags[0].message);
+    assert!(diags[1].message.contains("Radians"), "{}", diags[1].message);
+}
+
+#[test]
+fn raw_f64_param_silent_on_newtypes_quotients_and_private_fns() {
+    // Already a newtype: nothing to flag.
+    assert!(fired(DYN_PATH, "pub fn step(dt: Seconds) {}\n").is_empty());
+    // Unit quotients (yaw_rate, time_scale) are exempt by design.
+    assert!(fired(DYN_PATH, "pub fn turn(yaw_rate: f64, time_scale: f64) {}\n").is_empty());
+    // Dimensionless raw f64s are fine.
+    assert!(fired(DYN_PATH, "pub fn mix(alpha: f64, weight: f64) {}\n").is_empty());
+    // Private and crate-private fns are not public API.
+    assert!(fired(DYN_PATH, "fn step(dt: f64) {}\n").is_empty());
+    assert!(fired(DYN_PATH, "pub(crate) fn step(dt: f64) {}\n").is_empty());
+    // The rule only runs in the units-API crates.
+    assert!(fired(SHIM_PATH, "pub fn step(dt: f64) {}\n").is_empty());
+}
+
+#[test]
+fn raw_f64_param_suppressed_by_allow() {
+    let waived = "/// Documented storage-layer constructor.\n// iprism-lint: allow(raw-f64-param)\npub fn raw(dt: f64) {}\n";
+    assert!(fired(DYN_PATH, waived).is_empty());
+}
+
+// ------------------------------------------------------------ units: returns
+
+#[test]
+fn raw_f64_return_fires_on_dimension_promising_names() {
+    let bad = "pub fn distance(&self) -> f64 { 0.0 }\n";
+    assert_eq!(fired(DYN_PATH, bad), vec![AstRule::RawF64Return]);
+}
+
+#[test]
+fn raw_f64_return_silent_on_newtypes_neutral_names_and_other_crates() {
+    // Returning the newtype satisfies the rule.
+    assert!(fired(
+        DYN_PATH,
+        "pub fn distance(&self) -> Meters { Meters::new(0.0) }\n"
+    )
+    .is_empty());
+    // A name outside the return vocabulary makes no dimensional promise.
+    assert!(fired(DYN_PATH, "pub fn scale(&self) -> f64 { 1.0 }\n").is_empty());
+    // geom is a param-rule crate but not a return-rule crate.
+    assert!(fired(GEOM_PATH, "pub fn distance(&self) -> f64 { 0.0 }\n").is_empty());
+}
+
+#[test]
+fn raw_f64_return_suppressed_by_allow() {
+    let waived = "// iprism-lint: allow(raw-f64-return)\npub fn distance(&self) -> f64 { 0.0 }\n";
+    assert!(fired(DYN_PATH, waived).is_empty());
+}
+
+// ---------------------------------------------------------- angle conversion
+
+#[test]
+fn angle_conv_fires_outside_units_crate() {
+    let bad =
+        "fn f(deg: f64) -> f64 { deg.to_radians() }\nfn g(rad: f64) -> f64 { rad.to_degrees() }\n";
+    let rules = fired(GEOM_PATH, bad);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == AstRule::AngleConvOutsideUnits)
+            .count(),
+        2,
+        "got {rules:?}"
+    );
+}
+
+#[test]
+fn angle_conv_silent_inside_units_crate() {
+    let conv = "pub fn from_degrees(deg: f64) -> Radians { Radians::new(deg.to_radians()) }\n";
+    assert!(fired(UNITS_PATH, conv).is_empty());
+}
+
+#[test]
+fn angle_conv_suppressed_by_allow() {
+    let waived = "fn f(deg: f64) -> f64 { deg.to_radians() } // iprism-lint: allow(angle-conv-outside-units)\n";
+    assert!(fired(GEOM_PATH, waived).is_empty());
+}
+
+// ---------------------------------------------------------------- NaN panics
+
+#[test]
+fn partial_cmp_unwrap_fires_everywhere() {
+    let bad = "fn best(xs: &[f64]) -> f64 {\n    *xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap()\n}\n";
+    // Fires even in crates outside every other rule family...
+    assert!(fired(SHIM_PATH, bad).contains(&AstRule::PartialCmpUnwrap));
+    // ... and `.expect(..)` is just as much of a NaN panic.
+    let bad_expect = "fn f(a: f64, b: f64) { a.partial_cmp(&b).expect(\"nan\"); }\n";
+    assert!(fired(SHIM_PATH, bad_expect).contains(&AstRule::PartialCmpUnwrap));
+}
+
+#[test]
+fn partial_cmp_silent_on_total_cmp_and_handled_none() {
+    let good =
+        "fn best(xs: &[f64]) -> Option<f64> {\n    xs.iter().copied().max_by(f64::total_cmp)\n}\n";
+    assert!(fired(SHIM_PATH, good).is_empty());
+    let handled =
+        "fn f(a: f64, b: f64) -> bool { a.partial_cmp(&b) == Some(std::cmp::Ordering::Less) }\n";
+    assert!(fired(SHIM_PATH, handled).is_empty());
+}
+
+#[test]
+fn partial_cmp_suppressed_by_allow() {
+    let waived = "// iprism-lint: allow(partial-cmp-unwrap)\nfn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n";
+    assert!(fired(SHIM_PATH, waived).is_empty());
+}
+
+// ------------------------------------------------------------- float division
+
+#[test]
+fn unguarded_float_div_fires_on_parenthesized_difference() {
+    let bad = "fn slope(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 { (y1 - y0) / (x1 - x0) }\n";
+    assert_eq!(fired(GEOM_PATH, bad), vec![AstRule::UnguardedFloatDiv]);
+}
+
+#[test]
+fn unguarded_float_div_silent_when_guarded_or_not_a_difference() {
+    // A `.max(eps)` guard inside the divisor group.
+    let guarded = "fn slope(dy: f64, x0: f64, x1: f64) -> f64 { dy / ((x1 - x0).max(1e-9)) }\n";
+    assert!(fired(GEOM_PATH, guarded).is_empty());
+    // Sums cannot cancel to ~0 the way differences do.
+    let sum = "fn f(a: f64, b: f64, c: f64) -> f64 { a / (b + c) }\n";
+    assert!(fired(GEOM_PATH, sum).is_empty());
+    // Unary minus is not a difference.
+    let neg = "fn f(a: f64, b: f64) -> f64 { a / (-b) }\n";
+    assert!(fired(GEOM_PATH, neg).is_empty());
+    // The rule only runs in the hot-path crates.
+    let bad_elsewhere = "fn f(a: f64, b: f64, c: f64) -> f64 { a / (b - c) }\n";
+    assert!(fired(SHIM_PATH, bad_elsewhere).is_empty());
+}
+
+#[test]
+fn unguarded_float_div_suppressed_by_allow() {
+    let waived = "// The denominator is proven nonzero by the caller.\n// iprism-lint: allow(unguarded-float-div)\nfn f(a: f64, b: f64, c: f64) -> f64 { a / (b - c) }\n";
+    assert!(fired(GEOM_PATH, waived).is_empty());
+}
+
+// --------------------------------------------------------------- float casts
+
+#[test]
+fn float_int_cast_fires_on_unrounded_values() {
+    // A float literal cast straight to int.
+    let lit = "fn f() -> usize { 3.7 as usize }\n";
+    assert_eq!(fired(GEOM_PATH, lit), vec![AstRule::FloatIntCast]);
+    // A method that definitely produces an un-rounded float.
+    let sqrt = "fn f(x: f64) -> usize { (x.sqrt()) as usize }\n";
+    assert_eq!(fired(GEOM_PATH, sqrt), vec![AstRule::FloatIntCast]);
+    // Float arithmetic inside the parenthesized operand.
+    let arith = "fn f(x: f64) -> usize { (x * 0.5) as usize }\n";
+    assert_eq!(fired(GEOM_PATH, arith), vec![AstRule::FloatIntCast]);
+}
+
+#[test]
+fn float_int_cast_silent_on_rounded_ints_and_cold_crates() {
+    // Explicit rounding first: the truncation is intentional and exact.
+    assert!(fired(
+        GEOM_PATH,
+        "fn f(x: f64) -> usize { (x.floor()) as usize }\n"
+    )
+    .is_empty());
+    assert!(fired(GEOM_PATH, "fn f(x: f64) -> i64 { (x.round()) as i64 }\n").is_empty());
+    // Integer-to-integer casts are not this rule's business.
+    assert!(fired(GEOM_PATH, "fn f(n: u32) -> usize { n as usize }\n").is_empty());
+    assert!(fired(
+        GEOM_PATH,
+        "fn f(a: u32, b: u32) -> usize { (a + b) as usize }\n"
+    )
+    .is_empty());
+    // Int→float widening is always fine.
+    assert!(fired(GEOM_PATH, "fn f(n: usize) -> f64 { n as f64 }\n").is_empty());
+    // The rule only runs in the hot-path crates.
+    assert!(fired(SHIM_PATH, "fn f() -> usize { 3.7 as usize }\n").is_empty());
+}
+
+#[test]
+fn float_int_cast_suppressed_by_allow() {
+    let waived =
+        "// iprism-lint: allow(float-int-cast)\nfn f(x: f64) -> usize { (x * 0.5) as usize }\n";
+    assert!(fired(GEOM_PATH, waived).is_empty());
+}
+
+// ----------------------------------------------------------------- machinery
+
+#[test]
+fn rules_never_fire_inside_strings_or_comments() {
+    let good = r#"
+fn f() -> &'static str {
+    // HashMap, thread_rng() and 3.7 as usize in a comment are fine
+    "HashMap thread_rng to_radians partial_cmp(x).unwrap()"
+}
+"#;
+    assert!(fired(SIM_PATH, good).is_empty());
+    assert!(fired(GEOM_PATH, good).is_empty());
+}
+
+#[test]
+fn allow_all_suppresses_every_rule() {
+    let waived = "// iprism-lint: allow(all)\nuse std::collections::HashMap;\n";
+    assert!(fired(SIM_PATH, waived).is_empty());
+}
+
+#[test]
+fn allow_does_not_leak_past_the_next_code_line() {
+    let too_far =
+        "// iprism-lint: allow(no-hash-collections)\nfn ok() {}\nuse std::collections::HashMap;\n";
+    assert_eq!(fired(SIM_PATH, too_far), vec![AstRule::NoHashCollections]);
+}
+
+#[test]
+fn diagnostics_carry_line_col_and_rule_name() {
+    let bad = "fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+    let diags = ast_lint_source(SIM_PATH, bad);
+    assert_eq!(diags.len(), 2);
+    assert_eq!((diags[0].line, diags[0].col), (2, 12));
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/sim/src/fixture.rs:2:12: [no-hash-collections]"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let bad = "use std::collections::HashMap;\n";
+    let diags = ast_lint_source(SIM_PATH, bad);
+    let json = xtask::ast::report_json(1, &diags);
+    assert!(json.starts_with(r#"{"files_checked":1,"violations":[{"#));
+    assert!(json.contains(r#""rule":"no-hash-collections""#));
+    assert!(json.contains(r#""line":1"#));
+    let empty = xtask::ast::report_json(42, &[]);
+    assert_eq!(empty, r#"{"files_checked":42,"violations":[]}"#);
+}
+
+#[test]
+fn classification_matches_the_crate_map() {
+    // Test/bench files are skipped entirely.
+    assert!(classify_ast("crates/sim/tests/determinism.rs").is_none());
+    assert!(classify_ast("xtask/tests/ast_rules.rs").is_none());
+
+    let sim = classify_ast("crates/sim/src/world.rs").unwrap();
+    assert!(sim.determinism && !sim.hot_path && !sim.units_param_api);
+
+    let geom = classify_ast("crates/geom/src/vec2.rs").unwrap();
+    assert!(geom.hot_path && geom.units_param_api && !geom.units_return_api);
+
+    let dynamics = classify_ast("crates/dynamics/src/bicycle.rs").unwrap();
+    assert!(dynamics.units_param_api && dynamics.units_return_api && dynamics.hot_path);
+
+    let reach = classify_ast("crates/reach/src/compute.rs").unwrap();
+    assert!(reach.determinism && reach.units_param_api && reach.units_return_api);
+
+    let units = classify_ast("crates/units/src/lib.rs").unwrap();
+    assert!(units.units_crate);
+
+    let every_rule_name_roundtrips = ALL_AST_RULES
+        .iter()
+        .all(|r| AstRule::from_name(r.name()) == Some(*r));
+    assert!(every_rule_name_roundtrips);
+}
