@@ -8,15 +8,26 @@ use iprism_reach::{compute_reach_tube, Obstacle, ReachConfig, SamplingMode};
 use iprism_units::{Meters, Seconds};
 
 fn obstacles() -> Vec<Obstacle> {
-    vec![Obstacle::new(
-        Trajectory::from_states(
-            Seconds::new(0.0),
-            Seconds::new(2.5),
-            vec![VehicleState::new(120.0, 5.25, 0.0, 0.0); 2],
-        ),
-        Meters::new(4.6),
-        Meters::new(2.0),
-    )]
+    obstacle_field(1)
+}
+
+/// `n` parked cars spread over the three lanes ahead of the ego.
+fn obstacle_field(n: usize) -> Vec<Obstacle> {
+    (0..n)
+        .map(|i| {
+            let x = 120.0 + 8.0 * i as f64;
+            let y = [5.25, 1.75, 8.75][i % 3];
+            Obstacle::new(
+                Trajectory::from_states(
+                    Seconds::new(0.0),
+                    Seconds::new(2.5),
+                    vec![VehicleState::new(x, y, 0.0, 0.0); 2],
+                ),
+                Meters::new(4.6),
+                Meters::new(2.0),
+            )
+        })
+        .collect()
 }
 
 fn bench_reach(c: &mut Criterion) {
@@ -43,6 +54,15 @@ fn bench_reach(c: &mut Criterion) {
     group.bench_function("fast_preset", |b| {
         b.iter(|| compute_reach_tube(&map, ego, &obs, &fast));
     });
+    // Obstacle-count sweep: how the slice cache + broadphase amortize the
+    // collision checks as the scene fills up (0 = pure propagation floor).
+    let cfg = ReachConfig::default();
+    for &n in &[0usize, 4, 16] {
+        let field = obstacle_field(n);
+        group.bench_with_input(BenchmarkId::new("obstacles", n), &n, |b, _| {
+            b.iter(|| compute_reach_tube(&map, ego, &field, &cfg));
+        });
+    }
     group.finish();
 }
 

@@ -29,12 +29,24 @@ fn scene_with_actors(n: usize) -> (RoadMap, SceneSnapshot) {
 
 fn bench_sti(c: &mut Criterion) {
     let mut group = c.benchmark_group("sti");
-    for &n in &[1usize, 2, 4] {
+    for &n in &[1usize, 2, 4, 8, 16] {
         let (map, scene) = scene_with_actors(n);
         let default_eval = StiEvaluator::new(ReachConfig::default());
+        // Explicit thread counts isolate the fan-out overhead: `full_serial`
+        // forces one thread, `full_parallel` a 4-worker pool (the `N + 2`
+        // counterfactual tubes are the parallel grain). Results are
+        // byte-identical across all three variants.
+        let serial_eval = StiEvaluator::new(ReachConfig::default()).with_threads(1);
+        let parallel_eval = StiEvaluator::new(ReachConfig::default()).with_threads(4);
         let fast_eval = StiEvaluator::new(ReachConfig::fast());
         group.bench_with_input(BenchmarkId::new("full_default", n), &n, |b, _| {
             b.iter(|| default_eval.evaluate(&map, &scene));
+        });
+        group.bench_with_input(BenchmarkId::new("full_serial", n), &n, |b, _| {
+            b.iter(|| serial_eval.evaluate(&map, &scene));
+        });
+        group.bench_with_input(BenchmarkId::new("full_parallel", n), &n, |b, _| {
+            b.iter(|| parallel_eval.evaluate(&map, &scene));
         });
         group.bench_with_input(BenchmarkId::new("combined_fast", n), &n, |b, _| {
             b.iter(|| fast_eval.evaluate_combined(&map, &scene));

@@ -1,0 +1,153 @@
+//! Regenerates `BENCH_STI.json`: STI hot-path timings against the recorded
+//! pre-optimization baseline.
+//!
+//! The scene matches `benches/sti.rs` (three-lane straight road, ego at
+//! 10 m/s, `n` moving actors ahead), so the numbers are directly comparable
+//! with `cargo bench -p iprism-bench --bench sti`. The baseline figures are
+//! the medians measured on this benchmark immediately *before* the
+//! slice-cache/broadphase/parallel-fan-out optimization of the STI hot path
+//! landed; keeping them in the report makes the speedup auditable.
+//!
+//! Run with `cargo xtask bench-sti` (or directly:
+//! `cargo run --release -p iprism-bench --bin bench_sti`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use iprism_dynamics::{Trajectory, VehicleState};
+use iprism_map::RoadMap;
+use iprism_reach::ReachConfig;
+use iprism_risk::{SceneActor, SceneSnapshot, StiEvaluator};
+use iprism_sim::ActorId;
+use iprism_units::Seconds;
+use serde::Serialize;
+
+/// Timed iterations per case (median reported; 2 extra warm-up runs).
+const ITERATIONS: usize = 9;
+
+/// Pre-optimization medians (ms) of the same cases, recorded from
+/// `cargo bench -p iprism-bench --bench sti` on the reference host.
+const BASELINE_MS: [(&str, f64); 4] = [
+    ("sti/full_default/1", 12.104),
+    ("sti/full_default/2", 20.554),
+    ("sti/full_default/4", 41.238),
+    ("sti/combined_fast/4", 3.591),
+];
+
+/// The STI benchmark scene: ego plus `n` slow-moving actors ahead.
+fn scene_with_actors(n: usize) -> (RoadMap, SceneSnapshot) {
+    let map = RoadMap::straight_road(3, 3.5, 600.0);
+    let mut scene = SceneSnapshot::new(0.0, VehicleState::new(100.0, 5.25, 0.0, 10.0), (4.6, 2.0));
+    for i in 0..n {
+        let x = 115.0 + 12.0 * i as f64;
+        let y = [1.75, 5.25, 8.75][i % 3];
+        let states: Vec<VehicleState> = (0..11)
+            .map(|k| VehicleState::new(x + 6.0 * 0.25 * k as f64, y, 0.0, 6.0))
+            .collect();
+        scene.actors.push(SceneActor::new(
+            ActorId(i as u32 + 1),
+            Trajectory::from_states(Seconds::new(0.0), Seconds::new(0.25), states),
+            4.6,
+            2.0,
+        ));
+    }
+    (map, scene)
+}
+
+/// Median wall-clock milliseconds of `ITERATIONS` runs of `f`.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..ITERATIONS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    description: String,
+    iterations: usize,
+    baseline_ms: BTreeMap<String, f64>,
+    current_ms: BTreeMap<String, f64>,
+    speedup: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let out: PathBuf = match std::env::args().nth(1) {
+        Some(path) => PathBuf::from(path),
+        // The bench crate lives two levels below the workspace root.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_STI.json"),
+    };
+
+    let baseline_ms: BTreeMap<String, f64> = BASELINE_MS
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect();
+
+    let mut current_ms = BTreeMap::new();
+    for n in [1usize, 2, 4] {
+        let (map, scene) = scene_with_actors(n);
+        let eval = StiEvaluator::new(ReachConfig::default());
+        let ms = median_ms(|| {
+            std::hint::black_box(eval.evaluate(&map, &scene));
+        });
+        current_ms.insert(format!("sti/full_default/{n}"), ms);
+    }
+    {
+        let (map, scene) = scene_with_actors(4);
+        let eval = StiEvaluator::new(ReachConfig::fast());
+        let ms = median_ms(|| {
+            std::hint::black_box(eval.evaluate_combined(&map, &scene));
+        });
+        current_ms.insert("sti/combined_fast/4".to_string(), ms);
+    }
+
+    let speedup: BTreeMap<String, f64> = current_ms
+        .iter()
+        .filter_map(|(k, &now)| {
+            let before = *baseline_ms.get(k)?;
+            (now > 0.0).then(|| (k.clone(), before / now))
+        })
+        .collect();
+
+    println!("STI hot-path timings (median of {ITERATIONS} runs)\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "case", "baseline", "now", "speedup"
+    );
+    for (k, &now) in &current_ms {
+        let before = baseline_ms.get(k).copied().unwrap_or(f64::NAN);
+        let ratio = speedup.get(k).copied().unwrap_or(f64::NAN);
+        println!("{k:<24} {before:>9.3} ms {now:>9.3} ms {ratio:>8.2}x");
+    }
+
+    let report = BenchReport {
+        description: "STI evaluation timings vs. the recorded pre-optimization baseline \
+                      (same scenes as benches/sti.rs)"
+            .to_string(),
+        iterations: ITERATIONS,
+        baseline_ms,
+        current_ms,
+        speedup,
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: report failed to serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("\nreport written to {}", out.display());
+}

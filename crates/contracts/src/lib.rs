@@ -136,6 +136,43 @@ pub fn check_heading_normalized(context: &str, theta: f64) {
     );
 }
 
+/// Checks a time sweep is monotone: `t` must not run backwards past the
+/// previously observed time `last`.
+///
+/// Used by monotone-access fast paths (e.g. `TrajectoryCursor`) whose
+/// amortized-O(1) guarantee is only sound for non-decreasing queries.
+/// `last` may be `NEG_INFINITY` for the first query; a NaN `t` fails.
+///
+/// # Panics
+///
+/// Panics in validating builds when `t < last` or `t` is NaN.
+#[inline]
+pub fn check_monotone_time(context: &str, last: f64, t: f64) {
+    ensure!(
+        t >= last,
+        "{context}: time sweep ran backwards ({t} after {last})"
+    );
+}
+
+/// Checks a trajectory queried for interpolation actually has samples.
+///
+/// An empty trajectory inside an `Obstacle` would silently interpolate to a
+/// default (origin) state and prune nothing; constructors reject it, so an
+/// empty one reaching a query means the struct was corrupted through its
+/// public fields.
+///
+/// # Panics
+///
+/// Panics in validating builds when `is_empty` is `true`.
+#[inline]
+pub fn check_nonempty_trajectory(context: &str, is_empty: bool) {
+    ensure!(
+        !is_empty,
+        "{context}: trajectory has no samples; interpolation would fall back \
+         to a zero-size footprint that prunes nothing"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

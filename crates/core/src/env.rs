@@ -1,8 +1,10 @@
 //! The RL environment adapting simulated driving scenarios for D-DQN.
 
+use std::sync::Arc;
+
 use iprism_agents::MitigationAction;
 use iprism_reach::ReachConfig;
-use iprism_risk::{SceneSnapshot, StiEvaluator};
+use iprism_risk::{EmptyTubeMemo, SceneSnapshot, StiEvaluator};
 use iprism_rl::{Environment, StepOutcome};
 use iprism_sim::{EgoController, EpisodeConfig, Goal, World};
 use serde::{Deserialize, Serialize};
@@ -97,6 +99,31 @@ impl<A: EgoController> MitigationEnv<A> {
     /// The current world (for inspection in tests and tooling).
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// Enables empty-world tube memoization on the internal STI evaluator
+    /// and returns the (shared) memo handle for inspection.
+    ///
+    /// Along an SMC episode the ego revisits near-identical states while the
+    /// empty tube `|T^∅|` never depends on the other actors, so caching it
+    /// removes one of the two reach-tube computations from most
+    /// [`MitigationEnv::current_sti`] calls. The memo's key excludes the map
+    /// (see [`EmptyTubeMemo`]), which is sound here because every scenario
+    /// template is required to share one map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario templates use different road maps — one memo
+    /// must never serve two maps.
+    pub fn enable_empty_tube_memo(&mut self) -> Arc<EmptyTubeMemo> {
+        let first = self.templates[0].0.map();
+        assert!(
+            self.templates.iter().all(|(w, _)| w.map() == first),
+            "empty-tube memoization needs all scenario templates on one map"
+        );
+        let memo = Arc::new(EmptyTubeMemo::new());
+        self.sti = self.sti.clone().with_empty_tube_memo(memo.clone());
+        memo
     }
 
     /// Combined STI of the current world via CVTR prediction (§IV-C).
@@ -335,5 +362,37 @@ mod tests {
     #[should_panic(expected = "template")]
     fn empty_templates_panic() {
         let _ = MitigationEnv::new(vec![], LbcAgent::default(), EnvConfig::default());
+    }
+
+    #[test]
+    fn empty_tube_memo_speeds_repeats_without_changing_sti() {
+        let mut plain = env();
+        let mut memoized = env();
+        let memo = memoized.enable_empty_tube_memo();
+        assert!(memo.is_empty());
+
+        plain.reset();
+        memoized.reset();
+        let expect = plain.current_sti();
+        assert_eq!(memoized.current_sti(), expect);
+        let cached = memo.len();
+        assert!(cached >= 1, "first evaluation must populate the memo");
+        // A repeat query from the same state is a pure cache hit.
+        assert_eq!(memoized.current_sti(), expect);
+        assert_eq!(memo.len(), cached);
+    }
+
+    #[test]
+    #[should_panic(expected = "one map")]
+    fn memo_rejects_mixed_map_templates() {
+        let t1 = lead_hazard_template();
+        let mut t2 = lead_hazard_template();
+        t2.0 = World::new(
+            RoadMap::straight_road(3, 3.5, 400.0),
+            VehicleState::new(30.0, 1.75, 0.0, 10.0),
+            0.1,
+        );
+        let mut e = MitigationEnv::new(vec![t1, t2], LbcAgent::default(), EnvConfig::default());
+        let _ = e.enable_empty_tube_memo();
     }
 }

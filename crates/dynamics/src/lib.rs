@@ -33,4 +33,4 @@ pub use bicycle::BicycleModel;
 pub use control::{ControlInput, ControlLimits};
 pub use cvtr::CvtrModel;
 pub use state::VehicleState;
-pub use trajectory::Trajectory;
+pub use trajectory::{Trajectory, TrajectoryCursor};

@@ -104,6 +104,13 @@ impl Trajectory {
     /// The state at time `t`, linearly interpolated between samples and
     /// clamped to the ends. Returns `None` when the trajectory is empty.
     pub fn state_at_time(&self, t: f64) -> Option<VehicleState> {
+        self.interpolate(t)
+    }
+
+    /// Shared interpolation kernel behind [`Trajectory::state_at_time`] and
+    /// [`TrajectoryCursor::state_at`] — one implementation so the cursor is
+    /// bit-identical to the random-access path.
+    fn interpolate(&self, t: f64) -> Option<VehicleState> {
         if self.states.is_empty() {
             return None;
         }
@@ -125,6 +132,20 @@ impl Trajectory {
             a.theta + iprism_geom::wrap_to_pi(b.theta - a.theta) * frac,
             a.v + (b.v - a.v) * frac,
         ))
+    }
+
+    /// Returns a cursor for sweeping this trajectory at non-decreasing
+    /// times (e.g. the reach computation's slice-by-slice obstacle
+    /// interpolation). Results are bit-identical to
+    /// [`Trajectory::state_at_time`]; the cursor additionally enforces (in
+    /// validating builds) that the sweep really is monotone, which is what
+    /// makes the amortized-O(1) access pattern sound for future
+    /// non-uniformly-sampled trajectory representations.
+    pub fn cursor(&self) -> TrajectoryCursor<'_> {
+        TrajectoryCursor {
+            trajectory: self,
+            last_time: f64::NEG_INFINITY,
+        }
     }
 
     /// Total path length (sum of inter-sample distances).
@@ -163,6 +184,27 @@ impl Trajectory {
             }
         }
         false
+    }
+}
+
+/// A monotone interpolation cursor over a [`Trajectory`].
+///
+/// Created by [`Trajectory::cursor`]. Queries must come at non-decreasing
+/// times; each returns exactly what [`Trajectory::state_at_time`] would.
+#[derive(Debug, Clone)]
+pub struct TrajectoryCursor<'a> {
+    trajectory: &'a Trajectory,
+    last_time: f64,
+}
+
+impl TrajectoryCursor<'_> {
+    /// The interpolated state at `t`, which must be `>=` every previous
+    /// query time on this cursor. Returns `None` for empty trajectories.
+    pub fn state_at(&mut self, t: Seconds) -> Option<VehicleState> {
+        let t = t.get();
+        iprism_contracts::check_monotone_time("TrajectoryCursor::state_at", self.last_time, t);
+        self.last_time = t;
+        self.trajectory.interpolate(t)
     }
 }
 

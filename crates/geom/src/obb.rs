@@ -52,13 +52,23 @@ impl Obb {
 
     /// The four corners in counter-clockwise order starting front-left.
     pub fn corners(&self) -> [Vec2; 4] {
+        // One sin/cos pair serves all four corners; the arithmetic per
+        // corner is exactly `pose.to_world` (position + rotated offset), so
+        // results are bit-identical to four independent transforms.
         let hl = self.length * 0.5;
         let hw = self.width * 0.5;
+        let (s, c) = self.pose.heading().sin_cos();
+        let corner = |lx: f64, ly: f64| {
+            Vec2::new(
+                self.pose.x + (lx * c - ly * s),
+                self.pose.y + (lx * s + ly * c),
+            )
+        };
         [
-            self.pose.to_world(Vec2::new(hl, hw)),
-            self.pose.to_world(Vec2::new(-hl, hw)),
-            self.pose.to_world(Vec2::new(-hl, -hw)),
-            self.pose.to_world(Vec2::new(hl, -hw)),
+            corner(hl, hw),
+            corner(-hl, hw),
+            corner(-hl, -hw),
+            corner(hl, -hw),
         ]
     }
 
@@ -115,9 +125,15 @@ impl Obb {
     /// the four face normals; for rectangles those are the only candidate
     /// separating axes.
     pub fn intersects(&self, other: &Obb) -> bool {
-        // Cheap rejection first.
-        if !self.aabb().intersects(&other.aabb()) {
-            return false;
+        // Corners are computed once and reused for both the cheap AABB
+        // rejection and the SAT projections (`aabb()` is defined as the
+        // bounding box of these same corners, so the outcome is identical).
+        let ca = self.corners();
+        let cb = other.corners();
+        if let (Some(abb), Some(bbb)) = (Aabb::from_points(&ca), Aabb::from_points(&cb)) {
+            if !abb.intersects(&bbb) {
+                return false;
+            }
         }
         let axes = [
             self.pose.forward(),
@@ -125,8 +141,6 @@ impl Obb {
             other.pose.forward(),
             other.pose.left(),
         ];
-        let ca = self.corners();
-        let cb = other.corners();
         for axis in axes {
             let (amin, amax) = project(&ca, axis);
             let (bmin, bmax) = project(&cb, axis);

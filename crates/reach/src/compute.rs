@@ -1,14 +1,13 @@
 //! Algorithm 1: frontier-by-frontier reach-tube propagation.
 
 use std::cmp::Ordering;
-use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
 
 use iprism_dynamics::{ControlInput, VehicleState};
-use iprism_geom::{Aabb, Grid2, Meters, Obb, Seconds, Vec2};
+use iprism_geom::{Aabb, Grid2, Meters, Obb, Vec2};
 use iprism_map::RoadMap;
 
-use crate::{Obstacle, ReachConfig, ReachTube, SamplingMode};
+use crate::slice_cache::SliceFootprint;
+use crate::{Obstacle, ReachConfig, ReachTube, SamplingMode, SliceCache};
 
 /// Computes the ego's escape-route reach-tube over `[t, t+k]`.
 ///
@@ -32,15 +31,79 @@ pub fn compute_reach_tube(
     obstacles: &[Obstacle],
     config: &ReachConfig,
 ) -> ReachTube {
+    let cache = SliceCache::new(obstacles, config);
+    let active: Vec<usize> = (0..cache.obstacle_count()).collect();
+    compute_reach_tube_cached(map, ego, &cache, &active, config)
+}
+
+/// [`compute_reach_tube`] over a precomputed [`SliceCache`] and an obstacle
+/// subset.
+///
+/// `active` selects which cached obstacles participate (indices into the
+/// obstacle list the cache was built from); the STI evaluator uses this to
+/// compute the factual tube (`all`), the empty tube (`&[]`) and every
+/// per-actor counterfactual tube (`all minus i`) from **one** shared cache,
+/// instead of re-interpolating every obstacle trajectory per tube.
+///
+/// The result is bit-identical to calling [`compute_reach_tube`] with the
+/// corresponding obstacle slice: the cache stores footprints built by the
+/// same arithmetic, and its broadphase boxes only ever skip exact
+/// separating-axis tests that must report "no collision".
+///
+/// # Panics
+///
+/// Panics when `config` is invalid, when an index in `active` is out of
+/// bounds for the cache, or (in validating builds) when the ego state is
+/// non-finite or its heading is unnormalized.
+pub fn compute_reach_tube_cached(
+    map: &RoadMap,
+    ego: VehicleState,
+    cache: &SliceCache,
+    active: &[usize],
+    config: &ReachConfig,
+) -> ReachTube {
     config.validate();
     iprism_contracts::check_finite_state(
         "compute_reach_tube ego",
         &[ego.x, ego.y, ego.theta, ego.v],
     );
     iprism_contracts::check_heading_normalized("compute_reach_tube ego", ego.theta);
-    let controls = control_set(config);
+    let limits = &config.model.limits;
+    // Borrow the fixed-size control arrays in place instead of allocating a
+    // Vec per tube; only the uniform lattice needs heap storage.
+    let boundary;
+    let extreme;
+    let lattice;
+    let controls: &[ControlInput] = match config.mode {
+        SamplingMode::Boundary => {
+            boundary = limits.boundary_controls();
+            &boundary
+        }
+        SamplingMode::Extreme => {
+            extreme = limits.extreme_controls();
+            &extreme
+        }
+        SamplingMode::Uniform { na, ns } => {
+            lattice = limits.lattice(na, ns);
+            &lattice
+        }
+    };
     let n_slices = config.slices();
     let (ego_len, ego_wid) = config.ego_dims;
+    // Drivability uses a slightly shrunk body: roads have usable margins,
+    // and without the allowance every tilted state near a lane edge dies
+    // and the tube loses all lateral spread.
+    let drive_len = (ego_len - 2.0 * config.drivable_margin).max(Meters::new(0.1));
+    let drive_wid = (ego_wid - 2.0 * config.drivable_margin).max(Meters::new(0.1));
+
+    // Obstacles whose swept broadphase bounds the ego provably cannot reach
+    // are dropped from the active set up front — for distant traffic this
+    // empties the collision loop entirely.
+    let active: Vec<usize> = active
+        .iter()
+        .copied()
+        .filter(|&i| cache.interacts(i, &ego))
+        .collect();
 
     // Ego-centred grid covering everything reachable within the horizon.
     let k = config.horizon.get();
@@ -56,53 +119,59 @@ pub fn compute_reach_tube(
     slices.push(vec![ego]);
     let mut truncated = false;
 
+    // Buffers reused across slices (the per-slice allocations dominated the
+    // small-scene profile).
+    let mut slice_fps: Vec<&SliceFootprint> = Vec::with_capacity(active.len());
+    let mut candidates: Vec<VehicleState> = Vec::new();
+    let mut keyed: Vec<((i64, i64, i64, i64), VehicleState)> = Vec::new();
+    // Per-parent filter verdicts keyed by exact heading bits; holds at most
+    // one entry per distinct steering angle in the control set.
+    let mut theta_memo: Vec<(u64, bool)> = Vec::with_capacity(controls.len());
+
     for slice_idx in 1..=n_slices {
-        let slice_time = config.start_time + slice_idx as f64 * config.dt;
+        slice_fps.clear();
+        slice_fps.extend(active.iter().map(|&i| &cache.footprints(i)[slice_idx - 1]));
 
         // Phase 1: generate every feasible candidate of this slice and mark
         // its swept segment. Marking happens for *all* feasible transitions
         // — including ones the ε-dedup below drops from further expansion —
         // so the volume measure does not depend on which duplicate becomes
         // the expansion representative.
-        let mut candidates: Vec<VehicleState> = Vec::new();
+        //
+        // One Euler step moves the position by `v·cosθ·dt` regardless of the
+        // control, so every candidate of a parent shares one position (and
+        // one swept segment), and candidates sharing a steering angle share
+        // their heading too. The geometric filters (drivability, slice and
+        // midpoint collision) read only `(x, y, θ)` — never `v` — so their
+        // verdict is computed once per distinct heading and the segment is
+        // marked once per parent, with bit-identical results.
+        candidates.clear();
         for &state in &slices[slice_idx - 1] {
-            for &u in &controls {
+            theta_memo.clear();
+            let mut marked = false;
+            for &u in controls {
                 let cand = config.model.step(state, u, config.dt);
                 if !cand.is_finite() {
                     continue;
                 }
-                let fp = cand.footprint(ego_len, ego_wid);
-                // Drivability uses a slightly shrunk body: roads have
-                // usable margins, and without the allowance every tilted
-                // state near a lane edge dies and the tube loses all
-                // lateral spread.
-                let drive_fp = cand.footprint(
-                    (ego_len - 2.0 * config.drivable_margin).max(Meters::new(0.1)),
-                    (ego_wid - 2.0 * config.drivable_margin).max(Meters::new(0.1)),
-                );
-                if !map.is_obb_drivable(&drive_fp) {
+                let bits = cand.theta.to_bits();
+                let passes = match theta_memo.iter().find(|&&(b, _)| b == bits) {
+                    Some(&(_, passes)) => passes,
+                    None => {
+                        let passes = survives_filters(
+                            map, &state, &cand, drive_len, drive_wid, ego_len, ego_wid, &slice_fps,
+                        );
+                        theta_memo.push((bits, passes));
+                        passes
+                    }
+                };
+                if !passes {
                     continue;
                 }
-                if collides(&fp, obstacles, slice_time, config.safety_margin) {
-                    continue;
+                if !marked {
+                    grid.mark_segment(state.position(), cand.position());
+                    marked = true;
                 }
-                // Midpoint check against tunnelling through thin/fast actors.
-                let mid = VehicleState::new(
-                    (state.x + cand.x) * 0.5,
-                    (state.y + cand.y) * 0.5,
-                    cand.theta,
-                    cand.v,
-                );
-                let mid_fp = mid.footprint(ego_len, ego_wid);
-                if collides(
-                    &mid_fp,
-                    obstacles,
-                    slice_time - config.dt * 0.5,
-                    config.safety_margin,
-                ) {
-                    continue;
-                }
-                grid.mark_segment(state.position(), cand.position());
                 candidates.push(cand);
             }
         }
@@ -113,22 +182,21 @@ pub fn compute_reach_tube(
         // robust to pruning: removing candidates (because an obstacle
         // appeared) can only replace a representative with a slower one,
         // never with a farther-reaching one.
-        let mut best: BTreeMap<(i64, i64, i64, i64), VehicleState> = BTreeMap::new();
-        for cand in candidates {
-            let key = quantize(&cand, config.dedup_epsilon);
-            match best.entry(key) {
-                Entry::Vacant(e) => {
-                    e.insert(cand);
-                }
-                Entry::Occupied(mut e) => {
-                    if canonical_order(&cand, e.get()) == Ordering::Greater {
-                        e.insert(cand);
-                    }
-                }
-            }
-        }
-        let mut next: Vec<VehicleState> = best.into_values().collect();
-        next.sort_by(|a, b| canonical_order(b, a));
+        //
+        // Implemented as sort + in-place dedup over a reused buffer rather
+        // than a per-slice map: sorting by (cell, canonical-descending) puts
+        // each cell's canonical representative first, so keeping the first
+        // entry per cell selects exactly the states a map would have kept.
+        keyed.clear();
+        keyed.extend(
+            candidates
+                .iter()
+                .map(|&cand| (quantize(&cand, config.dedup_epsilon), cand)),
+        );
+        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| canonical_order(&b.1, &a.1)));
+        keyed.dedup_by_key(|&mut (key, _)| key);
+        let mut next: Vec<VehicleState> = keyed.iter().map(|&(_, cand)| cand).collect();
+        next.sort_unstable_by(|a, b| canonical_order(b, a));
         if next.len() > config.max_frontier {
             next.truncate(config.max_frontier);
             truncated = true;
@@ -139,19 +207,66 @@ pub fn compute_reach_tube(
     ReachTube::new(slices, grid, truncated)
 }
 
-fn collides(fp: &Obb, obstacles: &[Obstacle], time: Seconds, margin: Meters) -> bool {
-    obstacles
-        .iter()
-        .any(|o| fp.intersects(&o.footprint_at(time, margin)))
+/// The per-candidate geometric filters: drivability of the (shrunk) body,
+/// collision against the slice footprints and the anti-tunnelling midpoint
+/// collision check. Reads only the candidate's pose — the verdict is shared
+/// by every sibling candidate with the same heading.
+#[allow(clippy::too_many_arguments)] // internal hot-path helper
+fn survives_filters(
+    map: &RoadMap,
+    state: &VehicleState,
+    cand: &VehicleState,
+    drive_len: Meters,
+    drive_wid: Meters,
+    ego_len: Meters,
+    ego_wid: Meters,
+    slice_fps: &[&SliceFootprint],
+) -> bool {
+    let drive_fp = cand.footprint(drive_len, drive_wid);
+    if !map.is_obb_drivable(&drive_fp) {
+        return false;
+    }
+    if hits_obstacles(cand, ego_len, ego_wid, slice_fps, false) {
+        return false;
+    }
+    // Midpoint check against tunnelling through thin/fast actors.
+    let mid = VehicleState::new(
+        (state.x + cand.x) * 0.5,
+        (state.y + cand.y) * 0.5,
+        cand.theta,
+        cand.v,
+    );
+    !hits_obstacles(&mid, ego_len, ego_wid, slice_fps, true)
 }
 
-fn control_set(config: &ReachConfig) -> Vec<ControlInput> {
-    let limits = &config.model.limits;
-    match config.mode {
-        SamplingMode::Boundary => limits.boundary_controls().to_vec(),
-        SamplingMode::Extreme => limits.extreme_controls().to_vec(),
-        SamplingMode::Uniform { na, ns } => limits.lattice(na, ns),
+/// Collision test of one candidate against the active slice footprints,
+/// with centre-point broadphase: the exact SAT test (and the ego-OBB
+/// construction itself) only runs for obstacles whose reject box contains
+/// the candidate's centre. `mid` selects the slice-midpoint footprints.
+fn hits_obstacles(
+    cand: &VehicleState,
+    ego_len: Meters,
+    ego_wid: Meters,
+    fps: &[&SliceFootprint],
+    mid: bool,
+) -> bool {
+    let center = cand.position();
+    let mut ego_fp: Option<Obb> = None;
+    for sf in fps {
+        let (reject, obb) = if mid {
+            (&sf.mid_reject, &sf.mid_obb)
+        } else {
+            (&sf.reject, &sf.obb)
+        };
+        if !reject.contains(center) {
+            continue;
+        }
+        let fp = ego_fp.get_or_insert_with(|| cand.footprint(ego_len, ego_wid));
+        if fp.intersects(obb) {
+            return true;
+        }
     }
+    false
 }
 
 /// Quantizes a state for ε-dedup. Position dims are scaled by ε, heading by
@@ -183,6 +298,7 @@ mod tests {
     #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
     use super::*;
     use iprism_dynamics::Trajectory;
+    use iprism_geom::Seconds;
 
     fn open_road() -> RoadMap {
         RoadMap::straight_road(3, 3.5, 600.0)
@@ -407,6 +523,37 @@ mod tests {
             prev < compute_reach_tube(&map, ego(), &[], &cfg).volume() * 0.8,
             "a full wall must shrink the tube substantially"
         );
+    }
+
+    proptest::proptest! {
+        /// The cached/prefiltered path over an arbitrary obstacle subset is
+        /// bit-identical (full [`ReachTube`] equality: slices, grid and
+        /// truncation flag) to building everything from scratch with only
+        /// that subset materialized — i.e. neither the shared [`SliceCache`]
+        /// nor any broadphase/relevance prefilter changes a collision
+        /// verdict anywhere in the pipeline.
+        #[test]
+        fn prop_cached_subset_matches_direct(
+            placements in proptest::collection::vec(
+                (103.0..140.0f64, 0.5..10.0f64), 0..5),
+            mask in 0u32..32,
+        ) {
+            let map = open_road();
+            let cfg = ReachConfig::fast();
+            let obstacles: Vec<Obstacle> = placements
+                .iter()
+                .map(|&(x, y)| stationary_obstacle(x, y))
+                .collect();
+            let cache = SliceCache::new(&obstacles, &cfg);
+            let active: Vec<usize> = (0..obstacles.len())
+                .filter(|i| mask & (1 << i) != 0)
+                .collect();
+            let subset: Vec<Obstacle> =
+                active.iter().map(|&i| obstacles[i].clone()).collect();
+            let cached = compute_reach_tube_cached(&map, ego(), &cache, &active, &cfg);
+            let direct = compute_reach_tube(&map, ego(), &subset, &cfg);
+            proptest::prop_assert_eq!(cached, direct);
+        }
     }
 
     #[test]

@@ -37,9 +37,11 @@
 mod compute;
 mod config;
 mod obstacle;
+mod slice_cache;
 mod tube;
 
-pub use compute::compute_reach_tube;
+pub use compute::{compute_reach_tube, compute_reach_tube_cached};
 pub use config::{ReachConfig, SamplingMode};
 pub use obstacle::Obstacle;
+pub use slice_cache::SliceCache;
 pub use tube::ReachTube;

@@ -51,12 +51,25 @@ impl Obstacle {
     /// `margin`.
     pub fn footprint_at(&self, time: Seconds, margin: Meters) -> Obb {
         // `new` rejects empty trajectories, so the fallback is unreachable
-        // unless the public field was overwritten; a zero-size footprint at
-        // the origin then prunes nothing instead of panicking mid-reach.
+        // unless the public field was overwritten. Validating builds catch
+        // that corruption loudly; release builds fall back to a zero-size
+        // footprint at the origin (prunes nothing) instead of panicking
+        // mid-reach.
+        iprism_contracts::check_nonempty_trajectory(
+            "Obstacle::footprint_at",
+            self.trajectory.is_empty(),
+        );
         let s = self
             .trajectory
             .state_at_time(time.get())
             .unwrap_or_default();
+        self.footprint_of(s, margin)
+    }
+
+    /// Footprint OBB for an already-interpolated trajectory state — the one
+    /// construction both [`Obstacle::footprint_at`] and the slice cache use,
+    /// so cached and uncached collision checks are bit-identical.
+    pub(crate) fn footprint_of(&self, s: iprism_dynamics::VehicleState, margin: Meters) -> Obb {
         Obb::new(
             s.pose(),
             Meters::new(self.length) + margin * 2.0,

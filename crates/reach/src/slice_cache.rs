@@ -1,0 +1,295 @@
+//! Per-slice obstacle broadphase cache shared across counterfactual tubes.
+//!
+//! [`crate::compute_reach_tube`] tests every candidate ego state against
+//! every obstacle at the candidate's time slice. The slice times are fixed
+//! by the [`ReachConfig`], so each obstacle's interpolated footprint — and
+//! its midpoint footprint for the anti-tunnelling check — is a function of
+//! the slice index alone. The naive loop nevertheless re-interpolated the
+//! trajectory and rebuilt the OBB for *every candidate*, an
+//! O(candidates × obstacles) allocation-heavy inner loop.
+//!
+//! [`SliceCache`] precomputes, once per (obstacle, slice):
+//!
+//! * the obstacle's interpolated OBB at the slice time and at the slice
+//!   midpoint (built through the exact same `Obstacle::footprint_at`
+//!   arithmetic, so collision outcomes are bit-identical to the uncached
+//!   path), and
+//! * a conservative **reject AABB** per OBB — the OBB's bounding box
+//!   inflated by the ego footprint's circumradius. A candidate whose centre
+//!   lies outside the reject box provably cannot intersect the obstacle, so
+//!   the broadphase skips the SAT narrow phase (and the ego-OBB
+//!   construction) for the overwhelming majority of candidate/obstacle
+//!   pairs.
+//!
+//! The cache depends only on the obstacle list and the config — not on
+//! which counterfactual subset of obstacles is active — so the STI
+//! evaluator builds it **once** and shares it (immutably, hence safely
+//! across threads) between the factual tube, the empty tube and all `N`
+//! per-actor counterfactual tubes.
+//!
+//! The cache also answers reachability-level relevance queries
+//! ([`SliceCache::interacts`]): an obstacle whose reject boxes all lie
+//! beyond the ego's maximum kinematic reach can be dropped from the active
+//! set — or its whole counterfactual tube skipped — with bit-identical
+//! results.
+
+use iprism_dynamics::VehicleState;
+use iprism_geom::{Aabb, Meters, Obb, Vec2};
+
+use crate::{Obstacle, ReachConfig};
+
+/// Extra conservatism (m) added to every broadphase inflation so SAT's own
+/// epsilon slack (touching boxes count as intersecting) can never produce a
+/// hit that the broadphase rejected.
+const BROADPHASE_SLACK: f64 = 1e-3;
+
+/// Precomputed per-slice collision data for one obstacle at one time slice.
+#[derive(Debug, Clone)]
+pub(crate) struct SliceFootprint {
+    /// Obstacle OBB at the slice time, inflated by the safety margin.
+    pub(crate) obb: Obb,
+    /// `obb`'s AABB inflated by the ego circumradius: candidates whose
+    /// centre falls outside cannot intersect `obb`.
+    pub(crate) reject: Aabb,
+    /// Obstacle OBB at the slice midpoint (anti-tunnelling check).
+    pub(crate) mid_obb: Obb,
+    /// Reject AABB for `mid_obb`.
+    pub(crate) mid_reject: Aabb,
+}
+
+/// Per-obstacle data: footprints for every slice plus their union bounds.
+#[derive(Debug, Clone)]
+struct CachedObstacle {
+    /// One entry per slice, index `slice_idx - 1`.
+    slices: Vec<SliceFootprint>,
+    /// Union of every reject AABB — the obstacle's total swept extent over
+    /// the horizon, already inflated for the broadphase.
+    bounds: Aabb,
+}
+
+/// Precomputed obstacle broadphase data for one [`ReachConfig`], shared by
+/// every (counterfactual) reach-tube of an STI evaluation.
+///
+/// Build once with [`SliceCache::new`], then compute tubes over arbitrary
+/// obstacle subsets with [`crate::compute_reach_tube_cached`].
+#[derive(Debug, Clone)]
+pub struct SliceCache {
+    obstacles: Vec<CachedObstacle>,
+    /// `horizon + dt` (s): conservative time span covering the discrete
+    /// Euler propagation's overshoot past the nominal horizon.
+    reach_span: f64,
+    /// Largest acceleration magnitude the model can command (m/s²).
+    accel_mag: f64,
+}
+
+impl SliceCache {
+    /// Precomputes slice footprints and reject boxes for `obstacles`.
+    ///
+    /// The cache is tied to the `config` it was built with (slice times,
+    /// safety margin and ego dimensions are baked in); compute tubes only
+    /// with the same configuration.
+    pub fn new(obstacles: &[Obstacle], config: &ReachConfig) -> Self {
+        let n_slices = config.slices();
+        let (ego_len, ego_wid) = config.ego_dims;
+        // Any point of the ego footprint is within the circumradius of its
+        // centre, so inflating an obstacle box by it makes centre-point
+        // containment a sound broadphase.
+        let inflation = Meters::new(
+            0.5 * (ego_len.get() * ego_len.get() + ego_wid.get() * ego_wid.get()).sqrt()
+                + BROADPHASE_SLACK,
+        );
+        let cached = obstacles
+            .iter()
+            .map(|obstacle| {
+                iprism_contracts::check_nonempty_trajectory(
+                    "SliceCache::new",
+                    obstacle.trajectory.is_empty(),
+                );
+                let mut cursor = obstacle.trajectory.cursor();
+                let mut slices = Vec::with_capacity(n_slices);
+                let mut bounds: Option<Aabb> = None;
+                for slice_idx in 1..=n_slices {
+                    // Exactly the times the uncached inner loop used.
+                    let slice_time = config.start_time + slice_idx as f64 * config.dt;
+                    let mid_time = slice_time - config.dt * 0.5;
+                    // Midpoint first: the cursor sweep must be monotone.
+                    let mid_state = cursor.state_at(mid_time).unwrap_or_default();
+                    let slice_state = cursor.state_at(slice_time).unwrap_or_default();
+                    let obb = obstacle.footprint_of(slice_state, config.safety_margin);
+                    let mid_obb = obstacle.footprint_of(mid_state, config.safety_margin);
+                    let reject = obb.aabb().inflated(inflation);
+                    let mid_reject = mid_obb.aabb().inflated(inflation);
+                    let union = reject.union(&mid_reject);
+                    bounds = Some(bounds.map_or(union, |b| b.union(&union)));
+                    slices.push(SliceFootprint {
+                        obb,
+                        reject,
+                        mid_obb,
+                        mid_reject,
+                    });
+                }
+                CachedObstacle {
+                    slices,
+                    bounds: bounds
+                        .unwrap_or_else(|| Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(0.0, 0.0))),
+                }
+            })
+            .collect();
+        let limits = &config.model.limits;
+        SliceCache {
+            obstacles: cached,
+            reach_span: (config.horizon + config.dt).get(),
+            accel_mag: limits.accel_max.abs().max(limits.accel_min.abs()),
+        }
+    }
+
+    /// Number of obstacles the cache was built over.
+    pub fn obstacle_count(&self) -> usize {
+        self.obstacles.len()
+    }
+
+    /// Returns `true` when the cache holds no obstacles.
+    pub fn is_empty(&self) -> bool {
+        self.obstacles.is_empty()
+    }
+
+    /// Per-slice footprints of obstacle `index` (entry `slice_idx - 1`).
+    pub(crate) fn footprints(&self, index: usize) -> &[SliceFootprint] {
+        &self.obstacles[index].slices
+    }
+
+    /// Conservative test of whether obstacle `index` can interact with any
+    /// state the ego can reach over the horizon.
+    ///
+    /// `false` guarantees that no candidate of a reach computation from
+    /// `ego` can ever collide with this obstacle, so dropping it from the
+    /// active set — or skipping its counterfactual tube outright, reusing
+    /// the factual volume — changes nothing, bit for bit. The bound is the
+    /// ego's worst-case kinematic displacement (`|v|·k + ½·a·k²` over the
+    /// padded span, plus slack), compared against the obstacle's swept,
+    /// already-inflated broadphase bounds.
+    pub fn interacts(&self, index: usize, ego: &VehicleState) -> bool {
+        let span = self.reach_span;
+        let radius = ego.v.abs() * span + 0.5 * self.accel_mag * span * span + 1.0;
+        let reach = Aabb::new(
+            ego.position() - Vec2::new(radius, radius),
+            ego.position() + Vec2::new(radius, radius),
+        );
+        self.obstacles[index].bounds.intersects(&reach)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_dynamics::Trajectory;
+    use iprism_geom::Seconds;
+    use proptest::prelude::*;
+
+    fn obstacle_at(x: f64, y: f64) -> Obstacle {
+        Obstacle::new(
+            Trajectory::from_states(
+                Seconds::new(0.0),
+                Seconds::new(2.5),
+                vec![VehicleState::new(x, y, 0.0, 0.0); 2],
+            ),
+            Meters::new(4.6),
+            Meters::new(2.0),
+        )
+    }
+
+    #[test]
+    fn cache_matches_uncached_footprints() {
+        let cfg = ReachConfig::default();
+        let o = obstacle_at(115.0, 5.25);
+        let cache = SliceCache::new(std::slice::from_ref(&o), &cfg);
+        assert_eq!(cache.obstacle_count(), 1);
+        assert!(!cache.is_empty());
+        let fps = cache.footprints(0);
+        assert_eq!(fps.len(), cfg.slices());
+        for (i, fp) in fps.iter().enumerate() {
+            let slice_time = cfg.start_time + (i + 1) as f64 * cfg.dt;
+            let expect = o.footprint_at(slice_time, cfg.safety_margin);
+            let expect_mid = o.footprint_at(slice_time - cfg.dt * 0.5, cfg.safety_margin);
+            assert_eq!(fp.obb, expect, "slice {i} footprint diverged");
+            assert_eq!(fp.mid_obb, expect_mid, "slice {i} midpoint diverged");
+        }
+    }
+
+    #[test]
+    fn reject_boxes_enclose_obbs() {
+        let cfg = ReachConfig::default();
+        let o = obstacle_at(120.0, 1.75);
+        let cache = SliceCache::new(std::slice::from_ref(&o), &cfg);
+        for fp in cache.footprints(0) {
+            for corner in fp.obb.corners() {
+                assert!(fp.reject.contains(corner));
+            }
+            for corner in fp.mid_obb.corners() {
+                assert!(fp.mid_reject.contains(corner));
+            }
+        }
+    }
+
+    #[test]
+    fn distant_obstacle_does_not_interact() {
+        let cfg = ReachConfig::default();
+        let near = obstacle_at(115.0, 5.25);
+        let far = obstacle_at(500.0, 5.25);
+        let cache = SliceCache::new(&[near, far], &cfg);
+        let ego = VehicleState::new(100.0, 5.25, 0.0, 10.0);
+        assert!(cache.interacts(0, &ego));
+        assert!(!cache.interacts(1, &ego));
+        // A much faster ego reaches further (150 m/s × 2.75 s ≈ 410 m).
+        let fast = VehicleState::new(100.0, 5.25, 0.0, 150.0);
+        assert!(cache.interacts(1, &fast));
+    }
+
+    #[test]
+    fn empty_obstacle_list() {
+        let cache = SliceCache::new(&[], &ReachConfig::default());
+        assert_eq!(cache.obstacle_count(), 0);
+        assert!(cache.is_empty());
+    }
+
+    proptest! {
+        /// Soundness of the broadphase: the set of candidates whose centre
+        /// the reject box accepts is a superset of the candidates whose
+        /// footprint intersects the obstacle OBB — so gating the SAT test on
+        /// the reject box can never change a collision verdict.
+        #[test]
+        fn prop_broadphase_accepts_every_intersection(
+            ox in 90.0..130.0f64, oy in 0.0..10.5f64, oth in -3.1..3.1f64,
+            cx in 90.0..130.0f64, cy in 0.0..10.5f64, cth in -3.1..3.1f64,
+        ) {
+            let cfg = ReachConfig::default();
+            let (ego_len, ego_wid) = cfg.ego_dims;
+            let obstacle = Obstacle::new(
+                Trajectory::from_states(
+                    Seconds::new(0.0),
+                    Seconds::new(2.5),
+                    vec![VehicleState::new(ox, oy, oth, 0.0); 2],
+                ),
+                Meters::new(4.6),
+                Meters::new(2.0),
+            );
+            let cache = SliceCache::new(std::slice::from_ref(&obstacle), &cfg);
+            let cand = VehicleState::new(cx, cy, cth, 5.0);
+            let fp = cand.footprint(ego_len, ego_wid);
+            for sf in cache.footprints(0) {
+                // No false rejects, for the slice and the midpoint boxes.
+                if fp.intersects(&sf.obb) {
+                    prop_assert!(sf.reject.contains(cand.position()));
+                }
+                if fp.intersects(&sf.mid_obb) {
+                    prop_assert!(sf.mid_reject.contains(cand.position()));
+                }
+                // Equivalently: the prefiltered verdict equals the plain SAT
+                // verdict (the hot path computes the left-hand side).
+                let prefiltered =
+                    sf.reject.contains(cand.position()) && fp.intersects(&sf.obb);
+                prop_assert_eq!(prefiltered, fp.intersects(&sf.obb));
+            }
+        }
+    }
+}

@@ -37,6 +37,7 @@
 
 mod cipa;
 mod ltfma;
+mod memo;
 mod pkl;
 mod scene;
 mod sti;
@@ -44,7 +45,8 @@ mod ttc;
 
 pub use cipa::{dist_cipa, CIPA_RISK_DISTANCE};
 pub use ltfma::{ltfma_seconds, ltfma_steps, RiskIndicator};
+pub use memo::EmptyTubeMemo;
 pub use pkl::{Pkl, PklModel, PklPlannerConfig};
 pub use scene::{SceneActor, SceneSnapshot};
-pub use sti::{Sti, StiEvaluator};
+pub use sti::{Sti, StiEvaluator, STI_THREADS_ENV};
 pub use ttc::{time_to_collision, TTC_RISK_SECONDS};

@@ -1,0 +1,215 @@
+//! Opt-in memoization of the empty-world tube volume `|T^∅|`.
+//!
+//! Every STI evaluation recomputes the empty-world reach-tube, yet `|T^∅|`
+//! depends only on the ego state, the map and the reach configuration —
+//! never on the other actors and (with no obstacles to interpolate) not on
+//! the scene time either. Along an SMC mitigation episode the ego revisits
+//! near-identical states whenever it is stopped or cruising steadily, so
+//! the empty tube is recomputed over and over for the same answer.
+//!
+//! [`EmptyTubeMemo`] caches `|T^∅|` keyed by the **quantized** ego state
+//! (millimetre/centi-milliradian resolution) plus a fingerprint of every
+//! config field the empty tube depends on. It is strictly **opt-in**
+//! (`StiEvaluator::with_empty_tube_memo`): within one quantization cell the
+//! cached volume substitutes for an exact recomputation, a deliberate,
+//! bounded approximation that the default evaluator never makes.
+//!
+//! The map is *not* part of the key — a memo handle must only be used with
+//! one map, which is how `iprism_core`'s mitigation environment (one map
+//! per episode set) wires it up.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use iprism_dynamics::VehicleState;
+use iprism_reach::ReachConfig;
+
+/// Quantized ego state `(x, y, θ, v)` plus config fingerprint.
+pub(crate) type MemoKey = (i64, i64, i64, i64, u64);
+
+/// Position quantum (m) for memo keys: 1 mm.
+const POS_QUANTUM: f64 = 1e-3;
+/// Heading quantum (rad) for memo keys.
+const ANGLE_QUANTUM: f64 = 1e-4;
+/// Speed quantum (m/s) for memo keys: 1 mm/s.
+const SPEED_QUANTUM: f64 = 1e-3;
+
+/// A shared, thread-safe cache of empty-world tube volumes.
+///
+/// Create one with [`EmptyTubeMemo::new`], wrap it in an
+/// [`std::sync::Arc`], and hand it to every evaluator that should share it
+/// via `StiEvaluator::with_empty_tube_memo`. Lookups and inserts are
+/// guarded by a mutex; on a poisoned lock the memo degrades to computing
+/// without caching rather than panicking.
+#[derive(Debug, Default)]
+pub struct EmptyTubeMemo {
+    entries: Mutex<BTreeMap<MemoKey, f64>>,
+}
+
+impl EmptyTubeMemo {
+    /// Creates an empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        EmptyTubeMemo::default()
+    }
+
+    /// Number of cached volumes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Returns `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every cached entry (e.g. when switching maps).
+    pub fn clear(&self) {
+        if let Ok(mut map) = self.entries.lock() {
+            map.clear();
+        }
+    }
+
+    /// Returns the cached volume for `key`, computing and caching it with
+    /// `compute` on a miss.
+    pub(crate) fn get_or_compute(&self, key: MemoKey, compute: impl FnOnce() -> f64) -> f64 {
+        match self.entries.lock() {
+            Ok(map) => {
+                if let Some(&v) = map.get(&key) {
+                    return v;
+                }
+            }
+            Err(_) => return compute(),
+        }
+        // The lock is dropped during the (milliseconds-long) computation so
+        // concurrent evaluations of *different* states proceed in parallel;
+        // a racing duplicate insert writes the same deterministic value.
+        let v = compute();
+        if let Ok(mut map) = self.entries.lock() {
+            map.insert(key, v);
+        }
+        v
+    }
+}
+
+/// Builds the memo key for an ego state under a configuration.
+pub(crate) fn memo_key(ego: &VehicleState, config: &ReachConfig) -> MemoKey {
+    (
+        (ego.x / POS_QUANTUM).round() as i64,
+        (ego.y / POS_QUANTUM).round() as i64,
+        (ego.theta / ANGLE_QUANTUM).round() as i64,
+        (ego.v / SPEED_QUANTUM).round() as i64,
+        config_fingerprint(config),
+    )
+}
+
+#[inline]
+fn fold(mut h: u64, bits: u64) -> u64 {
+    // FNV-1a over the little-endian bytes.
+    for b in bits.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[inline]
+fn fold_f(h: u64, x: f64) -> u64 {
+    fold(h, x.to_bits())
+}
+
+/// FNV-1a fingerprint of every [`ReachConfig`] field the *empty-world* tube
+/// depends on. `start_time` is deliberately excluded: with no obstacle
+/// trajectories to interpolate, the tube is invariant under time shifts,
+/// which is exactly what lets one memo serve a whole episode sweep.
+fn config_fingerprint(c: &ReachConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    h = fold_f(h, c.dt.get());
+    h = fold_f(h, c.horizon.get());
+    h = fold_f(h, c.dedup_epsilon);
+    let (tag, na, ns) = match c.mode {
+        iprism_reach::SamplingMode::Boundary => (0u64, 0u64, 0u64),
+        iprism_reach::SamplingMode::Extreme => (1, 0, 0),
+        iprism_reach::SamplingMode::Uniform { na, ns } => (2, na as u64, ns as u64),
+    };
+    h = fold(h, tag);
+    h = fold(h, na);
+    h = fold(h, ns);
+    h = fold_f(h, c.grid_resolution.get());
+    h = fold_f(h, c.safety_margin.get());
+    h = fold(h, c.max_frontier as u64);
+    h = fold_f(h, c.drivable_margin.get());
+    h = fold_f(h, c.ego_dims.0.get());
+    h = fold_f(h, c.ego_dims.1.get());
+    h = fold_f(h, c.model.wheelbase.get());
+    let l = &c.model.limits;
+    h = fold_f(h, l.accel_min);
+    h = fold_f(h, l.accel_max);
+    h = fold_f(h, l.steer_min);
+    h = fold_f(h, l.steer_max);
+    h = fold_f(h, l.v_min);
+    h = fold_f(h, l.v_max);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
+    use super::*;
+    use iprism_units::{Meters, Seconds};
+
+    fn ego() -> VehicleState {
+        VehicleState::new(100.0, 5.25, 0.0, 10.0)
+    }
+
+    #[test]
+    fn get_or_compute_caches() {
+        let memo = EmptyTubeMemo::new();
+        assert!(memo.is_empty());
+        let key = memo_key(&ego(), &ReachConfig::default());
+        let mut calls = 0;
+        let v1 = memo.get_or_compute(key, || {
+            calls += 1;
+            42.5
+        });
+        let v2 = memo.get_or_compute(key, || {
+            calls += 1;
+            -1.0
+        });
+        assert_eq!(v1, 42.5);
+        assert_eq!(v2, 42.5);
+        assert_eq!(calls, 1);
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn key_distinguishes_states_beyond_quantum() {
+        let cfg = ReachConfig::default();
+        let a = memo_key(&VehicleState::new(100.0, 5.25, 0.0, 10.0), &cfg);
+        let b = memo_key(&VehicleState::new(100.1, 5.25, 0.0, 10.0), &cfg);
+        let c = memo_key(&VehicleState::new(100.0, 5.25, 0.0, 10.0), &cfg);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_ignores_start_time_only() {
+        let base = ReachConfig::default();
+        let shifted = base.at_time(Seconds::new(37.5));
+        assert_eq!(memo_key(&ego(), &base).4, memo_key(&ego(), &shifted).4);
+
+        let coarser = ReachConfig {
+            grid_resolution: Meters::new(1.0),
+            ..ReachConfig::default()
+        };
+        assert_ne!(memo_key(&ego(), &base).4, memo_key(&ego(), &coarser).4);
+        let fewer = ReachConfig {
+            max_frontier: 100,
+            ..ReachConfig::default()
+        };
+        assert_ne!(memo_key(&ego(), &base).4, memo_key(&ego(), &fewer).4);
+        let fast = ReachConfig::fast();
+        assert_ne!(memo_key(&ego(), &base).4, memo_key(&ego(), &fast).4);
+    }
+}

@@ -1,12 +1,17 @@
 //! The Safety-Threat Indicator (Eq. 4–6 of the paper).
 
+use std::sync::Arc;
+
+use iprism_dynamics::VehicleState;
 use iprism_map::RoadMap;
-use iprism_reach::{compute_reach_tube, ReachConfig};
+use iprism_reach::{compute_reach_tube_cached, ReachConfig, SliceCache};
 use iprism_sim::ActorId;
 use iprism_units::{Meters, Seconds};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::SceneSnapshot;
+use crate::memo::memo_key;
+use crate::{EmptyTubeMemo, SceneSnapshot};
 
 /// Result of an STI evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,6 +43,22 @@ impl Sti {
     }
 }
 
+/// One counterfactual reach-tube of an STI evaluation.
+#[derive(Debug, Clone, Copy)]
+enum Tube {
+    /// `T`: every actor present.
+    All,
+    /// `T^∅`: no actors.
+    Empty,
+    /// `T^{/i}`: actor at obstacle index `i` removed.
+    Without(usize),
+}
+
+/// Name of the environment variable overriding the automatic STI thread
+/// count (`StiEvaluator` with `threads = 0`). Must parse as a positive
+/// integer; `1` forces serial evaluation.
+pub const STI_THREADS_ENV: &str = "IPRISM_STI_THREADS";
+
 /// Evaluates STI via counterfactual reach-tube queries.
 ///
 /// Three (plus one per actor) reach-tubes are computed per evaluation:
@@ -46,33 +67,108 @@ impl Sti {
 ///
 /// The evaluator is configured by a [`ReachConfig`]; its `start_time` and
 /// `ego_dims` are overridden per scene.
+///
+/// # Performance and determinism
+///
+/// All tubes of one evaluation share a single precomputed
+/// [`SliceCache`] (obstacle footprints are interpolated once, not once per
+/// counterfactual) and are fanned out over a rayon thread pool sized by
+/// [`StiEvaluator::with_threads`]. Results are collected in deterministic
+/// order and each tube computation is pure, so the output is **byte-for-byte
+/// identical** for every thread count, including fully serial. Actors whose
+/// swept extent the ego provably cannot reach are skipped outright — their
+/// counterfactual tube is bit-identical to the factual tube, so their STI
+/// is exactly `0` either way.
 #[derive(Debug, Clone, Default)]
 pub struct StiEvaluator {
     /// Reach-tube parameters.
     pub config: ReachConfig,
+    /// Worker threads for the counterfactual fan-out. `0` = automatic
+    /// (the [`STI_THREADS_ENV`] environment variable when set, otherwise the
+    /// host's available parallelism); `1` = serial.
+    threads: usize,
+    /// Opt-in shared cache of empty-world tube volumes.
+    empty_memo: Option<Arc<EmptyTubeMemo>>,
 }
 
 impl StiEvaluator {
-    /// Creates an evaluator with the given reach configuration.
+    /// Creates an evaluator with the given reach configuration, automatic
+    /// thread count and no memoization.
     pub fn new(config: ReachConfig) -> Self {
-        StiEvaluator { config }
+        StiEvaluator {
+            config,
+            threads: 0,
+            empty_memo: None,
+        }
+    }
+
+    /// Sets the number of worker threads used to fan out counterfactual
+    /// tubes. `0` restores the automatic default ([`STI_THREADS_ENV`] when
+    /// set, otherwise host parallelism); `1` forces serial evaluation.
+    /// Results do not depend on the choice.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Opts in to empty-world tube memoization through a shared
+    /// [`EmptyTubeMemo`] (see the memo's documentation for the exactness
+    /// trade-off — within one quantization cell the cached volume stands in
+    /// for recomputation). The memo must only be shared between evaluators
+    /// operating on the same map.
+    #[must_use]
+    pub fn with_empty_tube_memo(mut self, memo: Arc<EmptyTubeMemo>) -> Self {
+        self.empty_memo = Some(memo);
+        self
+    }
+
+    /// The configured thread count (`0` = automatic).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Full evaluation: combined STI plus per-actor STI (Eq. 4 and 5).
     pub fn evaluate(&self, map: &RoadMap, scene: &SceneSnapshot) -> Sti {
         let cfg = self.scene_config(scene);
-        let all = compute_reach_tube(map, scene.ego, &scene.obstacles(), &cfg);
-        let empty = compute_reach_tube(map, scene.ego, &[], &cfg);
-        let v_all = all.volume();
-        let v_empty = empty.volume();
+        let obstacles = scene.obstacles();
+        let cache = SliceCache::new(&obstacles, &cfg);
+        let n = obstacles.len();
+        let all_idx: Vec<usize> = (0..n).collect();
+
+        // Job list: factual and empty tubes, then one counterfactual per
+        // *reachable* actor. Unreachable actors (broadphase-proven) reuse
+        // the factual volume — their tube would be bit-identical anyway.
+        let mut jobs: Vec<Tube> = Vec::with_capacity(n + 2);
+        jobs.push(Tube::All);
+        jobs.push(Tube::Empty);
+        let mut job_of_actor: Vec<Option<usize>> = Vec::with_capacity(n);
+        for i in 0..n {
+            if cache.interacts(i, &scene.ego) {
+                job_of_actor.push(Some(jobs.len()));
+                jobs.push(Tube::Without(i));
+            } else {
+                job_of_actor.push(None);
+            }
+        }
+
+        let volumes = self.run_jobs(&jobs, |tube| {
+            self.tube_volume(map, scene.ego, &cache, &all_idx, *tube, &cfg)
+        });
+        let v_all = volumes[0];
+        let v_empty = volumes[1];
 
         let per_actor: Vec<(ActorId, f64)> = scene
             .actors
             .iter()
-            .map(|a| {
-                let without =
-                    compute_reach_tube(map, scene.ego, &scene.obstacles_without(a.id), &cfg);
-                let v_without = without.volume();
+            .enumerate()
+            .map(|(i, a)| {
+                let v_without = job_of_actor
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .map_or(v_all, |j| volumes[j]);
                 iprism_contracts::check_tube_monotone(
                     "StiEvaluator::evaluate",
                     v_all,
@@ -97,14 +193,75 @@ impl StiEvaluator {
     }
 
     /// Cheap evaluation of only `STI^(combined)` (two reach-tubes instead of
-    /// `N + 2`) — what the SMC reward needs at every RL step.
+    /// `N + 2`) — what the SMC reward needs at every RL step. Shares the
+    /// slice cache between both tubes and honours the empty-tube memo.
     pub fn evaluate_combined(&self, map: &RoadMap, scene: &SceneSnapshot) -> f64 {
         let cfg = self.scene_config(scene);
-        let all = compute_reach_tube(map, scene.ego, &scene.obstacles(), &cfg);
-        let empty = compute_reach_tube(map, scene.ego, &[], &cfg);
-        let sti = sti_ratio(empty.volume() - all.volume(), empty.volume());
+        let obstacles = scene.obstacles();
+        let cache = SliceCache::new(&obstacles, &cfg);
+        let all_idx: Vec<usize> = (0..obstacles.len()).collect();
+        let jobs = [Tube::All, Tube::Empty];
+        let volumes = self.run_jobs(&jobs, |tube| {
+            self.tube_volume(map, scene.ego, &cache, &all_idx, *tube, &cfg)
+        });
+        let sti = sti_ratio(volumes[1] - volumes[0], volumes[1]);
         iprism_contracts::check_sti("StiEvaluator::evaluate_combined", sti);
         sti
+    }
+
+    /// Computes one counterfactual tube's volume (memo-aware for `T^∅`).
+    fn tube_volume(
+        &self,
+        map: &RoadMap,
+        ego: VehicleState,
+        cache: &SliceCache,
+        all_idx: &[usize],
+        tube: Tube,
+        cfg: &ReachConfig,
+    ) -> f64 {
+        match tube {
+            Tube::All => compute_reach_tube_cached(map, ego, cache, all_idx, cfg).volume(),
+            Tube::Empty => match &self.empty_memo {
+                Some(memo) => memo.get_or_compute(memo_key(&ego, cfg), || {
+                    compute_reach_tube_cached(map, ego, cache, &[], cfg).volume()
+                }),
+                None => compute_reach_tube_cached(map, ego, cache, &[], cfg).volume(),
+            },
+            Tube::Without(skip) => {
+                let active: Vec<usize> = all_idx.iter().copied().filter(|&j| j != skip).collect();
+                compute_reach_tube_cached(map, ego, cache, &active, cfg).volume()
+            }
+        }
+    }
+
+    /// Runs the tube jobs — serially, or fanned out over a rayon pool —
+    /// always returning volumes in job order so the evaluation result is
+    /// independent of the thread count.
+    fn run_jobs(&self, jobs: &[Tube], run: impl Fn(&Tube) -> f64 + Sync) -> Vec<f64> {
+        let threads = self.effective_threads();
+        if threads <= 1 || jobs.len() <= 1 {
+            return jobs.iter().map(&run).collect();
+        }
+        match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            Ok(pool) => pool.install(|| jobs.par_iter().map(&run).collect()),
+            Err(_) => jobs.iter().map(&run).collect(),
+        }
+    }
+
+    /// Resolves the effective thread count: explicit setting, else the
+    /// [`STI_THREADS_ENV`] environment variable, else host parallelism.
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(value) = std::env::var(STI_THREADS_ENV) {
+            if let Ok(n) = value.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 
     fn scene_config(&self, scene: &SceneSnapshot) -> ReachConfig {
@@ -231,6 +388,46 @@ mod tests {
         assert_eq!(sti_ratio(-3.0, 10.0), 0.0);
         assert_eq!(sti_ratio(15.0, 10.0), 1.0);
         assert!((sti_ratio(5.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_byte_identical_to_serial() {
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0))
+            .with_actor(parked(1, 112.0, 5.25))
+            .with_actor(parked(2, 112.0, 8.75))
+            .with_actor(parked(3, 120.0, 1.75))
+            .with_actor(parked(4, 500.0, 5.25)); // unreachable: skipped tube
+        let serial = StiEvaluator::default().with_threads(1);
+        let reference = serial.evaluate(&map3(), &scene);
+        for threads in [2, 4, 8] {
+            let parallel = StiEvaluator::default().with_threads(threads);
+            assert_eq!(
+                parallel.evaluate(&map3(), &scene),
+                reference,
+                "thread count {threads} changed the result"
+            );
+            assert_eq!(parallel.threads(), threads);
+        }
+    }
+
+    #[test]
+    fn memoized_empty_tube_matches_direct() {
+        let memo = std::sync::Arc::new(crate::EmptyTubeMemo::new());
+        let plain = StiEvaluator::default();
+        let memoized = StiEvaluator::default().with_empty_tube_memo(memo.clone());
+        let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
+
+        let direct = plain.evaluate(&map3(), &scene);
+        let first = memoized.evaluate(&map3(), &scene);
+        assert_eq!(memo.len(), 1);
+        let second = memoized.evaluate(&map3(), &scene);
+        assert_eq!(memo.len(), 1, "repeat query must hit the cache");
+        assert_eq!(direct, first);
+        assert_eq!(first, second);
+        assert!(
+            (memoized.evaluate_combined(&map3(), &scene) - direct.combined).abs() < 1e-12,
+            "combined fast path must agree through the memo"
+        );
     }
 
     #[test]

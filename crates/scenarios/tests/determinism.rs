@@ -4,9 +4,15 @@
 //! tests here catch ordering or entropy leaks those rules cannot see
 //! (e.g. dependence on pointer values or uninitialized padding).
 
+#![allow(clippy::float_cmp)] // exact comparisons are intentional: the STI
+                             // pipeline promises bit-identical results
+
 use iprism_agents::LbcAgent;
+use iprism_reach::{compute_reach_tube, ReachConfig};
+use iprism_risk::{SceneSnapshot, StiEvaluator};
 use iprism_scenarios::{sample_instances, Typology};
 use iprism_sim::run_episode;
+use iprism_units::{Meters, Seconds};
 
 /// Runs one seeded episode and renders its full trace as a string. `Debug`
 /// formatting prints every `f64` exactly (shortest round-trip form), so two
@@ -34,6 +40,73 @@ fn different_seeds_give_different_scenarios() {
     let a = episode_fingerprint(1);
     let b = episode_fingerprint(2);
     assert_ne!(a, b, "fingerprint is insensitive to the scenario seed");
+}
+
+/// A CVTR-predicted scene from a seeded scenario world, as the online SMC
+/// loop builds them (§IV-C).
+fn seeded_scene(typology: Typology, seed: u64) -> (iprism_map::RoadMap, SceneSnapshot) {
+    let instances = sample_instances(typology, 1, seed);
+    let world = instances[0].build_world();
+    let cfg = ReachConfig::default();
+    let scene = SceneSnapshot::from_world_cvtr(&world, cfg.horizon, cfg.dt);
+    (world.map().clone(), scene)
+}
+
+#[test]
+fn sti_is_byte_identical_across_thread_counts() {
+    // The parallel counterfactual fan-out must not influence results: any
+    // rayon thread count reproduces the serial evaluation byte for byte.
+    for (typology, seed) in [(Typology::LeadCutIn, 99), (Typology::GhostCutIn, 7)] {
+        let (map, scene) = seeded_scene(typology, seed);
+        let serial = StiEvaluator::default()
+            .with_threads(1)
+            .evaluate(&map, &scene);
+        for threads in [2, 8] {
+            let parallel = StiEvaluator::default()
+                .with_threads(threads)
+                .evaluate(&map, &scene);
+            assert_eq!(
+                parallel, serial,
+                "{typology:?}: {threads} threads diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn sti_evaluator_matches_naive_counterfactual_reference() {
+    // The evaluator's shared-cache + broadphase + relevance-skip machinery
+    // must agree *exactly* with the naive reference that recomputes every
+    // counterfactual tube from scratch via `compute_reach_tube`.
+    let (map, scene) = seeded_scene(Typology::LeadCutIn, 42);
+    assert!(!scene.actors.is_empty(), "scenario must provide actors");
+
+    let mut cfg = ReachConfig::default().at_time(Seconds::new(scene.time));
+    cfg.ego_dims = (Meters::new(scene.ego_dims.0), Meters::new(scene.ego_dims.1));
+    let v_all = compute_reach_tube(&map, scene.ego, &scene.obstacles(), &cfg).volume();
+    let v_empty = compute_reach_tube(&map, scene.ego, &[], &cfg).volume();
+    let ratio = |numerator: f64| {
+        if v_empty <= 0.0 {
+            0.0
+        } else {
+            (numerator / v_empty).clamp(0.0, 1.0)
+        }
+    };
+
+    let sti = StiEvaluator::default().evaluate(&map, &scene);
+    assert_eq!(sti.volume_all, v_all);
+    assert_eq!(sti.volume_empty, v_empty);
+    assert_eq!(sti.combined, ratio(v_empty - v_all));
+    assert_eq!(sti.per_actor.len(), scene.actors.len());
+    for (i, actor) in scene.actors.iter().enumerate() {
+        let v_without =
+            compute_reach_tube(&map, scene.ego, &scene.obstacles_without(actor.id), &cfg).volume();
+        assert_eq!(
+            sti.per_actor[i],
+            (actor.id, ratio(v_without - v_all)),
+            "actor {i} diverged from the naive reference"
+        );
+    }
 }
 
 #[test]

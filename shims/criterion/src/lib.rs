@@ -21,6 +21,7 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Criterion {
     warmup: Duration,
     measurement: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -28,11 +29,23 @@ impl Default for Criterion {
         Criterion {
             warmup: Duration::from_millis(120),
             measurement: Duration::from_millis(600),
+            test_mode: false,
         }
     }
 }
 
 impl Criterion {
+    /// Builds a harness configured from the process arguments, mirroring the
+    /// real crate's CLI: `--test` (as in `cargo bench -- --test`) switches to
+    /// smoke mode, where every routine runs exactly once, untimed — CI uses
+    /// it to prove the benches still execute without paying for measurement.
+    pub fn configured_from_args() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            ..Criterion::default()
+        }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -125,11 +138,17 @@ pub struct Bencher {
     batches: Vec<(Duration, u64)>,
     warmup: Duration,
     measurement: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine`.
+    /// Times repeated calls of `routine` (or, in `--test` smoke mode, runs
+    /// it exactly once without timing).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std_black_box(routine());
+            return;
+        }
         // Warm-up: estimate the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -153,6 +172,10 @@ impl Bencher {
     }
 
     fn report(&self, label: &str) {
+        if self.test_mode {
+            println!("{label:<48} ok (test mode)");
+            return;
+        }
         if self.batches.is_empty() {
             println!("{label:<48} (no samples)");
             return;
@@ -192,6 +215,7 @@ fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, routine: 
         batches: Vec::new(),
         warmup: criterion.warmup,
         measurement: criterion.measurement,
+        test_mode: criterion.test_mode,
     };
     routine(&mut bencher);
     bencher.report(label);
@@ -212,7 +236,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::configured_from_args();
             $($group(&mut criterion);)+
         }
     };
@@ -227,11 +251,23 @@ mod tests {
         let mut c = Criterion {
             warmup: Duration::from_millis(5),
             measurement: Duration::from_millis(20),
+            test_mode: false,
         };
         let mut group = c.benchmark_group("shim");
         group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
         group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| b.iter(|| n * n));
         group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut count = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Offline shim of `rayon`: the data-parallelism API subset used by the
+//! iPrism workspace, implemented with `std::thread::scope`.
+//!
+//! The shim provides ordered parallel maps (`par_iter().map(f).collect()`),
+//! explicitly sized thread pools (`ThreadPoolBuilder` / `ThreadPool::install`)
+//! and `current_num_threads`. Semantics match the subset of real rayon the
+//! workspace relies on:
+//!
+//! * **Ordered collection** — `collect()` returns results in input order
+//!   regardless of which worker finished first, so parallel evaluation is
+//!   bit-identical to the sequential path.
+//! * **Pool-scoped parallelism** — inside `ThreadPool::install(op)`, parallel
+//!   iterators use the pool's thread count; outside they use
+//!   [`current_num_threads`].
+//! * **Panic propagation** — a panicking job aborts the scope and re-raises
+//!   on the caller, like rayon's `collect`.
+//!
+//! Unlike real rayon there is no global worker pool or work stealing: each
+//! `collect` runs on short-lived scoped threads pulling indices off a shared
+//! queue. For the coarse, millisecond-scale jobs iPrism fans out (one
+//! reach-tube per job), scheduling overhead is negligible.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` / `.into_par_iter()` available,
+    //! mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+thread_local! {
+    /// Thread count installed by the innermost enclosing
+    /// [`ThreadPool::install`]; 0 means "no pool installed".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel iterators use outside any
+/// [`ThreadPool::install`]: the host's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|installed| {
+        let n = installed.get();
+        if n > 0 {
+            n
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        }
+    })
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (the shim never fails to
+/// build; the type exists for API parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicitly sized [`ThreadPool`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default thread count (host parallelism).
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool's thread count; 0 keeps the host-parallelism default.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical thread pool: parallel iterators run with its thread count while
+/// inside [`ThreadPool::install`].
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes, restoring the previous pool on exit (also on
+    /// panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|installed| installed.set(self.0));
+            }
+        }
+        let previous = INSTALLED_THREADS.with(|installed| {
+            let previous = installed.get();
+            installed.set(self.threads);
+            previous
+        });
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// Returns the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Conversion into a parallel iterator over `&T`, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type (`&'a T`).
+    type Item: Send + 'a;
+    /// Returns the borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A parallel iterator over a materialized item list.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (executed when the result is collected).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: a pending ordered parallel map.
+#[derive(Debug)]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes the map on the installed pool and collects the results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        ordered_parallel_map(self.items, current_num_threads(), &self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning the
+/// results in input order. One worker (or one item) degenerates to a plain
+/// sequential map with no thread spawned at all.
+fn ordered_parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let next = AtomicUsize::new(0);
+    let out = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A poisoned lock means a sibling worker panicked; the scope
+                // is about to propagate that panic, so this worker just stops.
+                let item = match queue[i].lock() {
+                    Ok(mut slot) => slot.take(),
+                    Err(_) => break,
+                };
+                let Some(item) = item else { break };
+                let r = f(item);
+                match out.lock() {
+                    Ok(mut results) => results[i] = Some(r),
+                    Err(_) => break,
+                }
+            });
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_collection_matches_sequential() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        let par: Vec<u64> = items.par_iter().map(|&x| x * x).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let items: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = items.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 20);
+        assert_eq!(lens[0], 2);
+        assert_eq!(lens[10], 3);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .map_err(|_| "build failed")
+            .unwrap_or_else(|_| unreachable!("shim build is infallible"));
+        assert_eq!(pool.current_num_threads(), 3);
+        let (inside, nested, outside_after) = pool.install(|| {
+            let inside = current_num_threads();
+            let inner = ThreadPoolBuilder::new().num_threads(7).build();
+            let nested = inner
+                .map(|p| p.install(current_num_threads))
+                .unwrap_or_default();
+            (inside, nested, current_num_threads())
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(nested, 7);
+        assert_eq!(outside_after, 3);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_results_are_ordered_across_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build();
+        let Ok(pool) = pool else {
+            unreachable!("shim build is infallible")
+        };
+        let items: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|&i| {
+                    // Stagger finish order so slot indexing is exercised.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((64 - i) % 7) as u64 * 10,
+                    ));
+                    i * 2
+                })
+                .collect()
+        });
+        assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -7,6 +7,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("bench-sti") => bench_sti(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -23,7 +24,9 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <task>\n\n\
          tasks:\n  \
-         lint [--ast] [--json]   run the iPrism custom lints over every workspace .rs file\n\n\
+         lint [--ast] [--json]   run the iPrism custom lints over every workspace .rs file\n  \
+         bench-sti [PATH]        time the STI hot path and write BENCH_STI.json (repo root,\n                          \
+         or PATH) with the speedup over the recorded baseline\n\n\
          flags:\n  \
          --ast    run the AST-level rules (determinism, dimensional safety, NaN hygiene)\n           \
          instead of the text rules\n  \
@@ -64,6 +67,32 @@ fn lint(flags: &[String]) -> ExitCode {
         ast_lint(&root, json)
     } else {
         text_lint(&root, json)
+    }
+}
+
+/// Builds and runs the `bench_sti` reporter in release mode, forwarding any
+/// extra arguments (the first one overrides the output path).
+fn bench_sti(args: &[String]) -> ExitCode {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(workspace_root())
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "iprism-bench",
+            "--bin",
+            "bench_sti",
+            "--",
+        ])
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(err) => {
+            eprintln!("xtask bench-sti: failed to launch cargo: {err}");
+            ExitCode::from(2)
+        }
     }
 }
 
