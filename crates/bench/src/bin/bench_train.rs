@@ -1,0 +1,191 @@
+//! Regenerates `BENCH_TRAIN.json`: D-DQN training-throughput timings
+//! against the recorded pre-optimization baseline.
+//!
+//! Two cases are measured:
+//!
+//! * `ddqn/update_ms` — one gradient update (`DdqnAgent::observe` with a
+//!   full replay buffer, default minibatch of 32) on `FEATURE_DIM`-sized
+//!   synthetic states. This isolates the network math: per-sample forward/
+//!   backward before the batched engine, one batched GEMM pass after.
+//! * `train_smc/default_s` — end-to-end [`iprism_core::train_smc`] on the
+//!   default [`SmcTrainConfig`] (100 episodes) over the standard stopped-car
+//!   hazard template used by `benches/smc.rs`. This is the paper-scale
+//!   bottleneck the batching + empty-tube-memo work targets.
+//!
+//! The baseline figures were recorded from this same binary immediately
+//! *before* the batched training engine landed; keeping them in the report
+//! makes the speedup auditable.
+//!
+//! Run with `cargo xtask bench-train` (or directly:
+//! `cargo run --release -p iprism-bench --bin bench_train`). Pass `--smoke`
+//! for one untimed iteration of each case (CI wiring), optionally a PATH to
+//! override the output location.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use iprism_agents::LbcAgent;
+use iprism_core::{train_smc, SmcTrainConfig, FEATURE_DIM};
+use iprism_dynamics::VehicleState;
+use iprism_map::RoadMap;
+use iprism_rl::{DdqnAgent, DdqnConfig, Transition};
+use iprism_sim::{Actor, Behavior, EpisodeConfig, Goal, World};
+use serde::Serialize;
+
+/// Timed update-benchmark iterations (mean reported after warm-up).
+const UPDATE_ITERS: usize = 300;
+
+/// Pre-optimization figures of the same cases, recorded from this binary
+/// on the reference host immediately before the batched engine landed.
+const BASELINE: [(&str, f64); 2] = [("ddqn/update_ms", 0.5385), ("train_smc/default_s", 3.868)];
+
+/// Deterministic synthetic transition stream for the update microbench.
+fn synthetic_transition(i: usize) -> Transition {
+    let state: Vec<f64> = (0..FEATURE_DIM)
+        .map(|j| ((i * 31 + j * 7) % 100) as f64 / 100.0)
+        .collect();
+    let next_state: Vec<f64> = (0..FEATURE_DIM)
+        .map(|j| ((i * 31 + j * 7 + 13) % 100) as f64 / 100.0)
+        .collect();
+    Transition {
+        state,
+        action: i % 3,
+        reward: (i % 7) as f64 / 7.0 - 0.5,
+        next_state,
+        done: i % 50 == 49,
+    }
+}
+
+/// Mean milliseconds per gradient update over `iters` observes on a warm
+/// agent (buffer full, learning active).
+fn update_ms(iters: usize) -> f64 {
+    let config = DdqnConfig::default();
+    let learn_start = config.learn_start.max(config.batch_size);
+    let mut agent = DdqnAgent::new(FEATURE_DIM, 3, config);
+    for i in 0..learn_start {
+        agent.observe(synthetic_transition(i));
+    }
+    // Warm-up: a few learning updates outside the timed region.
+    for i in 0..10 {
+        agent.observe(synthetic_transition(learn_start + i));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        agent.observe(synthetic_transition(learn_start + 10 + i));
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// The standard hazard template: fast ego, stopped car ahead (matches
+/// `benches/smc.rs` and the `train_smc` unit tests).
+fn hazard_template() -> (World, EpisodeConfig) {
+    let map = RoadMap::straight_road(2, 3.5, 500.0);
+    let mut w = World::new(map, VehicleState::new(30.0, 1.75, 0.0, 10.0), 0.1);
+    w.spawn(Actor::vehicle(
+        1,
+        VehicleState::new(80.0, 1.75, 0.0, 0.0),
+        Behavior::Idle,
+    ));
+    (
+        w,
+        EpisodeConfig {
+            max_time: 12.0,
+            goal: Goal::XThreshold(200.0),
+            stop_on_collision: true,
+        },
+    )
+}
+
+/// End-to-end `train_smc` wall-clock seconds under `config`.
+fn train_smc_seconds(config: &SmcTrainConfig) -> f64 {
+    let start = Instant::now();
+    let trained = train_smc(vec![hazard_template()], LbcAgent::default(), config);
+    std::hint::black_box(&trained.smc);
+    start.elapsed().as_secs_f64()
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    description: String,
+    update_iterations: usize,
+    train_episodes: usize,
+    updates_per_sec: f64,
+    baseline: BTreeMap<String, f64>,
+    current: BTreeMap<String, f64>,
+    speedup: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_TRAIN.json");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            path => out = PathBuf::from(path),
+        }
+    }
+
+    if smoke {
+        // One untimed iteration of each case: exercises the full training
+        // path (batched updates, memoized STI) without spending CI minutes.
+        let ms = update_ms(1);
+        let secs = train_smc_seconds(&SmcTrainConfig::small_test());
+        println!("smoke: one update {ms:.3} ms, small train_smc {secs:.3} s — ok");
+        return;
+    }
+
+    let baseline: BTreeMap<String, f64> =
+        BASELINE.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+
+    let mut current = BTreeMap::new();
+    let upd_ms = update_ms(UPDATE_ITERS);
+    current.insert("ddqn/update_ms".to_string(), upd_ms);
+    let train_cfg = SmcTrainConfig::default();
+    let e2e = train_smc_seconds(&train_cfg);
+    current.insert("train_smc/default_s".to_string(), e2e);
+
+    let speedup: BTreeMap<String, f64> = current
+        .iter()
+        .filter_map(|(k, &now)| {
+            let before = *baseline.get(k)?;
+            (now > 0.0).then(|| (k.clone(), before / now))
+        })
+        .collect();
+
+    println!("D-DQN training throughput (vs. recorded pre-optimization baseline)\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "case", "baseline", "now", "speedup"
+    );
+    for (k, &now) in &current {
+        let before = baseline.get(k).copied().unwrap_or(f64::NAN);
+        let ratio = speedup.get(k).copied().unwrap_or(f64::NAN);
+        println!("{k:<24} {before:>12.4} {now:>12.4} {ratio:>8.2}x");
+    }
+    println!("\ngradient updates/sec: {:.0}", 1e3 / upd_ms);
+
+    let report = BenchReport {
+        description: "D-DQN training throughput (gradient update + end-to-end train_smc) \
+                      vs. the recorded pre-optimization baseline"
+            .to_string(),
+        update_iterations: UPDATE_ITERS,
+        train_episodes: train_cfg.episodes,
+        updates_per_sec: 1e3 / upd_ms,
+        baseline,
+        current,
+        speedup,
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: report failed to serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("\nreport written to {}", out.display());
+}

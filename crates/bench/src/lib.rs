@@ -45,7 +45,16 @@ impl CommonArgs {
     /// Parses `std::env::args`, exiting with a usage message on
     /// malformed flags.
     pub fn parse() -> Self {
-        let mut config = EvalConfig::default();
+        // SMC training is bit-deterministic, so the regeneration binaries
+        // share trained policies across runs (and across each other) via
+        // snapshots under results/policies/. Disable by setting
+        // IPRISM_POLICY_CACHE=0.
+        let mut config = EvalConfig {
+            policy_dir: Some(
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/policies").to_string(),
+            ),
+            ..EvalConfig::default()
+        };
         let mut json = None;
         let mut episodes = 100;
         let args: Vec<String> = std::env::args().skip(1).collect();

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use iprism_agents::MitigationAction;
 use iprism_reach::ReachConfig;
-use iprism_risk::{EmptyTubeMemo, SceneSnapshot, StiEvaluator};
+use iprism_risk::{SceneSnapshot, StiEvaluator, TubeMemo};
 use iprism_rl::{Environment, StepOutcome};
 use iprism_sim::{EgoController, EpisodeConfig, Goal, World};
 use serde::{Deserialize, Serialize};
@@ -101,29 +101,36 @@ impl<A: EgoController> MitigationEnv<A> {
         &self.world
     }
 
-    /// Enables empty-world tube memoization on the internal STI evaluator
-    /// and returns the (shared) memo handle for inspection.
+    /// Enables counterfactual tube memoization on the internal STI
+    /// evaluator and returns the (shared) memo handle for inspection.
     ///
-    /// Along an SMC episode the ego revisits near-identical states while the
-    /// empty tube `|T^∅|` never depends on the other actors, so caching it
-    /// removes one of the two reach-tube computations from most
-    /// [`MitigationEnv::current_sti`] calls. The memo's key excludes the map
-    /// (see [`EmptyTubeMemo`]), which is sound here because every scenario
-    /// template is required to share one map.
+    /// Along an SMC episode the ego revisits identical states whenever
+    /// episodes replay a shared action prefix (and near-identical ones when
+    /// stopped or cruising steadily); against a static hazard the obstacle
+    /// footprints recur too, so both reach-tube computations of most
+    /// [`MitigationEnv::current_sti`] calls become cache hits. The memo's
+    /// key excludes the map (see [`TubeMemo`]), which is sound here because
+    /// every scenario template is required to share one map.
     ///
     /// # Panics
     ///
     /// Panics when the scenario templates use different road maps — one memo
     /// must never serve two maps.
-    pub fn enable_empty_tube_memo(&mut self) -> Arc<EmptyTubeMemo> {
-        let first = self.templates[0].0.map();
+    pub fn enable_tube_memo(&mut self) -> Arc<TubeMemo> {
         assert!(
-            self.templates.iter().all(|(w, _)| w.map() == first),
-            "empty-tube memoization needs all scenario templates on one map"
+            self.templates_share_map(),
+            "tube memoization needs all scenario templates on one map"
         );
-        let memo = Arc::new(EmptyTubeMemo::new());
-        self.sti = self.sti.clone().with_empty_tube_memo(memo.clone());
+        let memo = Arc::new(TubeMemo::new());
+        self.sti = self.sti.clone().with_tube_memo(memo.clone());
         memo
+    }
+
+    /// Whether every scenario template uses the same road map — the
+    /// soundness precondition of [`MitigationEnv::enable_tube_memo`].
+    pub fn templates_share_map(&self) -> bool {
+        let first = self.templates[0].0.map();
+        self.templates.iter().all(|(w, _)| w.map() == first)
     }
 
     /// Combined STI of the current world via CVTR prediction (§IV-C).
@@ -368,7 +375,7 @@ mod tests {
     fn empty_tube_memo_speeds_repeats_without_changing_sti() {
         let mut plain = env();
         let mut memoized = env();
-        let memo = memoized.enable_empty_tube_memo();
+        let memo = memoized.enable_tube_memo();
         assert!(memo.is_empty());
 
         plain.reset();
@@ -393,6 +400,6 @@ mod tests {
             0.1,
         );
         let mut e = MitigationEnv::new(vec![t1, t2], LbcAgent::default(), EnvConfig::default());
-        let _ = e.enable_empty_tube_memo();
+        let _ = e.enable_tube_memo();
     }
 }

@@ -47,12 +47,14 @@
 mod env;
 mod features;
 mod iprism;
+mod policy_cache;
 mod reward;
 mod smc;
 
 pub use env::{EnvConfig, MitigationEnv};
 pub use features::{FeatureExtractor, FEATURE_DIM};
 pub use iprism::Iprism;
+pub use policy_cache::{TrainedPolicyCache, POLICY_CACHE_ENV};
 pub use reward::{RewardModel, RewardWeights};
 pub use smc::{train_smc, Smc, SmcTrainConfig, TrainedSmc};
 

@@ -19,6 +19,17 @@ pub struct SmcTrainConfig {
     pub env: EnvConfig,
     /// Training episodes (the paper trains 100 per typology).
     pub episodes: usize,
+    /// Memoize the empty-world tube `|T^∅|` across the training run (on by
+    /// default; silently skipped when the scenario templates use different
+    /// maps, where one shared memo would be unsound). Episodes reset to
+    /// bit-identical template worlds, so the memo's repeat hits are exact
+    /// and trained weights are unchanged — see the regression test.
+    #[serde(default = "default_true")]
+    pub empty_tube_memo: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for SmcTrainConfig {
@@ -33,6 +44,7 @@ impl Default for SmcTrainConfig {
             ddqn,
             env: EnvConfig::default(),
             episodes: 100,
+            empty_tube_memo: default_true(),
         }
     }
 }
@@ -143,6 +155,9 @@ pub fn train_smc<A: EgoController>(
     config: &SmcTrainConfig,
 ) -> TrainedSmc {
     let mut env = MitigationEnv::new(templates, ads, config.env.clone());
+    if config.empty_tube_memo && env.templates_share_map() {
+        let _memo = env.enable_tube_memo();
+    }
     let trained = train(&mut env, &config.ddqn, config.episodes);
     TrainedSmc {
         smc: Smc::new(trained.agent, config.env.clone()),
@@ -203,6 +218,25 @@ mod tests {
             .episode_returns
         };
         assert_eq!(run(), run());
+    }
+
+    /// The default-on empty-tube memo must not change training: episodes
+    /// reset to bit-identical template worlds, so every memo hit replays an
+    /// exact earlier computation and the trained weights are byte-identical
+    /// to a memo-free run.
+    #[test]
+    fn empty_tube_memo_leaves_trained_weights_unchanged() {
+        let run = |memo: bool| {
+            let mut cfg = SmcTrainConfig::small_test();
+            cfg.empty_tube_memo = memo;
+            let trained = train_smc(vec![template()], LbcAgent::default(), &cfg);
+            let weights = serde_json::to_string(trained.smc.agent().network()).unwrap();
+            (weights, trained.episode_returns)
+        };
+        let (memo_weights, memo_returns) = run(true);
+        let (plain_weights, plain_returns) = run(false);
+        assert_eq!(memo_returns, plain_returns);
+        assert_eq!(memo_weights, plain_weights);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Golden bit-identity test for the batched training engine: a seeded
+//! `train_smc` run through the batched GEMM path must produce **byte-
+//! identical** serialized weights to the retained per-sample reference
+//! implementation, at STI thread count 1 and at the automatic default —
+//! the training-side counterpart of `scenarios/tests/determinism.rs`.
+//!
+//! This file holds a single `#[test]` so its `std::env::set_var` of
+//! `IPRISM_STI_THREADS` cannot race a sibling test in the same process.
+
+// Integration-test helpers sit outside `#[cfg(test)]`, where clippy.toml's
+// test waiver for expect/unwrap does not reach.
+#![allow(clippy::expect_used)]
+
+use iprism_agents::LbcAgent;
+use iprism_core::{train_smc, SmcTrainConfig};
+use iprism_dynamics::VehicleState;
+use iprism_map::RoadMap;
+use iprism_risk::STI_THREADS_ENV;
+use iprism_sim::{Actor, Behavior, EpisodeConfig, Goal, World};
+
+fn template() -> (World, EpisodeConfig) {
+    let map = RoadMap::straight_road(2, 3.5, 500.0);
+    let mut w = World::new(map, VehicleState::new(30.0, 1.75, 0.0, 10.0), 0.1);
+    w.spawn(Actor::vehicle(
+        1,
+        VehicleState::new(80.0, 1.75, 0.0, 0.0),
+        Behavior::Idle,
+    ));
+    (
+        w,
+        EpisodeConfig {
+            max_time: 12.0,
+            goal: Goal::XThreshold(200.0),
+            stop_on_collision: true,
+        },
+    )
+}
+
+/// Serialized online-network weights of a seeded `train_smc` run. `Debug`/
+/// JSON formatting prints every `f64` in shortest round-trip form, so equal
+/// strings mean bit-equal weights.
+fn trained_weights(reference_engine: bool) -> String {
+    let mut cfg = SmcTrainConfig::small_test();
+    cfg.ddqn.reference_engine = reference_engine;
+    let trained = train_smc(vec![template()], LbcAgent::default(), &cfg);
+    serde_json::to_string(trained.smc.agent().network()).expect("network weights serialize")
+}
+
+#[test]
+fn batched_train_smc_matches_per_sample_reference_at_1_and_auto_threads() {
+    // Auto thread count first (whatever the host/env provides)...
+    let batched_auto = trained_weights(false);
+    let reference_auto = trained_weights(true);
+    assert_eq!(
+        batched_auto, reference_auto,
+        "batched engine diverged from the per-sample reference (auto threads)"
+    );
+
+    // ...then pinned to a single STI worker thread.
+    std::env::set_var(STI_THREADS_ENV, "1");
+    let batched_serial = trained_weights(false);
+    let reference_serial = trained_weights(true);
+    std::env::remove_var(STI_THREADS_ENV);
+    assert_eq!(
+        batched_serial, reference_serial,
+        "batched engine diverged from the per-sample reference (1 thread)"
+    );
+
+    // The STI fan-out itself is thread-count byte-identical (PR 3), so the
+    // two regimes must agree with each other too.
+    assert_eq!(batched_auto, batched_serial);
+}

@@ -37,6 +37,18 @@ pub struct BicycleModel {
     pub limits: ControlLimits,
 }
 
+/// A control input preprocessed by [`BicycleModel::prepare`] for repeated
+/// propagation: sanitized, clamped, with the steering tangent taken once.
+///
+/// Only meaningful for the model (and limits) that prepared it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedControl {
+    /// Clamped longitudinal acceleration (m/s²).
+    pub accel: f64,
+    /// `tan` of the clamped steering angle (dimensionless).
+    pub steer_tan: f64,
+}
+
 impl Default for BicycleModel {
     /// Typical passenger-car parameters (wheelbase 2.9 m, default limits),
     /// following the paper's reference [46].
@@ -75,24 +87,55 @@ impl BicycleModel {
     /// speed into the speed envelope, so the output is always dynamically
     /// feasible. The heading is kept wrapped in `(-π, π]`.
     pub fn step(&self, state: VehicleState, u: ControlInput, dt: Seconds) -> VehicleState {
-        let dt = dt.get();
-        debug_assert!(dt >= 0.0, "negative dt");
-        // Sanitize non-finite controls (a faulty agent must not poison the
-        // simulation with NaNs — `clamp` propagates NaN).
+        let (sin_t, cos_t) = state.theta.sin_cos();
+        self.step_prepared(state, self.prepare(u), dt, sin_t, cos_t)
+    }
+
+    /// Preprocesses a control for repeated propagation: sanitizes non-finite
+    /// components (a faulty agent must not poison the simulation with NaNs —
+    /// `clamp` propagates NaN), clamps into the admissible ranges and takes
+    /// `tan φ` once. [`BicycleModel::step_prepared`] with the result is
+    /// bit-identical to [`BicycleModel::step`] with the raw control.
+    pub fn prepare(&self, u: ControlInput) -> PreparedControl {
         let u = ControlInput::new(
             if u.accel.is_finite() { u.accel } else { 0.0 },
             if u.steer.is_finite() { u.steer } else { 0.0 },
         );
         let u = self.limits.clamp(u);
-        let (sin_t, cos_t) = state.theta.sin_cos();
+        PreparedControl {
+            accel: u.accel,
+            steer_tan: u.steer.tan(),
+        }
+    }
+
+    /// [`BicycleModel::step`] with the per-control and per-state
+    /// trigonometry hoisted out: `p` carries the clamped control and its
+    /// `tan φ`, and `sin_t`/`cos_t` must be `state.theta.sin_cos()`.
+    ///
+    /// The reach-tube expansion steps every control of a slice from the same
+    /// parent state, so the caller computes the heading's sin/cos once per
+    /// parent and `tan φ` once per tube instead of once per (parent,
+    /// control) pair. The arithmetic is exactly `step`'s, so results are
+    /// **bit-identical** — only redundant transcendental calls are removed.
+    // iprism-lint: allow(raw-f64-param)
+    pub fn step_prepared(
+        &self,
+        state: VehicleState,
+        p: PreparedControl,
+        dt: Seconds,
+        sin_t: f64,
+        cos_t: f64,
+    ) -> VehicleState {
+        let dt = dt.get();
+        debug_assert!(dt >= 0.0, "negative dt");
         let x = state.x + state.v * cos_t * dt;
         let y = state.y + state.v * sin_t * dt;
         let theta = iprism_geom::wrap_to_pi(
-            state.theta + state.v / self.wheelbase.get() * u.steer.tan() * dt,
+            state.theta + state.v / self.wheelbase.get() * p.steer_tan * dt,
         );
         let v = self
             .limits
-            .clamp_speed(MetersPerSecond::new(state.v + u.accel * dt))
+            .clamp_speed(MetersPerSecond::new(state.v + p.accel * dt))
             .get();
         let next = VehicleState::new(x, y, theta, v);
         if state.is_finite() {
@@ -332,7 +375,46 @@ mod tests {
         );
     }
 
+    #[test]
+    fn prepared_step_bit_identical_to_step() {
+        let m = model();
+        let controls = [
+            ControlInput::new(0.0, 0.3),
+            ControlInput::new(3.5, -0.61),
+            ControlInput::new(-6.0, 0.0),
+            ControlInput::new(f64::NAN, f64::INFINITY), // sanitized path
+            ControlInput::new(99.0, -99.0),             // clamped path
+        ];
+        for u in controls {
+            let p = m.prepare(u);
+            for (theta, v) in [(0.0, 10.0), (1.2, 0.0), (-3.0, 29.5)] {
+                let s = VehicleState::new(12.5, -3.25, theta, v);
+                let (sin_t, cos_t) = s.theta.sin_cos();
+                assert_eq!(
+                    m.step(s, u, Seconds::new(0.3)),
+                    m.step_prepared(s, p, Seconds::new(0.3), sin_t, cos_t),
+                    "{u:?} at theta={theta} v={v}"
+                );
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_prepared_step_matches_step(
+            x in -1e3..1e3f64, y in -1e3..1e3f64, th in -3.0..3.0f64, v in 0.0..30.0f64,
+            a in -10.0..10.0f64, s in -1.0..1.0f64, dt in 0.001..1.0f64,
+        ) {
+            let m = model();
+            let state = VehicleState::new(x, y, th, v);
+            let u = ControlInput::new(a, s);
+            let (sin_t, cos_t) = state.theta.sin_cos();
+            prop_assert_eq!(
+                m.step(state, u, Seconds::new(dt)),
+                m.step_prepared(state, m.prepare(u), Seconds::new(dt), sin_t, cos_t)
+            );
+        }
+
         #[test]
         fn prop_step_is_finite(
             x in -1e3..1e3f64, y in -1e3..1e3f64, th in -3.0..3.0f64, v in 0.0..30.0f64,

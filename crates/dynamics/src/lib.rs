@@ -29,7 +29,7 @@ mod cvtr;
 mod state;
 mod trajectory;
 
-pub use bicycle::BicycleModel;
+pub use bicycle::{BicycleModel, PreparedControl};
 pub use control::{ControlInput, ControlLimits};
 pub use cvtr::CvtrModel;
 pub use state::VehicleState;

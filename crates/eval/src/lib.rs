@@ -58,8 +58,20 @@ pub struct EvalConfig {
     pub stride: usize,
     /// Reach configuration used for offline STI (default-quality).
     pub reach: iprism_reach::ReachConfig,
-    /// Worker threads for scenario sweeps (0 = number of CPUs).
+    /// Worker threads for scenario sweeps (0 = automatic: the
+    /// `IPRISM_STI_THREADS` environment variable when set, else the number
+    /// of CPUs — the same resolution the STI evaluator uses, so one knob
+    /// governs every thread pool).
     pub workers: usize,
+    /// Directory for cached trained SMC policies
+    /// ([`iprism_core::TrainedPolicyCache`]); `None` disables cross-run
+    /// policy reuse.
+    #[serde(default = "no_policy_dir")]
+    pub policy_dir: Option<String>,
+}
+
+fn no_policy_dir() -> Option<String> {
+    None
 }
 
 impl Default for EvalConfig {
@@ -70,6 +82,7 @@ impl Default for EvalConfig {
             stride: 2,
             reach: iprism_reach::ReachConfig::default(),
             workers: 0,
+            policy_dir: no_policy_dir(),
         }
     }
 }
@@ -95,15 +108,25 @@ impl EvalConfig {
 
     pub(crate) fn resolved_workers(&self) -> usize {
         if self.workers > 0 {
-            self.workers
-        } else {
-            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            return self.workers;
         }
+        // Mirror StiEvaluator's automatic resolution so `workers` and
+        // `IPRISM_STI_THREADS` are one worker-count mechanism, not two.
+        if let Ok(value) = std::env::var(iprism_risk::STI_THREADS_ENV) {
+            if let Ok(n) = value.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 }
 
-/// Maps `f` over `items` on up to `workers` scoped threads, preserving
-/// input order. Falls back to a plain sequential map for one worker.
+/// Maps `f` over `items` on a `workers`-sized thread pool (the shared rayon
+/// pool machinery the STI evaluator fans out on), preserving input order —
+/// results are bit-identical to the sequential map for any worker count.
+/// Falls back to a plain sequential map for one worker or one item.
 pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -113,33 +136,14 @@ where
     if workers <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work = std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
-    let out = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| loop {
-                // A poisoned lock means a sibling worker panicked; the scope
-                // is about to propagate that panic, so workers just stop.
-                let next = match work.lock() {
-                    Ok(mut queue) => queue.pop(),
-                    Err(_) => break,
-                };
-                match next {
-                    Some((i, item)) => {
-                        let r = f(item);
-                        match out.lock() {
-                            Ok(mut slots) => slots[i] = Some(r),
-                            Err(_) => break,
-                        }
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    results.into_iter().flatten().collect()
+    let workers = workers.min(items.len());
+    match rayon::ThreadPoolBuilder::new().num_threads(workers).build() {
+        Ok(pool) => pool.install(|| {
+            use rayon::prelude::*;
+            items.into_par_iter().map(f).collect()
+        }),
+        Err(_) => items.into_iter().map(f).collect(),
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! including the rear-end acceleration extension (§V-C).
 
 use iprism_agents::{AcaController, LbcAgent, MitigatedAgent, RipAgent};
-use iprism_core::{train_smc, RewardWeights, SmcTrainConfig};
+use iprism_core::{train_smc, RewardWeights, Smc, SmcTrainConfig, TrainedPolicyCache};
 use iprism_risk::{SceneSnapshot, StiEvaluator};
 use iprism_scenarios::{sample_instances, ScenarioSpec, Typology};
 use iprism_sim::{run_episode, EgoController};
@@ -275,22 +275,28 @@ pub fn mitigation_study(
             .iter()
             .map(|s| (s.build_world(), s.episode_config()))
             .collect();
-        let smc_sti = train_smc(
-            templates.clone(),
-            LbcAgent::default(),
-            &smc_train_config(smc_episodes, true),
-        )
-        .smc;
-        let smc_nosti = train_smc(
-            templates,
-            LbcAgent::default(),
-            &smc_train_config(smc_episodes, false),
-        )
-        .smc;
+        let workers = config.resolved_workers();
+
+        // Both SMC variants (with/without STI) train concurrently on the
+        // shared pool; ordered collection keeps [with-STI, without-STI].
+        // With a policy directory configured, each variant is trained once
+        // ever and reused across studies (training is bit-deterministic, so
+        // a cache hit is exactly the policy a fresh run would produce).
+        let cache = config.policy_dir.as_ref().map(TrainedPolicyCache::new);
+        let scenario_key = format!("{train_specs:?}:lbc");
+        let smcs: Vec<Smc> = parallel_map(vec![true, false], workers.min(2), |with_sti| {
+            let cfg = smc_train_config(smc_episodes, with_sti);
+            let fresh = || train_smc(templates.clone(), LbcAgent::default(), &cfg).smc;
+            match &cache {
+                Some(c) => c.load_or_train(&cfg, &scenario_key, fresh),
+                None => fresh(),
+            }
+        });
+        let smc_sti = smcs[0].clone();
+        let smc_nosti = smcs[1].clone();
 
         // 2. Evaluate every agent over the sweep.
         let specs = sample_instances(typology, config.instances, config.seed);
-        let workers = config.resolved_workers();
 
         let lbc_outcomes = parallel_map(specs.clone(), workers, |spec| {
             let (result, world) = run_lbc(&spec);

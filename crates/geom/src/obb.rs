@@ -52,12 +52,22 @@ impl Obb {
 
     /// The four corners in counter-clockwise order starting front-left.
     pub fn corners(&self) -> [Vec2; 4] {
+        let (s, c) = self.pose.heading().sin_cos();
+        self.corners_given_trig(s, c)
+    }
+
+    /// The four corners like [`Obb::corners`], with the heading's sine and
+    /// cosine supplied by the caller. `sin_t`/`cos_t` must equal
+    /// `self.pose.heading().sin_cos()` — hot paths that memoize that pair
+    /// per distinct heading get bit-identical corners minus the trig call.
+    // iprism-lint: allow(raw-f64-param)
+    pub fn corners_given_trig(&self, sin_t: f64, cos_t: f64) -> [Vec2; 4] {
         // One sin/cos pair serves all four corners; the arithmetic per
         // corner is exactly `pose.to_world` (position + rotated offset), so
         // results are bit-identical to four independent transforms.
         let hl = self.length * 0.5;
         let hw = self.width * 0.5;
-        let (s, c) = self.pose.heading().sin_cos();
+        let (s, c) = (sin_t, cos_t);
         let corner = |lx: f64, ly: f64| {
             Vec2::new(
                 self.pose.x + (lx * c - ly * s),

@@ -60,6 +60,38 @@ impl DrivableRegion {
     pub fn contains_obb(&self, obb: &Obb) -> bool {
         obb.corners().iter().all(|&c| self.contains(c)) && self.contains(obb.center())
     }
+
+    /// Conservative test: `true` only if *every* point of `bb` lies in the
+    /// region ([`DrivableRegion::contains`] holds for all of them). `false`
+    /// is inconclusive — callers must fall back to per-point checks. A
+    /// `1e-9` safety margin absorbs rounding between the bound arithmetic
+    /// here and the per-point arithmetic, keeping `true` verdicts sound.
+    pub fn covers_aabb(&self, bb: &Aabb) -> bool {
+        const MARGIN: f64 = 1e-9;
+        match self {
+            DrivableRegion::Rect(r) => {
+                bb.min.x >= r.min.x + MARGIN
+                    && bb.min.y >= r.min.y + MARGIN
+                    && bb.max.x <= r.max.x - MARGIN
+                    && bb.max.y <= r.max.y - MARGIN
+            }
+            DrivableRegion::Annulus {
+                center,
+                r_inner,
+                r_outer,
+            } => {
+                // Farthest box point from the centre bounds every point's
+                // distance above; the nearest box point bounds it below.
+                let fx = (center.x - bb.min.x).abs().max((center.x - bb.max.x).abs());
+                let fy = (center.y - bb.min.y).abs().max((center.y - bb.max.y).abs());
+                let nx = (bb.min.x - center.x).max(center.x - bb.max.x).max(0.0);
+                let ny = (bb.min.y - center.y).max(center.y - bb.max.y).max(0.0);
+                fx.hypot(fy) <= *r_outer - MARGIN && nx.hypot(ny) >= *r_inner + MARGIN
+            }
+            // No cheap full-coverage certificate for general polygons.
+            DrivableRegion::Poly(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +146,29 @@ mod tests {
         );
         assert!(r.contains_obb(&inside));
         assert!(!r.contains_obb(&poking_out));
+    }
+
+    #[test]
+    fn covers_aabb_conservative() {
+        let r = DrivableRegion::Rect(Aabb::new(Vec2::ZERO, Vec2::new(10.0, 5.0)));
+        assert!(r.covers_aabb(&Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(9.0, 4.0))));
+        assert!(!r.covers_aabb(&Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(11.0, 4.0))));
+
+        let a = DrivableRegion::Annulus {
+            center: Vec2::ZERO,
+            r_inner: 10.0,
+            r_outer: 20.0,
+        };
+        // fully on the ring east of the island
+        assert!(a.covers_aabb(&Aabb::new(Vec2::new(12.0, -2.0), Vec2::new(16.0, 2.0))));
+        // straddles the island
+        assert!(!a.covers_aabb(&Aabb::new(Vec2::new(5.0, -2.0), Vec2::new(16.0, 2.0))));
+        // pokes past the outer radius
+        assert!(!a.covers_aabb(&Aabb::new(Vec2::new(12.0, -2.0), Vec2::new(21.0, 2.0))));
+
+        // polygons are always inconclusive
+        let p = DrivableRegion::Poly(Polygon::rectangle(Vec2::ZERO, Vec2::new(4.0, 4.0)));
+        assert!(!p.covers_aabb(&Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(2.0, 2.0))));
     }
 
     proptest! {

@@ -161,7 +161,31 @@ impl RoadMap {
     /// (a corner may be covered by a different region than the centre, e.g.
     /// at a roundabout entry).
     pub fn is_obb_drivable(&self, obb: &Obb) -> bool {
-        obb.corners()
+        let (s, c) = obb.pose.heading().sin_cos();
+        self.is_obb_drivable_trig(obb, s, c)
+    }
+
+    /// [`RoadMap::is_obb_drivable`] with the heading's sine and cosine
+    /// supplied by the caller (which must equal
+    /// `obb.pose.heading().sin_cos()`); lets hot paths that evaluate many
+    /// footprints per distinct heading skip the per-call trig while getting
+    /// bit-identical verdicts.
+    // iprism-lint: allow(raw-f64-param)
+    pub fn is_obb_drivable_trig(&self, obb: &Obb, sin_t: f64, cos_t: f64) -> bool {
+        // Fast accept: a padded axis-aligned bound of the footprint
+        // (half-extents |c|·hl + |s|·hw etc. cover every corner, the pad in
+        // `covers_aabb` absorbs rounding) fully inside a single region
+        // certifies all five point checks below without computing corners.
+        // Inconclusive bounds fall through to the exact per-point test, so
+        // verdicts are bit-identical either way.
+        let ex = cos_t.abs() * (obb.length * 0.5) + sin_t.abs() * (obb.width * 0.5);
+        let ey = sin_t.abs() * (obb.length * 0.5) + cos_t.abs() * (obb.width * 0.5);
+        let c = obb.center();
+        let bound = Aabb::new(Vec2::new(c.x - ex, c.y - ey), Vec2::new(c.x + ex, c.y + ey));
+        if self.regions.iter().any(|r| r.covers_aabb(&bound)) {
+            return true;
+        }
+        obb.corners_given_trig(sin_t, cos_t)
             .iter()
             .chain(std::iter::once(&obb.center()))
             .all(|&p| self.is_drivable(p))
@@ -295,6 +319,33 @@ mod tests {
             let m = RoadMap::roundabout(Vec2::ZERO, 12.0, 19.0, 60.0);
             let ring = m.lane(LaneId(1)).unwrap();
             prop_assert!(m.is_drivable(ring.point_at(ring.length() * f)));
+        }
+
+        #[test]
+        fn prop_obb_drivable_fast_path_matches_per_point(
+            x in -20.0..120.0f64,
+            y in -5.0..12.0f64,
+            theta in -3.2..3.2f64,
+        ) {
+            // The AABB-certificate fast accept must never flip a verdict
+            // relative to the exact five-point check, on both map shapes.
+            let maps = [
+                RoadMap::straight_road(2, 3.5, 100.0),
+                RoadMap::roundabout(Vec2::new(50.0, 3.0), 12.0, 19.0, 60.0),
+            ];
+            let obb = Obb::new(
+                Pose::new(x, y, Radians::new(theta)),
+                Meters::new(4.6),
+                Meters::new(2.0),
+            );
+            for m in maps {
+                let exact = obb
+                    .corners()
+                    .iter()
+                    .chain(std::iter::once(&obb.center()))
+                    .all(|&p| m.is_drivable(p));
+                prop_assert_eq!(m.is_obb_drivable(&obb), exact);
+            }
         }
 
         #[test]

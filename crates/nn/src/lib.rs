@@ -42,5 +42,5 @@ mod optim;
 
 pub use linear::Linear;
 pub use loss::{huber, huber_grad, mse, mse_grad};
-pub use mlp::{Mlp, MlpCache};
+pub use mlp::{BatchCache, Mlp, MlpCache};
 pub use optim::{Adam, Sgd};

@@ -85,6 +85,118 @@ impl Linear {
         y
     }
 
+    /// Batched forward pass over a contiguous row-major batch.
+    ///
+    /// Convenience wrapper around [`Linear::forward_batch_scratch`] that
+    /// allocates the transposed-weight scratch per call; training loops
+    /// should hold the scratch (e.g. via `BatchCache` in `Mlp`) and call
+    /// the scratch variant directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len()` is not a multiple of `in_dim`.
+    pub fn forward_batch(&self, xs: &[f64], ys: &mut Vec<f64>) {
+        let mut wt = Vec::new();
+        self.forward_batch_scratch(xs, ys, &mut wt);
+    }
+
+    /// Batched forward pass with a caller-held transposed-weight scratch.
+    ///
+    /// `xs` holds `n` samples of `in_dim` values each (`xs[s * in_dim + i]`
+    /// is input `i` of sample `s`); `ys` is cleared and filled with the
+    /// matching `[n × out_dim]` layout. The kernel first transposes `w` into
+    /// `wt` (`wt[i * out_dim + o] = w[o * in_dim + i]`) and then accumulates
+    /// input-outer: for each sample, `y[o] += wt[i,o] · x[i]` sweeps every
+    /// output `o` contiguously for one input `i` at a time. Each output
+    /// accumulator therefore receives its `w[o,i]·x[i]` terms in the same
+    /// `i`-ascending order as the per-sample dot product in
+    /// [`Linear::forward`], and the final `b[o] + acc` add matches too —
+    /// only *independent* accumulators are interleaved, never one reduction
+    /// reordered — so the result is **bit-identical** to `n` per-sample
+    /// calls. Unlike a dot-product inner loop (a single latency-bound
+    /// reduction chain), the contiguous output sweep auto-vectorizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len()` is not a multiple of `in_dim`.
+    pub fn forward_batch_scratch(&self, xs: &[f64], ys: &mut Vec<f64>, wt: &mut Vec<f64>) {
+        assert!(
+            xs.len().is_multiple_of(self.in_dim),
+            "batch input size mismatch"
+        );
+        let n = xs.len() / self.in_dim;
+        ys.clear();
+        ys.resize(n * self.out_dim, 0.0);
+        wt.clear();
+        wt.resize(self.w.len(), 0.0);
+        for o in 0..self.out_dim {
+            for i in 0..self.in_dim {
+                wt[i * self.out_dim + o] = self.w[o * self.in_dim + i];
+            }
+        }
+        for (s, x) in xs.chunks_exact(self.in_dim).enumerate() {
+            let y = &mut ys[s * self.out_dim..(s + 1) * self.out_dim];
+            for (i, &xi) in x.iter().enumerate() {
+                let wrow = &wt[i * self.out_dim..(i + 1) * self.out_dim];
+                for (yo, &wo) in y.iter_mut().zip(wrow) {
+                    *yo += wo * xi;
+                }
+            }
+            // IEEE addition commutes bitwise, so `acc + b[o]` equals the
+            // per-sample path's `b[o] + acc` exactly.
+            for (yo, &bo) in y.iter_mut().zip(&self.b) {
+                *yo += bo;
+            }
+        }
+    }
+
+    /// Batched backward pass: accumulates `∂L/∂W` and `∂L/∂b` over the whole
+    /// batch and writes `∂L/∂xs` (same `[n × in_dim]` layout as `xs`) into
+    /// `dxs`.
+    ///
+    /// The loop nest is weight-row-major (`o` outer, samples inner) so each
+    /// `w`/`grad_w` row stays hot across the batch, yet every individual
+    /// accumulator — `grad_b[o]`, `grad_w[o,i]`, `dx[s,i]` — receives its
+    /// contributions in exactly the order the per-sample [`Linear::backward`]
+    /// produces them (samples ascending, `o` ascending per sample), so the
+    /// accumulated gradients are **bit-identical** to `n` sequential
+    /// per-sample calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer sizes disagree with the layer dimensions.
+    pub fn backward_batch(&mut self, xs: &[f64], dys: &[f64], dxs: &mut Vec<f64>) {
+        assert!(
+            xs.len().is_multiple_of(self.in_dim),
+            "batch input size mismatch"
+        );
+        let n = xs.len() / self.in_dim;
+        assert_eq!(dys.len(), n * self.out_dim, "batch grad size mismatch");
+        dxs.clear();
+        dxs.resize(n * self.in_dim, 0.0);
+        for o in 0..self.out_dim {
+            let row_start = o * self.in_dim;
+            for s in 0..n {
+                let g = dys[s * self.out_dim + o];
+                self.grad_b[o] += g;
+                let x = &xs[s * self.in_dim..(s + 1) * self.in_dim];
+                let dx = &mut dxs[s * self.in_dim..(s + 1) * self.in_dim];
+                // Two independent axpy sweeps (grad_w row and dx row); split
+                // so each vectorizes cleanly. Per-accumulator order is
+                // unchanged — each element still gets one contribution per
+                // (o, s) in the same sequence as the fused loop.
+                let gw = &mut self.grad_w[row_start..row_start + self.in_dim];
+                for (gwi, &xi) in gw.iter_mut().zip(x) {
+                    *gwi += g * xi;
+                }
+                let w = &self.w[row_start..row_start + self.in_dim];
+                for (dxi, &wi) in dx.iter_mut().zip(w) {
+                    *dxi += g * wi;
+                }
+            }
+        }
+    }
+
     /// Backward pass: accumulates `∂L/∂W` and `∂L/∂b` given the upstream
     /// gradient `dy` and the input `x` used in the forward pass; returns
     /// `∂L/∂x`.
@@ -127,6 +239,20 @@ impl Linear {
         for (p, g) in self.b.iter_mut().zip(&self.grad_b) {
             f(p, *g);
         }
+    }
+
+    /// Visits the `(parameters, gradients)` slice pairs in the same order as
+    /// [`Linear::visit_params`] flattens them (weights row-major, then
+    /// biases). Whole-slice access lets optimizers vectorize their
+    /// elementwise updates; each parameter still sees exactly the arithmetic
+    /// a per-scalar visit would apply.
+    pub fn visit_param_slices(&mut self, f: &mut impl FnMut(&mut [f64], &[f64])) {
+        if self.grad_w.len() != self.w.len() {
+            self.grad_w = vec![0.0; self.w.len()];
+            self.grad_b = vec![0.0; self.b.len()];
+        }
+        f(&mut self.w, &self.grad_w);
+        f(&mut self.b, &self.grad_b);
     }
 }
 
@@ -222,5 +348,70 @@ mod tests {
     fn wrong_input_panics() {
         let l = Linear::new(3, 1, 0);
         let _ = l.forward(&[1.0]);
+    }
+
+    /// Deterministic pseudo-random batch data (no RNG dependency needed).
+    fn batch_data(n: usize, dim: usize, salt: u64) -> Vec<f64> {
+        (0..n * dim)
+            .map(|k| {
+                let h = (k as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(salt);
+                (h % 2000) as f64 / 100.0 - 10.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_batch_bit_identical_to_per_sample() {
+        for (in_dim, out_dim, n) in [(3, 2, 1), (5, 7, 4), (8, 3, 33), (2, 2, 65)] {
+            let l = Linear::new(in_dim, out_dim, 11);
+            let xs = batch_data(n, in_dim, 3);
+            let mut ys = Vec::new();
+            l.forward_batch(&xs, &mut ys);
+            for s in 0..n {
+                let single = l.forward(&xs[s * in_dim..(s + 1) * in_dim]);
+                assert_eq!(
+                    &ys[s * out_dim..(s + 1) * out_dim],
+                    single.as_slice(),
+                    "sample {s} of shape {in_dim}x{out_dim} batch {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_batch_bit_identical_to_per_sample() {
+        for (in_dim, out_dim, n) in [(3, 2, 1), (5, 7, 4), (8, 3, 33)] {
+            let xs = batch_data(n, in_dim, 5);
+            let dys = batch_data(n, out_dim, 9);
+
+            let mut reference = Linear::new(in_dim, out_dim, 2);
+            reference.zero_grad();
+            let mut ref_dxs = Vec::new();
+            for s in 0..n {
+                ref_dxs.extend(reference.backward(
+                    &xs[s * in_dim..(s + 1) * in_dim],
+                    &dys[s * out_dim..(s + 1) * out_dim],
+                ));
+            }
+
+            let mut batched = Linear::new(in_dim, out_dim, 2);
+            batched.zero_grad();
+            let mut dxs = Vec::new();
+            batched.backward_batch(&xs, &dys, &mut dxs);
+
+            assert_eq!(batched.grad_w, reference.grad_w);
+            assert_eq!(batched.grad_b, reference.grad_b);
+            assert_eq!(dxs, ref_dxs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch input size mismatch")]
+    fn forward_batch_ragged_input_panics() {
+        let l = Linear::new(3, 1, 0);
+        let mut ys = Vec::new();
+        l.forward_batch(&[1.0, 2.0], &mut ys);
     }
 }

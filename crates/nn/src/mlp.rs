@@ -29,6 +29,70 @@ impl MlpCache {
     }
 }
 
+/// Reusable activation/gradient buffers for the batched minibatch pass
+/// ([`Mlp::forward_batch_cached`] / [`Mlp::backward_batch`]).
+///
+/// All buffers are contiguous row-major `[batch × dim]` slabs: sample `s`'s
+/// feature `j` for layer `i` lives at `inputs[i][s * dim_i + j]`. The cache is
+/// allocated lazily on first use and reused across minibatches, so a training
+/// loop that keeps one `BatchCache` alive performs no per-update allocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchCache {
+    /// `inputs[i]` is the row-major input batch of layer `i`; the last entry
+    /// is the batched network output.
+    inputs: Vec<Vec<f64>>,
+    /// Upstream gradient flowing between layers during the backward pass;
+    /// after [`Mlp::backward_batch`] it holds `∂L/∂input` for the batch.
+    grad: Vec<f64>,
+    /// Scratch buffer the layer-level backward kernel writes `∂L/∂x` into.
+    grad_scratch: Vec<f64>,
+    /// Transposed-weight scratch for the layer forward kernel
+    /// ([`Linear::forward_batch_scratch`]), reused across layers and updates.
+    wt_scratch: Vec<f64>,
+    /// Number of samples in the cached pass.
+    batch: usize,
+}
+
+impl BatchCache {
+    /// An empty cache; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchCache::default()
+    }
+
+    /// Number of samples in the most recent cached forward pass.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The batched network output, row-major `[batch × out_dim]`.
+    #[must_use]
+    pub fn outputs(&self) -> &[f64] {
+        self.inputs.last().map_or(&[], Vec::as_slice)
+    }
+
+    /// The output row of sample `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range for the cached batch.
+    #[must_use]
+    pub fn output(&self, s: usize) -> &[f64] {
+        assert!(s < self.batch, "sample index out of range");
+        let out = self.outputs();
+        let dim = out.len() / self.batch;
+        &out[s * dim..(s + 1) * dim]
+    }
+
+    /// `∂L/∂input` for the whole batch, row-major `[batch × in_dim]`; valid
+    /// after [`Mlp::backward_batch`].
+    #[must_use]
+    pub fn input_grads(&self) -> &[f64] {
+        &self.grad
+    }
+}
+
 impl Mlp {
     /// Creates an MLP with the given layer sizes, e.g. `&[in, h1, h2, out]`.
     ///
@@ -114,6 +178,79 @@ impl Mlp {
         grad
     }
 
+    /// Batched forward pass over a row-major `[batch × in_dim]` input slab,
+    /// retaining every layer's input batch in `cache` for
+    /// [`Mlp::backward_batch`].
+    ///
+    /// Bit-identical to calling [`Mlp::forward_cached`] once per sample: the
+    /// layer kernel ([`Linear::forward_batch`]) reduces each output element's
+    /// dot product in the same inner-loop order as the per-sample path, and
+    /// the ReLU is elementwise, so batching only changes the *schedule*, never
+    /// any floating-point reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len()` is not a multiple of the input dimension.
+    pub fn forward_batch_cached(&self, xs: &[f64], cache: &mut BatchCache) {
+        let n_layers = self.layers.len();
+        let in_dim = self.in_dim();
+        assert!(xs.len().is_multiple_of(in_dim), "batch input size mismatch");
+        cache.batch = xs.len() / in_dim;
+        cache.inputs.resize_with(n_layers + 1, Vec::new);
+        cache.inputs[0].clear();
+        cache.inputs[0].extend_from_slice(xs);
+        for i in 0..n_layers {
+            // Split so layer i's input batch (index i) and output batch
+            // (index i+1) can be borrowed simultaneously.
+            let (head, tail) = cache.inputs.split_at_mut(i + 1);
+            let out = &mut tail[0];
+            self.layers[i].forward_batch_scratch(&head[i], out, &mut cache.wt_scratch);
+            if i + 1 < n_layers {
+                relu_inplace(out);
+            }
+        }
+    }
+
+    /// Batched backprop through the pass cached by
+    /// [`Mlp::forward_batch_cached`], accumulating parameter gradients over
+    /// the whole batch; afterwards [`BatchCache::input_grads`] holds
+    /// `∂L/∂input`.
+    ///
+    /// Bit-identical to running [`Mlp::backward`] once per sample in batch
+    /// order: every gradient accumulator (`grad_w[o,i]`, `grad_b[o]`, each
+    /// `∂L/∂x` element) receives exactly the same contributions in exactly
+    /// the same order — see [`Linear::backward_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache does not match the network or `dloss_dout` is
+    /// not `[batch × out_dim]`.
+    pub fn backward_batch(&mut self, cache: &mut BatchCache, dloss_dout: &[f64]) {
+        let n = self.layers.len();
+        assert_eq!(cache.inputs.len(), n + 1, "cache does not match network");
+        assert_eq!(
+            dloss_dout.len(),
+            cache.batch * self.out_dim(),
+            "batch grad size mismatch"
+        );
+        cache.grad.clear();
+        cache.grad.extend_from_slice(dloss_dout);
+        for i in (0..n).rev() {
+            // The stored input of layer i+1 is layer i's *post-activation*
+            // batch; ReLU gradient masks where that output is zero.
+            if i + 1 < n {
+                let activated = &cache.inputs[i + 1];
+                for (g, a) in cache.grad.iter_mut().zip(activated) {
+                    if *a <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            self.layers[i].backward_batch(&cache.inputs[i], &cache.grad, &mut cache.grad_scratch);
+            std::mem::swap(&mut cache.grad, &mut cache.grad_scratch);
+        }
+    }
+
     /// Clears all accumulated gradients.
     pub fn zero_grad(&mut self) {
         for l in &mut self.layers {
@@ -125,6 +262,16 @@ impl Mlp {
     pub fn visit_params(&mut self, mut f: impl FnMut(&mut f64, f64)) {
         for l in &mut self.layers {
             l.visit_params(&mut f);
+        }
+    }
+
+    /// Visits every layer's `(parameters, gradients)` slice pair in the
+    /// order [`Mlp::visit_params`] flattens them (per layer: weights
+    /// row-major, then biases). Optimizers that update whole slices
+    /// vectorize where the per-scalar visitor cannot.
+    pub fn visit_param_slices(&mut self, mut f: impl FnMut(&mut [f64], &[f64])) {
+        for l in &mut self.layers {
+            l.visit_param_slices(&mut f);
         }
     }
 
@@ -272,6 +419,85 @@ mod tests {
         );
     }
 
+    #[test]
+    fn batch_cache_is_reusable_across_batch_sizes() {
+        let net = Mlp::new(&[3, 5, 2], 8);
+        let mut cache = BatchCache::new();
+        for n in [4, 1, 7] {
+            let xs: Vec<f64> = (0..n * 3).map(|k| k as f64 * 0.1 - 1.0).collect();
+            net.forward_batch_cached(&xs, &mut cache);
+            assert_eq!(cache.batch(), n);
+            assert_eq!(cache.outputs().len(), n * 2);
+            for s in 0..n {
+                assert_eq!(cache.output(s), net.forward(&xs[s * 3..(s + 1) * 3]));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_finite_difference_gradients_at_batch_3() {
+        // Finite-difference check of the *batched* backward at batch > 1:
+        // loss = Σ_s Σ_o dy[s,o] · net(x_s)[o].
+        let mut net = Mlp::new(&[3, 5, 2], 2);
+        let xs = [0.4, -0.2, 0.9, -0.6, 0.3, 0.1, 1.2, -0.8, 0.5];
+        let dys = [0.7, -1.3, 0.4, 0.9, -0.5, 0.2];
+        net.zero_grad();
+        let mut cache = BatchCache::new();
+        net.forward_batch_cached(&xs, &mut cache);
+        net.backward_batch(&mut cache, &dys);
+
+        let loss = |net: &Mlp, xs: &[f64]| -> f64 {
+            (0..3)
+                .map(|s| {
+                    net.forward(&xs[s * 3..(s + 1) * 3])
+                        .iter()
+                        .zip(&dys[s * 2..(s + 1) * 2])
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let eps = 1e-6;
+
+        // input gradients
+        let dx = cache.input_grads().to_vec();
+        assert_eq!(dx.len(), xs.len());
+        for i in 0..xs.len() {
+            let mut xp = xs;
+            xp[i] += eps;
+            let mut xm = xs;
+            xm[i] -= eps;
+            let num = (loss(&net, &xp) - loss(&net, &xm)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", dx[i]);
+        }
+
+        // parameter gradients
+        let mut analytic = Vec::new();
+        net.visit_params(|_, g| analytic.push(g));
+        let mut net2 = net.clone();
+        for (idx, &expected) in analytic.iter().enumerate() {
+            let nudge = |net: &mut Mlp, delta: f64| {
+                let mut j = 0;
+                net.visit_params(|p, _| {
+                    if j == idx {
+                        *p += delta;
+                    }
+                    j += 1;
+                });
+            };
+            nudge(&mut net2, eps);
+            let plus = loss(&net2, &xs);
+            nudge(&mut net2, -2.0 * eps);
+            let minus = loss(&net2, &xs);
+            nudge(&mut net2, eps);
+            let num = (plus - minus) / (2.0 * eps);
+            assert!(
+                (num - expected).abs() < 1e-5,
+                "param {idx}: {num} vs {expected}"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_forward_finite(
@@ -281,6 +507,68 @@ mod tests {
             for y in net.forward(&x) {
                 prop_assert!(y.is_finite());
             }
+        }
+
+        /// Over random shapes, batch sizes and data, the batched forward is
+        /// *exactly* (bit-for-bit) N independent per-sample forwards.
+        #[test]
+        fn prop_batched_forward_equals_per_sample(
+            in_dim in 1usize..6,
+            hidden in 1usize..9,
+            out_dim in 1usize..5,
+            n in 1usize..9,
+            seed in 0u64..1000,
+            raw in proptest::collection::vec(-5.0..5.0f64, 8 * 5)
+        ) {
+            let net = Mlp::new(&[in_dim, hidden, out_dim], seed);
+            let xs: Vec<f64> = (0..n * in_dim).map(|k| raw[k % raw.len()]).collect();
+            let mut cache = BatchCache::new();
+            net.forward_batch_cached(&xs, &mut cache);
+            for s in 0..n {
+                let single = net.forward(&xs[s * in_dim..(s + 1) * in_dim]);
+                prop_assert_eq!(cache.output(s), single.as_slice());
+            }
+        }
+
+        /// Over random shapes, the batched backward accumulates *exactly*
+        /// the gradients of N per-sample backward calls, and produces the
+        /// same `∂L/∂input` rows.
+        #[test]
+        fn prop_batched_backward_equals_per_sample(
+            in_dim in 1usize..6,
+            hidden in 1usize..9,
+            out_dim in 1usize..5,
+            n in 1usize..9,
+            seed in 0u64..1000,
+            raw in proptest::collection::vec(-5.0..5.0f64, 8 * 5)
+        ) {
+            let xs: Vec<f64> = (0..n * in_dim).map(|k| raw[k % raw.len()]).collect();
+            let dys: Vec<f64> = (0..n * out_dim)
+                .map(|k| raw[(k + 11) % raw.len()])
+                .collect();
+
+            let mut reference = Mlp::new(&[in_dim, hidden, out_dim], seed);
+            reference.zero_grad();
+            let mut ref_dx = Vec::new();
+            for s in 0..n {
+                let cache = reference.forward_cached(&xs[s * in_dim..(s + 1) * in_dim]);
+                ref_dx.extend(
+                    reference.backward(&cache, &dys[s * out_dim..(s + 1) * out_dim]),
+                );
+            }
+            let mut ref_grads = Vec::new();
+            reference.visit_params(|_, g| ref_grads.push(g));
+
+            let mut batched = Mlp::new(&[in_dim, hidden, out_dim], seed);
+            batched.zero_grad();
+            let mut cache = BatchCache::new();
+            batched.forward_batch_cached(&xs, &mut cache);
+            batched.backward_batch(&mut cache, &dys);
+            let mut got_grads = Vec::new();
+            batched.visit_params(|_, g| got_grads.push(g));
+
+            prop_assert_eq!(got_grads, ref_grads);
+            prop_assert_eq!(cache.input_grads(), ref_dx.as_slice());
         }
     }
 }

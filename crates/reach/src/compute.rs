@@ -2,7 +2,7 @@
 
 use std::cmp::Ordering;
 
-use iprism_dynamics::{ControlInput, VehicleState};
+use iprism_dynamics::{ControlInput, PreparedControl, VehicleState};
 use iprism_geom::{Aabb, Grid2, Meters, Obb, Vec2};
 use iprism_map::RoadMap;
 
@@ -88,6 +88,10 @@ pub fn compute_reach_tube_cached(
             &lattice
         }
     };
+    // Clamp and take `tan φ` once per control for the whole tube; stepping a
+    // prepared control is bit-identical to stepping the raw one.
+    let prepared: Vec<PreparedControl> =
+        controls.iter().map(|&u| config.model.prepare(u)).collect();
     let n_slices = config.slices();
     let (ego_len, ego_wid) = config.ego_dims;
     // Drivability uses a slightly shrunk body: roads have usable margins,
@@ -123,10 +127,15 @@ pub fn compute_reach_tube_cached(
     // small-scene profile).
     let mut slice_fps: Vec<&SliceFootprint> = Vec::with_capacity(active.len());
     let mut candidates: Vec<VehicleState> = Vec::new();
-    let mut keyed: Vec<((i64, i64, i64, i64), VehicleState)> = Vec::new();
+    let mut cells = CellTable::new();
     // Per-parent filter verdicts keyed by exact heading bits; holds at most
     // one entry per distinct steering angle in the control set.
     let mut theta_memo: Vec<(u64, bool)> = Vec::with_capacity(controls.len());
+    // Tube-global sine/cosine memo: frontier headings recur heavily across
+    // parents and slices (straight driving keeps most of the frontier at a
+    // handful of headings), so one libm call per *distinct* heading serves
+    // the whole tube.
+    let mut trig = TrigTable::new();
 
     for slice_idx in 1..=n_slices {
         slice_fps.clear();
@@ -149,8 +158,12 @@ pub fn compute_reach_tube_cached(
         for &state in &slices[slice_idx - 1] {
             theta_memo.clear();
             let mut marked = false;
-            for &u in controls {
-                let cand = config.model.step(state, u, config.dt);
+            // One sin/cos of the parent heading serves every control.
+            let (sin_t, cos_t) = trig.sin_cos(state.theta);
+            for &p in &prepared {
+                let cand = config
+                    .model
+                    .step_prepared(state, p, config.dt, sin_t, cos_t);
                 if !cand.is_finite() {
                     continue;
                 }
@@ -160,6 +173,7 @@ pub fn compute_reach_tube_cached(
                     None => {
                         let passes = survives_filters(
                             map, &state, &cand, drive_len, drive_wid, ego_len, ego_wid, &slice_fps,
+                            &mut trig,
                         );
                         theta_memo.push((bits, passes));
                         passes
@@ -183,19 +197,20 @@ pub fn compute_reach_tube_cached(
         // appeared) can only replace a representative with a slower one,
         // never with a farther-reaching one.
         //
-        // Implemented as sort + in-place dedup over a reused buffer rather
-        // than a per-slice map: sorting by (cell, canonical-descending) puts
-        // each cell's canonical representative first, so keeping the first
-        // entry per cell selects exactly the states a map would have kept.
-        keyed.clear();
-        keyed.extend(
-            candidates
-                .iter()
-                .map(|&cand| (quantize(&cand, config.dedup_epsilon), cand)),
-        );
-        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| canonical_order(&b.1, &a.1)));
-        keyed.dedup_by_key(|&mut (key, _)| key);
-        let mut next: Vec<VehicleState> = keyed.iter().map(|&(_, cand)| cand).collect();
+        // Implemented as a single O(n) pass over a reused open-addressing
+        // table ([`CellTable`]) keyed by the packed cell id ([`cell_key`]):
+        // each insert either claims a fresh cell or replaces the stored
+        // representative when the newcomer is canonically greater, so the
+        // table ends holding exactly the per-cell canonical maximum — the
+        // same states a (cell, canonical-descending) sort followed by
+        // keep-first-per-cell selects, without the O(n log n) comparison
+        // sort. The frontier order is fixed by the canonical sort below,
+        // so probe order never leaks into the result.
+        cells.begin(candidates.len());
+        for &cand in &candidates {
+            cells.insert(cell_key(&cand, config.dedup_epsilon), cand);
+        }
+        let mut next = cells.drain();
         next.sort_unstable_by(|a, b| canonical_order(b, a));
         if next.len() > config.max_frontier {
             next.truncate(config.max_frontier);
@@ -221,9 +236,11 @@ fn survives_filters(
     ego_len: Meters,
     ego_wid: Meters,
     slice_fps: &[&SliceFootprint],
+    trig: &mut TrigTable,
 ) -> bool {
     let drive_fp = cand.footprint(drive_len, drive_wid);
-    if !map.is_obb_drivable(&drive_fp) {
+    let (sin_t, cos_t) = trig.sin_cos(cand.theta);
+    if !map.is_obb_drivable_trig(&drive_fp, sin_t, cos_t) {
         return false;
     }
     if hits_obstacles(cand, ego_len, ego_wid, slice_fps, false) {
@@ -267,6 +284,144 @@ fn hits_obstacles(
         }
     }
     false
+}
+
+/// Order-preserving integer embedding of an `i64` (flipping the sign bit
+/// maps the signed order onto the unsigned order).
+#[inline]
+fn zorder(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+/// Memo of `θ.sin_cos()` keyed by the exact bit pattern of `θ`, kept sorted
+/// for binary-search lookup. On a hit it returns the pair libm produced for
+/// those same input bits, so memoized trig is bit-identical to calling
+/// `sin_cos` every time; only the (deterministic) call count changes.
+struct TrigTable {
+    entries: Vec<(u64, f64, f64)>,
+}
+
+impl TrigTable {
+    fn new() -> Self {
+        TrigTable {
+            entries: Vec::new(),
+        }
+    }
+
+    fn sin_cos(&mut self, theta: f64) -> (f64, f64) {
+        let bits = theta.to_bits();
+        match self.entries.binary_search_by_key(&bits, |e| e.0) {
+            Ok(i) => (self.entries[i].1, self.entries[i].2),
+            Err(i) => {
+                let (s, c) = theta.sin_cos();
+                self.entries.insert(i, (bits, s, c));
+                (s, c)
+            }
+        }
+    }
+}
+
+/// Reusable open-addressing scratch table mapping ε-dedup cells to their
+/// canonical representative (the [`canonical_order`] maximum of every
+/// candidate inserted for that cell).
+///
+/// Slots carry a generation tag so clearing between slices is O(1); the
+/// `live` list records first-claimed slots so extraction touches only
+/// occupied entries. The hash only steers probe placement — lookups compare
+/// the full key, and the caller re-sorts the extracted states — so the
+/// result is independent of the hash function and probe order.
+struct CellTable {
+    /// `(generation, key, state)`; a slot is live iff its tag equals the
+    /// table's current generation.
+    slots: Vec<(u32, (u128, u128), VehicleState)>,
+    /// Slot indices claimed this generation, in first-insertion order.
+    live: Vec<u32>,
+    generation: u32,
+}
+
+impl CellTable {
+    fn new() -> Self {
+        CellTable {
+            slots: Vec::new(),
+            live: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Starts a new slice: O(1) clear, growing to hold `n` inserts at a load
+    /// factor of at most one half.
+    fn begin(&mut self, n: usize) {
+        let want = (n.max(1) * 2).next_power_of_two();
+        if self.slots.len() < want || self.generation == u32::MAX {
+            let empty = (0, (0, 0), VehicleState::new(0.0, 0.0, 0.0, 0.0));
+            self.slots.clear();
+            self.slots.resize(want, empty);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+        self.live.clear();
+    }
+
+    /// Inserts a candidate, keeping the canonical maximum per cell.
+    fn insert(&mut self, key: (u128, u128), cand: VehicleState) {
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash_cell(key) as usize) & mask;
+        loop {
+            let slot = &mut self.slots[idx];
+            if slot.0 != self.generation {
+                *slot = (self.generation, key, cand);
+                self.live.push(idx as u32);
+                return;
+            }
+            if slot.1 == key {
+                if canonical_order(&cand, &slot.2) == std::cmp::Ordering::Greater {
+                    slot.2 = cand;
+                }
+                return;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Extracts the representatives (in unspecified order) and clears the
+    /// live list.
+    fn drain(&mut self) -> Vec<VehicleState> {
+        let next = self
+            .live
+            .iter()
+            .map(|&i| self.slots[i as usize].2)
+            .collect();
+        self.live.clear();
+        next
+    }
+}
+
+/// Mixes a packed cell key into a table index (splitmix-style finalizer).
+/// Hash quality only affects probe length, never any result.
+#[inline]
+fn hash_cell(key: (u128, u128)) -> u64 {
+    let mut h = (key.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= ((key.0 >> 64) as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= (key.1 as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= ((key.1 >> 64) as u64).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 32)
+}
+
+/// The ε-dedup cell of a state as a pair of packed integers: each quantized
+/// coordinate of [`quantize`] is embedded order-preserving in a `u64` and
+/// packed high-to-low, so two states share a `cell_key` iff they share a
+/// `quantize` tuple (the equality the [`CellTable`] dedups on) and the
+/// lexicographic key order equals the tuple order (so key-sorted groupings
+/// remain available at two machine-word comparisons per key).
+fn cell_key(s: &VehicleState, eps: f64) -> (u128, u128) {
+    let (qx, qy, qt, qv) = quantize(s, eps);
+    (
+        (u128::from(zorder(qx)) << 64) | u128::from(zorder(qy)),
+        (u128::from(zorder(qt)) << 64) | u128::from(zorder(qv)),
+    )
 }
 
 /// Quantizes a state for ε-dedup. Position dims are scaled by ε, heading by
@@ -526,6 +681,23 @@ mod tests {
     }
 
     proptest::proptest! {
+        /// `cell_key` is an order-preserving (and equality-preserving)
+        /// embedding of the `quantize` tuple, so the packed dedup sort
+        /// groups and orders cells exactly like the tuple sort it replaced.
+        #[test]
+        fn prop_cell_key_orders_like_quantize_tuple(
+            a in proptest::collection::vec(-1e7..1e7f64, 4),
+            b in proptest::collection::vec(-1e7..1e7f64, 4),
+        ) {
+            let sa = VehicleState::new(a[0], a[1], a[2], a[3]);
+            let sb = VehicleState::new(b[0], b[1], b[2], b[3]);
+            for eps in [0.5, 1.5, 2.0] {
+                let tuple_cmp = quantize(&sa, eps).cmp(&quantize(&sb, eps));
+                let key_cmp = cell_key(&sa, eps).cmp(&cell_key(&sb, eps));
+                proptest::prop_assert_eq!(tuple_cmp, key_cmp);
+            }
+        }
+
         /// The cached/prefiltered path over an arbitrary obstacle subset is
         /// bit-identical (full [`ReachTube`] equality: slices, grid and
         /// truncation flag) to building everything from scratch with only

@@ -158,6 +158,31 @@ impl SliceCache {
         &self.obstacles[index].slices
     }
 
+    /// FNV-1a fingerprint of the `active` obstacles' interpolated slice
+    /// footprints (slice and midpoint OBBs, in slice order).
+    ///
+    /// A cached tube computation sees the active obstacles *only* through
+    /// these footprints, so two (ego, config)-identical computations whose
+    /// active sets fingerprint equally are bit-identical — the fingerprint
+    /// (not the obstacle identities or the start time, which both enter
+    /// solely via the interpolated geometry) is a sound memoization key
+    /// component. The empty set has its own well-defined fingerprint.
+    pub fn fingerprint(&self, active: &[usize]) -> u64 {
+        let mut h = fold(0xcbf2_9ce4_8422_2325, active.len() as u64);
+        for &i in active {
+            for fp in &self.obstacles[i].slices {
+                for obb in [&fp.obb, &fp.mid_obb] {
+                    h = fold(h, obb.pose.x.to_bits());
+                    h = fold(h, obb.pose.y.to_bits());
+                    h = fold(h, obb.pose.theta.to_bits());
+                    h = fold(h, obb.length.to_bits());
+                    h = fold(h, obb.width.to_bits());
+                }
+            }
+        }
+        h
+    }
+
     /// Conservative test of whether obstacle `index` can interact with any
     /// state the ego can reach over the horizon.
     ///
@@ -177,6 +202,15 @@ impl SliceCache {
         );
         self.obstacles[index].bounds.intersects(&reach)
     }
+}
+
+/// One FNV-1a step over the little-endian bytes of `bits`.
+#[inline]
+fn fold(mut h: u64, bits: u64) -> u64 {
+    for b in bits.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -250,6 +284,20 @@ mod tests {
         let cache = SliceCache::new(&[], &ReachConfig::default());
         assert_eq!(cache.obstacle_count(), 0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_active_geometry() {
+        let cfg = ReachConfig::default();
+        let cache = SliceCache::new(&[obstacle_at(115.0, 5.25), obstacle_at(120.0, 1.75)], &cfg);
+        // deterministic, and sensitive to the active set
+        assert_eq!(cache.fingerprint(&[]), cache.fingerprint(&[]));
+        assert_ne!(cache.fingerprint(&[]), cache.fingerprint(&[0]));
+        assert_ne!(cache.fingerprint(&[0]), cache.fingerprint(&[1]));
+        // identical interpolated geometry fingerprints equally even when it
+        // lives at a different index of a different cache
+        let solo = SliceCache::new(&[obstacle_at(120.0, 1.75)], &cfg);
+        assert_eq!(cache.fingerprint(&[1]), solo.fingerprint(&[0]));
     }
 
     proptest! {

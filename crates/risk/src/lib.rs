@@ -45,7 +45,7 @@ mod ttc;
 
 pub use cipa::{dist_cipa, CIPA_RISK_DISTANCE};
 pub use ltfma::{ltfma_seconds, ltfma_steps, RiskIndicator};
-pub use memo::EmptyTubeMemo;
+pub use memo::{EmptyTubeMemo, TubeMemo};
 pub use pkl::{Pkl, PklModel, PklPlannerConfig};
 pub use scene::{SceneActor, SceneSnapshot};
 pub use sti::{Sti, StiEvaluator, STI_THREADS_ENV};

@@ -1,18 +1,23 @@
-//! Opt-in memoization of the empty-world tube volume `|T^∅|`.
+//! Opt-in memoization of counterfactual tube volumes.
 //!
-//! Every STI evaluation recomputes the empty-world reach-tube, yet `|T^∅|`
-//! depends only on the ego state, the map and the reach configuration —
-//! never on the other actors and (with no obstacles to interpolate) not on
-//! the scene time either. Along an SMC mitigation episode the ego revisits
-//! near-identical states whenever it is stopped or cruising steadily, so
-//! the empty tube is recomputed over and over for the same answer.
+//! Every STI evaluation recomputes its reach-tubes, yet each volume is a
+//! pure function of the ego state, the map, the reach configuration and the
+//! *interpolated obstacle footprints* of the tube's active obstacle set
+//! (`|T^∅|` depends on no obstacles at all). Along an SMC mitigation
+//! episode the ego revisits identical states whenever episodes replay a
+//! shared action prefix, or when it is stopped or cruising steadily — and
+//! against a static hazard the obstacle footprints recur too, so whole
+//! evaluations are recomputed over and over for the same answer.
 //!
-//! [`EmptyTubeMemo`] caches `|T^∅|` keyed by the **quantized** ego state
-//! (millimetre/centi-milliradian resolution) plus a fingerprint of every
-//! config field the empty tube depends on. It is strictly **opt-in**
-//! (`StiEvaluator::with_empty_tube_memo`): within one quantization cell the
-//! cached volume substitutes for an exact recomputation, a deliberate,
-//! bounded approximation that the default evaluator never makes.
+//! [`TubeMemo`] caches tube volumes keyed by the **quantized** ego state
+//! (millimetre/centi-milliradian resolution), a fingerprint of every
+//! config field the tube depends on, and a fingerprint of the active
+//! obstacles' interpolated slice footprints
+//! ([`iprism_reach::SliceCache::fingerprint`]; the empty set keys `|T^∅|`).
+//! It is strictly **opt-in** (`StiEvaluator::with_tube_memo`): within one
+//! ego quantization cell the cached volume substitutes for an exact
+//! recomputation, a deliberate, bounded approximation that the default
+//! evaluator never makes.
 //!
 //! The map is *not* part of the key — a memo handle must only be used with
 //! one map, which is how `iprism_core`'s mitigation environment (one map
@@ -24,8 +29,9 @@ use std::sync::Mutex;
 use iprism_dynamics::VehicleState;
 use iprism_reach::ReachConfig;
 
-/// Quantized ego state `(x, y, θ, v)` plus config fingerprint.
-pub(crate) type MemoKey = (i64, i64, i64, i64, u64);
+/// Quantized ego state `(x, y, θ, v)` plus config and obstacle-footprint
+/// fingerprints.
+pub(crate) type MemoKey = (i64, i64, i64, i64, u64, u64);
 
 /// Position quantum (m) for memo keys: 1 mm.
 const POS_QUANTUM: f64 = 1e-3;
@@ -34,23 +40,28 @@ const ANGLE_QUANTUM: f64 = 1e-4;
 /// Speed quantum (m/s) for memo keys: 1 mm/s.
 const SPEED_QUANTUM: f64 = 1e-3;
 
-/// A shared, thread-safe cache of empty-world tube volumes.
+/// A shared, thread-safe cache of counterfactual tube volumes (factual,
+/// empty-world and per-actor alike — the obstacle-footprint fingerprint in
+/// the key tells them apart).
 ///
-/// Create one with [`EmptyTubeMemo::new`], wrap it in an
-/// [`std::sync::Arc`], and hand it to every evaluator that should share it
-/// via `StiEvaluator::with_empty_tube_memo`. Lookups and inserts are
-/// guarded by a mutex; on a poisoned lock the memo degrades to computing
-/// without caching rather than panicking.
+/// Create one with [`TubeMemo::new`], wrap it in an [`std::sync::Arc`],
+/// and hand it to every evaluator that should share it via
+/// `StiEvaluator::with_tube_memo`. Lookups and inserts are guarded by a
+/// mutex; on a poisoned lock the memo degrades to computing without caching
+/// rather than panicking.
 #[derive(Debug, Default)]
-pub struct EmptyTubeMemo {
+pub struct TubeMemo {
     entries: Mutex<BTreeMap<MemoKey, f64>>,
 }
 
-impl EmptyTubeMemo {
+/// Historical name of [`TubeMemo`], from when only `|T^∅|` was cached.
+pub type EmptyTubeMemo = TubeMemo;
+
+impl TubeMemo {
     /// Creates an empty memo.
     #[must_use]
     pub fn new() -> Self {
-        EmptyTubeMemo::default()
+        TubeMemo::default()
     }
 
     /// Number of cached volumes.
@@ -92,14 +103,17 @@ impl EmptyTubeMemo {
     }
 }
 
-/// Builds the memo key for an ego state under a configuration.
-pub(crate) fn memo_key(ego: &VehicleState, config: &ReachConfig) -> MemoKey {
+/// Builds the memo key for an ego state under a configuration, with
+/// `obstacles_fp` fingerprinting the tube's active obstacle footprints
+/// ([`iprism_reach::SliceCache::fingerprint`] of the active set).
+pub(crate) fn memo_key(ego: &VehicleState, config: &ReachConfig, obstacles_fp: u64) -> MemoKey {
     (
         (ego.x / POS_QUANTUM).round() as i64,
         (ego.y / POS_QUANTUM).round() as i64,
         (ego.theta / ANGLE_QUANTUM).round() as i64,
         (ego.v / SPEED_QUANTUM).round() as i64,
         config_fingerprint(config),
+        obstacles_fp,
     )
 }
 
@@ -117,10 +131,11 @@ fn fold_f(h: u64, x: f64) -> u64 {
     fold(h, x.to_bits())
 }
 
-/// FNV-1a fingerprint of every [`ReachConfig`] field the *empty-world* tube
-/// depends on. `start_time` is deliberately excluded: with no obstacle
-/// trajectories to interpolate, the tube is invariant under time shifts,
-/// which is exactly what lets one memo serve a whole episode sweep.
+/// FNV-1a fingerprint of every [`ReachConfig`] field a tube depends on
+/// beyond its obstacle footprints. `start_time` is deliberately excluded:
+/// it enters a tube computation *only* through the interpolated obstacle
+/// footprints, which the obstacle fingerprint in the memo key captures
+/// exactly — this is what lets one memo serve a whole episode sweep.
 fn config_fingerprint(c: &ReachConfig) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325_u64;
     h = fold_f(h, c.dt.get());
@@ -163,9 +178,9 @@ mod tests {
 
     #[test]
     fn get_or_compute_caches() {
-        let memo = EmptyTubeMemo::new();
+        let memo = TubeMemo::new();
         assert!(memo.is_empty());
-        let key = memo_key(&ego(), &ReachConfig::default());
+        let key = memo_key(&ego(), &ReachConfig::default(), 7);
         let mut calls = 0;
         let v1 = memo.get_or_compute(key, || {
             calls += 1;
@@ -186,30 +201,38 @@ mod tests {
     #[test]
     fn key_distinguishes_states_beyond_quantum() {
         let cfg = ReachConfig::default();
-        let a = memo_key(&VehicleState::new(100.0, 5.25, 0.0, 10.0), &cfg);
-        let b = memo_key(&VehicleState::new(100.1, 5.25, 0.0, 10.0), &cfg);
-        let c = memo_key(&VehicleState::new(100.0, 5.25, 0.0, 10.0), &cfg);
+        let a = memo_key(&VehicleState::new(100.0, 5.25, 0.0, 10.0), &cfg, 0);
+        let b = memo_key(&VehicleState::new(100.1, 5.25, 0.0, 10.0), &cfg, 0);
+        let c = memo_key(&VehicleState::new(100.0, 5.25, 0.0, 10.0), &cfg, 0);
+        let d = memo_key(&VehicleState::new(100.0, 5.25, 0.0, 10.0), &cfg, 1);
         assert_ne!(a, b);
         assert_eq!(a, c);
+        assert_ne!(a, d, "obstacle fingerprint must distinguish keys");
     }
 
     #[test]
     fn fingerprint_ignores_start_time_only() {
         let base = ReachConfig::default();
         let shifted = base.at_time(Seconds::new(37.5));
-        assert_eq!(memo_key(&ego(), &base).4, memo_key(&ego(), &shifted).4);
+        assert_eq!(
+            memo_key(&ego(), &base, 0).4,
+            memo_key(&ego(), &shifted, 0).4
+        );
 
         let coarser = ReachConfig {
             grid_resolution: Meters::new(1.0),
             ..ReachConfig::default()
         };
-        assert_ne!(memo_key(&ego(), &base).4, memo_key(&ego(), &coarser).4);
+        assert_ne!(
+            memo_key(&ego(), &base, 0).4,
+            memo_key(&ego(), &coarser, 0).4
+        );
         let fewer = ReachConfig {
             max_frontier: 100,
             ..ReachConfig::default()
         };
-        assert_ne!(memo_key(&ego(), &base).4, memo_key(&ego(), &fewer).4);
+        assert_ne!(memo_key(&ego(), &base, 0).4, memo_key(&ego(), &fewer, 0).4);
         let fast = ReachConfig::fast();
-        assert_ne!(memo_key(&ego(), &base).4, memo_key(&ego(), &fast).4);
+        assert_ne!(memo_key(&ego(), &base, 0).4, memo_key(&ego(), &fast, 0).4);
     }
 }

@@ -11,7 +11,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::memo::memo_key;
-use crate::{EmptyTubeMemo, SceneSnapshot};
+use crate::{SceneSnapshot, TubeMemo};
 
 /// Result of an STI evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,8 +87,8 @@ pub struct StiEvaluator {
     /// (the [`STI_THREADS_ENV`] environment variable when set, otherwise the
     /// host's available parallelism); `1` = serial.
     threads: usize,
-    /// Opt-in shared cache of empty-world tube volumes.
-    empty_memo: Option<Arc<EmptyTubeMemo>>,
+    /// Opt-in shared cache of counterfactual tube volumes.
+    tube_memo: Option<Arc<TubeMemo>>,
 }
 
 impl StiEvaluator {
@@ -98,7 +98,7 @@ impl StiEvaluator {
         StiEvaluator {
             config,
             threads: 0,
-            empty_memo: None,
+            tube_memo: None,
         }
     }
 
@@ -112,15 +112,24 @@ impl StiEvaluator {
         self
     }
 
-    /// Opts in to empty-world tube memoization through a shared
-    /// [`EmptyTubeMemo`] (see the memo's documentation for the exactness
-    /// trade-off — within one quantization cell the cached volume stands in
-    /// for recomputation). The memo must only be shared between evaluators
-    /// operating on the same map.
+    /// Opts in to counterfactual tube memoization through a shared
+    /// [`TubeMemo`] (see the memo's documentation for the exactness
+    /// trade-off — within one ego quantization cell the cached volume
+    /// stands in for recomputation). All tube kinds are cached: the
+    /// obstacle-footprint fingerprint in the key separates the factual,
+    /// empty and per-actor counterfactual volumes. The memo must only be
+    /// shared between evaluators operating on the same map.
     #[must_use]
-    pub fn with_empty_tube_memo(mut self, memo: Arc<EmptyTubeMemo>) -> Self {
-        self.empty_memo = Some(memo);
+    pub fn with_tube_memo(mut self, memo: Arc<TubeMemo>) -> Self {
+        self.tube_memo = Some(memo);
         self
+    }
+
+    /// Alias of [`StiEvaluator::with_tube_memo`] under the memo's
+    /// historical name.
+    #[must_use]
+    pub fn with_empty_tube_memo(self, memo: Arc<TubeMemo>) -> Self {
+        self.with_tube_memo(memo)
     }
 
     /// The configured thread count (`0` = automatic).
@@ -209,7 +218,9 @@ impl StiEvaluator {
         sti
     }
 
-    /// Computes one counterfactual tube's volume (memo-aware for `T^∅`).
+    /// Computes one counterfactual tube's volume (memo-aware for every
+    /// tube kind — the active set enters the memo key via the fingerprint
+    /// of its interpolated footprints).
     fn tube_volume(
         &self,
         map: &RoadMap,
@@ -220,17 +231,31 @@ impl StiEvaluator {
         cfg: &ReachConfig,
     ) -> f64 {
         match tube {
-            Tube::All => compute_reach_tube_cached(map, ego, cache, all_idx, cfg).volume(),
-            Tube::Empty => match &self.empty_memo {
-                Some(memo) => memo.get_or_compute(memo_key(&ego, cfg), || {
-                    compute_reach_tube_cached(map, ego, cache, &[], cfg).volume()
-                }),
-                None => compute_reach_tube_cached(map, ego, cache, &[], cfg).volume(),
-            },
+            Tube::All => self.memoized_volume(map, ego, cache, all_idx, cfg),
+            Tube::Empty => self.memoized_volume(map, ego, cache, &[], cfg),
             Tube::Without(skip) => {
                 let active: Vec<usize> = all_idx.iter().copied().filter(|&j| j != skip).collect();
-                compute_reach_tube_cached(map, ego, cache, &active, cfg).volume()
+                self.memoized_volume(map, ego, cache, &active, cfg)
             }
+        }
+    }
+
+    /// `compute_reach_tube_cached(...).volume()` through the tube memo when
+    /// one is attached.
+    fn memoized_volume(
+        &self,
+        map: &RoadMap,
+        ego: VehicleState,
+        cache: &SliceCache,
+        active: &[usize],
+        cfg: &ReachConfig,
+    ) -> f64 {
+        match &self.tube_memo {
+            Some(memo) => memo
+                .get_or_compute(memo_key(&ego, cfg, cache.fingerprint(active)), || {
+                    compute_reach_tube_cached(map, ego, cache, active, cfg).volume()
+                }),
+            None => compute_reach_tube_cached(map, ego, cache, active, cfg).volume(),
         }
     }
 
@@ -411,17 +436,20 @@ mod tests {
     }
 
     #[test]
-    fn memoized_empty_tube_matches_direct() {
-        let memo = std::sync::Arc::new(crate::EmptyTubeMemo::new());
+    fn memoized_tubes_match_direct() {
+        let memo = std::sync::Arc::new(crate::TubeMemo::new());
         let plain = StiEvaluator::default();
-        let memoized = StiEvaluator::default().with_empty_tube_memo(memo.clone());
+        let memoized = StiEvaluator::default().with_tube_memo(memo.clone());
         let scene = SceneSnapshot::new(0.0, ego(), (4.6, 2.0)).with_actor(parked(1, 114.0, 5.25));
 
         let direct = plain.evaluate(&map3(), &scene);
         let first = memoized.evaluate(&map3(), &scene);
-        assert_eq!(memo.len(), 1);
+        // Two distinct volumes get cached: the factual tube, and the empty
+        // tube (whose key the single actor's counterfactual tube shares —
+        // both have an empty active set).
+        assert_eq!(memo.len(), 2);
         let second = memoized.evaluate(&map3(), &scene);
-        assert_eq!(memo.len(), 1, "repeat query must hit the cache");
+        assert_eq!(memo.len(), 2, "repeat query must hit the cache");
         assert_eq!(direct, first);
         assert_eq!(first, second);
         assert!(

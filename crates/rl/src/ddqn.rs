@@ -1,6 +1,6 @@
 //! The Double-DQN agent and training loop (paper reference [47]).
 
-use iprism_nn::{huber_grad, Adam, Mlp};
+use iprism_nn::{huber_grad, Adam, BatchCache, Mlp};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -40,6 +40,13 @@ pub struct DdqnConfig {
     pub seed: u64,
     /// Hard cap on steps per episode (0 = unlimited).
     pub max_steps_per_episode: usize,
+    /// Route gradient updates through the original per-sample engine instead
+    /// of the batched kernels. Only exists in test builds and behind the
+    /// `per-sample-reference` feature; the golden bit-identity tests flip it
+    /// to prove both engines produce byte-identical weights.
+    #[cfg(any(test, feature = "per-sample-reference"))]
+    #[serde(skip)]
+    pub reference_engine: bool,
 }
 
 impl Default for DdqnConfig {
@@ -58,6 +65,8 @@ impl Default for DdqnConfig {
             double_q: true,
             seed: 0,
             max_steps_per_episode: 500,
+            #[cfg(any(test, feature = "per-sample-reference"))]
+            reference_engine: false,
         }
     }
 }
@@ -79,8 +88,32 @@ impl DdqnConfig {
             double_q: true,
             seed: 7,
             max_steps_per_episode: 50,
+            #[cfg(any(test, feature = "per-sample-reference"))]
+            reference_engine: false,
         }
     }
+}
+
+/// Reusable buffers for the batched minibatch update: sampled indices,
+/// contiguous row-major state slabs, the Huber-gradient rows, and one
+/// [`BatchCache`] per batched network pass. Living on the agent, they make
+/// steady-state updates allocation-free.
+#[derive(Debug, Clone, Default)]
+struct BatchArena {
+    /// Replay indices of the current minibatch.
+    indices: Vec<usize>,
+    /// Row-major `[batch × state_dim]` slab of sampled states.
+    states: Vec<f64>,
+    /// Row-major `[batch × state_dim]` slab of sampled next states.
+    next_states: Vec<f64>,
+    /// Row-major `[batch × num_actions]` Huber gradient of the TD loss.
+    grads: Vec<f64>,
+    /// Online-network pass over `states` (kept for the backward pass).
+    q_cache: BatchCache,
+    /// Online-network pass over `next_states` (double-Q action selection).
+    next_online: BatchCache,
+    /// Target-network pass over `next_states` (TD target evaluation).
+    next_target: BatchCache,
 }
 
 /// A Double-DQN agent: online + target Q-networks (Eq. 9 of the paper) and
@@ -96,6 +129,8 @@ pub struct DdqnAgent {
     steps: u64,
     #[serde(skip, default = "default_rng")]
     rng: ChaCha8Rng,
+    #[serde(skip)]
+    arena: BatchArena,
 }
 
 fn default_rng() -> ChaCha8Rng {
@@ -123,6 +158,7 @@ impl DdqnAgent {
             buffer,
             steps: 0,
             rng,
+            arena: BatchArena::default(),
         }
     }
 
@@ -180,7 +216,83 @@ impl DdqnAgent {
 
     /// One minibatch double-Q update:
     /// `y = r + γ (1 − done) · Q_target(s′, argmax_a Q_online(s′, a))`.
+    ///
+    /// The minibatch is packed into the reusable [`BatchArena`] and run as
+    /// three batched network passes — target-Q(s′), online-Q(s′) for the
+    /// double-Q argmax, and online-Q(s) — instead of ~3·batch per-sample
+    /// forwards, with gradient accumulation done once over the whole batch.
+    /// Bit-identical to [`DdqnAgent::learn_batch_reference`]: the index
+    /// sampling consumes the same RNG draws, the batched kernels reduce every
+    /// dot product in the per-sample order, and the gradient rows carry the
+    /// same dense zero entries the reference backpropagated.
     fn learn_batch(&mut self) {
+        #[cfg(any(test, feature = "per-sample-reference"))]
+        if self.config.reference_engine {
+            self.learn_batch_reference();
+            return;
+        }
+
+        let arena = &mut self.arena;
+        self.buffer
+            .sample_indices(&mut self.rng, self.config.batch_size, &mut arena.indices);
+        let n = arena.indices.len();
+
+        arena.states.clear();
+        arena.next_states.clear();
+        for &i in &arena.indices {
+            let t = self.buffer.get(i);
+            arena.states.extend_from_slice(&t.state);
+            arena.next_states.extend_from_slice(&t.next_state);
+        }
+
+        // Batched passes. Terminal transitions get their rows computed too
+        // (unlike the reference, which skips them); the values are simply
+        // never read, so the update is unaffected.
+        self.target
+            .forward_batch_cached(&arena.next_states, &mut arena.next_target);
+        if self.config.double_q {
+            self.online
+                .forward_batch_cached(&arena.next_states, &mut arena.next_online);
+        }
+        self.online
+            .forward_batch_cached(&arena.states, &mut arena.q_cache);
+
+        let out_dim = self.online.out_dim();
+        let scale = 1.0 / n as f64;
+        arena.grads.clear();
+        arena.grads.resize(n * out_dim, 0.0);
+        for (s, &i) in arena.indices.iter().enumerate() {
+            let t = self.buffer.get(i);
+            let target_y = if t.done {
+                t.reward
+            } else {
+                let target_q = arena.next_target.output(s);
+                let q_next = if self.config.double_q {
+                    // Double-DQN: online net selects, target net evaluates.
+                    target_q[argmax(arena.next_online.output(s))]
+                } else {
+                    // Vanilla DQN ablation: target net does both.
+                    target_q[argmax(target_q)]
+                };
+                t.reward + self.config.gamma * q_next
+            };
+            let q = arena.q_cache.output(s)[t.action];
+            arena.grads[s * out_dim + t.action] =
+                huber_grad(q, target_y, self.config.huber_delta) * scale;
+        }
+
+        self.online.zero_grad();
+        self.online.backward_batch(&mut arena.q_cache, &arena.grads);
+        self.optimizer
+            .get_or_insert_with(|| Adam::new(self.online.param_count(), self.config.lr))
+            .step(&mut self.online);
+    }
+
+    /// The original per-sample update path, kept verbatim as the golden
+    /// reference the batched engine is tested against (enable with
+    /// [`DdqnConfig::reference_engine`]).
+    #[cfg(any(test, feature = "per-sample-reference"))]
+    fn learn_batch_reference(&mut self) {
         let batch: Vec<Transition> = self
             .buffer
             .sample(&mut self.rng, self.config.batch_size)
@@ -372,6 +484,40 @@ mod tests {
             train(&mut env, &DdqnConfig::small_test(), 30).episode_returns
         };
         assert_eq!(run(), run());
+    }
+
+    /// The batched GEMM engine must reproduce the per-sample reference
+    /// byte for byte: identical weights (serialized form compares every f64
+    /// bit-exactly) and identical episode returns over a full training run.
+    #[test]
+    fn batched_engine_matches_per_sample_reference_exactly() {
+        let run = |reference: bool| {
+            let mut cfg = DdqnConfig::small_test();
+            cfg.reference_engine = reference;
+            let mut env = Chain { pos: 0 };
+            let trained = train(&mut env, &cfg, 60);
+            let weights = serde_json::to_string(trained.agent.network()).unwrap();
+            (weights, trained.episode_returns)
+        };
+        let (batched_weights, batched_returns) = run(false);
+        let (reference_weights, reference_returns) = run(true);
+        assert_eq!(batched_returns, reference_returns);
+        assert_eq!(batched_weights, reference_weights);
+    }
+
+    /// Same check for the vanilla-DQN ablation target (different Q(s′) path
+    /// through the batched engine).
+    #[test]
+    fn batched_engine_matches_reference_for_vanilla_dqn() {
+        let run = |reference: bool| {
+            let mut cfg = DdqnConfig::small_test();
+            cfg.double_q = false;
+            cfg.reference_engine = reference;
+            let mut env = Chain { pos: 0 };
+            let trained = train(&mut env, &cfg, 40);
+            serde_json::to_string(trained.agent.network()).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

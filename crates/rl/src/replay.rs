@@ -80,6 +80,31 @@ impl ReplayBuffer {
             .map(|_| &self.data[rng.gen_range(0..self.data.len())])
             .collect()
     }
+
+    /// Draws `batch` uniform indices with replacement into `out`, consuming
+    /// *exactly* the RNG sequence of [`ReplayBuffer::sample`] (one
+    /// `gen_range(0..len)` per item, in order) — the batched training path
+    /// relies on this to stay bit-identical to the per-sample reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is empty.
+    pub fn sample_indices<R: Rng>(&self, rng: &mut R, batch: usize, out: &mut Vec<usize>) {
+        assert!(!self.data.is_empty(), "cannot sample from empty buffer");
+        out.clear();
+        out.extend((0..batch).map(|_| rng.gen_range(0..self.data.len())));
+    }
+
+    /// The transition at `index` (as produced by
+    /// [`ReplayBuffer::sample_indices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> &Transition {
+        &self.data[index]
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +149,23 @@ mod tests {
         let s1: Vec<f64> = b.sample(&mut r1, 4).iter().map(|t| t.reward).collect();
         let s2: Vec<f64> = b.sample(&mut r2, 4).iter().map(|t| t.reward).collect();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn sample_indices_consumes_same_rng_sequence_as_sample() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(t(i as f64));
+        }
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        let by_ref: Vec<f64> = b.sample(&mut r1, 6).iter().map(|t| t.reward).collect();
+        let mut indices = Vec::new();
+        b.sample_indices(&mut r2, 6, &mut indices);
+        let by_idx: Vec<f64> = indices.iter().map(|&i| b.get(i).reward).collect();
+        assert_eq!(by_ref, by_idx);
+        // Both consumed identically many draws: the RNGs stay in lockstep.
+        assert_eq!(r1.gen_range(0..1_000_000), r2.gen_range(0..1_000_000));
     }
 
     #[test]

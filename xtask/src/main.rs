@@ -7,7 +7,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
-        Some("bench-sti") => bench_sti(&args[1..]),
+        Some("bench-sti") => run_bench_bin("bench_sti", "bench-sti", &args[1..]),
+        Some("bench-train") => run_bench_bin("bench_train", "bench-train", &args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -26,7 +27,11 @@ fn print_usage() {
          tasks:\n  \
          lint [--ast] [--json]   run the iPrism custom lints over every workspace .rs file\n  \
          bench-sti [PATH]        time the STI hot path and write BENCH_STI.json (repo root,\n                          \
-         or PATH) with the speedup over the recorded baseline\n\n\
+         or PATH) with the speedup over the recorded baseline\n  \
+         bench-train [--smoke] [PATH]\n                          \
+         time D-DQN training (gradient updates + end-to-end train_smc)\n                          \
+         and write BENCH_TRAIN.json with the speedup over the recorded\n                          \
+         baseline; --smoke runs one untimed iteration (CI)\n\n\
          flags:\n  \
          --ast    run the AST-level rules (determinism, dimensional safety, NaN hygiene)\n           \
          instead of the text rules\n  \
@@ -70,27 +75,19 @@ fn lint(flags: &[String]) -> ExitCode {
     }
 }
 
-/// Builds and runs the `bench_sti` reporter in release mode, forwarding any
-/// extra arguments (the first one overrides the output path).
-fn bench_sti(args: &[String]) -> ExitCode {
+/// Builds and runs a bench reporter binary in release mode, forwarding any
+/// extra arguments (e.g. `--smoke`, or a PATH overriding the output file).
+fn run_bench_bin(bin: &str, task: &str, args: &[String]) -> ExitCode {
     let status = std::process::Command::new(env!("CARGO"))
         .current_dir(workspace_root())
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "iprism-bench",
-            "--bin",
-            "bench_sti",
-            "--",
-        ])
+        .args(["run", "--release", "-p", "iprism-bench", "--bin", bin, "--"])
         .args(args)
         .status();
     match status {
         Ok(s) if s.success() => ExitCode::SUCCESS,
         Ok(_) => ExitCode::FAILURE,
         Err(err) => {
-            eprintln!("xtask bench-sti: failed to launch cargo: {err}");
+            eprintln!("xtask {task}: failed to launch cargo: {err}");
             ExitCode::from(2)
         }
     }
