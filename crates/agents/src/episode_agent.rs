@@ -1,0 +1,154 @@
+//! The common agent interface the evaluation harness drives episodes with.
+//!
+//! Every study in `iprism-eval` runs the same loop — build a world, drive an
+//! [`EgoController`], record the outcome — but mitigation studies also need
+//! to know *when a safety layer first intervened* (the paper's §V-C timing
+//! analysis). [`EpisodeAgent`] extends [`EgoController`] with exactly that
+//! query so the harness can treat the plain ADS baselines (LBC, RIP), the
+//! ACA wrapper, and iPrism-mitigated agents uniformly, including behind
+//! `Box<dyn EpisodeAgent>`.
+
+use iprism_sim::{ConstantControl, EgoController, World};
+
+use crate::{AcaController, LbcAgent, MitigatedAgent, MitigationPolicy, RipAgent};
+
+/// An ego controller the evaluation harness can run and interrogate.
+///
+/// The one added query, [`first_activation`](EpisodeAgent::first_activation),
+/// reports when the agent's safety layer first overrode the nominal ADS —
+/// `None` for agents without one (plain ADS baselines) or when it never
+/// fired.
+pub trait EpisodeAgent: EgoController {
+    /// Sim time (s) of the first safety intervention in the current episode,
+    /// if the agent has a safety layer and it fired.
+    fn first_activation(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl EpisodeAgent for LbcAgent {}
+impl EpisodeAgent for RipAgent {}
+impl EpisodeAgent for ConstantControl {}
+
+impl<A: EgoController> EpisodeAgent for AcaController<A> {
+    fn first_activation(&self) -> Option<f64> {
+        AcaController::first_activation(self)
+    }
+}
+
+impl<A: EgoController, P: MitigationPolicy> EpisodeAgent for MitigatedAgent<A, P> {
+    fn first_activation(&self) -> Option<f64> {
+        MitigatedAgent::first_activation(self)
+    }
+}
+
+impl EgoController for Box<dyn EpisodeAgent + '_> {
+    fn control(&mut self, world: &World) -> iprism_dynamics::ControlInput {
+        (**self).control(world)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+impl EpisodeAgent for Box<dyn EpisodeAgent + '_> {
+    fn first_activation(&self) -> Option<f64> {
+        (**self).first_activation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
+
+    use super::*;
+    use crate::NoMitigation;
+    use iprism_dynamics::VehicleState;
+    use iprism_map::RoadMap;
+    use iprism_sim::{run_episode, Actor, Behavior, EpisodeConfig, EpisodeOutcome, Goal};
+
+    /// A 10 m/s ego behind a stopped car: forces ACA/mitigation layers to
+    /// fire if they are going to.
+    fn blocked_world() -> World {
+        let map = RoadMap::straight_road(2, 3.5, 400.0);
+        let mut world = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 10.0), 0.1);
+        world.spawn(Actor::vehicle(
+            1,
+            VehicleState::new(45.0, 1.75, 0.0, 0.0),
+            Behavior::lane_keep(0.0),
+        ));
+        world
+    }
+
+    fn config() -> EpisodeConfig {
+        EpisodeConfig {
+            max_time: 8.0,
+            goal: Goal::None,
+            stop_on_collision: true,
+        }
+    }
+
+    #[test]
+    fn plain_agents_report_no_activation() {
+        assert_eq!(LbcAgent::default().first_activation(), None);
+        assert_eq!(RipAgent::default().first_activation(), None);
+        assert_eq!(ConstantControl::coast().first_activation(), None);
+    }
+
+    /// The ACA wrapper's trait-level activation must agree with its inherent
+    /// accessor, and the wrapper must fire before a stopped blocker.
+    #[test]
+    fn aca_activation_flows_through_the_trait() {
+        let mut agent = AcaController::new(LbcAgent::default(), 3.0);
+        let mut world = blocked_world();
+        run_episode(&mut world, &mut agent, &config());
+        let via_trait = EpisodeAgent::first_activation(&agent);
+        assert_eq!(via_trait, AcaController::first_activation(&agent));
+        let t = via_trait.expect("ACA must brake for a stopped in-path car");
+        assert!(t > 0.0 && t < 8.0, "activation time {t} outside episode");
+    }
+
+    #[test]
+    fn unmitigated_wrapper_never_activates() {
+        let mut agent = MitigatedAgent::new(LbcAgent::default(), NoMitigation);
+        let mut world = blocked_world();
+        run_episode(&mut world, &mut agent, &config());
+        assert_eq!(EpisodeAgent::first_activation(&agent), None);
+    }
+
+    /// A boxed agent must drive the episode to the byte-identical outcome
+    /// and trace of the concrete agent — the harness erases agent types.
+    #[test]
+    fn boxed_agent_matches_concrete_agent() {
+        let mut concrete = RipAgent::default();
+        let mut world = blocked_world();
+        let direct = run_episode(&mut world, &mut concrete, &config());
+
+        let mut boxed: Box<dyn EpisodeAgent> = Box::new(RipAgent::default());
+        let mut world = blocked_world();
+        let erased = run_episode(&mut world, &mut boxed, &config());
+
+        assert_eq!(direct.outcome, erased.outcome);
+        assert_eq!(
+            format!("{:?}", direct.trace),
+            format!("{:?}", erased.trace),
+            "boxed agent diverged from the concrete agent"
+        );
+        assert_eq!(boxed.first_activation(), None);
+    }
+
+    /// RIP keeps its documented failure mode under the new trait: it still
+    /// rear-ends the stopped blocker (OOD scene, misleading likelihoods).
+    #[test]
+    fn rip_still_collides_in_ood_scene_under_trait() {
+        let mut boxed: Box<dyn EpisodeAgent> = Box::new(RipAgent::default());
+        let mut world = blocked_world();
+        let result = run_episode(&mut world, &mut boxed, &config());
+        assert!(
+            matches!(result.outcome, EpisodeOutcome::Collision { .. }),
+            "expected RIP to collide, got {:?}",
+            result.outcome
+        );
+    }
+}

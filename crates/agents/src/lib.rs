@@ -25,12 +25,14 @@
 #![warn(missing_debug_implementations)]
 
 mod aca;
+mod episode_agent;
 mod lbc;
 mod mitigation;
 mod rip;
 mod util;
 
 pub use aca::AcaController;
+pub use episode_agent::EpisodeAgent;
 pub use lbc::{LbcAgent, LbcConfig};
 pub use mitigation::{
     MitigatedAgent, MitigationAction, MitigationPolicy, NoMitigation, ACCELERATE_SPEED_CAP,

@@ -1,34 +1,12 @@
 //! Regenerates Figure 5: combined STI on ghost cut-in, LBC vs LBC+iPrism.
 
-use iprism_agents::LbcAgent;
-use iprism_bench::CommonArgs;
-use iprism_core::{train_smc, SmcTrainConfig, TrainedPolicyCache};
-use iprism_eval::{iprism_sti_series, select_training_scenarios};
-use iprism_scenarios::Typology;
+use iprism_bench::{ghost_cut_in_smc, CommonArgs};
+use iprism_eval::iprism_sti_series;
 
 fn main() {
     let args = CommonArgs::parse();
     let t0 = std::time::Instant::now();
-    let specs = select_training_scenarios(Typology::GhostCutIn, &args.config, 60, 3);
-    assert!(!specs.is_empty(), "ghost cut-in accidents exist");
-    let templates: Vec<_> = specs
-        .iter()
-        .map(|s| (s.build_world(), s.episode_config()))
-        .collect();
-    let train_config = SmcTrainConfig {
-        episodes: args.episodes,
-        ..SmcTrainConfig::default()
-    };
-    // Same fingerprint as table3's ghost-cut-in LBC+iPrism policy: whichever
-    // binary runs first trains it once, the others load the snapshot.
-    let smc = match &args.config.policy_dir {
-        Some(dir) => TrainedPolicyCache::new(dir).load_or_train(
-            &train_config,
-            &format!("{specs:?}:lbc"),
-            || train_smc(templates.clone(), LbcAgent::default(), &train_config).smc,
-        ),
-        None => train_smc(templates, LbcAgent::default(), &train_config).smc,
-    };
+    let smc = ghost_cut_in_smc(&args.config, args.episodes);
     let (lbc, iprism) = iprism_sti_series(&smc, &args.config);
     println!("Figure 5 — STI(combined) on ghost cut-in (mean over sweep)");
     println!("{:>7}  {:>10}  {:>12}", "t(s)", "LBC", "LBC+iPrism");

@@ -1,35 +1,13 @@
 //! Regenerates the §V-C roundabout experiment: RIP vs RIP+iPrism.
 
-use iprism_agents::LbcAgent;
-use iprism_bench::CommonArgs;
-use iprism_core::{train_smc, SmcTrainConfig, TrainedPolicyCache};
-use iprism_eval::{roundabout_study, select_training_scenarios};
-use iprism_scenarios::Typology;
+use iprism_bench::{ghost_cut_in_smc, CommonArgs};
+use iprism_eval::roundabout_study;
 
 fn main() {
     let args = CommonArgs::parse();
     let t0 = std::time::Instant::now();
     // iPrism is trained on LBC straight-road scenarios (generalization).
-    let specs = select_training_scenarios(Typology::GhostCutIn, &args.config, 60, 3);
-    assert!(!specs.is_empty(), "ghost cut-in accidents exist");
-    let templates: Vec<_> = specs
-        .iter()
-        .map(|s| (s.build_world(), s.episode_config()))
-        .collect();
-    let train_config = SmcTrainConfig {
-        episodes: args.episodes,
-        ..SmcTrainConfig::default()
-    };
-    // Shares its fingerprint with fig5 and table3's ghost-cut-in policy:
-    // one training run serves all three binaries.
-    let smc = match &args.config.policy_dir {
-        Some(dir) => TrainedPolicyCache::new(dir).load_or_train(
-            &train_config,
-            &format!("{specs:?}:lbc"),
-            || train_smc(templates.clone(), LbcAgent::default(), &train_config).smc,
-        ),
-        None => train_smc(templates, LbcAgent::default(), &train_config).smc,
-    };
+    let smc = ghost_cut_in_smc(&args.config, args.episodes);
     let study = roundabout_study(&smc, &args.config);
     println!("Roundabout ghost cut-in — RIP vs RIP+iPrism");
     println!(

@@ -16,7 +16,41 @@
 //! and `--seed S`, and writes its results as JSON next to its stdout table
 //! when `--json PATH` is given.
 
-use iprism_eval::EvalConfig;
+use iprism_agents::LbcAgent;
+use iprism_core::{train_smc, Smc, SmcTrainConfig, TrainedPolicyCache};
+use iprism_eval::{select_training_scenarios, EvalConfig};
+use iprism_scenarios::Typology;
+
+/// Trains (or loads from the policy cache) the ghost-cut-in LBC+iPrism SMC
+/// shared by the `fig5`, `roundabout` and `table3` binaries: top-3 training
+/// scenarios from a 60-instance pool, the LBC ADS, and `episodes` training
+/// episodes. The cache fingerprint matches across the binaries, so
+/// whichever runs first trains the policy once and the others load it.
+///
+/// # Panics
+///
+/// Panics when no ghost-cut-in pool instance defeats the LBC baseline
+/// (there is then nothing to train mitigation on).
+pub fn ghost_cut_in_smc(config: &EvalConfig, episodes: usize) -> Smc {
+    let specs = select_training_scenarios(Typology::GhostCutIn, config, 60, 3);
+    assert!(!specs.is_empty(), "ghost cut-in accidents exist");
+    let templates: Vec<_> = specs
+        .iter()
+        .map(|s| (s.build_world(), s.episode_config()))
+        .collect();
+    let train_config = SmcTrainConfig {
+        episodes,
+        ..SmcTrainConfig::default()
+    };
+    match &config.policy_dir {
+        Some(dir) => TrainedPolicyCache::new(dir).load_or_train(
+            &train_config,
+            &format!("{specs:?}:lbc"),
+            || train_smc(templates.clone(), LbcAgent::default(), &train_config).smc,
+        ),
+        None => train_smc(templates, LbcAgent::default(), &train_config).smc,
+    }
+}
 
 /// Prints a CLI usage error and exits with status 2.
 fn die(msg: &str) -> ! {

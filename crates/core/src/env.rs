@@ -6,7 +6,7 @@ use iprism_agents::MitigationAction;
 use iprism_reach::ReachConfig;
 use iprism_risk::{SceneSnapshot, StiEvaluator, TubeMemo};
 use iprism_rl::{Environment, StepOutcome};
-use iprism_sim::{EgoController, EpisodeConfig, Goal, World};
+use iprism_sim::{EgoController, Episode, EpisodeConfig, Goal, World};
 use serde::{Deserialize, Serialize};
 
 use crate::{FeatureExtractor, RewardModel, RewardWeights, FEATURE_DIM};
@@ -52,6 +52,12 @@ impl Default for EnvConfig {
 ///
 /// Multiple templates round-robin across episodes (the paper trains on one
 /// scenario per typology; passing several enables multi-scenario training).
+///
+/// Stepping composes the [`Episode`] engine from `iprism-sim` (untraced —
+/// training needs no trajectory history): the engine advances the world,
+/// while the env layers its RL semantics on top of the returned step events
+/// (always break on an ego collision, regardless of `stop_on_collision`;
+/// time out on wall-clock `max_time` rather than the engine's step budget).
 #[derive(Debug)]
 pub struct MitigationEnv<A> {
     templates: Vec<(World, EpisodeConfig)>,
@@ -61,7 +67,7 @@ pub struct MitigationEnv<A> {
     reward: RewardModel,
     sti: StiEvaluator,
     world: World,
-    episode: EpisodeConfig,
+    engine: Episode,
     next_template: usize,
     goal_distance: f64,
 }
@@ -82,6 +88,7 @@ impl<A: EgoController> MitigationEnv<A> {
         let sti = StiEvaluator::new(config.reach.clone());
         let reward = RewardModel::new(config.weights);
         let goal_distance = goal_distance(&episode.goal, &world);
+        let engine = Episode::begin_untraced(&world, episode);
         MitigationEnv {
             templates,
             ads,
@@ -90,7 +97,7 @@ impl<A: EgoController> MitigationEnv<A> {
             reward,
             sti,
             world,
-            episode,
+            engine,
             next_template: 0,
             goal_distance,
         }
@@ -166,9 +173,9 @@ impl<A: EgoController> Environment for MitigationEnv<A> {
         let (world, episode) = self.templates[self.next_template].clone();
         self.next_template = (self.next_template + 1) % self.templates.len();
         self.world = world;
-        self.episode = episode;
+        self.engine = Episode::begin_untraced(&self.world, episode);
         self.ads.reset();
-        self.goal_distance = goal_distance(&self.episode.goal, &self.world);
+        self.goal_distance = goal_distance(&self.engine.config().goal, &self.world);
         let sti = if self.config.sti_in_observation {
             self.current_sti()
         } else {
@@ -184,12 +191,17 @@ impl<A: EgoController> Environment for MitigationEnv<A> {
         for _ in 0..self.config.decision_period {
             let ads_control = self.ads.control(&self.world);
             let control = action.to_control(&self.world).unwrap_or(ads_control);
-            let events = self.world.step(control);
+            let events = self.engine.step(&mut self.world, control);
             if events.ego_collided() {
                 collided = true;
                 break;
             }
-            if self.episode.goal.reached(self.world.ego().position()) {
+            if self
+                .engine
+                .config()
+                .goal
+                .reached(self.world.ego().position())
+            {
                 reached_goal = true;
                 break;
             }
@@ -204,7 +216,7 @@ impl<A: EgoController> Environment for MitigationEnv<A> {
         };
 
         // Path completion: normalized goal-distance decrease per decision.
-        let new_distance = goal_distance(&self.episode.goal, &self.world);
+        let new_distance = goal_distance(&self.engine.config().goal, &self.world);
         let step_time = self.config.decision_period as f64 * self.world.dt();
         let progress = ((self.goal_distance - new_distance)
             / (self.config.progress_ref_speed * step_time))
@@ -212,7 +224,7 @@ impl<A: EgoController> Environment for MitigationEnv<A> {
         self.goal_distance = new_distance;
 
         let reward = self.reward.reward(sti, progress, action);
-        let done = collided || reached_goal || self.world.time() >= self.episode.max_time;
+        let done = collided || reached_goal || self.world.time() >= self.engine.config().max_time;
         StepOutcome {
             state: self.extractor.features(&self.world, observed_sti),
             reward,

@@ -1,11 +1,10 @@
 //! Table I: scenario counts and LBC baseline accidents per typology.
 
-use iprism_agents::LbcAgent;
-use iprism_scenarios::{sample_instances, ScenarioSpec, Typology};
-use iprism_sim::{run_episode, EpisodeResult, MotionModel, World};
+use iprism_scenarios::Typology;
 use serde::{Deserialize, Serialize};
 
-use crate::{parallel_map, render_table, EvalConfig};
+use crate::suite::{lbc, ScenarioSuite};
+use crate::{render_table, EvalConfig};
 
 /// One Table-I row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,37 +61,18 @@ impl std::fmt::Display for BaselineStudy {
     }
 }
 
-/// Runs one scenario instance with a fresh LBC agent.
-pub(crate) fn run_lbc(spec: &ScenarioSpec) -> (EpisodeResult, World) {
-    let mut world = spec.build_world();
-    let mut agent = LbcAgent::default();
-    let result = run_episode(&mut world, &mut agent, &spec.episode_config());
-    (result, world)
-}
-
-/// A front-accident instance is valid only when the scripted NPC-NPC crash
-/// actually happened (the paper discarded 190 of 1000).
-pub(crate) fn is_valid(spec: &ScenarioSpec, final_world: &World) -> bool {
-    if spec.typology != Typology::FrontAccident {
-        return true;
-    }
-    final_world
-        .actors()
-        .iter()
-        .any(|a| a.motion == MotionModel::Static)
-}
-
 /// Reproduces Table I: runs the LBC baseline over every typology sweep and
 /// counts accidents.
 pub fn baseline_study(config: &EvalConfig) -> BaselineStudy {
+    let suite = ScenarioSuite::new(config);
     let rows = Typology::NHTSA
         .iter()
         .map(|&typology| {
-            let specs = sample_instances(typology, config.instances, config.seed);
-            let outcomes = parallel_map(specs, config.resolved_workers(), |spec| {
-                let (result, world) = run_lbc(&spec);
-                (is_valid(&spec, &world), result.outcome.is_collision())
-            });
+            let outcomes = suite.sweep_map(
+                suite.specs(typology),
+                |_| lbc(),
+                |_, run| (run.valid, run.collided()),
+            );
             let valid = outcomes.iter().filter(|(v, _)| *v).count();
             let accidents = outcomes.iter().filter(|(v, c)| *v && *c).count();
             BaselineRow {

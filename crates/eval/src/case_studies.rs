@@ -5,6 +5,7 @@ use iprism_scenarios::{case_study, CaseStudy};
 use iprism_sim::ActorId;
 use serde::{Deserialize, Serialize};
 
+use crate::suite::ScenarioSuite;
 use crate::{render_table, EvalConfig};
 
 /// Per-actor STI in one case-study scene.
@@ -61,22 +62,19 @@ impl std::fmt::Display for CaseStudyReport {
 /// Evaluates per-actor STI on the four Fig. 7 scenes using CVTR-predicted
 /// actor trajectories (the scenes depict single moments, not episodes).
 pub fn case_study_report(config: &EvalConfig) -> CaseStudyReport {
+    let suite = ScenarioSuite::new(config);
     let evaluator = StiEvaluator::new(config.reach.clone());
-    let results = CaseStudy::ALL
-        .iter()
-        .map(|&case| {
-            let world = case_study(case);
-            let scene =
-                SceneSnapshot::from_world_cvtr(&world, config.reach.horizon, config.reach.dt);
-            let sti = evaluator.evaluate(world.map(), &scene);
-            CaseStudyResult {
-                case,
-                riskiest: sti.riskiest_actor(),
-                per_actor: sti.per_actor,
-                combined: sti.combined,
-            }
-        })
-        .collect();
+    let results = suite.fan_out(CaseStudy::ALL.to_vec(), |case| {
+        let world = case_study(case);
+        let scene = SceneSnapshot::from_world_cvtr(&world, config.reach.horizon, config.reach.dt);
+        let sti = evaluator.evaluate(world.map(), &scene);
+        CaseStudyResult {
+            case,
+            riskiest: sti.riskiest_actor(),
+            per_actor: sti.per_actor,
+            combined: sti.combined,
+        }
+    });
     CaseStudyReport { results }
 }
 

@@ -1,13 +1,13 @@
 //! Figure 6: STI characterization of the real-world (Argoverse stand-in)
 //! dataset — §V-D's long-tail analysis.
 
-use iprism_agents::LbcAgent;
 use iprism_risk::{SceneSnapshot, StiEvaluator};
 use iprism_scenarios::{generate_benign_episode, BenignTrafficConfig};
-use iprism_sim::{run_episode, EpisodeConfig, Goal};
+use iprism_sim::{EpisodeConfig, Goal};
 use serde::{Deserialize, Serialize};
 
-use crate::{parallel_map, render_table, stats, EvalConfig};
+use crate::suite::{lbc, ScenarioSuite};
+use crate::{render_table, stats, EvalConfig};
 
 /// The Fig. 6 reproduction: percentiles of per-actor and combined STI over
 /// benign real-world-like driving.
@@ -91,35 +91,34 @@ impl std::fmt::Display for DatasetStudy {
 /// lawful ego through each, and measures STI (per-actor and combined) at
 /// every strided step.
 pub fn dataset_study(config: &EvalConfig, traffic: &BenignTrafficConfig) -> DatasetStudy {
+    let suite = ScenarioSuite::new(config);
     let evaluator = StiEvaluator::new(config.reach.clone());
     let seeds: Vec<u64> = (0..config.instances as u64)
         .map(|i| config.seed ^ i)
         .collect();
 
-    let samples: Vec<(Vec<f64>, Vec<f64>)> =
-        parallel_map(seeds, config.resolved_workers(), |seed| {
-            let mut world = generate_benign_episode(traffic, seed);
-            let mut agent = LbcAgent::default();
-            let episode = EpisodeConfig {
-                max_time: 15.0,
-                goal: Goal::None,
-                stop_on_collision: true,
-            };
-            let result = run_episode(&mut world, &mut agent, &episode);
-            let trace = result.trace;
-            let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
-            let mut actor_samples = Vec::new();
-            let mut combined_samples = Vec::new();
-            // Sample sparsely: benign episodes are long and homogeneous.
-            for i in (0..trace.len()).step_by((config.stride * 5).max(1)) {
-                if let Some(scene) = SceneSnapshot::from_trace(&trace, i, horizon_steps) {
-                    let sti = evaluator.evaluate(world.map(), &scene);
-                    combined_samples.push(sti.combined);
-                    actor_samples.extend(sti.per_actor.iter().map(|(_, v)| *v));
-                }
+    let samples: Vec<(Vec<f64>, Vec<f64>)> = suite.fan_out(seeds, |seed| {
+        let mut world = generate_benign_episode(traffic, seed);
+        let episode = EpisodeConfig {
+            max_time: 15.0,
+            goal: Goal::None,
+            stop_on_collision: true,
+        };
+        let run = ScenarioSuite::run_world(&mut world, &episode, lbc());
+        let trace = run.trace;
+        let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
+        let mut actor_samples = Vec::new();
+        let mut combined_samples = Vec::new();
+        // Sample sparsely: benign episodes are long and homogeneous.
+        for i in (0..trace.len()).step_by((config.stride * 5).max(1)) {
+            if let Some(scene) = SceneSnapshot::from_trace(&trace, i, horizon_steps) {
+                let sti = evaluator.evaluate(&run.map, &scene);
+                combined_samples.push(sti.combined);
+                actor_samples.extend(sti.per_actor.iter().map(|(_, v)| *v));
             }
-            (actor_samples, combined_samples)
-        });
+        }
+        (actor_samples, combined_samples)
+    });
 
     let mut actor_samples = Vec::new();
     let mut combined_samples = Vec::new();

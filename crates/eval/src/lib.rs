@@ -28,6 +28,7 @@ mod mitigation;
 mod risk_series;
 mod roundabout;
 pub mod stats;
+mod suite;
 mod table;
 
 pub use baseline::{baseline_study, BaselineRow, BaselineStudy};
@@ -40,6 +41,7 @@ pub use mitigation::{
 };
 pub use risk_series::{iprism_sti_series, risk_characterization, RiskSeries, SeriesPoint};
 pub use roundabout::{roundabout_study, RoundaboutStudy};
+pub use suite::{EpisodeRun, ScenarioSuite};
 pub use table::render_table;
 
 use serde::{Deserialize, Serialize};

@@ -2,15 +2,15 @@
 
 use iprism_map::RoadMap;
 use iprism_risk::{
-    dist_cipa, ltfma_steps, time_to_collision, PklModel, PklPlannerConfig, RiskIndicator,
-    SceneSnapshot, StiEvaluator,
+    ltfma_steps, DistCipaMetric, LtfmaMetric, PklModel, PklPlannerConfig, RiskIndicator,
+    RiskMetric, SceneSnapshot, StiEvaluator, TtcMetric,
 };
 use iprism_scenarios::{sample_instances, Typology};
 use iprism_sim::Trace;
 use serde::{Deserialize, Serialize};
 
-use crate::baseline::run_lbc;
-use crate::{parallel_map, render_table, stats, EvalConfig};
+use crate::suite::{lbc, ScenarioSuite};
+use crate::{render_table, stats, EvalConfig};
 
 /// The risk metrics compared in Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -123,25 +123,28 @@ impl std::fmt::Display for LtfmaStudy {
     }
 }
 
-/// Everything needed to evaluate every metric on a scene.
-struct MetricSuite {
-    sti: StiEvaluator,
-    pkl_all: PklModel,
-    pkl_holdout: PklModel,
+/// The Table-II metric bank: one [`RiskMetric`] implementation per
+/// [`RiskMetricKind`], resolved by kind for trait-object dispatch.
+pub(crate) struct MetricSuite {
+    pub(crate) sti: StiEvaluator,
+    pub(crate) pkl_all: PklModel,
+    pub(crate) pkl_holdout: PklModel,
 }
 
 impl MetricSuite {
-    fn value(&self, kind: RiskMetricKind, map: &RoadMap, scene: &SceneSnapshot) -> Option<f64> {
+    /// The metric implementation behind a kind.
+    pub(crate) fn metric(&self, kind: RiskMetricKind) -> &dyn RiskMetric {
         match kind {
-            RiskMetricKind::Ttc => time_to_collision(scene),
-            RiskMetricKind::DistCipa => dist_cipa(scene),
-            RiskMetricKind::PklAll => Some(self.pkl_all.evaluate(map, scene).combined),
-            RiskMetricKind::PklHoldout => Some(self.pkl_holdout.evaluate(map, scene).combined),
-            RiskMetricKind::Sti => Some(self.sti.evaluate_combined(map, scene)),
+            RiskMetricKind::Ttc => &TtcMetric,
+            RiskMetricKind::DistCipa => &DistCipaMetric,
+            RiskMetricKind::PklAll => &self.pkl_all,
+            RiskMetricKind::PklHoldout => &self.pkl_holdout,
+            RiskMetricKind::Sti => &self.sti,
         }
     }
 
-    fn indicator(&self, kind: RiskMetricKind) -> RiskIndicator {
+    /// The indicator binarizing a kind's combined score for LTFMA.
+    pub(crate) fn indicator(&self, kind: RiskMetricKind) -> RiskIndicator {
         match kind {
             RiskMetricKind::Ttc => RiskIndicator::Ttc {
                 threshold: iprism_risk::TTC_RISK_SECONDS,
@@ -172,12 +175,12 @@ fn trace_ltfma(
     if *idxs.last()? != accident {
         idxs.push(accident);
     }
-    let indicator = suite.indicator(kind);
+    let ltfma = LtfmaMetric::new(suite.metric(kind), suite.indicator(kind));
     let risky: Vec<bool> = idxs
         .iter()
         .map(|&i| {
             SceneSnapshot::from_trace(trace, i, horizon_steps)
-                .is_some_and(|scene| indicator.is_risky(suite.value(kind, map, &scene)))
+                .is_some_and(|scene| ltfma.is_risky(map, &scene))
         })
         .collect();
     let steps = ltfma_steps(&risky, risky.len() - 1);
@@ -187,21 +190,32 @@ fn trace_ltfma(
 /// Fits a PKL model on scenes sampled from LBC runs of the given training
 /// typologies (3 instances each, 5 scenes per trace).
 fn fit_pkl(typologies: &[Typology], config: &EvalConfig) -> PklModel {
+    let suite = ScenarioSuite::new(config);
     let mut scenes = Vec::new();
     let mut map: Option<RoadMap> = None;
     for &t in typologies {
-        for spec in sample_instances(t, 3.min(config.instances), config.seed ^ 0x51ED) {
-            let (result, world) = run_lbc(&spec);
-            let trace = result.trace;
-            let horizon_steps = (config.reach.horizon.get() / trace.dt()).ceil() as usize;
-            let n = trace.len();
-            for k in 1..=5 {
-                let idx = (n - 1) * k / 6;
-                if let Some(scene) = SceneSnapshot::from_trace(&trace, idx, horizon_steps) {
-                    scenes.push(scene);
-                }
-            }
-            map.get_or_insert_with(|| world.map().clone());
+        let specs = sample_instances(t, 3.min(config.instances), config.seed ^ 0x51ED);
+        // Sample five evenly spaced scenes from each trace, inside the
+        // worker; only the scenes and the map survive the fan-out.
+        let sampled = suite.sweep_map(
+            specs,
+            |_| lbc(),
+            |_, run| {
+                let trace = run.trace;
+                let horizon_steps = (config.reach.horizon.get() / trace.dt()).ceil() as usize;
+                let n = trace.len();
+                let scenes: Vec<SceneSnapshot> = (1..=5)
+                    .filter_map(|k| {
+                        let idx = (n - 1) * k / 6;
+                        SceneSnapshot::from_trace(&trace, idx, horizon_steps)
+                    })
+                    .collect();
+                (scenes, run.map)
+            },
+        );
+        for (s, m) in sampled {
+            scenes.extend(s);
+            map.get_or_insert(m);
         }
     }
     let map = map.unwrap_or_else(|| RoadMap::straight_road(3, 3.5, 400.0));
@@ -223,31 +237,28 @@ pub fn ltfma_study(config: &EvalConfig) -> LtfmaStudy {
         ),
     };
 
+    let runner = ScenarioSuite::new(config);
     let mut rows = Vec::new();
     for &typology in &LTFMA_TYPOLOGIES {
-        let specs = sample_instances(typology, config.instances, config.seed);
         // Collect accident traces (with their maps) under the LBC baseline.
-        let traces: Vec<(Trace, RoadMap)> =
-            parallel_map(specs, config.resolved_workers(), |spec| {
-                let (result, world) = run_lbc(&spec);
-                result
-                    .outcome
-                    .is_collision()
-                    .then(|| (result.trace, world.map().clone()))
-            })
+        let traces: Vec<(Trace, RoadMap)> = runner
+            .sweep_map(
+                runner.specs(typology),
+                |_| lbc(),
+                |_, run| run.collided().then_some((run.trace, run.map)),
+            )
             .into_iter()
             .flatten()
             .collect();
 
         for &metric in &RiskMetricKind::ALL {
-            let values: Vec<f64> = parallel_map(
-                traces.iter().collect::<Vec<_>>(),
-                config.resolved_workers(),
-                |(trace, map)| trace_ltfma(&suite, metric, map, trace, config),
-            )
-            .into_iter()
-            .flatten()
-            .collect();
+            let values: Vec<f64> = runner
+                .fan_out(traces.iter().collect::<Vec<_>>(), |(trace, map)| {
+                    trace_ltfma(&suite, metric, map, trace, config)
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             rows.push(LtfmaRow {
                 metric,
                 typology,

@@ -1,14 +1,13 @@
 //! Tables III & IV: mitigation efficacy of iPrism vs. the baseline agents,
 //! including the rear-end acceleration extension (§V-C).
 
-use iprism_agents::{AcaController, LbcAgent, MitigatedAgent, RipAgent};
+use iprism_agents::{AcaController, EpisodeAgent, LbcAgent, MitigatedAgent, RipAgent};
 use iprism_core::{train_smc, RewardWeights, Smc, SmcTrainConfig, TrainedPolicyCache};
 use iprism_risk::{SceneSnapshot, StiEvaluator};
 use iprism_scenarios::{sample_instances, ScenarioSpec, Typology};
-use iprism_sim::{run_episode, EgoController};
 use serde::{Deserialize, Serialize};
 
-use crate::baseline::{is_valid, run_lbc};
+use crate::suite::{lbc, ScenarioSuite};
 use crate::{parallel_map, render_table, stats, EvalConfig};
 
 /// The agent configurations compared in Table III.
@@ -193,23 +192,27 @@ pub fn select_training_scenarios(
     pool: usize,
     k: usize,
 ) -> Vec<ScenarioSpec> {
+    let suite = ScenarioSuite::new(config);
     let specs = sample_instances(typology, pool.min(config.instances), config.seed);
     let evaluator = StiEvaluator::new(iprism_reach::ReachConfig::fast());
-    let scored = parallel_map(specs, config.resolved_workers(), |spec| {
-        let (result, world) = run_lbc(&spec);
-        if !result.outcome.is_collision() {
-            return None;
-        }
-        let trace = result.trace;
-        let accident = trace.first_collision_index()?;
-        let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
-        let mut values = Vec::new();
-        for i in (0..=accident).step_by(config.stride.max(1) * 2) {
-            let scene = SceneSnapshot::from_trace(&trace, i, horizon_steps)?;
-            values.push(evaluator.evaluate_combined(world.map(), &scene));
-        }
-        Some((spec, stats::mean(&values)))
-    });
+    let scored = suite.sweep_map(
+        specs,
+        |_| lbc(),
+        |spec, run| {
+            if !run.collided() {
+                return None;
+            }
+            let trace = run.trace;
+            let accident = trace.first_collision_index()?;
+            let horizon_steps = (evaluator.config.horizon.get() / trace.dt()).ceil() as usize;
+            let mut values = Vec::new();
+            for i in (0..=accident).step_by(config.stride.max(1) * 2) {
+                let scene = SceneSnapshot::from_trace(&trace, i, horizon_steps)?;
+                values.push(evaluator.evaluate_combined(&run.map, &scene));
+            }
+            Some((spec.clone(), stats::mean(&values)))
+        },
+    );
     let mut scored: Vec<(ScenarioSpec, f64)> = scored.into_iter().flatten().collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.into_iter().take(k).map(|(spec, _)| spec).collect()
@@ -241,17 +244,6 @@ fn smc_train_config(episodes: usize, with_sti: bool) -> SmcTrainConfig {
     cfg
 }
 
-/// Runs one spec with a built agent; returns `(collided, first_activation)`.
-fn run_with<A: EgoController>(
-    spec: &ScenarioSpec,
-    mut agent: A,
-    activation: impl Fn(&A) -> Option<f64>,
-) -> (bool, Option<f64>) {
-    let mut world = spec.build_world();
-    let result = run_episode(&mut world, &mut agent, &spec.episode_config());
-    (result.outcome.is_collision(), activation(&agent))
-}
-
 /// Reproduces Tables III and IV over the given typologies (defaults:
 /// ghost cut-in, lead cut-in, lead slowdown, rear-end — the last being the
 /// §V-C acceleration extension).
@@ -260,6 +252,7 @@ pub fn mitigation_study(
     typologies: &[Typology],
     smc_episodes: usize,
 ) -> MitigationStudy {
+    let suite = ScenarioSuite::new(config);
     let mut rows = Vec::new();
     let mut timings = Vec::new();
     let mut training_scenarios = Vec::new();
@@ -295,41 +288,40 @@ pub fn mitigation_study(
         let smc_sti = smcs[0].clone();
         let smc_nosti = smcs[1].clone();
 
-        // 2. Evaluate every agent over the sweep.
-        let specs = sample_instances(typology, config.instances, config.seed);
+        // 2. Evaluate every agent over the sweep through the suite runner;
+        // activation timing surfaces uniformly via `EpisodeAgent`.
+        let specs = suite.specs(typology);
 
-        let lbc_outcomes = parallel_map(specs.clone(), workers, |spec| {
-            let (result, world) = run_lbc(&spec);
-            (is_valid(&spec, &world), result.outcome.is_collision())
-        });
-        let rip_outcomes = parallel_map(specs.clone(), workers, |spec| {
-            run_with(&spec, RipAgent::default(), |_| None).0
-        });
+        let lbc_outcomes = suite.sweep_map(
+            specs.clone(),
+            |_| lbc(),
+            |_, run| (run.valid, run.collided()),
+        );
+        let rip_outcomes = suite.sweep_map(
+            specs.clone(),
+            |_| Box::new(RipAgent::default()) as Box<dyn EpisodeAgent>,
+            |_, run| run.collided(),
+        );
 
         let eval_agent = |kind: AgentKind| -> Vec<(bool, Option<f64>)> {
             let smc_sti = &smc_sti;
             let smc_nosti = &smc_nosti;
-            parallel_map(specs.clone(), workers, move |spec| match kind {
-                AgentKind::LbcIprism => run_with(
-                    &spec,
-                    MitigatedAgent::new(LbcAgent::default(), smc_sti.clone()),
-                    iprism_agents::MitigatedAgent::first_activation,
-                ),
-                AgentKind::LbcSmcNoSti => run_with(
-                    &spec,
-                    MitigatedAgent::new(LbcAgent::default(), smc_nosti.clone()),
-                    iprism_agents::MitigatedAgent::first_activation,
-                ),
-                AgentKind::LbcAca => run_with(
-                    &spec,
-                    AcaController::new(LbcAgent::default(), 1.8),
-                    iprism_agents::AcaController::first_activation,
-                ),
-                AgentKind::RipIprism => run_with(
-                    &spec,
-                    MitigatedAgent::new(RipAgent::default(), smc_sti.clone()),
-                    iprism_agents::MitigatedAgent::first_activation,
-                ),
+            let make_agent = move |_: &ScenarioSpec| -> Box<dyn EpisodeAgent> {
+                match kind {
+                    AgentKind::LbcIprism => {
+                        Box::new(MitigatedAgent::new(LbcAgent::default(), smc_sti.clone()))
+                    }
+                    AgentKind::LbcSmcNoSti => {
+                        Box::new(MitigatedAgent::new(LbcAgent::default(), smc_nosti.clone()))
+                    }
+                    AgentKind::LbcAca => Box::new(AcaController::new(LbcAgent::default(), 1.8)),
+                    AgentKind::RipIprism => {
+                        Box::new(MitigatedAgent::new(RipAgent::default(), smc_sti.clone()))
+                    }
+                }
+            };
+            suite.sweep_map(specs.clone(), make_agent, |_, run| {
+                (run.collided(), run.first_activation)
             })
         };
 
@@ -403,8 +395,8 @@ mod tests {
         let cfg = EvalConfig::smoke();
         let spec = select_training_scenario(Typology::GhostCutIn, &cfg, 8).unwrap();
         // the selected scenario must actually defeat LBC
-        let (result, _) = run_lbc(&spec);
-        assert!(result.outcome.is_collision());
+        let run = ScenarioSuite::run_spec(&spec, lbc());
+        assert!(run.collided());
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Figures 4 and 5: risk-metric time series, safe vs. accident scenarios.
 
-use iprism_agents::{LbcAgent, MitigatedAgent};
+use iprism_agents::{EpisodeAgent, LbcAgent, MitigatedAgent};
 use iprism_core::Smc;
 use iprism_map::RoadMap;
-use iprism_risk::{dist_cipa, time_to_collision, PklModel, SceneSnapshot, StiEvaluator};
-use iprism_scenarios::{sample_instances, Typology};
-use iprism_sim::{run_episode, Trace};
+use iprism_risk::{PklModel, RiskMetric, SceneSnapshot, StiEvaluator};
+use iprism_scenarios::Typology;
+use iprism_sim::Trace;
 use serde::{Deserialize, Serialize};
 
-use crate::baseline::run_lbc;
-use crate::{parallel_map, stats, EvalConfig, RiskMetricKind};
+use crate::ltfma::MetricSuite;
+use crate::suite::{lbc, ScenarioSuite};
+use crate::{stats, EvalConfig, RiskMetricKind};
 
 /// One time-series point: mean ± SD of a metric at a time step, with the
 /// number of scenarios still alive at that step.
@@ -39,31 +40,22 @@ pub struct RiskSeries {
 }
 
 /// Computes one metric's per-step values along a trace (None where the
-/// metric is undefined, e.g. TTC with no in-path actor).
+/// metric is undefined, e.g. TTC with no in-path actor). Dispatches through
+/// the [`RiskMetric`] trait, so any implementation can be charted.
 fn metric_series(
-    metric: RiskMetricKind,
+    metric: &dyn RiskMetric,
     map: &RoadMap,
     trace: &Trace,
-    sti: &StiEvaluator,
-    pkl: &PklModel,
+    horizon_steps: usize,
     stride: usize,
 ) -> Vec<(f64, Option<f64>)> {
-    let horizon_steps = (sti.config.horizon.get() / trace.dt()).ceil() as usize;
     let mut out = Vec::new();
     for i in (0..trace.len()).step_by(stride.max(1)) {
         let scene = match SceneSnapshot::from_trace(trace, i, horizon_steps) {
             Some(s) => s,
             None => break,
         };
-        let v = match metric {
-            RiskMetricKind::Ttc => time_to_collision(&scene),
-            RiskMetricKind::DistCipa => dist_cipa(&scene),
-            RiskMetricKind::PklAll | RiskMetricKind::PklHoldout => {
-                Some(pkl.evaluate(map, &scene).combined)
-            }
-            RiskMetricKind::Sti => Some(sti.evaluate_combined(map, &scene)),
-        };
-        out.push((trace.steps()[i].time, v));
+        out.push((trace.steps()[i].time, metric.combined(map, &scene)));
     }
     out
 }
@@ -76,28 +68,40 @@ pub fn risk_characterization(
     config: &EvalConfig,
     metrics: &[RiskMetricKind],
 ) -> Vec<RiskSeries> {
-    let specs = sample_instances(typology, config.instances, config.seed);
-    let sti = StiEvaluator::new(config.reach.clone());
+    let runner = ScenarioSuite::new(config);
+    // Fig. 4 charts raw metric behaviour, so the PKL bank is the untrained
+    // unit-τ model rather than Table II's fitted ones.
     let pkl = PklModel::with_tau(1.0, iprism_risk::PklPlannerConfig::default());
+    let suite = MetricSuite {
+        sti: StiEvaluator::new(config.reach.clone()),
+        pkl_all: pkl.clone(),
+        pkl_holdout: pkl,
+    };
 
     // Run the LBC baseline, splitting traces by outcome.
-    let runs: Vec<(bool, Trace, RoadMap)> =
-        parallel_map(specs, config.resolved_workers(), |spec| {
-            let (result, world) = run_lbc(&spec);
-            (
-                result.outcome.is_collision(),
-                result.trace,
-                world.map().clone(),
-            )
-        });
+    let runs: Vec<(bool, Trace, RoadMap)> = runner.sweep_map(
+        runner.specs(typology),
+        |_| lbc(),
+        |_, run| (run.collided(), run.trace, run.map),
+    );
 
+    let horizon = suite.sti.config.horizon.get();
     let mut out = Vec::new();
     for &metric in metrics {
         for accident_population in [false, true] {
             let series: Vec<Vec<(f64, Option<f64>)>> = runs
                 .iter()
                 .filter(|(collided, ..)| *collided == accident_population)
-                .map(|(_, trace, map)| metric_series(metric, map, trace, &sti, &pkl, config.stride))
+                .map(|(_, trace, map)| {
+                    let horizon_steps = (horizon / trace.dt()).ceil() as usize;
+                    metric_series(
+                        suite.metric(metric),
+                        map,
+                        trace,
+                        horizon_steps,
+                        config.stride,
+                    )
+                })
                 .collect();
             out.push(RiskSeries {
                 typology,
@@ -142,27 +146,30 @@ fn aggregate(series: &[Vec<(f64, Option<f64>)>]) -> Vec<SeriesPoint> {
 /// the plain LBC agent vs. LBC+iPrism. Returns `(lbc, iprism)` series
 /// aggregated over the sweep.
 pub fn iprism_sti_series(smc: &Smc, config: &EvalConfig) -> (Vec<SeriesPoint>, Vec<SeriesPoint>) {
-    let specs = sample_instances(Typology::GhostCutIn, config.instances, config.seed);
+    let runner = ScenarioSuite::new(config);
+    let specs = runner.specs(Typology::GhostCutIn);
     let sti = StiEvaluator::new(config.reach.clone());
 
+    // The mitigated and plain sweeps differ only in the agent factory: the
+    // episode running, STI charting and aggregation are one code path.
     let collect = |with_smc: bool| -> Vec<SeriesPoint> {
+        let make_agent = |_: &_| -> Box<dyn EpisodeAgent> {
+            if with_smc {
+                Box::new(MitigatedAgent::new(LbcAgent::default(), smc.clone()))
+            } else {
+                Box::new(LbcAgent::default())
+            }
+        };
         let runs: Vec<Vec<(f64, Option<f64>)>> =
-            parallel_map(specs.clone(), config.resolved_workers(), |spec| {
-                let mut world = spec.build_world();
-                let trace = if with_smc {
-                    let mut agent = MitigatedAgent::new(LbcAgent::default(), smc.clone());
-                    run_episode(&mut world, &mut agent, &spec.episode_config()).trace
-                } else {
-                    let mut agent = LbcAgent::default();
-                    run_episode(&mut world, &mut agent, &spec.episode_config()).trace
-                };
+            runner.sweep_map(specs.clone(), make_agent, |_, run| {
+                let trace = &run.trace;
                 let horizon_steps = (sti.config.horizon.get() / trace.dt()).ceil() as usize;
                 let mut out = Vec::new();
                 for i in (0..trace.len()).step_by(config.stride.max(1)) {
-                    if let Some(scene) = SceneSnapshot::from_trace(&trace, i, horizon_steps) {
+                    if let Some(scene) = SceneSnapshot::from_trace(trace, i, horizon_steps) {
                         out.push((
                             trace.steps()[i].time,
-                            Some(sti.evaluate_combined(world.map(), &scene)),
+                            Some(sti.evaluate_combined(&run.map, &scene)),
                         ));
                     }
                 }

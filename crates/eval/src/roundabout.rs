@@ -1,13 +1,13 @@
 //! §V-C's roundabout experiment: RIP vs. RIP+iPrism on the ghost-cut-in ×
 //! roundabout typology.
 
-use iprism_agents::{MitigatedAgent, RipAgent, RipConfig};
+use iprism_agents::{EpisodeAgent, MitigatedAgent, RipAgent, RipConfig};
 use iprism_core::Smc;
 use iprism_scenarios::{sample_instances, Typology};
-use iprism_sim::run_episode;
 use serde::{Deserialize, Serialize};
 
-use crate::{parallel_map, render_table, EvalConfig};
+use crate::suite::ScenarioSuite;
+use crate::{render_table, EvalConfig};
 
 /// The roundabout comparison (paper: RIP collides in 84.3%, RIP+iPrism in
 /// 68.6% — iPrism mitigates 18.6% of RIP's accidents).
@@ -74,28 +74,29 @@ impl std::fmt::Display for RoundaboutStudy {
 /// Runs the roundabout sweep with RIP and RIP+iPrism (the SMC trained on
 /// LBC straight-road scenarios, per the paper's generalization claim).
 pub fn roundabout_study(smc: &Smc, config: &EvalConfig) -> RoundaboutStudy {
+    let suite = ScenarioSuite::new(config);
     let specs = sample_instances(
         Typology::RoundaboutGhostCutIn,
         config.instances,
         config.seed,
     );
-    let workers = config.resolved_workers();
 
     let rip_cfg = RipConfig::default();
-    let rip = parallel_map(specs.clone(), workers, |spec| {
-        let mut world = spec.build_world();
-        let mut agent = RipAgent::new(rip_cfg.clone());
-        run_episode(&mut world, &mut agent, &spec.episode_config())
-            .outcome
-            .is_collision()
-    });
-    let rip_iprism = parallel_map(specs, workers, |spec| {
-        let mut world = spec.build_world();
-        let mut agent = MitigatedAgent::new(RipAgent::new(rip_cfg.clone()), smc.clone());
-        run_episode(&mut world, &mut agent, &spec.episode_config())
-            .outcome
-            .is_collision()
-    });
+    let rip = suite.sweep_map(
+        specs.clone(),
+        |_| Box::new(RipAgent::new(rip_cfg.clone())) as Box<dyn EpisodeAgent>,
+        |_, run| run.collided(),
+    );
+    let rip_iprism = suite.sweep_map(
+        specs,
+        |_| {
+            Box::new(MitigatedAgent::new(
+                RipAgent::new(rip_cfg.clone()),
+                smc.clone(),
+            )) as Box<dyn EpisodeAgent>
+        },
+        |_, run| run.collided(),
+    );
 
     RoundaboutStudy {
         instances: rip.len(),

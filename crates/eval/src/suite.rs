@@ -1,0 +1,215 @@
+//! The scenario-suite runner: every table and figure fans out through here.
+//!
+//! All of §V's studies share one shape — sample scenario instances, drive an
+//! [`EpisodeAgent`] through each on the shared worker pool, and project the
+//! resulting [`EpisodeRun`]s into study-specific rows. [`ScenarioSuite`]
+//! owns that shape so the studies contain only their projections; the
+//! episode stepping itself lives in `iprism-sim`'s engine and nowhere else.
+//!
+//! The fan-out preserves input order and is bit-identical to a sequential
+//! sweep for any worker count (see [`parallel_map`]), which is what lets the
+//! golden byte-identity suite pin every study's serialized output.
+
+use iprism_agents::{EpisodeAgent, LbcAgent};
+use iprism_map::RoadMap;
+use iprism_scenarios::{sample_instances, ScenarioSpec, Typology};
+use iprism_sim::{run_episode, EpisodeConfig, EpisodeOutcome, MotionModel, Trace, World};
+
+use crate::{parallel_map, EvalConfig};
+
+/// The record of one finished episode: everything a study projection needs,
+/// produced in a single pass over the sim loop.
+#[derive(Debug, Clone)]
+pub struct EpisodeRun {
+    /// How the episode ended.
+    pub outcome: EpisodeOutcome,
+    /// The full recorded trajectory history.
+    pub trace: Trace,
+    /// The road map the episode ran on.
+    pub map: RoadMap,
+    /// Whether the instance counts for the study (front-accident instances
+    /// require the scripted NPC-NPC crash; everything else is always valid).
+    pub valid: bool,
+    /// When the agent's safety layer first intervened, if it has one and it
+    /// fired ([`EpisodeAgent::first_activation`]).
+    pub first_activation: Option<f64>,
+}
+
+impl EpisodeRun {
+    /// Whether the episode ended in an ego collision.
+    pub fn collided(&self) -> bool {
+        self.outcome.is_collision()
+    }
+}
+
+/// A front-accident instance is valid only when the scripted NPC-NPC crash
+/// actually happened (the paper discarded 190 of 1000).
+pub(crate) fn is_valid(spec: &ScenarioSpec, final_world: &World) -> bool {
+    if spec.typology != Typology::FrontAccident {
+        return true;
+    }
+    final_world
+        .actors()
+        .iter()
+        .any(|a| a.motion == MotionModel::Static)
+}
+
+/// A fresh boxed LBC baseline agent — the default driver of every sweep.
+pub(crate) fn lbc() -> Box<dyn EpisodeAgent> {
+    Box::new(LbcAgent::default())
+}
+
+/// The suite runner: scenario sampling + the one worker-pool episode
+/// fan-out, parameterized by the shared [`EvalConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSuite<'a> {
+    config: &'a EvalConfig,
+}
+
+impl<'a> ScenarioSuite<'a> {
+    /// Creates a runner over the given configuration.
+    pub fn new(config: &'a EvalConfig) -> Self {
+        ScenarioSuite { config }
+    }
+
+    /// The configuration the suite runs under.
+    pub fn config(&self) -> &EvalConfig {
+        self.config
+    }
+
+    /// The resolved worker count of the shared pool.
+    pub fn workers(&self) -> usize {
+        self.config.resolved_workers()
+    }
+
+    /// The configured instance sweep for one typology.
+    pub fn specs(&self, typology: Typology) -> Vec<ScenarioSpec> {
+        sample_instances(typology, self.config.instances, self.config.seed)
+    }
+
+    /// Maps `f` over arbitrary items on the shared pool, preserving order.
+    /// Use this for fan-outs that are not spec sweeps (seeded benign
+    /// episodes, case-study scenes); spec sweeps go through
+    /// [`ScenarioSuite::sweep_map`].
+    pub fn fan_out<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        parallel_map(items, self.workers(), f)
+    }
+
+    /// Runs one episode on a prepared world and harvests the run record.
+    /// The caller keeps the final world (for map-free inspection); validity
+    /// defaults to `true` — spec-driven entry points overwrite it.
+    pub fn run_world(
+        world: &mut World,
+        episode: &EpisodeConfig,
+        mut agent: Box<dyn EpisodeAgent>,
+    ) -> EpisodeRun {
+        let result = run_episode(world, &mut agent, episode);
+        EpisodeRun {
+            outcome: result.outcome,
+            trace: result.trace,
+            map: world.map().clone(),
+            valid: true,
+            first_activation: agent.first_activation(),
+        }
+    }
+
+    /// Runs one scenario instance with the given agent.
+    pub fn run_spec(spec: &ScenarioSpec, agent: Box<dyn EpisodeAgent>) -> EpisodeRun {
+        let mut world = spec.build_world();
+        let mut run = Self::run_world(&mut world, &spec.episode_config(), agent);
+        run.valid = is_valid(spec, &world);
+        run
+    }
+
+    /// The core sweep: every spec runs with its own freshly built agent on
+    /// the shared pool, and `project` reduces each run *inside* the worker
+    /// (so full traces are dropped in place unless the projection keeps
+    /// them). Results are in spec order, bit-identical for any worker count.
+    pub fn sweep_map<R, F, P>(&self, specs: Vec<ScenarioSpec>, make_agent: F, project: P) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ScenarioSpec) -> Box<dyn EpisodeAgent> + Sync,
+        P: Fn(&ScenarioSpec, EpisodeRun) -> R + Sync,
+    {
+        self.fan_out(specs, |spec| {
+            let run = Self::run_spec(&spec, make_agent(&spec));
+            project(&spec, run)
+        })
+    }
+
+    /// [`ScenarioSuite::sweep_map`] keeping the full run records.
+    pub fn sweep<F>(&self, specs: Vec<ScenarioSpec>, make_agent: F) -> Vec<EpisodeRun>
+    where
+        F: Fn(&ScenarioSpec) -> Box<dyn EpisodeAgent> + Sync,
+    {
+        self.sweep_map(specs, make_agent, |_, run| run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprism_agents::AcaController;
+
+    #[test]
+    fn sweep_matches_direct_episode_runs() {
+        let cfg = EvalConfig::smoke();
+        let suite = ScenarioSuite::new(&cfg);
+        let specs = suite.specs(Typology::GhostCutIn);
+        assert_eq!(specs.len(), cfg.instances);
+
+        let runs = suite.sweep(specs.clone(), |_| lbc());
+        assert_eq!(runs.len(), specs.len());
+        for (spec, run) in specs.iter().zip(&runs) {
+            let mut world = spec.build_world();
+            let mut agent = LbcAgent::default();
+            let direct = run_episode(&mut world, &mut agent, &spec.episode_config());
+            assert_eq!(run.outcome, direct.outcome);
+            assert_eq!(
+                format!("{:?}", run.trace),
+                format!("{:?}", direct.trace),
+                "suite trace diverged from a direct run"
+            );
+            assert!(run.valid, "ghost cut-in instances are always valid");
+            assert_eq!(run.first_activation, None);
+        }
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.instances = 4;
+        cfg.workers = 1;
+        let serial = ScenarioSuite::new(&cfg).sweep_map(
+            ScenarioSuite::new(&cfg).specs(Typology::LeadCutIn),
+            |_| lbc(),
+            |_, run| (run.collided(), format!("{:?}", run.trace)),
+        );
+        cfg.workers = 4;
+        let parallel = ScenarioSuite::new(&cfg).sweep_map(
+            ScenarioSuite::new(&cfg).specs(Typology::LeadCutIn),
+            |_| lbc(),
+            |_, run| (run.collided(), format!("{:?}", run.trace)),
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn activation_surfaces_through_the_run_record() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.instances = 3;
+        let suite = ScenarioSuite::new(&cfg);
+        let runs = suite.sweep(suite.specs(Typology::LeadSlowdown), |_| {
+            Box::new(AcaController::new(LbcAgent::default(), 1.8))
+        });
+        assert!(
+            runs.iter().any(|r| r.first_activation.is_some()),
+            "ACA never activated across lead-slowdown instances"
+        );
+    }
+}

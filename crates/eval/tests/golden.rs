@@ -1,0 +1,119 @@
+//! Golden byte-identity suite: every study's serialized output is pinned to
+//! an FNV-1a fingerprint captured before the trait-based episode engine
+//! refactor. The engine (RiskMetric / EpisodeAgent / EpisodeObserver /
+//! ScenarioSuite) must reproduce the pre-refactor pipeline byte for byte —
+//! `Debug`/JSON formatting prints every `f64` in shortest round-trip form,
+//! so an equal fingerprint means an identical numeric history.
+//!
+//! When a hash moves, the change is NOT a refactor: either revert it or
+//! consciously re-pin with a CHANGES.md entry explaining the semantic change.
+
+#![allow(clippy::expect_used)] // a serialization failure should abort the test
+
+use iprism_agents::LbcAgent;
+use iprism_core::{train_smc, SmcTrainConfig};
+use iprism_eval::{
+    baseline_study, case_study_report, dataset_study, iprism_sti_series, ltfma_study,
+    mitigation_study, risk_characterization, roundabout_study, select_training_scenario,
+    EvalConfig, RiskMetricKind,
+};
+use iprism_scenarios::{BenignTrafficConfig, Typology};
+
+/// FNV-1a 64-bit over the serialized study — stable across platforms for
+/// identical bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint<T: serde::Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("study serializes");
+    fnv1a(json.as_bytes())
+}
+
+fn check(name: &str, actual: u64, expected: u64) {
+    assert_eq!(
+        actual, expected,
+        "golden fingerprint `{name}` moved: got {actual:#018x}, pinned \
+         {expected:#018x} — the pipeline output is no longer byte-identical"
+    );
+}
+
+#[test]
+fn golden_baseline_study() {
+    let study = baseline_study(&EvalConfig::smoke());
+    check("baseline", fingerprint(&study), 0x15df_9b96_4204_72f1);
+}
+
+#[test]
+fn golden_ltfma_study() {
+    let mut cfg = EvalConfig::smoke();
+    cfg.instances = 6;
+    let study = ltfma_study(&cfg);
+    check("ltfma", fingerprint(&study), 0xb17d_abb5_7a6f_70e3);
+}
+
+#[test]
+fn golden_risk_characterization() {
+    let mut cfg = EvalConfig::smoke();
+    cfg.instances = 10;
+    let series = risk_characterization(
+        Typology::GhostCutIn,
+        &cfg,
+        &[RiskMetricKind::Sti, RiskMetricKind::Ttc],
+    );
+    check(
+        "risk-characterization",
+        fingerprint(&series),
+        0x1026_0c1e_7d17_9c44,
+    );
+}
+
+#[test]
+fn golden_case_studies() {
+    let report = case_study_report(&EvalConfig::default());
+    check("case-studies", fingerprint(&report), 0x9264_4539_7ef4_de48);
+}
+
+#[test]
+fn golden_dataset_study() {
+    let mut cfg = EvalConfig::smoke();
+    cfg.instances = 5;
+    let study = dataset_study(&cfg, &BenignTrafficConfig::default());
+    check("dataset", fingerprint(&study), 0xb126_fa55_e7b7_c75f);
+}
+
+#[test]
+fn golden_mitigation_study() {
+    let mut cfg = EvalConfig::smoke();
+    cfg.instances = 6;
+    let study = mitigation_study(&cfg, &[Typology::GhostCutIn], 4);
+    check("mitigation", fingerprint(&study), 0x0548_c82e_1b2c_ea0d);
+}
+
+#[test]
+fn golden_roundabout_and_fig5() {
+    let mut cfg = EvalConfig::smoke();
+    cfg.instances = 5;
+    // The same minimally trained SMC drives both downstream studies, so one
+    // training run pins the roundabout sweep and the Fig. 5 series together.
+    let spec = select_training_scenario(Typology::GhostCutIn, &cfg, 8)
+        .expect("ghost cut-in accidents exist");
+    let trained = train_smc(
+        vec![(spec.build_world(), spec.episode_config())],
+        LbcAgent::default(),
+        &SmcTrainConfig::small_test(),
+    );
+    let roundabout = roundabout_study(&trained.smc, &cfg);
+    check(
+        "roundabout",
+        fingerprint(&roundabout),
+        0xd580_0423_7c39_74fa,
+    );
+    let fig5 = iprism_sti_series(&trained.smc, &cfg);
+    check("fig5-sti-series", fingerprint(&fig5), 0x349c_35a9_f0ea_15c2);
+}

@@ -38,6 +38,7 @@
 mod cipa;
 mod ltfma;
 mod memo;
+mod metric;
 mod pkl;
 mod scene;
 mod sti;
@@ -46,6 +47,7 @@ mod ttc;
 pub use cipa::{dist_cipa, CIPA_RISK_DISTANCE};
 pub use ltfma::{ltfma_seconds, ltfma_steps, RiskIndicator};
 pub use memo::{EmptyTubeMemo, TubeMemo};
+pub use metric::{DistCipaMetric, LtfmaMetric, RiskMetric, RiskScore, TtcMetric};
 pub use pkl::{Pkl, PklModel, PklPlannerConfig};
 pub use scene::{SceneActor, SceneSnapshot};
 pub use sti::{Sti, StiEvaluator, STI_THREADS_ENV};

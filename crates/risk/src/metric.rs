@@ -1,0 +1,294 @@
+//! The common risk-metric interface every evaluator implements.
+//!
+//! The paper compares STI against TTC, Dist-CIPA and PKL (and derives the
+//! LTFMA lead-time indicator from each) over one shared pipeline: a
+//! [`SceneSnapshot`] goes in, per-actor and combined scores come out. The
+//! [`RiskMetric`] trait captures exactly that contract so the experiment
+//! harness can fan any metric over the episode engine without per-metric
+//! wiring.
+
+use iprism_map::RoadMap;
+use iprism_sim::ActorId;
+
+use crate::{dist_cipa, time_to_collision, PklModel, RiskIndicator, SceneSnapshot, StiEvaluator};
+
+/// A metric's verdict on one scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskScore {
+    /// The scene-level score; `None` where the metric is undefined (e.g.
+    /// TTC with no in-path actor).
+    pub combined: Option<f64>,
+    /// Per-actor attributions in scene order (empty for metrics that only
+    /// score the scene as a whole).
+    pub per_actor: Vec<(ActorId, f64)>,
+}
+
+impl RiskScore {
+    /// A scene-level-only score with no per-actor attribution.
+    pub fn combined_only(combined: Option<f64>) -> Self {
+        RiskScore {
+            combined,
+            per_actor: Vec::new(),
+        }
+    }
+}
+
+/// A risk metric: maps a scene snapshot (ego + actor trajectories) plus the
+/// map to per-actor and combined scores — the paper's Eq. (6) shape,
+/// shared by STI and every baseline it is compared against.
+pub trait RiskMetric: Sync {
+    /// The metric's display name (Table II row labels).
+    fn name(&self) -> &'static str;
+
+    /// Scores the scene: combined value plus per-actor attributions.
+    fn score(&self, map: &RoadMap, scene: &SceneSnapshot) -> RiskScore;
+
+    /// The combined score alone. Metrics with a cheaper scene-level path
+    /// (STI skips the per-actor counterfactuals) override this; the default
+    /// delegates to [`RiskMetric::score`].
+    fn combined(&self, map: &RoadMap, scene: &SceneSnapshot) -> Option<f64> {
+        self.score(map, scene).combined
+    }
+}
+
+impl RiskMetric for StiEvaluator {
+    fn name(&self) -> &'static str {
+        "STI (ours)"
+    }
+
+    fn score(&self, map: &RoadMap, scene: &SceneSnapshot) -> RiskScore {
+        let sti = self.evaluate(map, scene);
+        RiskScore {
+            combined: Some(sti.combined),
+            per_actor: sti.per_actor,
+        }
+    }
+
+    fn combined(&self, map: &RoadMap, scene: &SceneSnapshot) -> Option<f64> {
+        Some(self.evaluate_combined(map, scene))
+    }
+}
+
+impl RiskMetric for PklModel {
+    fn name(&self) -> &'static str {
+        "PKL"
+    }
+
+    fn score(&self, map: &RoadMap, scene: &SceneSnapshot) -> RiskScore {
+        let pkl = self.evaluate(map, scene);
+        RiskScore {
+            combined: Some(pkl.combined),
+            per_actor: pkl.per_actor,
+        }
+    }
+}
+
+/// Time-to-collision as a [`RiskMetric`]: scene-level only, undefined when
+/// no in-path actor is closing (the blindness Table II demonstrates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TtcMetric;
+
+impl RiskMetric for TtcMetric {
+    fn name(&self) -> &'static str {
+        "TTC"
+    }
+
+    fn score(&self, _map: &RoadMap, scene: &SceneSnapshot) -> RiskScore {
+        RiskScore::combined_only(time_to_collision(scene))
+    }
+}
+
+/// Distance-to-closest-in-path-actor as a [`RiskMetric`]: scene-level only,
+/// undefined without an in-path actor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistCipaMetric;
+
+impl RiskMetric for DistCipaMetric {
+    fn name(&self) -> &'static str {
+        "Dist. CIPA"
+    }
+
+    fn score(&self, _map: &RoadMap, scene: &SceneSnapshot) -> RiskScore {
+        RiskScore::combined_only(dist_cipa(scene))
+    }
+}
+
+/// The LTFMA indicator as a [`RiskMetric`]: thresholds an inner metric's
+/// combined score through a [`RiskIndicator`] into the binary risky signal
+/// whose pre-accident run length is the paper's §V-A lead time. Scores are
+/// `1.0` (risky) or `0.0`.
+#[derive(Debug, Clone)]
+pub struct LtfmaMetric<M> {
+    metric: M,
+    indicator: RiskIndicator,
+}
+
+impl<M: RiskMetric> LtfmaMetric<M> {
+    /// Wraps `metric` with the indicator that binarizes its output.
+    pub fn new(metric: M, indicator: RiskIndicator) -> Self {
+        LtfmaMetric { metric, indicator }
+    }
+
+    /// The wrapped metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The binarizing indicator.
+    pub fn indicator(&self) -> RiskIndicator {
+        self.indicator
+    }
+
+    /// Whether the scene counts as risky under the wrapped metric.
+    pub fn is_risky(&self, map: &RoadMap, scene: &SceneSnapshot) -> bool {
+        self.indicator.is_risky(self.metric.combined(map, scene))
+    }
+}
+
+impl<M: RiskMetric> RiskMetric for LtfmaMetric<M> {
+    fn name(&self) -> &'static str {
+        "LTFMA"
+    }
+
+    fn score(&self, map: &RoadMap, scene: &SceneSnapshot) -> RiskScore {
+        let risky = self.is_risky(map, scene);
+        RiskScore::combined_only(Some(if risky { 1.0 } else { 0.0 }))
+    }
+}
+
+/// References delegate — studies hold metrics behind `&dyn RiskMetric`.
+impl<M: RiskMetric + ?Sized> RiskMetric for &M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn score(&self, map: &RoadMap, scene: &SceneSnapshot) -> RiskScore {
+        (**self).score(map, scene)
+    }
+
+    fn combined(&self, map: &RoadMap, scene: &SceneSnapshot) -> Option<f64> {
+        (**self).combined(map, scene)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
+
+    use super::*;
+    use crate::{SceneActor, CIPA_RISK_DISTANCE, TTC_RISK_SECONDS};
+    use iprism_dynamics::{Trajectory, VehicleState};
+    use iprism_units::Seconds;
+
+    /// A 10 m/s ego with a stopped car 16 m ahead on a two-lane road.
+    fn scene() -> (RoadMap, SceneSnapshot) {
+        let map = RoadMap::straight_road(2, 3.5, 400.0);
+        let ego = VehicleState::new(100.0, 1.75, 0.0, 10.0);
+        let blocker = Trajectory::from_states(
+            Seconds::new(0.0),
+            Seconds::new(0.25),
+            vec![VehicleState::new(120.6, 1.75, 0.0, 0.0); 11],
+        );
+        let scene = SceneSnapshot::new(0.0, ego, (4.6, 2.0)).with_actor(SceneActor::new(
+            ActorId(1),
+            blocker,
+            4.6,
+            2.0,
+        ));
+        (map, scene)
+    }
+
+    fn empty_scene() -> (RoadMap, SceneSnapshot) {
+        let map = RoadMap::straight_road(2, 3.5, 400.0);
+        let scene = SceneSnapshot::new(0.0, VehicleState::new(100.0, 1.75, 0.0, 10.0), (4.6, 2.0));
+        (map, scene)
+    }
+
+    /// Every impl must agree with the function/evaluator it wraps, and the
+    /// `combined` fast path must agree with the full score.
+    #[test]
+    fn sti_impl_matches_evaluator() {
+        let (map, scene) = scene();
+        let evaluator = StiEvaluator::default();
+        let score = RiskMetric::score(&evaluator, &map, &scene);
+        let direct = evaluator.evaluate(&map, &scene);
+        assert_eq!(score.combined, Some(direct.combined));
+        assert_eq!(score.per_actor, direct.per_actor);
+        assert_eq!(
+            RiskMetric::combined(&evaluator, &map, &scene),
+            Some(evaluator.evaluate_combined(&map, &scene))
+        );
+        assert_eq!(evaluator.name(), "STI (ours)");
+    }
+
+    #[test]
+    fn ttc_impl_matches_function() {
+        let (map, scene) = scene();
+        assert_eq!(
+            TtcMetric.score(&map, &scene).combined,
+            time_to_collision(&scene)
+        );
+        assert!(TtcMetric.score(&map, &scene).per_actor.is_empty());
+        let (map, empty) = empty_scene();
+        assert_eq!(TtcMetric.combined(&map, &empty), None);
+    }
+
+    #[test]
+    fn dist_cipa_impl_matches_function() {
+        let (map, scene) = scene();
+        assert_eq!(
+            DistCipaMetric.score(&map, &scene).combined,
+            dist_cipa(&scene)
+        );
+        let (map, empty) = empty_scene();
+        assert_eq!(DistCipaMetric.combined(&map, &empty), None);
+    }
+
+    #[test]
+    fn pkl_impl_matches_model() {
+        let (map, scene) = scene();
+        let model = PklModel::with_tau(1.0, crate::PklPlannerConfig::default());
+        let score = RiskMetric::score(&model, &map, &scene);
+        let direct = model.evaluate(&map, &scene);
+        assert_eq!(score.combined, Some(direct.combined));
+        assert_eq!(score.per_actor, direct.per_actor);
+    }
+
+    #[test]
+    fn ltfma_impl_binarizes_through_the_indicator() {
+        let (map, scene) = scene();
+        let ttc = LtfmaMetric::new(
+            TtcMetric,
+            RiskIndicator::Ttc {
+                threshold: TTC_RISK_SECONDS,
+            },
+        );
+        // A stopped car ~16 m ahead at 10 m/s closing: TTC ≈ 1.6 s < 3 s.
+        assert!(ttc.is_risky(&map, &scene));
+        assert_eq!(ttc.score(&map, &scene).combined, Some(1.0));
+
+        let (map, empty) = empty_scene();
+        let cipa = LtfmaMetric::new(
+            DistCipaMetric,
+            RiskIndicator::DistCipa {
+                threshold: CIPA_RISK_DISTANCE,
+            },
+        );
+        // Undefined metrics are never risky.
+        assert!(!cipa.is_risky(&map, &empty));
+        assert_eq!(cipa.score(&map, &empty).combined, Some(0.0));
+        assert_eq!(cipa.metric(), &DistCipaMetric);
+    }
+
+    #[test]
+    fn dyn_dispatch_works_for_every_metric() {
+        let (map, scene) = scene();
+        let sti = StiEvaluator::default();
+        let pkl = PklModel::with_tau(1.0, crate::PklPlannerConfig::default());
+        let metrics: Vec<&dyn RiskMetric> = vec![&TtcMetric, &DistCipaMetric, &sti, &pkl];
+        for m in metrics {
+            let score = m.score(&map, &scene);
+            assert_eq!(score.combined, m.combined(&map, &scene), "{}", m.name());
+        }
+    }
+}

@@ -26,11 +26,36 @@ fn episode_fingerprint(seed: u64) -> String {
     format!("{:?}\n{:?}", result.outcome, result.trace)
 }
 
+/// FNV-1a 64-bit over the fingerprint string: a compact pin for golden
+/// byte-identity tests.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 #[test]
 fn same_seed_gives_byte_identical_traces() {
     let a = episode_fingerprint(2024);
     let b = episode_fingerprint(2024);
     assert_eq!(a, b, "two runs of the same seeded episode diverged");
+}
+
+/// Golden pin captured before the trait-based episode engine refactor: the
+/// seed-2024 ghost-cut-in episode must replay this exact numeric history on
+/// every machine and after every refactor of the episode-stepping path.
+/// A moved hash means the simulation semantics changed — that is never a
+/// refactor; re-pin only with a CHANGES.md entry explaining why.
+#[test]
+fn episode_trace_matches_pre_refactor_golden() {
+    assert_eq!(
+        fnv1a(&episode_fingerprint(2024)),
+        0xcd14_261e_90b2_89e4,
+        "seed-2024 episode trace diverged from the pinned golden fingerprint"
+    );
 }
 
 #[test]

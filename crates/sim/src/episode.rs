@@ -1,10 +1,17 @@
 //! Episode loop: drive a world with an ego controller until collision,
 //! goal, or timeout.
+//!
+//! The [`Episode`] engine is the single place the workspace steps a
+//! [`World`]: every evaluation path (the batch studies via [`run_episode`],
+//! the RL training environment via per-tick [`Episode::step`] calls)
+//! composes it rather than re-implementing the step/record/terminate
+//! sequence. [`EpisodeObserver`] hooks let callers compute risk series,
+//! collision logs and reward terms in the same pass.
 
 use iprism_dynamics::ControlInput;
 use serde::{Deserialize, Serialize};
 
-use crate::{ActorId, Trace, World};
+use crate::{ActorId, StepEvents, Trace, World};
 
 /// Drives the ego vehicle: given the current world, produce this step's
 /// control input.
@@ -123,6 +130,150 @@ pub struct EpisodeResult {
     pub trace: Trace,
 }
 
+/// Observes an episode while the engine drives it: one hook per lifecycle
+/// event, all with no-op defaults. Observers are where risk series,
+/// collision logs, reward terms and (later) tracing/metrics attach — the
+/// episode runs once and every consumer reads the same pass.
+pub trait EpisodeObserver {
+    /// Called once after the initial world state is recorded, before any
+    /// step.
+    fn on_start(&mut self, _world: &World) {}
+
+    /// Called after every engine step with the post-step world and the
+    /// step's events.
+    fn on_step(&mut self, _world: &World, _events: &StepEvents) {}
+
+    /// Called once when the episode ends (collision, goal, or timeout).
+    fn on_end(&mut self, _world: &World, _outcome: &EpisodeOutcome) {}
+}
+
+/// The no-op observer: `run_episode` is `run_episode_observed` with `()`.
+impl EpisodeObserver for () {}
+
+/// An observer recording every ego collision event the engine emits —
+/// including those an episode configured with `stop_on_collision: false`
+/// drives through, which the final [`EpisodeOutcome`] cannot report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollisionLog {
+    /// `(time, actor)` of every ego collision, in step order.
+    pub events: Vec<(f64, ActorId)>,
+}
+
+impl EpisodeObserver for CollisionLog {
+    fn on_step(&mut self, world: &World, events: &StepEvents) {
+        for c in events.collisions.iter().filter(|c| c.a.is_none()) {
+            self.events.push((world.time(), c.b));
+        }
+    }
+}
+
+/// The episode engine: steps a [`World`] one control tick at a time,
+/// recording the trace and deciding the outcome with exactly the semantics
+/// [`run_episode`] has always had (first ego collision wins over a
+/// same-step goal; goals and collisions are checked on the post-step
+/// state).
+///
+/// This is the **only** place the workspace calls [`World::step`] outside
+/// of tests and benches — the `no-world-step-outside-sim` AST-lint rule
+/// enforces it. Batch callers use [`run_episode`]/[`run_episode_observed`];
+/// callers that interleave stepping with their own logic (the RL
+/// `MitigationEnv` decision loop in `iprism-core`) drive [`Episode::step`]
+/// directly and keep their own termination rules on top.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    config: EpisodeConfig,
+    dt: f64,
+    trace: Option<Trace>,
+    outcome: Option<EpisodeOutcome>,
+}
+
+impl Episode {
+    /// Starts an episode on `world`, recording its initial state into the
+    /// trace.
+    pub fn begin(world: &World, config: EpisodeConfig) -> Self {
+        let mut trace = Trace::new(world.dt());
+        trace.record(world);
+        Episode {
+            config,
+            dt: world.dt(),
+            trace: Some(trace),
+            outcome: None,
+        }
+    }
+
+    /// Starts an episode without trace recording — for high-churn callers
+    /// (RL training steps thousands of episodes and never reads traces).
+    pub fn begin_untraced(world: &World, config: EpisodeConfig) -> Self {
+        Episode {
+            config,
+            dt: world.dt(),
+            trace: None,
+            outcome: None,
+        }
+    }
+
+    /// The episode configuration.
+    pub fn config(&self) -> &EpisodeConfig {
+        &self.config
+    }
+
+    /// The decided outcome, if the episode has terminated.
+    pub fn outcome(&self) -> Option<&EpisodeOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// Whether a terminal outcome (collision or goal) has been decided.
+    pub fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// The trace recorded so far (`None` for untraced episodes).
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The step budget implied by the configured time limit.
+    pub fn max_steps(&self) -> usize {
+        (self.config.max_time / self.dt).ceil() as usize
+    }
+
+    /// Advances the world by one tick under `control`: steps, records the
+    /// trace, and decides the outcome (first ego collision, then goal) on
+    /// the post-step state. Stepping past a decided outcome is allowed —
+    /// callers with their own termination rules keep driving — and the
+    /// first decided outcome is kept.
+    pub fn step(&mut self, world: &mut World, control: ControlInput) -> StepEvents {
+        let events = world.step(control);
+        if let Some(trace) = &mut self.trace {
+            trace.record(world);
+        }
+        if self.outcome.is_none() {
+            if self.config.stop_on_collision {
+                if let Some(c) = events.collisions.iter().find(|c| c.a.is_none()) {
+                    self.outcome = Some(EpisodeOutcome::Collision {
+                        with: c.b,
+                        time: world.time(),
+                    });
+                }
+            }
+            if self.outcome.is_none() && self.config.goal.reached(world.ego().position()) {
+                self.outcome = Some(EpisodeOutcome::ReachedGoal { time: world.time() });
+            }
+        }
+        events
+    }
+
+    /// Consumes the engine into an [`EpisodeResult`]: the decided outcome
+    /// (or [`EpisodeOutcome::Timeout`] when none was reached) plus the
+    /// recorded trace (empty for untraced episodes).
+    pub fn finish(self) -> EpisodeResult {
+        EpisodeResult {
+            outcome: self.outcome.unwrap_or(EpisodeOutcome::Timeout),
+            trace: self.trace.unwrap_or_else(|| Trace::new(self.dt)),
+        }
+    }
+}
+
 /// Runs one episode: repeatedly queries `controller` and steps `world`
 /// until collision, goal, or timeout. Returns the outcome and the full
 /// trace. The world is left in its final state.
@@ -131,38 +282,32 @@ pub fn run_episode(
     controller: &mut dyn EgoController,
     config: &EpisodeConfig,
 ) -> EpisodeResult {
+    run_episode_observed(world, controller, config, &mut ())
+}
+
+/// [`run_episode`] with an [`EpisodeObserver`] attached: the observer sees
+/// the initial state, every post-step world with its events, and the final
+/// outcome — one pass serves every consumer.
+pub fn run_episode_observed(
+    world: &mut World,
+    controller: &mut dyn EgoController,
+    config: &EpisodeConfig,
+    observer: &mut dyn EpisodeObserver,
+) -> EpisodeResult {
     controller.reset();
-    let mut trace = Trace::new(world.dt());
-    trace.record(world);
-
-    let steps = (config.max_time / world.dt()).ceil() as usize;
-    for _ in 0..steps {
+    let mut episode = Episode::begin(world, *config);
+    observer.on_start(world);
+    for _ in 0..episode.max_steps() {
         let u = controller.control(world);
-        let events = world.step(u);
-        trace.record(world);
-
-        if config.stop_on_collision {
-            if let Some(c) = events.collisions.iter().find(|c| c.a.is_none()) {
-                return EpisodeResult {
-                    outcome: EpisodeOutcome::Collision {
-                        with: c.b,
-                        time: world.time(),
-                    },
-                    trace,
-                };
-            }
-        }
-        if config.goal.reached(world.ego().position()) {
-            return EpisodeResult {
-                outcome: EpisodeOutcome::ReachedGoal { time: world.time() },
-                trace,
-            };
+        let events = episode.step(world, u);
+        observer.on_step(world, &events);
+        if episode.is_done() {
+            break;
         }
     }
-    EpisodeResult {
-        outcome: EpisodeOutcome::Timeout,
-        trace,
-    }
+    let result = episode.finish();
+    observer.on_end(world, &result.outcome);
+    result
 }
 
 #[cfg(test)]
@@ -241,6 +386,124 @@ mod tests {
         assert!(g.reached(iprism_geom::Vec2::new(9.0, 1.0)));
         assert!(!g.reached(iprism_geom::Vec2::new(5.0, 0.0)));
         assert!(!Goal::None.reached(iprism_geom::Vec2::ZERO));
+    }
+
+    /// The observed runner with the no-op observer is `run_episode` — the
+    /// engine refactor must not change a single recorded byte.
+    #[test]
+    fn observed_runner_matches_plain_runner() {
+        let mut w1 = world_with_obstacle();
+        let mut w2 = world_with_obstacle();
+        let plain = run_episode(
+            &mut w1,
+            &mut ConstantControl::coast(),
+            &EpisodeConfig::default(),
+        );
+        let observed = run_episode_observed(
+            &mut w2,
+            &mut ConstantControl::coast(),
+            &EpisodeConfig::default(),
+            &mut (),
+        );
+        assert_eq!(plain, observed);
+        assert_eq!(format!("{:?}", w1.ego()), format!("{:?}", w2.ego()));
+    }
+
+    #[test]
+    fn collision_log_observer_sees_the_crash() {
+        let mut w = world_with_obstacle();
+        let mut log = CollisionLog::default();
+        let r = run_episode_observed(
+            &mut w,
+            &mut ConstantControl::coast(),
+            &EpisodeConfig::default(),
+            &mut log,
+        );
+        match r.outcome {
+            EpisodeOutcome::Collision { with, time } => {
+                assert_eq!(log.events, vec![(time, with)]);
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+    }
+
+    /// Lifecycle hooks fire in order: one start, one step per engine tick,
+    /// one end.
+    #[test]
+    fn observer_lifecycle_counts() {
+        #[derive(Default)]
+        struct Counter {
+            starts: usize,
+            steps: usize,
+            ends: usize,
+        }
+        impl EpisodeObserver for Counter {
+            fn on_start(&mut self, _world: &World) {
+                self.starts += 1;
+            }
+            fn on_step(&mut self, _world: &World, _events: &StepEvents) {
+                self.steps += 1;
+            }
+            fn on_end(&mut self, _world: &World, _outcome: &EpisodeOutcome) {
+                self.ends += 1;
+            }
+        }
+        let map = RoadMap::straight_road(1, 3.5, 300.0);
+        let mut w = World::new(map, VehicleState::new(10.0, 1.75, 0.0, 0.0), 0.1);
+        let cfg = EpisodeConfig {
+            max_time: 1.0,
+            goal: Goal::None,
+            stop_on_collision: true,
+        };
+        let mut counter = Counter::default();
+        let r = run_episode_observed(&mut w, &mut ConstantControl::coast(), &cfg, &mut counter);
+        assert_eq!(r.outcome, EpisodeOutcome::Timeout);
+        assert_eq!(counter.starts, 1);
+        assert_eq!(counter.steps, 10); // (1.0 / 0.1).ceil()
+        assert_eq!(counter.ends, 1);
+    }
+
+    /// Driving the engine tick by tick reproduces the batch runner exactly
+    /// — this is the contract the RL env's decision loop builds on.
+    #[test]
+    fn manual_engine_stepping_matches_run_episode() {
+        let mut w1 = world_with_obstacle();
+        let batch = run_episode(
+            &mut w1,
+            &mut ConstantControl::coast(),
+            &EpisodeConfig::default(),
+        );
+
+        let mut w2 = world_with_obstacle();
+        let mut agent = ConstantControl::coast();
+        agent.reset();
+        let mut episode = Episode::begin(&w2, EpisodeConfig::default());
+        for _ in 0..episode.max_steps() {
+            let u = agent.control(&w2);
+            episode.step(&mut w2, u);
+            if episode.is_done() {
+                break;
+            }
+        }
+        assert_eq!(episode.finish(), batch);
+    }
+
+    /// Untraced episodes decide the same outcome without paying for the
+    /// trace.
+    #[test]
+    fn untraced_engine_decides_same_outcome() {
+        let mut w = world_with_obstacle();
+        let mut episode = Episode::begin_untraced(&w, EpisodeConfig::default());
+        assert!(episode.trace().is_none());
+        for _ in 0..episode.max_steps() {
+            episode.step(&mut w, ControlInput::COAST);
+            if episode.is_done() {
+                break;
+            }
+        }
+        assert!(episode.outcome().unwrap().is_collision());
+        let result = episode.finish();
+        assert_eq!(result.trace.len(), 0);
     }
 
     #[test]

@@ -46,7 +46,8 @@ mod world;
 pub use actor::{Actor, ActorId, ActorKind, MotionModel};
 pub use behavior::{Behavior, BehaviorCtx, CutInPhase};
 pub use episode::{
-    run_episode, ConstantControl, EgoController, EpisodeConfig, EpisodeOutcome, EpisodeResult, Goal,
+    run_episode, run_episode_observed, CollisionLog, ConstantControl, EgoController, Episode,
+    EpisodeConfig, EpisodeObserver, EpisodeOutcome, EpisodeResult, Goal,
 };
 pub use render::render_world;
 pub use trace::{Trace, TraceStep};

@@ -15,12 +15,12 @@ fn main() {
 
     let mut world = spec.build_world();
     let mut agent = RipAgent::default();
-    let episode = spec.episode_config();
+    let mut engine = Episode::begin_untraced(&world, spec.episode_config());
 
     let mut frames = 0;
     loop {
         let u = agent.control(&world);
-        let events = world.step(u);
+        let events = engine.step(&mut world, u);
         if (world.time() * 10.0).round() as i64 % 15 == 0 {
             frames += 1;
             println!(
@@ -38,14 +38,14 @@ fn main() {
             println!("{}", render_world(&world, 25.0, 40.0, 1.4));
             break;
         }
-        if episode.goal.reached(world.ego().position()) {
+        if engine.config().goal.reached(world.ego().position()) {
             println!(
                 "t = {:.1} s — ego traversed the roundabout safely",
                 world.time()
             );
             break;
         }
-        if world.time() > episode.max_time || frames > 40 {
+        if world.time() > engine.config().max_time || frames > 40 {
             println!("t = {:.1} s — episode ended without conflict", world.time());
             break;
         }

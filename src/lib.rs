@@ -66,18 +66,19 @@ pub use iprism_units as units;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use iprism_agents::{
-        AcaController, LbcAgent, MitigatedAgent, MitigationAction, MitigationPolicy, RipAgent,
+        AcaController, EpisodeAgent, LbcAgent, MitigatedAgent, MitigationAction, MitigationPolicy,
+        RipAgent,
     };
     pub use iprism_core::{train_smc, Iprism, Smc, SmcTrainConfig};
     pub use iprism_dynamics::{BicycleModel, ControlInput, CvtrModel, Trajectory, VehicleState};
     pub use iprism_geom::{Obb, Pose, Vec2};
     pub use iprism_map::{LaneId, RoadMap};
     pub use iprism_reach::{compute_reach_tube, Obstacle, ReachConfig};
-    pub use iprism_risk::{SceneActor, SceneSnapshot, Sti, StiEvaluator};
+    pub use iprism_risk::{RiskMetric, RiskScore, SceneActor, SceneSnapshot, Sti, StiEvaluator};
     pub use iprism_scenarios::{sample_instances, ScenarioSpec, Typology};
     pub use iprism_sim::{
-        run_episode, Actor, ActorId, Behavior, EgoController, EpisodeConfig, EpisodeOutcome, Goal,
-        World,
+        run_episode, Actor, ActorId, Behavior, EgoController, Episode, EpisodeConfig,
+        EpisodeOutcome, Goal, World,
     };
     pub use iprism_units::{Meters, MetersPerSecond, Radians, Seconds};
 }

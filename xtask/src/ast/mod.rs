@@ -43,10 +43,15 @@ pub enum AstRule {
     UnguardedFloatDiv,
     /// Float→int `as` cast without an explicit rounding step.
     FloatIntCast,
+    /// Manual `world.step(...)` calls outside `crates/sim`: stepping a
+    /// `World` by hand bypasses the episode engine (outcome detection,
+    /// tracing, observers); drive episodes through `iprism_sim::Episode`
+    /// or `run_episode` instead.
+    WorldStepOutsideSim,
 }
 
 /// All AST rules, in reporting order.
-pub const ALL_AST_RULES: [AstRule; 8] = [
+pub const ALL_AST_RULES: [AstRule; 9] = [
     AstRule::NoHashCollections,
     AstRule::NoUnseededRng,
     AstRule::RawF64Param,
@@ -55,6 +60,7 @@ pub const ALL_AST_RULES: [AstRule; 8] = [
     AstRule::PartialCmpUnwrap,
     AstRule::UnguardedFloatDiv,
     AstRule::FloatIntCast,
+    AstRule::WorldStepOutsideSim,
 ];
 
 impl AstRule {
@@ -70,6 +76,7 @@ impl AstRule {
             AstRule::PartialCmpUnwrap => "partial-cmp-unwrap",
             AstRule::UnguardedFloatDiv => "unguarded-float-div",
             AstRule::FloatIntCast => "float-int-cast",
+            AstRule::WorldStepOutsideSim => "world-step-outside-sim",
         }
     }
 
@@ -170,6 +177,9 @@ pub struct AstFileClass {
     pub hot_path: bool,
     /// The units layer itself (angle conversions are allowed here).
     pub units_crate: bool,
+    /// Outside `crates/sim`: episodes must be stepped through the episode
+    /// engine, never via manual `world.step(...)` loops.
+    pub world_step: bool,
 }
 
 /// Crates whose iteration order and entropy sources must be deterministic.
@@ -207,6 +217,7 @@ pub fn classify_ast(rel_path: &str) -> Option<AstFileClass> {
         units_return_api: starts(&UNITS_RETURN_CRATES),
         hot_path: starts(&HOT_PATH_CRATES),
         units_crate: rel_path.starts_with("crates/units/"),
+        world_step: !rel_path.starts_with("crates/sim/"),
     })
 }
 

@@ -1,4 +1,5 @@
-//! The eight AST-level rules: determinism, dimensional safety, NaN hygiene.
+//! The nine AST-level rules: determinism, dimensional safety, NaN hygiene,
+//! and single-stepping-loop enforcement.
 //!
 //! Every check walks the token stream produced by [`crate::ast::lexer`] and
 //! reports findings through a `push(token, rule, message)` callback; the
@@ -124,6 +125,36 @@ pub fn check_tokens(
     if class.hot_path {
         check_float_div(tokens, &mut push);
         check_float_int_cast(tokens, &mut push);
+    }
+    if class.world_step {
+        check_world_step(tokens, &mut push);
+    }
+}
+
+/// Receiver names the world-step rule treats as a `World`: the canonical
+/// `world` binding plus derived bindings like `final_world`/`mut_world`.
+fn is_world_receiver(t: &Token) -> bool {
+    t.kind == Kind::Ident && (t.text == "world" || t.text.ends_with("_world"))
+}
+
+fn check_world_step(tokens: &[Token], push: &mut impl FnMut(&Token, AstRule, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if is_world_receiver(t)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("step"))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                &tokens[i + 2],
+                AstRule::WorldStepOutsideSim,
+                format!(
+                    "`{}.step(...)` outside `crates/sim` bypasses the episode \
+                     engine (outcome detection, tracing, observers); step \
+                     through `iprism_sim::Episode` or `run_episode` instead",
+                    t.text
+                ),
+            );
+        }
     }
 }
 

@@ -288,6 +288,46 @@ fn float_int_cast_suppressed_by_allow() {
     assert!(fired(GEOM_PATH, waived).is_empty());
 }
 
+// ------------------------------------------------------------ episode engine
+
+/// Outside every other rule family; the world-step rule still applies.
+const EVAL_PATH: &str = "crates/eval/src/fixture.rs";
+
+#[test]
+fn world_step_fires_outside_sim() {
+    let bad = "fn f(world: &mut World) { while !done { world.step(control); } }\n";
+    assert_eq!(fired(EVAL_PATH, bad), vec![AstRule::WorldStepOutsideSim]);
+    // Derived bindings like `final_world` count as World receivers too.
+    let derived = "fn f(final_world: &mut World) { final_world.step(control); }\n";
+    assert_eq!(
+        fired(EVAL_PATH, derived),
+        vec![AstRule::WorldStepOutsideSim]
+    );
+    // The message points at the episode engine.
+    let diags = ast_lint_source(EVAL_PATH, bad);
+    assert!(diags[0].message.contains("Episode"), "{}", diags[0].message);
+}
+
+#[test]
+fn world_step_silent_inside_sim_and_on_engine_stepping() {
+    // The one legitimate home of the stepping loop: the sim crate itself.
+    let in_sim = "fn f(world: &mut World) { world.step(control); }\n";
+    assert!(fired(SIM_PATH, in_sim).is_empty());
+    // Stepping through the engine (world passed as an argument) is the
+    // sanctioned pattern everywhere.
+    let engine = "fn f(e: &mut Episode, world: &mut World) { e.step(world, control); }\n";
+    assert!(fired(EVAL_PATH, engine).is_empty());
+    // Other receivers named `step` are unrelated.
+    let other = "fn f(iter: &mut Stepper) { iter.step(3); }\n";
+    assert!(fired(EVAL_PATH, other).is_empty());
+}
+
+#[test]
+fn world_step_suppressed_by_allow() {
+    let waived = "// iprism-lint: allow(world-step-outside-sim)\nfn f(world: &mut World) { world.step(control); }\n";
+    assert!(fired(EVAL_PATH, waived).is_empty());
+}
+
 // ----------------------------------------------------------------- machinery
 
 #[test]
@@ -348,6 +388,10 @@ fn classification_matches_the_crate_map() {
 
     let sim = classify_ast("crates/sim/src/world.rs").unwrap();
     assert!(sim.determinism && !sim.hot_path && !sim.units_param_api);
+    assert!(!sim.world_step, "sim owns the stepping loop");
+
+    let eval = classify_ast("crates/eval/src/mitigation.rs").unwrap();
+    assert!(eval.world_step && !eval.determinism);
 
     let geom = classify_ast("crates/geom/src/vec2.rs").unwrap();
     assert!(geom.hot_path && geom.units_param_api && !geom.units_return_api);
