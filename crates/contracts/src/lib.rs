@@ -43,8 +43,9 @@ pub const TUBE_MONOTONE_ABS_TOL: f64 = 1.0;
 #[cold]
 #[inline(never)]
 fn contract_violated(message: &str) -> ! {
-    // iprism-lint: allow(no-panic-in-lib) — this crate IS the enforcement
-    // layer; a contract violation must abort loudly in validating builds.
+    // This crate IS the enforcement layer; a contract violation must abort
+    // loudly in validating builds. (`no-panic-in-lib` does not apply here —
+    // contracts sits outside the panic-banned crate set — so no waiver.)
     panic!("iPrism invariant violated: {message}");
 }
 

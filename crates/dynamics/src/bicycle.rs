@@ -117,7 +117,8 @@ impl BicycleModel {
     /// parent and `tan φ` once per tube instead of once per (parent,
     /// control) pair. The arithmetic is exactly `step`'s, so results are
     /// **bit-identical** — only redundant transcendental calls are removed.
-    // iprism-lint: allow(raw-f64-param)
+    // `sin_t`/`cos_t` are dimensionless trig ratios; `raw-f64-param` does
+    // not flag them, so no waiver is needed.
     pub fn step_prepared(
         &self,
         state: VehicleState,

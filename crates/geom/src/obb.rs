@@ -60,7 +60,8 @@ impl Obb {
     /// cosine supplied by the caller. `sin_t`/`cos_t` must equal
     /// `self.pose.heading().sin_cos()` — hot paths that memoize that pair
     /// per distinct heading get bit-identical corners minus the trig call.
-    // iprism-lint: allow(raw-f64-param)
+    // `sin_t`/`cos_t` are dimensionless trig ratios; `raw-f64-param` does
+    // not flag them, so no waiver is needed.
     pub fn corners_given_trig(&self, sin_t: f64, cos_t: f64) -> [Vec2; 4] {
         // One sin/cos pair serves all four corners; the arithmetic per
         // corner is exactly `pose.to_world` (position + rotated offset), so

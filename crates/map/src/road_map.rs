@@ -170,7 +170,8 @@ impl RoadMap {
     /// `obb.pose.heading().sin_cos()`); lets hot paths that evaluate many
     /// footprints per distinct heading skip the per-call trig while getting
     /// bit-identical verdicts.
-    // iprism-lint: allow(raw-f64-param)
+    // `sin_t`/`cos_t` are dimensionless trig ratios; `raw-f64-param` does
+    // not flag them, so no waiver is needed.
     pub fn is_obb_drivable_trig(&self, obb: &Obb, sin_t: f64, cos_t: f64) -> bool {
         // Fast accept: a padded axis-aligned bound of the footprint
         // (half-extents |c|·hl + |s|·hw etc. cover every corner, the pad in

@@ -119,25 +119,39 @@ impl Linear {
     /// # Panics
     ///
     /// Panics when `xs.len()` is not a multiple of `in_dim`.
+    // iprism: hot-path(no-panic, no-alloc, deterministic)
     pub fn forward_batch_scratch(&self, xs: &[f64], ys: &mut Vec<f64>, wt: &mut Vec<f64>) {
+        // The one deliberate panic: rejecting a ragged batch up front keeps
+        // every chunking step below exact.
+        // iprism-lint: allow(hot-path-panic)
         assert!(
             xs.len().is_multiple_of(self.in_dim),
             "batch input size mismatch"
         );
         let n = xs.len() / self.in_dim;
         ys.clear();
+        // Both resizes reuse steady-state capacity: after the first
+        // minibatch the buffers are already large enough and `resize` only
+        // rewrites length + contents.
+        // iprism-lint: allow(hot-path-alloc)
         ys.resize(n * self.out_dim, 0.0);
         wt.clear();
+        // iprism-lint: allow(hot-path-alloc)
         wt.resize(self.w.len(), 0.0);
-        for o in 0..self.out_dim {
-            for i in 0..self.in_dim {
-                wt[i * self.out_dim + o] = self.w[o * self.in_dim + i];
+        // Transpose via a strided column iterator: `wt[i, o] = w[o, i]`.
+        // Pure assignment to distinct cells, so sweeping `i` outer instead
+        // of `o` outer changes nothing observable.
+        for (i, wrow) in wt.chunks_exact_mut(self.out_dim).enumerate() {
+            let col = self.w.iter().skip(i).step_by(self.in_dim);
+            for (dst, &src) in wrow.iter_mut().zip(col) {
+                *dst = src;
             }
         }
-        for (s, x) in xs.chunks_exact(self.in_dim).enumerate() {
-            let y = &mut ys[s * self.out_dim..(s + 1) * self.out_dim];
-            for (i, &xi) in x.iter().enumerate() {
-                let wrow = &wt[i * self.out_dim..(i + 1) * self.out_dim];
+        for (x, y) in xs
+            .chunks_exact(self.in_dim)
+            .zip(ys.chunks_exact_mut(self.out_dim))
+        {
+            for (&xi, wrow) in x.iter().zip(wt.chunks_exact(self.out_dim)) {
                 for (yo, &wo) in y.iter_mut().zip(wrow) {
                     *yo += wo * xi;
                 }
@@ -173,6 +187,8 @@ impl Linear {
         let n = xs.len() / self.in_dim;
         assert_eq!(dys.len(), n * self.out_dim, "batch grad size mismatch");
         dxs.clear();
+        // Steady-state capacity: the caller-held scratch grows once.
+        // iprism-lint: allow(hot-path-alloc)
         dxs.resize(n * self.in_dim, 0.0);
         for o in 0..self.out_dim {
             let row_start = o * self.in_dim;
@@ -218,9 +234,10 @@ impl Linear {
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
         // serde(skip) leaves these empty after deserialization; restore.
+        // Runs at most once per deserialized layer, never at steady state.
         if self.grad_w.len() != self.w.len() {
-            self.grad_w = vec![0.0; self.w.len()];
-            self.grad_b = vec![0.0; self.b.len()];
+            self.grad_w = vec![0.0; self.w.len()]; // iprism-lint: allow(hot-path-alloc)
+            self.grad_b = vec![0.0; self.b.len()]; // iprism-lint: allow(hot-path-alloc)
         }
         self.grad_w.fill(0.0);
         self.grad_b.fill(0.0);
@@ -247,9 +264,10 @@ impl Linear {
     /// elementwise updates; each parameter still sees exactly the arithmetic
     /// a per-scalar visit would apply.
     pub fn visit_param_slices(&mut self, f: &mut impl FnMut(&mut [f64], &[f64])) {
+        // Cold serde-restore branch, as in `zero_grad`.
         if self.grad_w.len() != self.w.len() {
-            self.grad_w = vec![0.0; self.w.len()];
-            self.grad_b = vec![0.0; self.b.len()];
+            self.grad_w = vec![0.0; self.w.len()]; // iprism-lint: allow(hot-path-alloc)
+            self.grad_b = vec![0.0; self.b.len()]; // iprism-lint: allow(hot-path-alloc)
         }
         f(&mut self.w, &self.grad_w);
         f(&mut self.b, &self.grad_b);

@@ -191,13 +191,19 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics when `xs.len()` is not a multiple of the input dimension.
+    // iprism: hot-path(no-alloc, deterministic)
     pub fn forward_batch_cached(&self, xs: &[f64], cache: &mut BatchCache) {
         let n_layers = self.layers.len();
         let in_dim = self.in_dim();
         assert!(xs.len().is_multiple_of(in_dim), "batch input size mismatch");
         cache.batch = xs.len() / in_dim;
+        // The cache slabs grow once on first use and are reused verbatim on
+        // every later minibatch (the whole point of `BatchCache`); at steady
+        // state these calls touch length only, never the allocator.
+        // iprism-lint: allow(hot-path-alloc)
         cache.inputs.resize_with(n_layers + 1, Vec::new);
         cache.inputs[0].clear();
+        // iprism-lint: allow(hot-path-alloc)
         cache.inputs[0].extend_from_slice(xs);
         for i in 0..n_layers {
             // Split so layer i's input batch (index i) and output batch
@@ -234,6 +240,8 @@ impl Mlp {
             "batch grad size mismatch"
         );
         cache.grad.clear();
+        // Steady-state capacity: the gradient slab is reused per minibatch.
+        // iprism-lint: allow(hot-path-alloc)
         cache.grad.extend_from_slice(dloss_dout);
         for i in (0..n).rev() {
             // The stored input of layer i+1 is layer i's *post-activation*

@@ -55,6 +55,7 @@ pub fn compute_reach_tube(
 /// Panics when `config` is invalid, when an index in `active` is out of
 /// bounds for the cache, or (in validating builds) when the ego state is
 /// non-finite or its heading is unnormalized.
+// iprism: hot-path(deterministic)
 pub fn compute_reach_tube_cached(
     map: &RoadMap,
     ego: VehicleState,

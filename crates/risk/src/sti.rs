@@ -139,6 +139,7 @@ impl StiEvaluator {
     }
 
     /// Full evaluation: combined STI plus per-actor STI (Eq. 4 and 5).
+    // iprism: hot-path(deterministic)
     pub fn evaluate(&self, map: &RoadMap, scene: &SceneSnapshot) -> Sti {
         let cfg = self.scene_config(scene);
         let obstacles = scene.obstacles();
@@ -204,6 +205,7 @@ impl StiEvaluator {
     /// Cheap evaluation of only `STI^(combined)` (two reach-tubes instead of
     /// `N + 2`) — what the SMC reward needs at every RL step. Shares the
     /// slice cache between both tubes and honours the empty-tube memo.
+    // iprism: hot-path(deterministic)
     pub fn evaluate_combined(&self, map: &RoadMap, scene: &SceneSnapshot) -> f64 {
         let cfg = self.scene_config(scene);
         let obstacles = scene.obstacles();

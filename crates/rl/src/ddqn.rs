@@ -225,6 +225,7 @@ impl DdqnAgent {
     /// sampling consumes the same RNG draws, the batched kernels reduce every
     /// dot product in the per-sample order, and the gradient rows carry the
     /// same dense zero entries the reference backpropagated.
+    // iprism: hot-path(no-alloc, deterministic)
     fn learn_batch(&mut self) {
         #[cfg(any(test, feature = "per-sample-reference"))]
         if self.config.reference_engine {
@@ -241,7 +242,11 @@ impl DdqnAgent {
         arena.next_states.clear();
         for &i in &arena.indices {
             let t = self.buffer.get(i);
+            // Steady-state capacity: the arena slabs are cleared and
+            // refilled, growing only on the very first minibatch.
+            // iprism-lint: allow(hot-path-alloc)
             arena.states.extend_from_slice(&t.state);
+            // iprism-lint: allow(hot-path-alloc)
             arena.next_states.extend_from_slice(&t.next_state);
         }
 
@@ -260,6 +265,7 @@ impl DdqnAgent {
         let out_dim = self.online.out_dim();
         let scale = 1.0 / n as f64;
         arena.grads.clear();
+        // iprism-lint: allow(hot-path-alloc) — arena slab, steady-state capacity
         arena.grads.resize(n * out_dim, 0.0);
         for (s, &i) in arena.indices.iter().enumerate() {
             let t = self.buffer.get(i);
@@ -284,6 +290,10 @@ impl DdqnAgent {
         self.online.zero_grad();
         self.online.backward_batch(&mut arena.q_cache, &arena.grads);
         self.optimizer
+            // `Adam::new` allocates its moment vectors, but this closure only
+            // runs when the optimizer was dropped by serde — once per loaded
+            // agent, never in the training loop.
+            // iprism-lint: allow(hot-path-alloc)
             .get_or_insert_with(|| Adam::new(self.online.param_count(), self.config.lr))
             .step(&mut self.online);
     }

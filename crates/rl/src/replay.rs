@@ -92,6 +92,9 @@ impl ReplayBuffer {
     pub fn sample_indices<R: Rng>(&self, rng: &mut R, batch: usize, out: &mut Vec<usize>) {
         assert!(!self.data.is_empty(), "cannot sample from empty buffer");
         out.clear();
+        // `out` is the caller's reusable arena buffer; after the first call
+        // the extend refills existing capacity without allocating.
+        // iprism-lint: allow(hot-path-alloc)
         out.extend((0..batch).map(|_| rng.gen_range(0..self.data.len())));
     }
 

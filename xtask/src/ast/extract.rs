@@ -1,0 +1,876 @@
+//! Function/call extraction for the workspace call-graph pass.
+//!
+//! `cargo xtask lint --graph` needs more than per-file token checks: it has
+//! to know which `fn` items a file defines (name, receiver type, visibility)
+//! and which calls each body makes, so the graph layer in [`super::graph`]
+//! can resolve edges across crates and propagate taint. This module walks
+//! the existing lexer's token stream once per file and produces that model,
+//! plus the two pieces of per-file policy the graph pass consumes: hot-path
+//! certification markers (`// iprism: hot-path(no-panic, no-alloc,
+//! deterministic)`) and per-line `iprism-lint: allow(hot-path-*)` waivers.
+//!
+//! The extraction is deliberately best-effort — no type inference, no macro
+//! expansion — and errs on the side of recording a call, leaving precision
+//! to the resolution step (receiver-type and dependency-closure narrowing).
+
+use super::lexer::{self, Kind, Token};
+use super::rules::{matching_close, skip_generics};
+use super::{allow_lines, allowed, parse_allow_names, AstDiagnostic, AstRule};
+use crate::mask::{self, MaskedFile};
+
+/// The three properties a hot-path marker can demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HotProp {
+    /// No reachable `panic!`/`unwrap`/`expect`/`assert!` or slice indexing.
+    NoPanic,
+    /// No reachable heap allocation (`Vec::push`, `collect`, `format!`, ...).
+    NoAlloc,
+    /// No reachable wallclock, entropy or hash-iteration nondeterminism.
+    Deterministic,
+}
+
+/// All properties, in reporting order.
+pub const ALL_PROPS: [HotProp; 3] = [HotProp::NoPanic, HotProp::NoAlloc, HotProp::Deterministic];
+
+impl HotProp {
+    /// The spelling used inside a `hot-path(...)` marker.
+    #[must_use]
+    pub fn marker_name(self) -> &'static str {
+        match self {
+            HotProp::NoPanic => "no-panic",
+            HotProp::NoAlloc => "no-alloc",
+            HotProp::Deterministic => "deterministic",
+        }
+    }
+
+    /// The lint rule that reports a violation of this property.
+    #[must_use]
+    pub fn rule(self) -> AstRule {
+        match self {
+            HotProp::NoPanic => AstRule::HotPathPanic,
+            HotProp::NoAlloc => AstRule::HotPathAlloc,
+            HotProp::Deterministic => AstRule::HotPathNondet,
+        }
+    }
+
+    /// Short noun used in taint-chain diagnostics (`... : alloc via ...`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HotProp::NoPanic => "panic",
+            HotProp::NoAlloc => "alloc",
+            HotProp::Deterministic => "nondeterminism",
+        }
+    }
+
+    /// Parses a marker property name.
+    #[must_use]
+    pub fn from_marker_name(name: &str) -> Option<HotProp> {
+        ALL_PROPS.iter().copied().find(|p| p.marker_name() == name)
+    }
+
+    /// Index into per-line waiver arrays.
+    #[must_use]
+    pub fn idx(self) -> usize {
+        match self {
+            HotProp::NoPanic => 0,
+            HotProp::NoAlloc => 1,
+            HotProp::Deterministic => 2,
+        }
+    }
+}
+
+/// One `fn` item extracted from a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type or `trait` name, when inside one.
+    pub impl_type: Option<String>,
+    /// `true` when defined inside a `trait { ... }` block (default methods
+    /// and bodyless declarations).
+    pub in_trait: bool,
+    /// `true` when the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// `true` for bare `pub` items (not `pub(crate)`).
+    pub is_pub: bool,
+    /// 1-based line/column of the function name token.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Properties demanded by an attached `hot-path(...)` marker.
+    pub props: Vec<HotProp>,
+}
+
+impl FnDef {
+    /// `Type::name` when the fn lives in an impl/trait, else `name`.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// How a call site names its target; resolution narrows candidates
+/// accordingly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `foo(..)` or `module::foo(..)` — a free function.
+    Bare(String),
+    /// `recv.foo(..)` — a method on some receiver.
+    Method(String),
+    /// `self.foo(..)` / `Self::foo(..)` — narrowed to the enclosing impl.
+    SelfMethod(String),
+    /// `Type::foo(..)` — narrowed to impls of `Type`.
+    Typed(String, String),
+}
+
+impl CallTarget {
+    /// The bare callee name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            CallTarget::Bare(n) | CallTarget::Method(n) | CallTarget::SelfMethod(n) => n,
+            CallTarget::Typed(_, n) => n,
+        }
+    }
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Index into [`FileExtract::fns`] of the enclosing function.
+    pub from_fn: usize,
+    /// Target naming shape.
+    pub target: CallTarget,
+    /// 1-based call-site position.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// One direct taint source inside a function body.
+#[derive(Debug, Clone)]
+pub struct SourceHit {
+    /// Index into [`FileExtract::fns`] of the enclosing function.
+    pub from_fn: usize,
+    /// Which property the source violates.
+    pub prop: HotProp,
+    /// Human-readable description (`` `.push(..)` ``, `` `vec![..]` ``).
+    pub what: String,
+    /// 1-based source position.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// An `allow(hot-path-*)` directive, kept for the dead-waiver audit that
+/// runs with full graph context.
+#[derive(Debug, Clone)]
+pub struct HotWaiver {
+    /// 1-based directive line.
+    pub line: usize,
+    /// 1-based directive column.
+    pub col: usize,
+    /// The hot-path properties the directive names.
+    pub props: Vec<HotProp>,
+    /// 1-based code lines the directive binds to (own line, or the next
+    /// code line below a comment-only run).
+    pub covered: Vec<usize>,
+}
+
+/// Everything the graph layer needs to know about one file.
+#[derive(Debug, Clone)]
+pub struct FileExtract {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Extracted `fn` items.
+    pub fns: Vec<FnDef>,
+    /// Call expressions, in token order.
+    pub calls: Vec<Call>,
+    /// Direct taint sources, in token order.
+    pub sources: Vec<SourceHit>,
+    /// Per 0-based line, which properties are waived there.
+    pub waived: Vec<[bool; 3]>,
+    /// Hot-path waiver directives, for the dead-waiver audit.
+    pub hot_waivers: Vec<HotWaiver>,
+    /// Malformed or unattached `hot-path(...)` markers.
+    pub errors: Vec<AstDiagnostic>,
+}
+
+/// Macro names that abort when invoked (`debug_assert*` is excluded: it
+/// compiles out of release builds, which is what hot paths run).
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Macro names that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Method names that allocate (or may reallocate) on their receiver.
+const ALLOC_METHODS: [&str; 15] = [
+    "push",
+    "push_str",
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+    "extend",
+    "extend_from_slice",
+    "insert",
+    "append",
+    "with_capacity",
+];
+
+/// Owner types whose constructors count as allocation sources.
+const ALLOC_TYPES: [&str; 9] = [
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+/// Constructor names that count as allocation on an [`ALLOC_TYPES`] owner.
+const ALLOC_CTORS: [&str; 4] = ["new", "with_capacity", "from", "from_iter"];
+
+/// Identifiers whose mere presence in a body is a nondeterminism source
+/// (mirrors the per-file `no-unseeded-rng` / `no-wallclock-in-sim` lists,
+/// plus hash collections whose iteration order varies run to run).
+const NONDET_IDENTS: [&str; 8] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "ThreadRng",
+    "Instant",
+    "SystemTime",
+    "HashMap",
+    "HashSet",
+];
+
+/// Keywords that can never be a call or an indexed expression head.
+const KEYWORDS: [&str; 36] = [
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where",
+];
+
+fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word) || word == "while" || word == "union" || word == "yield"
+}
+
+fn lowercase_start(name: &str) -> bool {
+    name.chars()
+        .next()
+        .is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// One brace frame; remembers what to restore when it closes.
+enum Frame {
+    Fn(Option<usize>),
+    Impl(Option<(String, bool)>),
+    Other,
+}
+
+/// Extracts the call-graph model from one source file.
+#[must_use]
+pub fn extract_file(rel_path: &str, source: &str) -> FileExtract {
+    let masked = mask::mask(source);
+    let tokens = lexer::lex(source);
+    let skip = |line: usize| {
+        let idx = line - 1;
+        masked.test.get(idx).copied().unwrap_or(false)
+            || masked.macro_body.get(idx).copied().unwrap_or(false)
+    };
+
+    let mut out = FileExtract {
+        path: rel_path.to_string(),
+        fns: Vec::new(),
+        calls: Vec::new(),
+        sources: Vec::new(),
+        waived: Vec::new(),
+        hot_waivers: Vec::new(),
+        errors: Vec::new(),
+    };
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut cur_fn: Option<usize> = None;
+    let mut cur_impl: Option<(String, bool)> = None;
+    let mut pending_fn: Option<usize> = None;
+    let mut pending_impl: Option<(String, bool)> = None;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+
+        // Skip attributes wholesale: `#[...]` / `#![...]`.
+        if t.is_punct('#') {
+            let open = if tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+                Some(i + 1)
+            } else if tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct('['))
+            {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(open) = open {
+                let mut depth = 0i32;
+                let mut j = open;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('[') {
+                        depth += 1;
+                    } else if tokens[j].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+
+        if t.is_punct('{') {
+            if let Some(f) = pending_fn.take() {
+                // A spurious `-> impl Trait` in the signature must not leak.
+                pending_impl = None;
+                stack.push(Frame::Fn(cur_fn));
+                cur_fn = Some(f);
+            } else if let Some(ti) = pending_impl.take() {
+                stack.push(Frame::Impl(cur_impl.take()));
+                cur_impl = Some(ti);
+            } else {
+                stack.push(Frame::Other);
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            match stack.pop() {
+                Some(Frame::Fn(prev)) => cur_fn = prev,
+                Some(Frame::Impl(prev)) => cur_impl = prev,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            // A `;` before the body means a bodyless trait declaration.
+            pending_fn = None;
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("impl") && pending_fn.is_none() {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|n| n.is_punct('<')) {
+                j = skip_generics(&tokens, j).unwrap_or(j + 1);
+            }
+            let (first, after) = parse_type_path(&tokens, j);
+            let ty = if tokens.get(after).is_some_and(|n| n.is_ident("for")) {
+                parse_type_path(&tokens, after + 1).0
+            } else {
+                first
+            };
+            if let Some(ty) = ty {
+                pending_impl = Some((ty, false));
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("trait") && pending_fn.is_none() {
+            if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == Kind::Ident) {
+                pending_impl = Some((name.text.clone(), true));
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("fn") && tokens.get(i + 1).is_some_and(|n| n.kind == Kind::Ident) {
+            let name_tok = &tokens[i + 1];
+            if !skip(name_tok.line) {
+                let idx = out.fns.len();
+                out.fns.push(FnDef {
+                    name: name_tok.text.clone(),
+                    impl_type: cur_impl.as_ref().map(|(ty, _)| ty.clone()),
+                    in_trait: cur_impl.as_ref().is_some_and(|&(_, t)| t),
+                    has_self: fn_has_self(&tokens, i + 2),
+                    is_pub: fn_is_pub(&tokens, i),
+                    line: name_tok.line,
+                    col: name_tok.col,
+                    props: Vec::new(),
+                });
+                pending_fn = Some(idx);
+            }
+            i += 2;
+            continue;
+        }
+
+        // Call and source detection: only inside a fn body, outside the
+        // signature region and outside test/macro lines.
+        let scanning = cur_fn.is_some() && pending_fn.is_none() && !skip(t.line);
+        if !scanning {
+            i += 1;
+            continue;
+        }
+        let f = cur_fn.unwrap_or_default();
+
+        if t.is_punct('[') {
+            if let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) {
+                let indexes = (prev.kind == Kind::Ident && !is_keyword(&prev.text))
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if indexes {
+                    let head = if prev.kind == Kind::Ident {
+                        prev.text.as_str()
+                    } else {
+                        "(..)"
+                    };
+                    out.sources.push(SourceHit {
+                        from_fn: f,
+                        prop: HotProp::NoPanic,
+                        what: format!("`{head}[..]` indexing"),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.kind == Kind::Ident {
+            scan_ident(&tokens, i, f, &mut out, cur_impl.as_ref());
+        }
+        i += 1;
+    }
+
+    // Per-line hot-path waivers (shared allow machinery) and the directive
+    // list the graph-side dead-waiver audit consumes.
+    let allows = allow_lines(&masked);
+    out.waived = (0..masked.code.len())
+        .map(|idx| {
+            let mut w = [false; 3];
+            for p in ALL_PROPS {
+                w[p.idx()] = allowed(&allows, &masked, idx, p.rule());
+            }
+            w
+        })
+        .collect();
+    for (idx, comment) in masked.comments.iter().enumerate() {
+        if skip(idx + 1) {
+            continue;
+        }
+        let Some((col0, names)) = parse_allow_names(comment) else {
+            continue;
+        };
+        let props: Vec<HotProp> = ALL_PROPS
+            .iter()
+            .copied()
+            .filter(|p| names.iter().any(|n| n == p.rule().name()))
+            .collect();
+        if props.is_empty() {
+            continue;
+        }
+        out.hot_waivers.push(HotWaiver {
+            line: idx + 1,
+            col: col0 + 1,
+            props,
+            covered: waiver_coverage(&masked, idx)
+                .map(|l| l + 1)
+                .into_iter()
+                .collect(),
+        });
+    }
+
+    attach_markers(&masked, &skip, &mut out);
+    // Marker errors honour the standard waiver mechanism like every other
+    // rule: `allow(hot-path-marker)` on or above the marker line silences.
+    out.errors
+        .retain(|e| !allowed(&allows, &masked, e.line - 1, e.rule));
+    out
+}
+
+/// The 0-based code line an allow/marker directive on line `idx` binds to:
+/// its own line when it carries code, else the first code line below the
+/// contiguous comment-only run (mirrors the upward walk in `allowed`).
+pub(crate) fn waiver_coverage(file: &MaskedFile, idx: usize) -> Option<usize> {
+    if !file.code[idx].trim().is_empty() {
+        return Some(idx);
+    }
+    let mut l = idx + 1;
+    while l < file.code.len() {
+        let comment_only = file.code[l].trim().is_empty() && !file.comments[l].trim().is_empty();
+        if !comment_only {
+            break;
+        }
+        l += 1;
+    }
+    (l < file.code.len() && !file.code[l].trim().is_empty()).then_some(l)
+}
+
+/// Walks a type path (`a::b::Type<Args>`), returning its final type name
+/// and the index where the walk stopped (`for`, `where`, `{` or `;`).
+fn parse_type_path(tokens: &[Token], mut j: usize) -> (Option<String>, usize) {
+    let mut name = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') || t.is_punct(';') || t.is_ident("for") || t.is_ident("where") {
+            break;
+        }
+        if t.is_punct('<') {
+            j = skip_generics(tokens, j).unwrap_or(j + 1);
+            continue;
+        }
+        if t.kind == Kind::Ident && !t.is_ident("dyn") {
+            name = Some(t.text.clone());
+        }
+        j += 1;
+    }
+    (name, j)
+}
+
+/// Does the parameter list starting at or after `k` open with a `self`
+/// receiver? `k` points just past the fn name (possibly at generics).
+fn fn_has_self(tokens: &[Token], mut k: usize) -> bool {
+    if tokens.get(k).is_some_and(|t| t.is_punct('<')) {
+        match skip_generics(tokens, k) {
+            Some(after) => k = after,
+            None => return false,
+        }
+    }
+    if !tokens.get(k).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    let Some(close) = matching_close(tokens, k) else {
+        return false;
+    };
+    tokens[k + 1..close]
+        .iter()
+        .find(|t| t.kind == Kind::Ident && !t.is_ident("mut"))
+        .is_some_and(|t| t.is_ident("self"))
+}
+
+/// Is the `fn` at token index `f` a bare-`pub` item? Walks back over
+/// qualifier keywords and an optional ABI string.
+fn fn_is_pub(tokens: &[Token], f: usize) -> bool {
+    let mut k = f;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        let qualifier = t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("unsafe")
+            || t.is_ident("extern")
+            || t.kind == Kind::Str;
+        if qualifier {
+            continue;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// Is `tokens[i]` followed by call syntax (`(`, optionally after a
+/// `::<...>` turbofish)?
+fn call_open(tokens: &[Token], i: usize) -> bool {
+    match tokens.get(i + 1) {
+        Some(t) if t.is_punct('(') => true,
+        Some(t)
+            if t.is_punct(':')
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|n| n.is_punct('<')) =>
+        {
+            skip_generics(tokens, i + 3)
+                .is_some_and(|after| tokens.get(after).is_some_and(|n| n.is_punct('(')))
+        }
+        _ => false,
+    }
+}
+
+/// Classifies one identifier token inside a fn body: macro sources, method
+/// calls/sources, qualified and bare calls, and plain nondeterminism idents.
+fn scan_ident(
+    tokens: &[Token],
+    i: usize,
+    f: usize,
+    out: &mut FileExtract,
+    cur_impl: Option<&(String, bool)>,
+) {
+    let t = &tokens[i];
+    let name = t.text.as_str();
+    let push_source = |out: &mut FileExtract, prop: HotProp, what: String| {
+        out.sources.push(SourceHit {
+            from_fn: f,
+            prop,
+            what,
+            line: t.line,
+            col: t.col,
+        });
+    };
+
+    // Macro invocation: `name!` followed by a delimiter.
+    let is_macro = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        && tokens
+            .get(i + 2)
+            .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'));
+    if is_macro {
+        if PANIC_MACROS.contains(&name) {
+            push_source(out, HotProp::NoPanic, format!("`{name}!`"));
+        } else if ALLOC_MACROS.contains(&name) {
+            push_source(out, HotProp::NoAlloc, format!("`{name}![..]`"));
+        }
+        return;
+    }
+
+    let prev_dot =
+        i >= 1 && tokens[i - 1].is_punct('.') && !(i >= 2 && tokens[i - 2].is_punct('.'));
+    let prev_path = i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':');
+
+    if prev_dot {
+        if (name == "unwrap" || name == "expect") && call_open(tokens, i) {
+            push_source(out, HotProp::NoPanic, format!("`.{name}(..)`"));
+        }
+        if ALLOC_METHODS.contains(&name) && call_open(tokens, i) {
+            push_source(out, HotProp::NoAlloc, format!("`.{name}(..)`"));
+        }
+        if lowercase_start(name) && !is_keyword(name) && call_open(tokens, i) {
+            let target = if i >= 2 && tokens[i - 2].is_ident("self") {
+                CallTarget::SelfMethod(name.to_string())
+            } else {
+                CallTarget::Method(name.to_string())
+            };
+            out.calls.push(Call {
+                from_fn: f,
+                target,
+                line: t.line,
+                col: t.col,
+            });
+        }
+    } else if prev_path {
+        if lowercase_start(name) && !is_keyword(name) && call_open(tokens, i) {
+            if let Some(target) = qualified_target(tokens, i, name, cur_impl) {
+                if let CallTarget::Typed(ty, ctor) = &target {
+                    if ALLOC_TYPES.contains(&ty.as_str()) && ALLOC_CTORS.contains(&ctor.as_str()) {
+                        push_source(out, HotProp::NoAlloc, format!("`{ty}::{ctor}(..)`"));
+                    }
+                }
+                out.calls.push(Call {
+                    from_fn: f,
+                    target,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+    } else if lowercase_start(name)
+        && !is_keyword(name)
+        && call_open(tokens, i)
+        && !(i >= 1 && tokens[i - 1].is_ident("fn"))
+    {
+        out.calls.push(Call {
+            from_fn: f,
+            target: CallTarget::Bare(name.to_string()),
+            line: t.line,
+            col: t.col,
+        });
+    }
+
+    if NONDET_IDENTS.contains(&name) {
+        push_source(out, HotProp::Deterministic, format!("`{name}`"));
+    }
+}
+
+/// Resolves the qualifier of a `Qual::name(..)` call into a target shape.
+fn qualified_target(
+    tokens: &[Token],
+    i: usize,
+    name: &str,
+    cur_impl: Option<&(String, bool)>,
+) -> Option<CallTarget> {
+    let qual = qualifier_ident(tokens, i)?;
+    if qual == "Self" {
+        return Some(CallTarget::SelfMethod(name.to_string()));
+    }
+    if lowercase_start(&qual) {
+        // `module::free_fn(..)` — modules are lowercase by convention.
+        return Some(CallTarget::Bare(name.to_string()));
+    }
+    // `cur_impl` is unused today but kept in the signature so trait-context
+    // narrowing can grow here without touching call sites.
+    let _ = cur_impl;
+    Some(CallTarget::Typed(qual, name.to_string()))
+}
+
+/// The identifier naming the path segment before `::name` at `i`; walks
+/// back over `::<...>` generic arguments (`Vec::<f64>::new`).
+fn qualifier_ident(tokens: &[Token], i: usize) -> Option<String> {
+    let mut k = i.checked_sub(3)?;
+    if tokens[k].is_punct('>') {
+        let mut depth = 0i32;
+        loop {
+            let t = &tokens[k];
+            if t.is_punct('>') {
+                depth += 1;
+            } else if t.is_punct('<') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k = k.checked_sub(1)?;
+        }
+        k = k.checked_sub(1)?;
+        if tokens[k].is_punct(':') {
+            k = k.checked_sub(2)?;
+        }
+    }
+    (tokens[k].kind == Kind::Ident).then(|| tokens[k].text.clone())
+}
+
+/// A parsed marker comment: its 0-based column plus the parse outcome.
+type ParsedMarker = (usize, Result<Vec<HotProp>, String>);
+
+/// Binds `// iprism: hot-path(...)` markers to the fn below them and
+/// reports malformed or dangling markers.
+fn attach_markers(masked: &MaskedFile, skip: &dyn Fn(usize) -> bool, out: &mut FileExtract) {
+    let mut markers: Vec<Option<ParsedMarker>> =
+        masked.comments.iter().map(|c| parse_marker(c)).collect();
+
+    // Sort by line so the upward walk below sees fns in file order.
+    let mut order: Vec<usize> = (0..out.fns.len()).collect();
+    order.sort_by_key(|&fi| out.fns[fi].line);
+    for fi in order {
+        let fn_line = out.fns[fi].line;
+        let bind = |marker: &mut Option<ParsedMarker>,
+                    line: usize,
+                    fns: &mut [FnDef],
+                    errors: &mut Vec<AstDiagnostic>| {
+            if let Some((col0, parsed)) = marker.take() {
+                match parsed {
+                    Ok(props) => fns[fi].props = props,
+                    Err(err) => errors.push(marker_error(&out.path, line, col0 + 1, &err)),
+                }
+            }
+        };
+        // Same line first (trailing marker), then the comment/attr run above.
+        if let Some(m) = markers.get_mut(fn_line - 1) {
+            if m.is_some() {
+                bind(m, fn_line, &mut out.fns, &mut out.errors);
+                continue;
+            }
+        }
+        let mut l = fn_line - 1; // 0-based line above the fn
+        while l > 0 {
+            l -= 1;
+            let comment_only =
+                masked.code[l].trim().is_empty() && !masked.comments[l].trim().is_empty();
+            let attr_line = masked.code[l].trim_start().starts_with('#');
+            if !comment_only && !attr_line {
+                break;
+            }
+            if markers.get(l).is_some_and(Option::is_some) {
+                let m = &mut markers[l];
+                bind(m, l + 1, &mut out.fns, &mut out.errors);
+                break;
+            }
+        }
+    }
+
+    for (idx, marker) in markers.iter().enumerate() {
+        let Some((col0, parsed)) = marker else {
+            continue;
+        };
+        if skip(idx + 1) {
+            continue;
+        }
+        match parsed {
+            Ok(_) => out.errors.push(marker_error(
+                &out.path,
+                idx + 1,
+                col0 + 1,
+                "marker is not attached to a function item",
+            )),
+            Err(err) => out
+                .errors
+                .push(marker_error(&out.path, idx + 1, col0 + 1, err)),
+        }
+    }
+}
+
+fn marker_error(path: &str, line: usize, col: usize, err: &str) -> AstDiagnostic {
+    AstDiagnostic {
+        path: path.to_string(),
+        line,
+        col,
+        rule: AstRule::HotPathMarker,
+        message: format!(
+            "bad hot-path marker: {err} (expected `// iprism: hot-path(no-panic, no-alloc, \
+             deterministic)` directly above a fn)"
+        ),
+    }
+}
+
+/// Parses a `hot-path(...)` marker out of one comment line. Returns the
+/// 0-based column of the directive and the parsed properties or an error.
+fn parse_marker(comment: &str) -> Option<(usize, Result<Vec<HotProp>, String>)> {
+    if super::is_doc_comment(comment) {
+        return None;
+    }
+    let pos = comment.find("iprism:")?;
+    let rest = &comment[pos + "iprism:".len()..];
+    let hp = rest.find("hot-path")?;
+    let after = &rest[hp + "hot-path".len()..];
+    let parsed = parse_marker_props(after);
+    Some((pos, parsed))
+}
+
+fn parse_marker_props(after: &str) -> Result<Vec<HotProp>, String> {
+    let after = after.trim_start();
+    let Some(args) = after.strip_prefix('(') else {
+        return Err("missing `(...)` property list".to_string());
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unterminated property list".to_string());
+    };
+    let mut props = Vec::new();
+    for raw in args[..close].split(',') {
+        let name = raw.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match HotProp::from_marker_name(name) {
+            Some(p) => {
+                if !props.contains(&p) {
+                    props.push(p);
+                }
+            }
+            None => return Err(format!("unknown property `{name}`")),
+        }
+    }
+    if props.is_empty() {
+        return Err("empty property list".to_string());
+    }
+    Ok(props)
+}

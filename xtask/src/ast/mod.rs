@@ -13,12 +13,18 @@
 //! waived exactly like text-rule findings, with a justifying
 //! `// iprism-lint: allow(<rule>)` comment on or directly above the line.
 
+pub mod extract;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 
 use std::path::Path;
 
 use crate::mask::{self, MaskedFile};
+
+/// Version stamp embedded in every JSON lint report so CI consumers can
+/// detect format changes. Bump whenever the report shape changes.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The AST-level lint rules enforced by `cargo xtask lint --ast`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,10 +54,26 @@ pub enum AstRule {
     /// tracing, observers); drive episodes through `iprism_sim::Episode`
     /// or `run_episode` instead.
     WorldStepOutsideSim,
+    /// A fn marked `hot-path(no-panic)` transitively reaches a panic
+    /// (`panic!`, `.unwrap()`, `assert!`, slice indexing). Graph rule:
+    /// reported by `cargo xtask lint --graph`.
+    HotPathPanic,
+    /// A fn marked `hot-path(no-alloc)` transitively reaches a heap
+    /// allocation (`Vec::push`, `collect`, `format!`, ...). Graph rule.
+    HotPathAlloc,
+    /// A fn marked `hot-path(deterministic)` transitively reaches a
+    /// nondeterminism source (wallclock, unseeded RNG, hash iteration).
+    /// Graph rule.
+    HotPathNondet,
+    /// A malformed or dangling `// iprism: hot-path(...)` marker. Graph
+    /// rule.
+    HotPathMarker,
+    /// An `iprism-lint: allow(...)` directive that suppresses nothing.
+    DeadWaiver,
 }
 
 /// All AST rules, in reporting order.
-pub const ALL_AST_RULES: [AstRule; 9] = [
+pub const ALL_AST_RULES: [AstRule; 14] = [
     AstRule::NoHashCollections,
     AstRule::NoUnseededRng,
     AstRule::RawF64Param,
@@ -61,6 +83,21 @@ pub const ALL_AST_RULES: [AstRule; 9] = [
     AstRule::UnguardedFloatDiv,
     AstRule::FloatIntCast,
     AstRule::WorldStepOutsideSim,
+    AstRule::HotPathPanic,
+    AstRule::HotPathAlloc,
+    AstRule::HotPathNondet,
+    AstRule::HotPathMarker,
+    AstRule::DeadWaiver,
+];
+
+/// The rules evaluated by the call-graph pass (`lint --graph`), not the
+/// per-file pass; the per-file dead-waiver audit must leave their
+/// directives alone.
+pub const GRAPH_RULES: [AstRule; 4] = [
+    AstRule::HotPathPanic,
+    AstRule::HotPathAlloc,
+    AstRule::HotPathNondet,
+    AstRule::HotPathMarker,
 ];
 
 impl AstRule {
@@ -77,6 +114,11 @@ impl AstRule {
             AstRule::UnguardedFloatDiv => "unguarded-float-div",
             AstRule::FloatIntCast => "float-int-cast",
             AstRule::WorldStepOutsideSim => "world-step-outside-sim",
+            AstRule::HotPathPanic => "hot-path-panic",
+            AstRule::HotPathAlloc => "hot-path-alloc",
+            AstRule::HotPathNondet => "hot-path-nondet",
+            AstRule::HotPathMarker => "hot-path-marker",
+            AstRule::DeadWaiver => "dead-waiver",
         }
     }
 
@@ -133,11 +175,15 @@ impl AstDiagnostic {
 }
 
 /// Renders a full AST-lint report as a JSON document for CI consumption.
+/// The report is deterministic: diagnostics are serialized in
+/// `(path, line, col, rule)` order regardless of input order.
 #[must_use]
 pub fn report_json(checked: usize, diagnostics: &[AstDiagnostic]) -> String {
-    let items: Vec<String> = diagnostics.iter().map(AstDiagnostic::to_json).collect();
+    let mut sorted: Vec<&AstDiagnostic> = diagnostics.iter().collect();
+    sorted.sort_by_key(|d| (&d.path, d.line, d.col, d.rule.name()));
+    let items: Vec<String> = sorted.iter().map(|d| d.to_json()).collect();
     format!(
-        r#"{{"files_checked":{},"violations":[{}]}}"#,
+        r#"{{"schema_version":{SCHEMA_VERSION},"files_checked":{},"violations":[{}]}}"#,
         checked,
         items.join(",")
     )
@@ -237,48 +283,147 @@ pub fn ast_lint_source(rel_path: &str, source: &str) -> Vec<AstDiagnostic> {
         masked.test.get(idx).copied().unwrap_or(false)
             || masked.macro_body.get(idx).copied().unwrap_or(false)
     };
-    let mut out = Vec::new();
+    // Collect every finding first (pre-waiver), so the dead-waiver audit
+    // can tell whether a directive suppresses anything at all.
+    let mut raw = Vec::new();
     let mut push = |t: &lexer::Token, rule: AstRule, message: String| {
-        if !allowed(&allows, &masked, t.line - 1, rule) {
-            out.push(AstDiagnostic {
-                path: rel_path.to_string(),
-                line: t.line,
-                col: t.col,
-                rule,
-                message,
-            });
-        }
+        raw.push(AstDiagnostic {
+            path: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule,
+            message,
+        });
     };
     rules::check_tokens(&tokens, class, &skip, &mut push);
-    out.sort_by_key(|d| (d.line, d.col));
+    raw.sort_by_key(|d| (d.line, d.col));
+    raw.dedup();
+    let mut out: Vec<AstDiagnostic> = raw
+        .iter()
+        .filter(|d| !allowed(&allows, &masked, d.line - 1, d.rule))
+        .cloned()
+        .collect();
+    dead_waiver_audit(rel_path, &masked, &allows, &raw, &skip, &mut out);
+    out.sort_by(|a, b| (a.line, a.col, a.rule.name()).cmp(&(b.line, b.col, b.rule.name())));
     out.dedup();
     out
 }
 
+/// Flags `iprism-lint: allow(...)` directives that suppress nothing.
+///
+/// A directive is *live* when at least one rule it names fires (pre-waiver)
+/// on a line it covers — its own line, or the next code line below its
+/// comment-only run. Directives naming a graph rule (`hot-path-*`) are
+/// skipped here: they waive call-graph edges and sources, which only the
+/// `lint --graph` pass can see, and it runs its own dead-waiver audit.
+fn dead_waiver_audit(
+    rel_path: &str,
+    masked: &MaskedFile,
+    allows: &[Vec<AstRule>],
+    raw_ast: &[AstDiagnostic],
+    skip: &dyn Fn(usize) -> bool,
+    out: &mut Vec<AstDiagnostic>,
+) {
+    // Text-rule findings, unfiltered: a directive waiving only e.g.
+    // `no-panic-in-lib` is live if the text rule would fire there.
+    let raw_text = crate::classify(rel_path)
+        .map(|class| crate::rules::lint_masked_raw(rel_path, masked, class))
+        .unwrap_or_default();
+    for (idx, comment) in masked.comments.iter().enumerate() {
+        if skip(idx + 1) {
+            continue;
+        }
+        let Some((col0, names)) = parse_allow_names(comment) else {
+            continue;
+        };
+        if names
+            .iter()
+            .any(|n| GRAPH_RULES.iter().any(|r| r.name() == n))
+        {
+            continue;
+        }
+        // Prose like `allow(...)` or `allow(<rule>)` in a plain comment is
+        // not a directive; real args are kebab-case rule names (a typo'd
+        // name still has directive syntax and is rightly flagged).
+        let rule_syntax = |n: &str| {
+            !n.is_empty()
+                && n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        };
+        if !names.iter().any(|n| rule_syntax(n)) {
+            continue;
+        }
+        let covered = extract::waiver_coverage(masked, idx);
+        let hits = |line0: usize| {
+            let matches = |rule_name: &str| names.iter().any(|n| n == "all" || n == rule_name);
+            raw_ast
+                .iter()
+                .any(|d| d.line == line0 + 1 && matches(d.rule.name()))
+                || raw_text
+                    .iter()
+                    .any(|d| d.line == line0 + 1 && matches(d.rule.name()))
+        };
+        let live = covered.is_some_and(hits);
+        if !live && !allowed(allows, masked, idx, AstRule::DeadWaiver) {
+            out.push(AstDiagnostic {
+                path: rel_path.to_string(),
+                line: idx + 1,
+                col: col0 + 1,
+                rule: AstRule::DeadWaiver,
+                message: format!(
+                    "waiver `allow({})` suppresses nothing here; remove it or fix the rule list",
+                    names.join(", ")
+                ),
+            });
+        }
+    }
+}
+
 /// Per-line sets of AST rules suppressed via `iprism-lint: allow(...)`.
-fn allow_lines(file: &MaskedFile) -> Vec<Vec<AstRule>> {
+pub(crate) fn allow_lines(file: &MaskedFile) -> Vec<Vec<AstRule>> {
     file.comments.iter().map(|c| parse_allow(c)).collect()
 }
 
-fn parse_allow(comment: &str) -> Vec<AstRule> {
-    let Some(pos) = comment.find("iprism-lint:") else {
-        return Vec::new();
-    };
+/// Parses an `iprism-lint: allow(...)` directive out of a comment line,
+/// returning its 0-based column and the raw names it lists (including
+/// `all` and names that match no rule — the dead-waiver audit needs both).
+pub(crate) fn parse_allow_names(comment: &str) -> Option<(usize, Vec<String>)> {
+    if is_doc_comment(comment) {
+        // Doc comments describe the directive syntax; only plain comments
+        // carry live directives.
+        return None;
+    }
+    let pos = comment.find("iprism-lint:")?;
     let rest = &comment[pos + "iprism-lint:".len()..];
-    let Some(open) = rest.find("allow(") else {
-        return Vec::new();
-    };
+    let open = rest.find("allow(")?;
     let args = &rest[open + "allow(".len()..];
-    let Some(close) = args.find(')') else {
+    let close = args.find(')')?;
+    let names: Vec<String> = args[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(str::to_string)
+        .collect();
+    Some((pos, names))
+}
+
+/// Is this comment channel line a doc comment (`///`, `//!`, `/**`,
+/// `/*!`)? Directives and markers in docs are prose, not policy.
+pub(crate) fn is_doc_comment(comment: &str) -> bool {
+    let t = comment.trim_start();
+    t.starts_with("///") || t.starts_with("//!") || t.starts_with("/**") || t.starts_with("/*!")
+}
+
+fn parse_allow(comment: &str) -> Vec<AstRule> {
+    let Some((_, names)) = parse_allow_names(comment) else {
         return Vec::new();
     };
     let mut rules = Vec::new();
-    for name in args[..close].split(',') {
-        let name = name.trim();
+    for name in names {
         if name == "all" {
             return ALL_AST_RULES.to_vec();
         }
-        if let Some(rule) = AstRule::from_name(name) {
+        if let Some(rule) = AstRule::from_name(&name) {
             rules.push(rule);
         }
     }
@@ -288,7 +433,12 @@ fn parse_allow(comment: &str) -> Vec<AstRule> {
 /// A rule is suppressed on 0-based line `idx` if an allow directive sits on
 /// the line itself or on a contiguous run of comment-only lines directly
 /// above (mirrors the text-lint escape hatch exactly).
-fn allowed(allows: &[Vec<AstRule>], file: &MaskedFile, idx: usize, rule: AstRule) -> bool {
+pub(crate) fn allowed(
+    allows: &[Vec<AstRule>],
+    file: &MaskedFile,
+    idx: usize,
+    rule: AstRule,
+) -> bool {
     if allows.get(idx).is_some_and(|a| a.contains(&rule)) {
         return true;
     }
@@ -329,6 +479,8 @@ pub fn run_ast_lint(workspace_root: &Path) -> std::io::Result<(usize, Vec<AstDia
         checked += 1;
         diagnostics.extend(ast_lint_source(&rel, &source));
     }
-    diagnostics.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule.name()).cmp(&(&b.path, b.line, b.col, b.rule.name()))
+    });
     Ok((checked, diagnostics))
 }

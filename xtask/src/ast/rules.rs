@@ -407,7 +407,7 @@ fn is_public_fn(tokens: &[Token], f: usize) -> bool {
 /// Skips a balanced `<...>` generics list starting at `open`; returns the
 /// index just past the closing `>`. An `->` inside (e.g. `F: Fn(f64) -> f64`)
 /// does not close the list.
-fn skip_generics(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn skip_generics(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     let mut i = open;
     while i < tokens.len() {
@@ -576,7 +576,7 @@ fn type_is_bare_f64(ty: &[Token]) -> bool {
 }
 
 /// Index of the `)` matching the `(` at `open`.
-fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (i, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct('(') {

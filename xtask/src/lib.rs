@@ -22,7 +22,14 @@ pub mod rules;
 
 use std::path::{Path, PathBuf};
 
-pub use ast::{ast_lint_source, classify_ast, run_ast_lint, AstDiagnostic, AstRule, ALL_AST_RULES};
+pub use ast::graph::{
+    build_graph_sources, build_workspace_graph, graph_lint_sources, run_graph_lint, CallGraph,
+    DepClosure, GraphReport, GraphStats,
+};
+pub use ast::{
+    ast_lint_source, classify_ast, run_ast_lint, AstDiagnostic, AstRule, ALL_AST_RULES,
+    SCHEMA_VERSION,
+};
 pub use rules::{Diagnostic, FileClass, Rule, ALL_RULES};
 
 /// Crates whose library code must never panic (reach/risk math must degrade

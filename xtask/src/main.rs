@@ -25,7 +25,8 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <task>\n\n\
          tasks:\n  \
-         lint [--ast] [--json]   run the iPrism custom lints over every workspace .rs file\n  \
+         lint [--ast|--graph] [--json]\n                          \
+         run the iPrism custom lints over every workspace .rs file\n  \
          bench-sti [PATH]        time the STI hot path and write BENCH_STI.json (repo root,\n                          \
          or PATH) with the speedup over the recorded baseline\n  \
          bench-train [--smoke] [PATH]\n                          \
@@ -33,13 +34,17 @@ fn print_usage() {
          and write BENCH_TRAIN.json with the speedup over the recorded\n                          \
          baseline; --smoke runs one untimed iteration (CI)\n\n\
          flags:\n  \
-         --ast    run the AST-level rules (determinism, dimensional safety, NaN hygiene)\n           \
-         instead of the text rules\n  \
+         --ast    run the AST-level rules (determinism, dimensional safety, NaN hygiene,\n           \
+         dead-waiver audit) instead of the text rules\n  \
+         --graph  build the workspace call graph and certify `// iprism: hot-path(...)`\n           \
+         markers (no-panic, no-alloc, deterministic) by taint propagation\n  \
          --json   emit machine-readable JSON instead of human-readable diagnostics\n\n\
-         text rules: no-panic-in-lib, no-float-eq, no-wallclock-in-sim, pub-fn-docs\n\
-         ast rules:  no-hash-collections, no-unseeded-rng, raw-f64-param, raw-f64-return,\n            \
-         angle-conv-outside-units, partial-cmp-unwrap, unguarded-float-div,\n            \
-         float-int-cast\n\
+         text rules:  no-panic-in-lib, no-float-eq, no-wallclock-in-sim, pub-fn-docs\n\
+         ast rules:   no-hash-collections, no-unseeded-rng, raw-f64-param, raw-f64-return,\n             \
+         angle-conv-outside-units, partial-cmp-unwrap, unguarded-float-div,\n             \
+         float-int-cast, world-step-outside-sim, dead-waiver\n\
+         graph rules: hot-path-panic, hot-path-alloc, hot-path-nondet, hot-path-marker,\n             \
+         dead-waiver\n\
          waive a finding with `// iprism-lint: allow(<rule>)` on or above the line\n\
          (see docs/STATIC_ANALYSIS.md for the full catalogue)"
     );
@@ -55,10 +60,12 @@ fn workspace_root() -> PathBuf {
 
 fn lint(flags: &[String]) -> ExitCode {
     let mut ast = false;
+    let mut graph = false;
     let mut json = false;
     for flag in flags {
         match flag.as_str() {
             "--ast" => ast = true,
+            "--graph" => graph = true,
             "--json" => json = true,
             other => {
                 eprintln!("xtask lint: unknown flag `{other}`\n");
@@ -67,8 +74,15 @@ fn lint(flags: &[String]) -> ExitCode {
             }
         }
     }
+    if ast && graph {
+        eprintln!("xtask lint: `--ast` and `--graph` are separate passes; pick one\n");
+        print_usage();
+        return ExitCode::from(2);
+    }
     let root = workspace_root();
-    if ast {
+    if graph {
+        graph_lint(&root, json)
+    } else if ast {
         ast_lint(&root, json)
     } else {
         text_lint(&root, json)
@@ -111,7 +125,8 @@ fn text_lint(root: &Path, json: bool) -> ExitCode {
                     })
                     .collect();
                 println!(
-                    "{{\"files_checked\":{checked},\"violations\":[{}]}}",
+                    "{{\"schema_version\":{},\"files_checked\":{checked},\"violations\":[{}]}}",
+                    xtask::SCHEMA_VERSION,
                     items.join(",")
                 );
             } else {
@@ -142,6 +157,31 @@ fn ast_lint(root: &Path, json: bool) -> ExitCode {
         }
         Err(err) => {
             eprintln!("xtask lint --ast: I/O error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn graph_lint(root: &Path, json: bool) -> ExitCode {
+    match xtask::run_graph_lint(root) {
+        Ok(report) => {
+            let s = report.stats;
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
+                println!(
+                    "xtask lint --graph: {} files, {} functions, {} edges ({} unresolved), \
+                     {} hot-path marker(s)",
+                    s.files, s.functions, s.edges, s.unresolved, s.markers
+                );
+            }
+            summary("lint --graph", s.files, report.diagnostics.len(), json)
+        }
+        Err(err) => {
+            eprintln!("xtask lint --graph: I/O error: {err}");
             ExitCode::from(2)
         }
     }

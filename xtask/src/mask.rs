@@ -283,7 +283,10 @@ fn mark_macro_regions(code: &[String]) -> Vec<bool> {
 
 /// Marks from `start` to the end of the item that begins there: through the
 /// matching `}` of the first `{`, or through the first `;` outside brackets
-/// if it appears before any brace (e.g. `#[cfg(test)] use foo;`).
+/// if it appears before any brace (e.g. `#[cfg(test)] use foo;`). A `}`
+/// closing an *enclosing* scope (brace depth going negative) also ends the
+/// region — a field-level attribute must not swallow the items that follow
+/// its struct.
 fn mark_item(code: &[String], start: usize, marked: &mut [bool]) {
     let mut brace = 0i32;
     let mut bracket = 0i32;
@@ -300,7 +303,7 @@ fn mark_item(code: &[String], start: usize, marked: &mut [bool]) {
                 }
                 '}' => {
                     brace -= 1;
-                    if seen_brace && brace == 0 {
+                    if brace < 0 || (seen_brace && brace == 0) {
                         return;
                     }
                 }

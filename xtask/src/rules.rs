@@ -83,13 +83,30 @@ pub struct FileClass {
     pub wallclock_banned: bool,
 }
 
-/// Runs every applicable rule over one masked file.
+/// Runs every applicable rule over one masked file, honouring
+/// `iprism-lint: allow(...)` waivers.
 #[must_use]
 pub fn lint_masked(path: &str, file: &MaskedFile, class: FileClass) -> Vec<Diagnostic> {
+    lint_masked_inner(path, file, class, true)
+}
+
+/// Like [`lint_masked`] but *ignores* waivers: the dead-waiver audit needs
+/// to know what would fire if a directive were removed.
+#[must_use]
+pub fn lint_masked_raw(path: &str, file: &MaskedFile, class: FileClass) -> Vec<Diagnostic> {
+    lint_masked_inner(path, file, class, false)
+}
+
+fn lint_masked_inner(
+    path: &str,
+    file: &MaskedFile,
+    class: FileClass,
+    honour_waivers: bool,
+) -> Vec<Diagnostic> {
     let allows = allow_directives(file);
     let mut out = Vec::new();
     let mut push = |line: usize, rule: Rule, message: String| {
-        if !allowed(&allows, file, line, rule) {
+        if !honour_waivers || !allowed(&allows, file, line, rule) {
             out.push(Diagnostic {
                 path: path.to_string(),
                 line: line + 1,

@@ -352,7 +352,12 @@ fn allow_all_suppresses_every_rule() {
 fn allow_does_not_leak_past_the_next_code_line() {
     let too_far =
         "// iprism-lint: allow(no-hash-collections)\nfn ok() {}\nuse std::collections::HashMap;\n";
-    assert_eq!(fired(SIM_PATH, too_far), vec![AstRule::NoHashCollections]);
+    // The use on line 3 still fires — and the directive, binding only to
+    // line 2 where nothing can fire, is reported dead by the audit.
+    assert_eq!(
+        fired(SIM_PATH, too_far),
+        vec![AstRule::DeadWaiver, AstRule::NoHashCollections]
+    );
 }
 
 #[test]
@@ -373,11 +378,84 @@ fn json_report_is_well_formed() {
     let bad = "use std::collections::HashMap;\n";
     let diags = ast_lint_source(SIM_PATH, bad);
     let json = xtask::ast::report_json(1, &diags);
-    assert!(json.starts_with(r#"{"files_checked":1,"violations":[{"#));
+    assert!(json.starts_with(r#"{"schema_version":2,"files_checked":1,"violations":[{"#));
     assert!(json.contains(r#""rule":"no-hash-collections""#));
     assert!(json.contains(r#""line":1"#));
     let empty = xtask::ast::report_json(42, &[]);
-    assert_eq!(empty, r#"{"files_checked":42,"violations":[]}"#);
+    assert_eq!(
+        empty,
+        r#"{"schema_version":2,"files_checked":42,"violations":[]}"#
+    );
+}
+
+/// Exact golden snapshot of one report: field order, escaping, sorting and
+/// the schema version are all pinned; any byte-level drift in the CI
+/// contract fails here first.
+#[test]
+fn json_report_snapshot() {
+    let bad = "use std::collections::HashMap;\n";
+    let diags = ast_lint_source(SIM_PATH, bad);
+    assert_eq!(
+        diags.len(),
+        1,
+        "fixture must produce exactly one diagnostic"
+    );
+    let json = xtask::ast::report_json(1, &diags);
+    assert_eq!(
+        json,
+        r#"{"schema_version":2,"files_checked":1,"violations":[{"path":"crates/sim/src/fixture.rs","line":1,"col":23,"rule":"no-hash-collections","message":"`HashMap` in determinism-critical code: iteration order varies between runs; use `BTreeMap` (ordered) instead"}]}"#
+    );
+}
+
+#[test]
+fn json_report_sorts_diagnostics_by_position() {
+    // Two violations emitted out of positional order across the file; the
+    // report must serialize them (line 1, then line 2) regardless.
+    let bad = "use std::collections::HashMap;\nuse std::collections::HashSet;\n";
+    let diags = ast_lint_source(SIM_PATH, bad);
+    let json = xtask::ast::report_json(1, &diags);
+    let first = json.find(r#""line":1"#).expect("line-1 diagnostic present");
+    let second = json.find(r#""line":2"#).expect("line-2 diagnostic present");
+    assert!(first < second, "diagnostics must be sorted by position");
+}
+
+// ---------------------------------------------------------------- dead-waiver
+
+#[test]
+fn dead_waiver_fires_when_the_named_rule_cannot_fire() {
+    let src = "// iprism-lint: allow(no-hash-collections)\nfn f() -> u32 {\n    1\n}\n";
+    assert_eq!(fired(SIM_PATH, src), vec![AstRule::DeadWaiver]);
+}
+
+#[test]
+fn live_ast_waiver_is_silent() {
+    let src = "// iprism-lint: allow(no-hash-collections)\nuse std::collections::HashMap;\n";
+    assert!(fired(SIM_PATH, src).is_empty());
+}
+
+#[test]
+fn waiver_of_a_live_text_rule_is_not_dead() {
+    // `no-panic-in-lib` is a text-pass rule; the audit must consult the
+    // text rules too before declaring a directive dead.
+    let src = "fn f() {\n    // iprism-lint: allow(no-panic-in-lib)\n    panic!(\"boom\");\n}\n";
+    assert!(fired(SIM_PATH, src).is_empty());
+}
+
+#[test]
+fn dead_waiver_is_suppressed_by_its_own_allow() {
+    let src =
+        "// iprism-lint: allow(no-hash-collections, dead-waiver)\nfn f() -> u32 {\n    1\n}\n";
+    assert!(fired(SIM_PATH, src).is_empty());
+}
+
+#[test]
+fn prose_mentioning_allow_is_not_audited() {
+    // Doc comments and placeholder syntax (`<rule>`) are prose, not
+    // directives; neither may produce a dead-waiver diagnostic.
+    let src = "/// Suppress with `iprism-lint: allow(no-float-eq)`.\n\
+               // e.g. write `iprism-lint: allow(<rule>)` above the line\n\
+               fn f() -> u32 {\n    1\n}\n";
+    assert!(fired(SIM_PATH, src).is_empty());
 }
 
 #[test]

@@ -1,0 +1,446 @@
+//! Fixture and golden tests for the call-graph pass (`lint --graph`).
+//!
+//! Convention mirrors `ast_rules.rs`: every graph rule gets a firing, a
+//! silent and a suppressed fixture. Fixtures are multi-file so each taint
+//! is proven through a real (≥ 2-edge) cross-file call chain, and the
+//! golden tests run the extractor over the actual workspace tree.
+
+use xtask::ast::extract::{extract_file, CallTarget, FnDef};
+use xtask::ast::graph::graph_lint_sources;
+use xtask::{build_workspace_graph, run_graph_lint, AstRule};
+
+/// Rules fired by a fixture set, in reporting order.
+fn fired(sources: &[(&str, &str)]) -> Vec<AstRule> {
+    graph_lint_sources(sources)
+        .diagnostics
+        .iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+fn first_message(sources: &[(&str, &str)]) -> String {
+    graph_lint_sources(sources)
+        .diagnostics
+        .first()
+        .map(|d| d.message.clone())
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------- hot-path-alloc
+
+const ALLOC_ROOT: &str = "\
+// iprism: hot-path(no-alloc)
+pub fn root() -> usize {
+    middle()
+}
+
+fn middle() -> usize {
+    leaf()
+}
+";
+
+#[test]
+fn alloc_taint_fires_through_a_two_edge_chain() {
+    let leaf =
+        "pub fn leaf() -> usize {\n    let mut v = Vec::new();\n    v.push(1);\n    v.len()\n}\n";
+    let sources = [
+        ("crates/a/src/lib.rs", ALLOC_ROOT),
+        ("crates/b/src/lib.rs", leaf),
+    ];
+    assert_eq!(fired(&sources), vec![AstRule::HotPathAlloc]);
+    let msg = first_message(&sources);
+    assert!(msg.contains("root → middle → leaf"), "chain missing: {msg}");
+    assert!(msg.contains("alloc via"), "source missing: {msg}");
+    assert!(
+        msg.contains("crates/b/src/lib.rs:"),
+        "location missing: {msg}"
+    );
+}
+
+#[test]
+fn alloc_taint_is_silent_without_a_source() {
+    let leaf = "pub fn leaf() -> usize {\n    40 + 2\n}\n";
+    assert!(fired(&[
+        ("crates/a/src/lib.rs", ALLOC_ROOT),
+        ("crates/b/src/lib.rs", leaf)
+    ])
+    .is_empty());
+}
+
+#[test]
+fn alloc_taint_is_suppressed_by_a_source_waiver() {
+    let leaf = "pub fn leaf() -> usize {\n    let mut v = Vec::new(); // iprism-lint: allow(hot-path-alloc) — test scratch\n    v.push(1); // iprism-lint: allow(hot-path-alloc) — test scratch\n    v.len()\n}\n";
+    assert!(fired(&[
+        ("crates/a/src/lib.rs", ALLOC_ROOT),
+        ("crates/b/src/lib.rs", leaf)
+    ])
+    .is_empty());
+}
+
+#[test]
+fn alloc_taint_is_suppressed_by_an_edge_waiver() {
+    let root = "\
+// iprism: hot-path(no-alloc)
+pub fn root() -> usize {
+    // iprism-lint: allow(hot-path-alloc) — cold init edge
+    middle()
+}
+
+fn middle() -> usize {
+    leaf()
+}
+";
+    let leaf =
+        "pub fn leaf() -> usize {\n    let mut v = Vec::new();\n    v.push(1);\n    v.len()\n}\n";
+    assert!(fired(&[("crates/a/src/lib.rs", root), ("crates/b/src/lib.rs", leaf)]).is_empty());
+}
+
+// ---------------------------------------------------------------- hot-path-panic
+
+const PANIC_ROOT: &str = "\
+// iprism: hot-path(no-panic)
+pub fn root(xs: &[f64]) -> f64 {
+    middle(xs)
+}
+
+fn middle(xs: &[f64]) -> f64 {
+    leaf(xs)
+}
+";
+
+#[test]
+fn panic_taint_fires_through_a_two_edge_chain() {
+    let leaf = "pub fn leaf(xs: &[f64]) -> f64 {\n    xs.first().copied().unwrap()\n}\n";
+    let sources = [
+        ("crates/a/src/lib.rs", PANIC_ROOT),
+        ("crates/b/src/lib.rs", leaf),
+    ];
+    assert_eq!(fired(&sources), vec![AstRule::HotPathPanic]);
+    let msg = first_message(&sources);
+    assert!(msg.contains("root → middle → leaf"), "chain missing: {msg}");
+    assert!(
+        msg.contains("panic via `.unwrap(..)`"),
+        "source missing: {msg}"
+    );
+}
+
+#[test]
+fn indexing_counts_as_a_panic_source() {
+    let leaf = "pub fn leaf(xs: &[f64]) -> f64 {\n    xs[0]\n}\n";
+    let sources = [
+        ("crates/a/src/lib.rs", PANIC_ROOT),
+        ("crates/b/src/lib.rs", leaf),
+    ];
+    assert_eq!(fired(&sources), vec![AstRule::HotPathPanic]);
+    assert!(first_message(&sources).contains("indexing"));
+}
+
+#[test]
+fn panic_taint_is_silent_on_iterator_style_code() {
+    let leaf = "pub fn leaf(xs: &[f64]) -> f64 {\n    xs.iter().copied().fold(0.0, f64::max)\n}\n";
+    assert!(fired(&[
+        ("crates/a/src/lib.rs", PANIC_ROOT),
+        ("crates/b/src/lib.rs", leaf)
+    ])
+    .is_empty());
+}
+
+#[test]
+fn panic_taint_is_suppressed_by_a_source_waiver() {
+    let leaf = "pub fn leaf(xs: &[f64]) -> f64 {\n    // iprism-lint: allow(hot-path-panic) — precondition gate\n    xs.first().copied().unwrap()\n}\n";
+    assert!(fired(&[
+        ("crates/a/src/lib.rs", PANIC_ROOT),
+        ("crates/b/src/lib.rs", leaf)
+    ])
+    .is_empty());
+}
+
+// ---------------------------------------------------------------- hot-path-nondet
+
+const NONDET_ROOT: &str = "\
+// iprism: hot-path(deterministic)
+pub fn root() -> f64 {
+    middle()
+}
+
+fn middle() -> f64 {
+    leaf()
+}
+";
+
+#[test]
+fn nondet_taint_fires_through_a_two_edge_chain() {
+    let leaf = "pub fn leaf() -> f64 {\n    let mut rng = thread_rng();\n    rng.gen()\n}\n";
+    let sources = [
+        ("crates/a/src/lib.rs", NONDET_ROOT),
+        ("crates/b/src/lib.rs", leaf),
+    ];
+    assert_eq!(fired(&sources), vec![AstRule::HotPathNondet]);
+    let msg = first_message(&sources);
+    assert!(msg.contains("root → middle → leaf"), "chain missing: {msg}");
+    assert!(
+        msg.contains("nondeterminism via `thread_rng`"),
+        "source missing: {msg}"
+    );
+}
+
+#[test]
+fn nondet_taint_is_silent_on_seeded_code() {
+    let leaf = "pub fn leaf() -> f64 {\n    let mut rng = ChaCha8Rng::seed_from_u64(7);\n    rng.gen()\n}\n";
+    assert!(fired(&[
+        ("crates/a/src/lib.rs", NONDET_ROOT),
+        ("crates/b/src/lib.rs", leaf)
+    ])
+    .is_empty());
+}
+
+#[test]
+fn nondet_taint_is_suppressed_by_a_waiver() {
+    let leaf = "pub fn leaf() -> f64 {\n    let t = Instant::now(); // iprism-lint: allow(hot-path-nondet) — test only\n    t.elapsed().as_secs_f64()\n}\n";
+    assert!(fired(&[
+        ("crates/a/src/lib.rs", NONDET_ROOT),
+        ("crates/b/src/lib.rs", leaf)
+    ])
+    .is_empty());
+}
+
+// ---------------------------------------------------------------- hot-path-marker
+
+#[test]
+fn marker_with_unknown_property_fires() {
+    let src = "// iprism: hot-path(no-panics)\npub fn f() -> usize {\n    1\n}\n";
+    assert_eq!(
+        fired(&[("crates/a/src/lib.rs", src)]),
+        vec![AstRule::HotPathMarker]
+    );
+}
+
+#[test]
+fn dangling_marker_fires() {
+    let src = "// iprism: hot-path(no-alloc)\n\npub struct S;\n";
+    assert_eq!(
+        fired(&[("crates/a/src/lib.rs", src)]),
+        vec![AstRule::HotPathMarker]
+    );
+}
+
+#[test]
+fn well_formed_marker_is_silent_and_counted() {
+    let src =
+        "// iprism: hot-path(no-panic, no-alloc, deterministic)\npub fn f() -> usize {\n    1\n}\n";
+    let report = graph_lint_sources(&[("crates/a/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty());
+    assert_eq!(report.stats.markers, 1);
+}
+
+#[test]
+fn marker_error_is_suppressed_by_a_waiver() {
+    let src = "// iprism-lint: allow(hot-path-marker)\n// iprism: hot-path(no-panics)\npub fn f() -> usize {\n    1\n}\n";
+    // The allow sits in the comment run above the fn line the marker binds
+    // to; marker errors report at the marker line, which the directive run
+    // covers.
+    assert!(fired(&[("crates/a/src/lib.rs", src)]).is_empty());
+}
+
+// ---------------------------------------------------------------- dead-waiver (graph side)
+
+#[test]
+fn dead_hot_path_waiver_fires() {
+    let src = "pub fn f() -> usize {\n    // iprism-lint: allow(hot-path-alloc)\n    1 + 1\n}\n";
+    assert_eq!(
+        fired(&[("crates/a/src/lib.rs", src)]),
+        vec![AstRule::DeadWaiver]
+    );
+}
+
+#[test]
+fn live_hot_path_waiver_is_silent() {
+    let src = "pub fn f() -> Vec<usize> {\n    // iprism-lint: allow(hot-path-alloc)\n    Vec::new()\n}\n";
+    assert!(fired(&[("crates/a/src/lib.rs", src)]).is_empty());
+}
+
+#[test]
+fn edge_waiver_to_a_tainted_callee_is_live() {
+    let root = "\
+// iprism: hot-path(no-alloc)
+pub fn root() -> usize {
+    // iprism-lint: allow(hot-path-alloc) — cold edge
+    leaf()
+}
+";
+    let leaf =
+        "pub fn leaf() -> usize {\n    let mut v = Vec::new();\n    v.push(1);\n    v.len()\n}\n";
+    assert!(fired(&[("crates/a/src/lib.rs", root), ("crates/b/src/lib.rs", leaf)]).is_empty());
+}
+
+// ---------------------------------------------------------------- extraction details
+
+#[test]
+fn extractor_models_impls_methods_and_qualified_calls() {
+    let src = "\
+pub struct Engine {
+    state: f64,
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine { state: 0.0 }
+    }
+
+    fn helper(&self) -> f64 {
+        self.state
+    }
+
+    pub fn run(&self) -> f64 {
+        self.helper()
+    }
+}
+
+pub fn boot() -> f64 {
+    let e = Engine::new();
+    e.run()
+}
+";
+    let ex = extract_file("crates/a/src/lib.rs", src);
+    let names: Vec<String> = ex.fns.iter().map(FnDef::display).collect();
+    assert_eq!(
+        names,
+        vec!["Engine::new", "Engine::helper", "Engine::run", "boot"]
+    );
+    assert!(ex.fns[0].is_pub && !ex.fns[0].has_self);
+    assert!(!ex.fns[1].is_pub && ex.fns[1].has_self);
+    assert!(ex
+        .calls
+        .iter()
+        .any(|c| c.target == CallTarget::SelfMethod("helper".to_string())));
+    assert!(ex
+        .calls
+        .iter()
+        .any(|c| c.target == CallTarget::Typed("Engine".to_string(), "new".to_string())));
+    assert!(ex
+        .calls
+        .iter()
+        .any(|c| c.target == CallTarget::Method("run".to_string())));
+}
+
+#[test]
+fn test_code_is_excluded_from_the_graph() {
+    let src = "\
+pub fn lib_fn() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() -> usize {
+        panic!(\"only in tests\")
+    }
+
+    #[test]
+    fn t() {
+        assert_eq!(super::lib_fn(), helper());
+    }
+}
+";
+    let ex = extract_file("crates/a/src/lib.rs", src);
+    assert_eq!(ex.fns.len(), 1, "test fns must not be extracted");
+    assert!(
+        ex.sources.is_empty(),
+        "test-only panics must not seed taint"
+    );
+}
+
+#[test]
+fn unresolved_calls_are_counted_not_dropped() {
+    let src = "pub fn f() -> usize {\n    no_such_function_anywhere()\n}\n";
+    let report = graph_lint_sources(&[("crates/a/src/lib.rs", src)]);
+    assert_eq!(report.stats.unresolved, 1);
+}
+
+// ---------------------------------------------------------------- golden workspace tests
+
+// Not inside a #[test] fn, so clippy.toml's allow-expect-in-tests misses it.
+#[allow(clippy::expect_used)]
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn golden_training_chain_resolves_end_to_end() {
+    let graph = build_workspace_graph(&workspace_root()).expect("workspace walk");
+    let path = graph
+        .find_path("train_smc", "DdqnAgent::learn_batch")
+        .expect("train_smc must reach learn_batch");
+    assert_eq!(path.first().map(String::as_str), Some("train_smc"));
+    assert_eq!(
+        path.last().map(String::as_str),
+        Some("DdqnAgent::learn_batch")
+    );
+    assert!(path.len() >= 3, "expected a multi-hop chain, got {path:?}");
+
+    let tail = graph
+        .find_path("DdqnAgent::learn_batch", "Mlp::forward_batch_cached")
+        .expect("learn_batch must reach the batched forward pass");
+    assert_eq!(
+        tail.len(),
+        2,
+        "learn_batch calls forward_batch_cached directly: {tail:?}"
+    );
+
+    assert!(
+        graph
+            .find_path("Mlp::forward_batch_cached", "Linear::forward_batch_scratch")
+            .is_some(),
+        "the batched forward pass must reach the per-layer kernel"
+    );
+}
+
+#[test]
+fn golden_sti_chain_resolves_into_the_reach_kernel() {
+    let graph = build_workspace_graph(&workspace_root()).expect("workspace walk");
+    assert!(
+        graph
+            .find_path("StiEvaluator::evaluate", "compute_reach_tube_cached")
+            .is_some(),
+        "STI scoring must reach the cached tube kernel"
+    );
+}
+
+#[test]
+fn workspace_graph_has_plausible_shape() {
+    let graph = build_workspace_graph(&workspace_root()).expect("workspace walk");
+    let stats = graph.stats();
+    assert!(
+        stats.functions > 300,
+        "expected hundreds of fns, got {}",
+        stats.functions
+    );
+    assert!(stats.edges > stats.functions, "graph should be edge-dense");
+    assert!(
+        stats.unresolved > 0,
+        "std calls must surface as unresolved, not vanish"
+    );
+}
+
+#[test]
+fn workspace_certifies_clean() {
+    let report = run_graph_lint(&workspace_root()).expect("workspace walk");
+    assert!(
+        report.diagnostics.is_empty(),
+        "lint --graph must pass on the workspace:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stats.markers >= 4,
+        "the four seeded hot paths must stay marked (got {})",
+        report.stats.markers
+    );
+}
