@@ -1,6 +1,6 @@
 //! Kinematic bicycle model (paper reference [42]).
 
-use iprism_units::{Meters, MetersPerSecond, Seconds};
+use iprism_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::{ControlInput, ControlLimits, Trajectory, VehicleState};
@@ -47,6 +47,15 @@ pub struct PreparedControl {
     pub accel: f64,
     /// `tan` of the clamped steering angle (dimensionless).
     pub steer_tan: f64,
+}
+
+impl PreparedControl {
+    /// The clamped longitudinal acceleration as a dimensioned quantity.
+    #[inline]
+    #[must_use]
+    pub fn acceleration(&self) -> MetersPerSecondSquared {
+        MetersPerSecondSquared::new(self.accel)
+    }
 }
 
 impl Default for BicycleModel {
@@ -189,12 +198,12 @@ impl BicycleModel {
 
     /// Distance covered from speed `v` to a full stop under maximum braking.
     pub fn stopping_distance(&self, v: MetersPerSecond) -> Meters {
-        let b = -self.limits.accel_min;
-        if b <= 0.0 {
+        let b = self.limits.max_braking();
+        if b.get() <= 0.0 {
             return Meters::new(f64::INFINITY);
         }
         let v = v.get();
-        Meters::new(v * v / (2.0 * b))
+        Meters::new(v * v / (2.0 * b.get()))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Control inputs `u = (a, φ)` and their limits.
 
-use iprism_units::MetersPerSecond;
+use iprism_units::{MetersPerSecond, MetersPerSecondSquared, Radians};
 use serde::{Deserialize, Serialize};
 
 /// A control input to the bicycle model: longitudinal acceleration and
@@ -23,6 +23,24 @@ impl ControlInput {
     // iprism-lint: allow(raw-f64-param)
     pub const fn new(accel: f64, steer: f64) -> Self {
         ControlInput { accel, steer }
+    }
+
+    /// Creates a control input from dimensioned quantities.
+    ///
+    /// Prefer this over [`ControlInput::new`] outside the hot loops: the
+    /// newtypes make it impossible to swap the two components or feed a
+    /// speed where an acceleration belongs.
+    #[inline]
+    #[must_use]
+    pub fn from_units(accel: MetersPerSecondSquared, steer: Radians) -> Self {
+        ControlInput::new(accel.get(), steer.get())
+    }
+
+    /// The longitudinal acceleration as a dimensioned quantity.
+    #[inline]
+    #[must_use]
+    pub fn acceleration(&self) -> MetersPerSecondSquared {
+        MetersPerSecondSquared::new(self.accel)
     }
 
     /// The zero input (coast straight).
@@ -73,7 +91,7 @@ impl ControlLimits {
     /// Clamps a control input into the admissible ranges.
     pub fn clamp(&self, u: ControlInput) -> ControlInput {
         ControlInput::new(
-            u.accel.clamp(self.accel_min, self.accel_max),
+            self.clamp_accel(u.acceleration()).get(),
             u.steer.clamp(self.steer_min, self.steer_max),
         )
     }
@@ -88,6 +106,31 @@ impl ControlLimits {
     #[inline]
     pub fn clamp_speed(&self, v: MetersPerSecond) -> MetersPerSecond {
         MetersPerSecond::new(v.get().clamp(self.v_min, self.v_max))
+    }
+
+    /// Clamps an acceleration into `[accel_min, accel_max]`.
+    #[inline]
+    pub fn clamp_accel(&self, a: MetersPerSecondSquared) -> MetersPerSecondSquared {
+        MetersPerSecondSquared::new(a.get().clamp(self.accel_min, self.accel_max))
+    }
+
+    /// The hardest admissible braking as a positive deceleration magnitude
+    /// (`-accel_min`). Zero or negative means the limits allow no braking
+    /// at all, so stopping distances are unbounded.
+    #[inline]
+    #[must_use]
+    pub fn max_braking(&self) -> MetersPerSecondSquared {
+        MetersPerSecondSquared::new(-self.accel_min)
+    }
+
+    /// The acceleration bounds as dimensioned quantities `(min, max)`.
+    #[inline]
+    #[must_use]
+    pub fn accel_bounds(&self) -> (MetersPerSecondSquared, MetersPerSecondSquared) {
+        (
+            MetersPerSecondSquared::new(self.accel_min),
+            MetersPerSecondSquared::new(self.accel_max),
+        )
     }
 
     /// The boundary control set used by the paper's optimization 2:
@@ -183,6 +226,29 @@ mod tests {
             l.clamp_speed(MetersPerSecond::new(-5.0)).get(),
             l.v_min
         ));
+    }
+
+    #[test]
+    fn typed_constructor_matches_raw() {
+        let u = ControlInput::from_units(MetersPerSecondSquared::new(-2.5), Radians::new(0.1));
+        assert_eq!(u, ControlInput::new(-2.5, 0.1));
+        assert!(same(u.acceleration().get(), -2.5));
+    }
+
+    #[test]
+    fn typed_accel_clamp_and_bounds() {
+        let l = ControlLimits::default();
+        assert!(same(
+            l.clamp_accel(MetersPerSecondSquared::new(-100.0)).get(),
+            l.accel_min
+        ));
+        assert!(same(
+            l.clamp_accel(MetersPerSecondSquared::new(100.0)).get(),
+            l.accel_max
+        ));
+        assert!(same(l.max_braking().get(), 6.0));
+        let (lo, hi) = l.accel_bounds();
+        assert!(same(lo.get(), l.accel_min) && same(hi.get(), l.accel_max));
     }
 
     #[test]

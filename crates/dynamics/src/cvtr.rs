@@ -4,7 +4,7 @@
 //! future trajectories `X` of other actors are unknown, so iPrism predicts
 //! them with a CVTR model — each actor keeps its current speed and yaw rate.
 
-use iprism_units::Seconds;
+use iprism_units::{MetersPerSecond, MetersPerSecondSquared, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::{Trajectory, VehicleState};
@@ -35,6 +35,22 @@ impl CvtrModel {
     /// Creates a pure CVTR model (no speed decay).
     pub fn new() -> Self {
         CvtrModel { speed_decay: 0.0 }
+    }
+
+    /// Creates a model whose decay reproduces a given friction deceleration
+    /// at a given reference speed: an actor travelling at `at_speed` sheds
+    /// `decel` of speed per second, i.e. `speed_decay = decel / at_speed`.
+    ///
+    /// Non-positive or non-finite inputs fall back to pure CVTR (no decay)
+    /// rather than producing a speed-*increasing* model.
+    #[must_use]
+    pub fn with_braking(decel: MetersPerSecondSquared, at_speed: MetersPerSecond) -> Self {
+        if decel.get() <= 0.0 || !decel.is_finite() || at_speed.get() <= 0.0 {
+            return CvtrModel::new();
+        }
+        CvtrModel {
+            speed_decay: decel.get() / at_speed.get(),
+        }
     }
 
     /// Predicts `steps` future samples at period `dt`, starting from
@@ -129,6 +145,27 @@ mod tests {
         let last = p.states().last().unwrap();
         assert!(last.v < 10.0);
         assert!(last.v >= 0.0);
+    }
+
+    #[test]
+    fn braking_constructor_derives_decay() {
+        let m =
+            CvtrModel::with_braking(MetersPerSecondSquared::new(1.0), MetersPerSecond::new(10.0));
+        assert_eq!(m, CvtrModel { speed_decay: 0.1 });
+        // Degenerate inputs degrade to pure CVTR instead of anti-friction.
+        for m in [
+            CvtrModel::with_braking(
+                MetersPerSecondSquared::new(-1.0),
+                MetersPerSecond::new(10.0),
+            ),
+            CvtrModel::with_braking(
+                MetersPerSecondSquared::new(f64::NAN),
+                MetersPerSecond::new(10.0),
+            ),
+            CvtrModel::with_braking(MetersPerSecondSquared::new(1.0), MetersPerSecond::new(0.0)),
+        ] {
+            assert_eq!(m, CvtrModel::new());
+        }
     }
 
     #[test]

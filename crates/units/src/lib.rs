@@ -8,6 +8,7 @@
 //! * [`Meters`] — length / position components (m).
 //! * [`Seconds`] — durations and timestamps (s).
 //! * [`MetersPerSecond`] — speeds (m/s).
+//! * [`MetersPerSecondSquared`] — accelerations (m/s²).
 //! * [`Radians`] — angles and headings (rad), with normalization into
 //!   `(-π, π]` that agrees with `iprism_contracts::check_heading_normalized`.
 //!
@@ -269,6 +270,23 @@ impl MetersPerSecond {
 unit_ops!(MetersPerSecond);
 unit_helpers!(MetersPerSecond, "m/s");
 
+/// An acceleration in metres per second squared.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct MetersPerSecondSquared(f64);
+
+impl MetersPerSecondSquared {
+    /// Creates an acceleration from a value in metres per second squared.
+    #[inline]
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        MetersPerSecondSquared(value)
+    }
+}
+
+unit_ops!(MetersPerSecondSquared);
+unit_helpers!(MetersPerSecondSquared, "m/s^2");
+
 /// An angle in radians.
 ///
 /// [`Radians::new`] normalizes into `(-π, π]` — the same interval
@@ -399,6 +417,42 @@ impl std::ops::Div<MetersPerSecond> for Meters {
     }
 }
 
+/// Speed change over duration is an acceleration.
+impl std::ops::Div<Seconds> for MetersPerSecond {
+    type Output = MetersPerSecondSquared;
+    #[inline]
+    fn div(self, rhs: Seconds) -> MetersPerSecondSquared {
+        MetersPerSecondSquared(self.0 / rhs.0)
+    }
+}
+
+/// Acceleration times duration is a speed change.
+impl std::ops::Mul<Seconds> for MetersPerSecondSquared {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> MetersPerSecond {
+        MetersPerSecond(self.0 * rhs.0)
+    }
+}
+
+/// Duration times acceleration is a speed change.
+impl std::ops::Mul<MetersPerSecondSquared> for Seconds {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn mul(self, rhs: MetersPerSecondSquared) -> MetersPerSecond {
+        MetersPerSecond(self.0 * rhs.0)
+    }
+}
+
+/// Speed change over acceleration is the duration it takes.
+impl std::ops::Div<MetersPerSecondSquared> for MetersPerSecond {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: MetersPerSecondSquared) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::float_cmp)] // exact comparisons are intentional in tests
@@ -440,6 +494,19 @@ mod tests {
         assert_eq!(v * t, d);
         assert_eq!(t * v, d);
         assert_eq!(d / v, t);
+    }
+
+    #[test]
+    fn acceleration_arithmetic() {
+        let dv = MetersPerSecond::new(6.0);
+        let t = Seconds::new(2.0);
+        let a = dv / t;
+        assert_eq!(a, MetersPerSecondSquared::new(3.0));
+        // Round trips back through multiplication on both sides.
+        assert_eq!(a * t, dv);
+        assert_eq!(t * a, dv);
+        assert_eq!(dv / a, t);
+        assert_eq!(format!("{}", MetersPerSecondSquared::new(-4.0)), "-4 m/s^2");
     }
 
     #[test]
@@ -546,6 +613,13 @@ mod tests {
         fn prop_speed_roundtrip(d in -1e3..1e3f64, t in 0.1..1e3f64) {
             let v = Meters::new(d) / Seconds::new(t);
             prop_assert!(((v * Seconds::new(t)).get() - d).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_accel_roundtrip(dv in -1e3..1e3f64, t in 0.1..1e3f64) {
+            let a = MetersPerSecond::new(dv) / Seconds::new(t);
+            prop_assert!(((a * Seconds::new(t)).get() - dv).abs() < 1e-9);
+            prop_assert!(((MetersPerSecond::new(dv) / a).get() - t).abs() < 1e-9 || dv.abs() < 1e-12);
         }
     }
 }

@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use super::extract::{extract_file, Call, CallTarget, FileExtract, HotProp, SourceHit, ALL_PROPS};
-use super::{AstDiagnostic, AstRule, SCHEMA_VERSION};
+use super::{AstDiagnostic, AstRule};
 
 /// Headline numbers for the `--graph` report.
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,22 +55,20 @@ pub struct GraphReport {
 }
 
 impl GraphReport {
-    /// Renders the report as a JSON document for CI consumption.
+    /// Renders the report as a JSON document for CI consumption (the shared
+    /// envelope from [`super::render_report`], with the graph headline
+    /// counts between `files_checked` and `violations`).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let items: Vec<String> = self
-            .diagnostics
-            .iter()
-            .map(AstDiagnostic::to_json)
-            .collect();
-        format!(
-            r#"{{"schema_version":{SCHEMA_VERSION},"files_checked":{},"functions":{},"edges":{},"unresolved_edges":{},"hot_path_markers":{},"violations":[{}]}}"#,
+        super::report_json_with(
             self.stats.files,
-            self.stats.functions,
-            self.stats.edges,
-            self.stats.unresolved,
-            self.stats.markers,
-            items.join(",")
+            &[
+                ("functions", self.stats.functions),
+                ("edges", self.stats.edges),
+                ("unresolved_edges", self.stats.unresolved),
+                ("hot_path_markers", self.stats.markers),
+            ],
+            &self.diagnostics,
         )
     }
 }

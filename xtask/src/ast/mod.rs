@@ -13,7 +13,9 @@
 //! waived exactly like text-rule findings, with a justifying
 //! `// iprism-lint: allow(<rule>)` comment on or directly above the line.
 
+pub mod cfg;
 pub mod extract;
+pub mod flow;
 pub mod graph;
 pub mod lexer;
 pub mod rules;
@@ -24,7 +26,11 @@ use crate::mask::{self, MaskedFile};
 
 /// Version stamp embedded in every JSON lint report so CI consumers can
 /// detect format changes. Bump whenever the report shape changes.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: all four passes (text, `--ast`, `--graph`, `--flow`) share one
+/// emitter and one diagnostic object shape; the flow rules joined the
+/// rule namespace.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The AST-level lint rules enforced by `cargo xtask lint --ast`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,12 +74,32 @@ pub enum AstRule {
     /// A malformed or dangling `// iprism: hot-path(...)` marker. Graph
     /// rule.
     HotPathMarker,
+    /// Add/sub of two locals whose inferred physical dimensions differ
+    /// (meters + seconds, radians + degrees, ...). Flow rule: reported by
+    /// `cargo xtask lint --flow`.
+    UnitMixedDim,
+    /// A raw `f64` that escaped one unit newtype (`.get()`/`.0`) re-enters
+    /// a constructor of a *different* dimension unconverted. Flow rule.
+    UnitRawReentry,
+    /// Trigonometry on a value whose inferred dimension is not an angle in
+    /// radians (degrees, or a non-angle quantity). Flow rule.
+    UnitAngleRaw,
+    /// Order-sensitive float accumulation in a parallel context: `+=` on
+    /// captured state inside a parallel closure, or a reduction chained
+    /// straight off a `par_iter` without an ordered collect. Flow rule.
+    ParFloatAccum,
+    /// Shared-mutable access (`.lock()`, `.borrow_mut()`, atomic writes)
+    /// inside a closure handed to a parallel entry point. Flow rule.
+    ParSharedMut,
+    /// Iteration over an unordered hash collection feeding a reduction or
+    /// collect. Flow rule.
+    UnorderedReduce,
     /// An `iprism-lint: allow(...)` directive that suppresses nothing.
     DeadWaiver,
 }
 
 /// All AST rules, in reporting order.
-pub const ALL_AST_RULES: [AstRule; 14] = [
+pub const ALL_AST_RULES: [AstRule; 20] = [
     AstRule::NoHashCollections,
     AstRule::NoUnseededRng,
     AstRule::RawF64Param,
@@ -87,6 +113,12 @@ pub const ALL_AST_RULES: [AstRule; 14] = [
     AstRule::HotPathAlloc,
     AstRule::HotPathNondet,
     AstRule::HotPathMarker,
+    AstRule::UnitMixedDim,
+    AstRule::UnitRawReentry,
+    AstRule::UnitAngleRaw,
+    AstRule::ParFloatAccum,
+    AstRule::ParSharedMut,
+    AstRule::UnorderedReduce,
     AstRule::DeadWaiver,
 ];
 
@@ -98,6 +130,18 @@ pub const GRAPH_RULES: [AstRule; 4] = [
     AstRule::HotPathAlloc,
     AstRule::HotPathNondet,
     AstRule::HotPathMarker,
+];
+
+/// The rules evaluated by the dataflow pass (`lint --flow`), not the
+/// per-file pass; the per-file dead-waiver audit must leave their
+/// directives alone (the flow pass runs its own audit over them).
+pub const FLOW_RULES: [AstRule; 6] = [
+    AstRule::UnitMixedDim,
+    AstRule::UnitRawReentry,
+    AstRule::UnitAngleRaw,
+    AstRule::ParFloatAccum,
+    AstRule::ParSharedMut,
+    AstRule::UnorderedReduce,
 ];
 
 impl AstRule {
@@ -118,6 +162,12 @@ impl AstRule {
             AstRule::HotPathAlloc => "hot-path-alloc",
             AstRule::HotPathNondet => "hot-path-nondet",
             AstRule::HotPathMarker => "hot-path-marker",
+            AstRule::UnitMixedDim => "unit-mixed-dim",
+            AstRule::UnitRawReentry => "unit-raw-reentry",
+            AstRule::UnitAngleRaw => "unit-angle-raw",
+            AstRule::ParFloatAccum => "par-float-accum",
+            AstRule::ParSharedMut => "par-shared-mut",
+            AstRule::UnorderedReduce => "unordered-reduce",
             AstRule::DeadWaiver => "dead-waiver",
         }
     }
@@ -163,15 +213,43 @@ impl AstDiagnostic {
     /// dependencies).
     #[must_use]
     pub fn to_json(&self) -> String {
-        format!(
-            r#"{{"path":{},"line":{},"col":{},"rule":{},"message":{}}}"#,
-            json_string(&self.path),
+        diagnostic_json(
+            &self.path,
             self.line,
             self.col,
-            json_string(self.rule.name()),
-            json_string(&self.message)
+            self.rule.name(),
+            &self.message,
         )
     }
+}
+
+/// Renders one finding as a JSON object. Every lint layer — text, `--ast`,
+/// `--graph`, `--flow` — emits this exact shape, so CI consumers parse one
+/// schema regardless of which pass produced the report.
+#[must_use]
+pub fn diagnostic_json(path: &str, line: usize, col: usize, rule: &str, message: &str) -> String {
+    format!(
+        r#"{{"path":{},"line":{},"col":{},"rule":{},"message":{}}}"#,
+        json_string(path),
+        line,
+        col,
+        json_string(rule),
+        json_string(message)
+    )
+}
+
+/// Assembles the shared report envelope: `schema_version`, `files_checked`,
+/// any layer-specific headline counts (`extra`, emitted in order between
+/// `files_checked` and `violations`), then the pre-rendered violation
+/// objects. This is the *only* place the schema version is stamped.
+#[must_use]
+pub fn render_report(checked: usize, extra: &[(&str, usize)], items: &[String]) -> String {
+    let mut out = format!(r#"{{"schema_version":{SCHEMA_VERSION},"files_checked":{checked}"#);
+    for (key, value) in extra {
+        out.push_str(&format!(r#","{key}":{value}"#));
+    }
+    out.push_str(&format!(r#","violations":[{}]}}"#, items.join(",")));
+    out
 }
 
 /// Renders a full AST-lint report as a JSON document for CI consumption.
@@ -179,14 +257,21 @@ impl AstDiagnostic {
 /// `(path, line, col, rule)` order regardless of input order.
 #[must_use]
 pub fn report_json(checked: usize, diagnostics: &[AstDiagnostic]) -> String {
+    report_json_with(checked, &[], diagnostics)
+}
+
+/// Like [`report_json`] but with layer-specific headline counts (the graph
+/// pass's function/edge totals, the flow pass's function count).
+#[must_use]
+pub fn report_json_with(
+    checked: usize,
+    extra: &[(&str, usize)],
+    diagnostics: &[AstDiagnostic],
+) -> String {
     let mut sorted: Vec<&AstDiagnostic> = diagnostics.iter().collect();
     sorted.sort_by_key(|d| (&d.path, d.line, d.col, d.rule.name()));
     let items: Vec<String> = sorted.iter().map(|d| d.to_json()).collect();
-    format!(
-        r#"{{"schema_version":{SCHEMA_VERSION},"files_checked":{},"violations":[{}]}}"#,
-        checked,
-        items.join(",")
-    )
+    render_report(checked, extra, &items)
 }
 
 /// Quotes and escapes `s` as a JSON string literal.
@@ -313,9 +398,10 @@ pub fn ast_lint_source(rel_path: &str, source: &str) -> Vec<AstDiagnostic> {
 ///
 /// A directive is *live* when at least one rule it names fires (pre-waiver)
 /// on a line it covers — its own line, or the next code line below its
-/// comment-only run. Directives naming a graph rule (`hot-path-*`) are
-/// skipped here: they waive call-graph edges and sources, which only the
-/// `lint --graph` pass can see, and it runs its own dead-waiver audit.
+/// comment-only run. Directives naming a graph rule (`hot-path-*`) or a
+/// flow rule (`unit-*`, `par-*`, `unordered-reduce`) are skipped here: only
+/// the `lint --graph` / `lint --flow` passes can see what they suppress,
+/// and each pass runs its own dead-waiver audit.
 fn dead_waiver_audit(
     rel_path: &str,
     masked: &MaskedFile,
@@ -336,10 +422,9 @@ fn dead_waiver_audit(
         let Some((col0, names)) = parse_allow_names(comment) else {
             continue;
         };
-        if names
-            .iter()
-            .any(|n| GRAPH_RULES.iter().any(|r| r.name() == n))
-        {
+        if names.iter().any(|n| {
+            GRAPH_RULES.iter().any(|r| r.name() == n) || FLOW_RULES.iter().any(|r| r.name() == n)
+        }) {
             continue;
         }
         // Prose like `allow(...)` or `allow(<rule>)` in a plain comment is

@@ -428,7 +428,7 @@ pub(crate) fn skip_generics(tokens: &[Token], open: usize) -> Option<usize> {
 /// Splits a parameter-list token slice at top-level commas into
 /// `(name_token, type_tokens)` pairs; `self` receivers and destructuring
 /// patterns are skipped.
-fn split_params(params: &[Token]) -> Vec<(&Token, &[Token])> {
+pub(crate) fn split_params(params: &[Token]) -> Vec<(&Token, &[Token])> {
     let mut out = Vec::new();
     let mut start = 0usize;
     let mut paren = 0i32;

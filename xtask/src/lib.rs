@@ -10,6 +10,13 @@
 //!   `no-unseeded-rng`), dimensional safety (`raw-f64-param`,
 //!   `raw-f64-return`, `angle-conv-outside-units`) and NaN hygiene
 //!   (`partial-cmp-unwrap`, `unguarded-float-div`, `float-int-cast`).
+//! * **Graph rules** (`cargo xtask lint --graph`) — workspace call-graph
+//!   taint propagation certifying `// iprism: hot-path(...)` markers.
+//! * **Flow rules** (`cargo xtask lint --flow`; [`ast::flow`]) — forward
+//!   dataflow over per-function CFGs: unit-dimension tracking
+//!   (`unit-mixed-dim`, `unit-raw-reentry`, `unit-angle-raw`) and
+//!   parallel-determinism analysis (`par-float-accum`, `par-shared-mut`,
+//!   `unordered-reduce`).
 //!
 //! Both layers are documented in `docs/STATIC_ANALYSIS.md` and
 //! `docs/INVARIANTS.md`. Violations can be locally waived with a justifying
@@ -22,12 +29,13 @@ pub mod rules;
 
 use std::path::{Path, PathBuf};
 
+pub use ast::flow::{flow_lint_source, flow_lint_source_counted, run_flow_lint, FlowReport};
 pub use ast::graph::{
     build_graph_sources, build_workspace_graph, graph_lint_sources, run_graph_lint, CallGraph,
     DepClosure, GraphReport, GraphStats,
 };
 pub use ast::{
-    ast_lint_source, classify_ast, run_ast_lint, AstDiagnostic, AstRule, ALL_AST_RULES,
+    ast_lint_source, classify_ast, run_ast_lint, AstDiagnostic, AstRule, ALL_AST_RULES, FLOW_RULES,
     SCHEMA_VERSION,
 };
 pub use rules::{Diagnostic, FileClass, Rule, ALL_RULES};

@@ -25,7 +25,7 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <task>\n\n\
          tasks:\n  \
-         lint [--ast|--graph] [--json]\n                          \
+         lint [--ast|--graph|--flow] [--json]\n                          \
          run the iPrism custom lints over every workspace .rs file\n  \
          bench-sti [PATH]        time the STI hot path and write BENCH_STI.json (repo root,\n                          \
          or PATH) with the speedup over the recorded baseline\n  \
@@ -38,6 +38,8 @@ fn print_usage() {
          dead-waiver audit) instead of the text rules\n  \
          --graph  build the workspace call graph and certify `// iprism: hot-path(...)`\n           \
          markers (no-panic, no-alloc, deterministic) by taint propagation\n  \
+         --flow   run forward dataflow over per-function CFGs: unit-dimension tracking\n           \
+         and parallel-determinism analysis\n  \
          --json   emit machine-readable JSON instead of human-readable diagnostics\n\n\
          text rules:  no-panic-in-lib, no-float-eq, no-wallclock-in-sim, pub-fn-docs\n\
          ast rules:   no-hash-collections, no-unseeded-rng, raw-f64-param, raw-f64-return,\n             \
@@ -45,6 +47,8 @@ fn print_usage() {
          float-int-cast, world-step-outside-sim, dead-waiver\n\
          graph rules: hot-path-panic, hot-path-alloc, hot-path-nondet, hot-path-marker,\n             \
          dead-waiver\n\
+         flow rules:  unit-mixed-dim, unit-raw-reentry, unit-angle-raw, par-float-accum,\n             \
+         par-shared-mut, unordered-reduce, dead-waiver\n\
          waive a finding with `// iprism-lint: allow(<rule>)` on or above the line\n\
          (see docs/STATIC_ANALYSIS.md for the full catalogue)"
     );
@@ -61,11 +65,13 @@ fn workspace_root() -> PathBuf {
 fn lint(flags: &[String]) -> ExitCode {
     let mut ast = false;
     let mut graph = false;
+    let mut flow = false;
     let mut json = false;
     for flag in flags {
         match flag.as_str() {
             "--ast" => ast = true,
             "--graph" => graph = true,
+            "--flow" => flow = true,
             "--json" => json = true,
             other => {
                 eprintln!("xtask lint: unknown flag `{other}`\n");
@@ -74,14 +80,16 @@ fn lint(flags: &[String]) -> ExitCode {
             }
         }
     }
-    if ast && graph {
-        eprintln!("xtask lint: `--ast` and `--graph` are separate passes; pick one\n");
+    if usize::from(ast) + usize::from(graph) + usize::from(flow) > 1 {
+        eprintln!("xtask lint: `--ast`, `--graph` and `--flow` are separate passes; pick one\n");
         print_usage();
         return ExitCode::from(2);
     }
     let root = workspace_root();
     if graph {
         graph_lint(&root, json)
+    } else if flow {
+        flow_lint(&root, json)
     } else if ast {
         ast_lint(&root, json)
     } else {
@@ -115,20 +123,10 @@ fn text_lint(root: &Path, json: bool) -> ExitCode {
                 let items: Vec<String> = diagnostics
                     .iter()
                     .map(|d| {
-                        format!(
-                            r#"{{"path":{},"line":{},"col":1,"rule":{},"message":{}}}"#,
-                            xtask::ast::json_string(&d.path),
-                            d.line,
-                            xtask::ast::json_string(d.rule.name()),
-                            xtask::ast::json_string(&d.message)
-                        )
+                        xtask::ast::diagnostic_json(&d.path, d.line, 1, d.rule.name(), &d.message)
                     })
                     .collect();
-                println!(
-                    "{{\"schema_version\":{},\"files_checked\":{checked},\"violations\":[{}]}}",
-                    xtask::SCHEMA_VERSION,
-                    items.join(",")
-                );
+                println!("{}", xtask::ast::render_report(checked, &[], &items));
             } else {
                 for d in &diagnostics {
                     println!("{d}");
@@ -182,6 +180,29 @@ fn graph_lint(root: &Path, json: bool) -> ExitCode {
         }
         Err(err) => {
             eprintln!("xtask lint --graph: I/O error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flow_lint(root: &Path, json: bool) -> ExitCode {
+    match xtask::run_flow_lint(root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
+                println!(
+                    "xtask lint --flow: {} files, {} functions analysed",
+                    report.files, report.functions
+                );
+            }
+            summary("lint --flow", report.files, report.diagnostics.len(), json)
+        }
+        Err(err) => {
+            eprintln!("xtask lint --flow: I/O error: {err}");
             ExitCode::from(2)
         }
     }

@@ -93,7 +93,7 @@ pub fn mask(source: &str) -> MaskedFile {
                     code_push!('"');
                     state = State::Str;
                     i += 1;
-                } else if let Some(hashes) = raw_string_start(&chars, i, prev_code_char) {
+                } else if let Some(hashes) = raw_string_start(&chars, i) {
                     // r"...", r#"..."#, br"..." — blank the prefix, keep a quote.
                     let prefix_len = chars[i..].iter().take_while(|&&c| c != '"').count();
                     for _ in 0..prefix_len {
@@ -192,8 +192,16 @@ pub fn mask(source: &str) -> MaskedFile {
 }
 
 /// Returns `Some(hash_count)` when position `i` starts a raw (byte) string.
-fn raw_string_start(chars: &[char], i: usize, prev_code_char: char) -> Option<u32> {
-    if is_ident_char(prev_code_char) {
+///
+/// The guard against identifier tails (`varr"x"` is `varr` then a string,
+/// not a raw string) must look at the *immediately adjacent* character, not
+/// the last non-space code character: after `return r"..."` the last
+/// non-space char is the `n` of the keyword, but the quote is still a raw
+/// string, and treating it as a normal string desynchronizes the scanner on
+/// any embedded `\` or `"`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<u32> {
+    let adjacent = if i == 0 { ' ' } else { chars[i - 1] };
+    if is_ident_char(adjacent) {
         return None;
     }
     let mut j = i;
@@ -383,6 +391,32 @@ mod tests {
         assert!(code[0].contains("var"));
         let code = code_of("let expr = ptr.cast::<u8>();\n");
         assert!(code[0].contains("cast"));
+    }
+
+    #[test]
+    fn raw_string_after_keyword_is_detected() {
+        // Regression: the adjacency guard used the last *non-space* code
+        // char, so `return r"..."` read as a normal string and the embedded
+        // backslash swallowed the closing quote, desyncing the whole file.
+        let src = "fn p() -> &'static str { return r\"a\\\"; }\nlet t = 1;\n";
+        let code = code_of(src);
+        assert!(code[0].trim_end().ends_with('}'), "{:?}", code[0]);
+        assert!(code[1].contains("let t = 1;"), "{:?}", code[1]);
+    }
+
+    #[test]
+    fn raw_string_after_keyword_masks_inner_quotes() {
+        let src = "fn p() -> &'static str { return r#\"has \"quotes\"\"#; }\nlet t = 1;\n";
+        let code = code_of(src);
+        assert!(!code[0].contains("quotes"), "{:?}", code[0]);
+        assert!(code[1].contains("let t = 1;"), "{:?}", code[1]);
+    }
+
+    #[test]
+    fn raw_byte_string_after_keyword_is_detected() {
+        let src = "fn p() -> &'static [u8] { return br\"a\\\"; }\nx.unwrap();\n";
+        let code = code_of(src);
+        assert!(code[1].contains("x.unwrap();"), "{:?}", code[1]);
     }
 
     #[test]

@@ -378,13 +378,13 @@ fn json_report_is_well_formed() {
     let bad = "use std::collections::HashMap;\n";
     let diags = ast_lint_source(SIM_PATH, bad);
     let json = xtask::ast::report_json(1, &diags);
-    assert!(json.starts_with(r#"{"schema_version":2,"files_checked":1,"violations":[{"#));
+    assert!(json.starts_with(r#"{"schema_version":3,"files_checked":1,"violations":[{"#));
     assert!(json.contains(r#""rule":"no-hash-collections""#));
     assert!(json.contains(r#""line":1"#));
     let empty = xtask::ast::report_json(42, &[]);
     assert_eq!(
         empty,
-        r#"{"schema_version":2,"files_checked":42,"violations":[]}"#
+        r#"{"schema_version":3,"files_checked":42,"violations":[]}"#
     );
 }
 
@@ -403,7 +403,50 @@ fn json_report_snapshot() {
     let json = xtask::ast::report_json(1, &diags);
     assert_eq!(
         json,
-        r#"{"schema_version":2,"files_checked":1,"violations":[{"path":"crates/sim/src/fixture.rs","line":1,"col":23,"rule":"no-hash-collections","message":"`HashMap` in determinism-critical code: iteration order varies between runs; use `BTreeMap` (ordered) instead"}]}"#
+        r#"{"schema_version":3,"files_checked":1,"violations":[{"path":"crates/sim/src/fixture.rs","line":1,"col":23,"rule":"no-hash-collections","message":"`HashMap` in determinism-critical code: iteration order varies between runs; use `BTreeMap` (ordered) instead"}]}"#
+    );
+}
+
+/// Every lint layer — text, `--ast`, `--graph`, `--flow` — must emit the
+/// same envelope (`schema_version` + `files_checked` + optional headline
+/// counts + sorted `violations`) and the same per-violation object shape.
+/// This pins one finding from three different layers byte-for-byte.
+#[test]
+fn all_layers_share_one_json_envelope() {
+    // Text layer: rendered through the shared emitter with col 1.
+    let text = xtask::lint_source(SIM_PATH, "fn step() {\n    let t = Instant::now();\n}\n");
+    let items: Vec<String> = text
+        .iter()
+        .map(|d| xtask::ast::diagnostic_json(&d.path, d.line, 1, d.rule.name(), &d.message))
+        .collect();
+    let text_json = xtask::ast::render_report(1, &[], &items);
+    assert_eq!(
+        text_json,
+        r#"{"schema_version":3,"files_checked":1,"violations":[{"path":"crates/sim/src/fixture.rs","line":2,"col":1,"rule":"no-wallclock-in-sim","message":"`Instant` in simulation code; sims must be deterministic — use the step counter and seeded RNGs"}]}"#
+    );
+
+    // AST layer.
+    let ast = ast_lint_source(SIM_PATH, "use std::collections::HashMap;\n");
+    let ast_json = xtask::ast::report_json(1, &ast);
+    assert_eq!(
+        ast_json,
+        r#"{"schema_version":3,"files_checked":1,"violations":[{"path":"crates/sim/src/fixture.rs","line":1,"col":23,"rule":"no-hash-collections","message":"`HashMap` in determinism-critical code: iteration order varies between runs; use `BTreeMap` (ordered) instead"}]}"#
+    );
+
+    // Flow layer: the report carries its headline `functions` count inside
+    // the same envelope.
+    let flow = xtask::flow_lint_source(
+        "crates/reach/src/fixture.rs",
+        "pub fn f(d: Meters, t: Seconds) -> f64 { d.get() + t.get() }\n",
+    );
+    let report = xtask::FlowReport {
+        files: 1,
+        functions: 1,
+        diagnostics: flow,
+    };
+    assert_eq!(
+        report.to_json(),
+        r#"{"schema_version":3,"files_checked":1,"functions":1,"violations":[{"path":"crates/reach/src/fixture.rs","line":1,"col":50,"rule":"unit-mixed-dim","message":"mixed-dimension arithmetic: length (m) + time (s); convert through the iprism-units newtypes first"}]}"#
     );
 }
 

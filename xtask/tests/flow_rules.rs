@@ -1,0 +1,293 @@
+//! Fixture and golden tests for the dataflow pass (`lint --flow`).
+//!
+//! Convention mirrors `ast_rules.rs`: every flow rule gets a firing, a
+//! silent and a suppressed fixture, exercised through the public
+//! `flow_lint_source` entry point. The golden tests at the bottom run the
+//! full pass over the actual workspace tree (which must certify clean) and
+//! pin the exact `--flow --json` report for a seeded fixture pair — a
+//! mixed-unit addition and an order-sensitive parallel float reduction, the
+//! two defect classes the layer exists to catch.
+
+use xtask::{flow_lint_source, flow_lint_source_counted, run_flow_lint, AstRule, FlowReport};
+
+/// Reach-tube math: units flow through raw `f64` hot loops here.
+const REACH_PATH: &str = "crates/reach/src/fixture.rs";
+/// Risk aggregation: the parallel fan-out lives here.
+const RISK_PATH: &str = "crates/risk/src/fixture.rs";
+/// Integration tests are outside the lint scope entirely.
+const TEST_PATH: &str = "crates/reach/tests/fixture.rs";
+
+fn fired(path: &str, source: &str) -> Vec<AstRule> {
+    flow_lint_source(path, source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+// ---------------------------------------------------------------- unit-mixed-dim
+
+#[test]
+fn mixed_dim_fires_on_distance_plus_accel_times_time() {
+    // a·dt is a speed (m/s² · s), and a speed must not be added to a length.
+    let bad = "pub fn f(d: Meters, a: MetersPerSecondSquared, dt: Seconds) -> f64 {\n\
+               d.get() + a.get() * dt.get()\n}\n";
+    assert_eq!(fired(REACH_PATH, bad), vec![AstRule::UnitMixedDim]);
+}
+
+#[test]
+fn mixed_dim_silent_on_euler_velocity_update() {
+    // v + a·dt is the bicycle model's velocity update: speed + speed.
+    let good = "pub fn f(v: MetersPerSecond, a: MetersPerSecondSquared, dt: Seconds) -> f64 {\n\
+                v.get() + a.get() * dt.get()\n}\n";
+    assert!(fired(REACH_PATH, good).is_empty());
+}
+
+#[test]
+fn mixed_dim_suppressed_by_allow() {
+    let waived = "pub fn f(d: Meters, t: Seconds) -> f64 {\n\
+                  // iprism-lint: allow(unit-mixed-dim) — intentional in fixture\n\
+                  d.get() + t.get()\n}\n";
+    assert!(fired(REACH_PATH, waived).is_empty());
+}
+
+// ---------------------------------------------------------------- unit-raw-reentry
+
+#[test]
+fn raw_reentry_fires_when_a_length_becomes_a_speed() {
+    let bad = "pub fn f(d: Meters) -> MetersPerSecond { MetersPerSecond::new(d.get()) }\n";
+    assert_eq!(fired(REACH_PATH, bad), vec![AstRule::UnitRawReentry]);
+}
+
+#[test]
+fn raw_reentry_silent_on_matching_dimension() {
+    let good = "pub fn f(v: MetersPerSecond) -> MetersPerSecond {\n\
+                MetersPerSecond::new(v.get() * 0.5)\n}\n";
+    assert!(fired(REACH_PATH, good).is_empty());
+}
+
+#[test]
+fn raw_reentry_suppressed_by_allow() {
+    let waived = "pub fn f(d: Meters) -> MetersPerSecond {\n\
+                  // iprism-lint: allow(unit-raw-reentry) — deliberate reinterpretation\n\
+                  MetersPerSecond::new(d.get())\n}\n";
+    assert!(fired(REACH_PATH, waived).is_empty());
+}
+
+// ---------------------------------------------------------------- unit-angle-raw
+
+#[test]
+fn angle_raw_fires_on_trig_over_degrees() {
+    // The `_deg` suffix marks the literal as degrees; sin() wants radians.
+    let bad = "pub fn f() -> f64 { let bearing_deg = 30.0; bearing_deg.cos() }\n";
+    assert_eq!(fired(REACH_PATH, bad), vec![AstRule::UnitAngleRaw]);
+}
+
+#[test]
+fn angle_raw_silent_on_trig_over_radians() {
+    let good = "pub fn f(heading: Radians) -> f64 { heading.get().sin() }\n";
+    assert!(fired(REACH_PATH, good).is_empty());
+}
+
+#[test]
+fn angle_raw_suppressed_by_allow() {
+    let waived = "pub fn f() -> f64 {\n\
+                  let bearing_deg = 30.0;\n\
+                  // iprism-lint: allow(unit-angle-raw) — fixture exercises the bad path\n\
+                  bearing_deg.cos()\n}\n";
+    assert!(fired(REACH_PATH, waived).is_empty());
+}
+
+// ---------------------------------------------------------------- par-float-accum
+
+#[test]
+fn par_accum_fires_on_parallel_sum() {
+    let bad = "pub fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|x| x * 2.0).sum() }\n";
+    assert_eq!(fired(RISK_PATH, bad), vec![AstRule::ParFloatAccum]);
+}
+
+#[test]
+fn par_accum_fires_on_captured_accumulator() {
+    let bad = "pub fn f(xs: &[f64]) -> f64 {\n\
+               let mut total = 0.0;\n\
+               parallel_map(xs, |x| { total += x; });\n\
+               total\n}\n";
+    assert_eq!(fired(RISK_PATH, bad), vec![AstRule::ParFloatAccum]);
+}
+
+#[test]
+fn par_accum_silent_on_ordered_collect() {
+    // The sanctioned shape: map in parallel, fan in by index, reduce after.
+    let good = "pub fn f(xs: &[f64]) -> Vec<f64> {\n\
+                xs.par_iter().map(|x| x * 2.0).collect()\n}\n";
+    assert!(fired(RISK_PATH, good).is_empty());
+}
+
+#[test]
+fn par_accum_suppressed_by_allow() {
+    let waived = "pub fn f(xs: &[f64]) -> f64 {\n\
+                  // iprism-lint: allow(par-float-accum) — tolerance-tested downstream\n\
+                  xs.par_iter().map(|x| x * 2.0).sum()\n}\n";
+    assert!(fired(RISK_PATH, waived).is_empty());
+}
+
+// ---------------------------------------------------------------- par-shared-mut
+
+#[test]
+fn shared_mut_fires_on_lock_inside_parallel_closure() {
+    let bad = "pub fn f(xs: &[f64]) {\n\
+               parallel_map(xs, |x| { shared.lock().unwrap().push(*x); });\n}\n";
+    assert_eq!(fired(RISK_PATH, bad), vec![AstRule::ParSharedMut]);
+}
+
+#[test]
+fn shared_mut_silent_outside_parallel_regions() {
+    // Sequential lock use is fine; only parallel closures are constrained.
+    let good = "pub fn f(m: &Mutex<Vec<f64>>) { m.lock().unwrap().push(1.0); }\n";
+    assert!(fired(RISK_PATH, good).is_empty());
+}
+
+#[test]
+fn shared_mut_suppressed_by_allow() {
+    let waived = "pub fn f(xs: &[f64]) {\n\
+                  // iprism-lint: allow(par-shared-mut) — counters only, order-free\n\
+                  parallel_map(xs, |x| { shared.lock().unwrap().push(*x); });\n}\n";
+    assert!(fired(RISK_PATH, waived).is_empty());
+}
+
+// ---------------------------------------------------------------- unordered-reduce
+
+#[test]
+fn unordered_reduce_fires_on_hash_map_values_sum() {
+    let bad = "pub fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }\n";
+    let rules = fired(RISK_PATH, bad);
+    // The HashMap itself also trips the AST-layer determinism rule; the
+    // flow finding is the iteration-order one.
+    assert!(rules.contains(&AstRule::UnorderedReduce), "got {rules:?}");
+}
+
+#[test]
+fn unordered_reduce_silent_on_btree_map() {
+    let good = "pub fn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum() }\n";
+    assert!(fired(RISK_PATH, good).is_empty());
+}
+
+#[test]
+fn unordered_reduce_suppressed_by_allow() {
+    let waived = "pub fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+                  // iprism-lint: allow(unordered-reduce) — sum is order-insensitive enough here\n\
+                  m.values().sum()\n}\n";
+    let rules = fired(RISK_PATH, waived);
+    assert!(!rules.contains(&AstRule::UnorderedReduce), "got {rules:?}");
+}
+
+// ---------------------------------------------------------------- dead-waiver
+
+#[test]
+fn dead_flow_waiver_fires() {
+    let dead = "pub fn f(a: f64) -> f64 {\n\
+                // iprism-lint: allow(par-float-accum)\n\
+                a * 2.0\n}\n";
+    assert_eq!(fired(REACH_PATH, dead), vec![AstRule::DeadWaiver]);
+}
+
+#[test]
+fn live_flow_waiver_is_not_dead() {
+    let live = "pub fn f(d: Meters, t: Seconds) -> f64 {\n\
+                // iprism-lint: allow(unit-mixed-dim)\n\
+                d.get() + t.get()\n}\n";
+    assert!(fired(REACH_PATH, live).is_empty());
+}
+
+#[test]
+fn mixed_directive_is_left_to_the_other_passes() {
+    // A directive naming both a flow rule and a text/AST rule is not
+    // audited by the flow pass even when the flow rule suppresses nothing:
+    // the other pass owns the other name.
+    let mixed = "pub fn f(a: f64) -> f64 {\n\
+                 // iprism-lint: allow(unit-mixed-dim, no-float-eq)\n\
+                 a * 2.0\n}\n";
+    assert!(fired(REACH_PATH, mixed).is_empty());
+}
+
+// ---------------------------------------------------------------- scope & counting
+
+#[test]
+fn test_code_is_outside_the_flow_scope() {
+    let bad = "pub fn f(d: Meters, t: Seconds) -> f64 { d.get() + t.get() }\n";
+    let (functions, diagnostics) = flow_lint_source_counted(TEST_PATH, bad);
+    assert_eq!(functions, 0);
+    assert!(diagnostics.is_empty());
+}
+
+#[test]
+fn nested_functions_are_counted_as_their_own_units() {
+    let src = "pub fn outer() -> f64 {\n\
+               fn inner(x: f64) -> f64 { x }\n\
+               inner(1.0)\n}\n";
+    let (functions, diagnostics) = flow_lint_source_counted(REACH_PATH, src);
+    assert_eq!(functions, 2);
+    assert!(diagnostics.is_empty());
+}
+
+// ---------------------------------------------------------------- golden tests
+
+fn workspace_root() -> std::path::PathBuf {
+    // xtask sits one level below the workspace root.
+    let mut root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root
+}
+
+#[test]
+fn workspace_flow_certifies_clean() {
+    let report = run_flow_lint(&workspace_root()).expect("workspace walk");
+    assert!(
+        report.diagnostics.is_empty(),
+        "lint --flow must pass on the workspace:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files > 100,
+        "expected the whole workspace, got {} files",
+        report.files
+    );
+    assert!(
+        report.functions > 500,
+        "expected hundreds of analysed functions, got {}",
+        report.functions
+    );
+}
+
+/// A seeded mixed-unit addition: metres plus seconds.
+const SEEDED_UNITS: &str = "\
+pub fn seeded_mixed(d: Meters, t: Seconds) -> f64 {
+    d.get() + t.get()
+}
+";
+
+/// A seeded order-sensitive parallel float reduction.
+const SEEDED_REDUCE: &str = "\
+pub fn seeded_reduce(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+";
+
+#[test]
+fn golden_seeded_fixtures_produce_the_pinned_flow_report() {
+    let (f1, d1) = flow_lint_source_counted(REACH_PATH, SEEDED_UNITS);
+    let (f2, d2) = flow_lint_source_counted(RISK_PATH, SEEDED_REDUCE);
+    let report = FlowReport {
+        files: 2,
+        functions: f1 + f2,
+        diagnostics: d1.into_iter().chain(d2).collect(),
+    };
+    assert_eq!(
+        report.to_json(),
+        r#"{"schema_version":3,"files_checked":2,"functions":2,"violations":[{"path":"crates/reach/src/fixture.rs","line":2,"col":13,"rule":"unit-mixed-dim","message":"mixed-dimension arithmetic: length (m) + time (s); convert through the iprism-units newtypes first"},{"path":"crates/risk/src/fixture.rs","line":2,"col":36,"rule":"par-float-accum","message":"`.sum()` merges parallel results in nondeterministic order; collect() in index order first, then reduce sequentially"}]}"#
+    );
+}
